@@ -1,0 +1,517 @@
+//! Abstract syntax of AGCA expressions and queries (Section 4).
+//!
+//! Expressions are built from relational atoms, constants, variables, comparisons and
+//! assignments with `+`, `*`, unary `-` and the aggregate `Sum(·)`. A [`Query`] pairs an
+//! expression with its *bound* (group-by) variables: the SQL translation of Section 5 maps
+//! a `GROUP BY` aggregate query to a `Sum(…)` expression whose group keys are bound from
+//! the outside.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use dbring_relations::Value;
+use serde::{Deserialize, Serialize};
+
+/// Comparison operators `θ` (and their complements `θ̄`, used by the delta rule for
+/// conditions).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// The complement `θ̄` (e.g. `≥` for `<`).
+    pub fn complement(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Applies the comparison to an [`std::cmp::Ordering`].
+    pub fn test(&self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An AGCA expression.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Expr {
+    /// `q₁ + q₂` — generalized union.
+    Add(Box<Expr>, Box<Expr>),
+    /// `q₁ * q₂` — generalized natural join with sideways binding passing.
+    Mul(Box<Expr>, Box<Expr>),
+    /// `-q` — additive inverse.
+    Neg(Box<Expr>),
+    /// `Sum(q)` — the aggregate sum of all multiplicities.
+    Sum(Box<Expr>),
+    /// A constant (numeric constants act as multiplicities on the empty tuple; string
+    /// constants may only appear inside comparisons and assignments).
+    Const(Value),
+    /// A variable reference used as a value term (must be bound).
+    Var(String),
+    /// A relational atom `R(x₁, …, x_k)`; the variables rename the relation's columns.
+    Rel(String, Vec<String>),
+    /// A condition `q₁ θ q₂` (the paper's `q θ 0`, generalized: `q θ q'` abbreviates
+    /// `(q − q') θ 0`). Evaluates to multiplicity 1 on the empty tuple when satisfied.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// An assignment `x := q`: binds variable `x` to the scalar value of `q`.
+    Assign(String, Box<Expr>),
+}
+
+impl Expr {
+    /// `q₁ + q₂`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `q₁ * q₂`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// `-q`.
+    pub fn neg(a: Expr) -> Expr {
+        Expr::Neg(Box::new(a))
+    }
+
+    /// `Sum(q)`.
+    pub fn sum(a: Expr) -> Expr {
+        Expr::Sum(Box::new(a))
+    }
+
+    /// An integer constant.
+    pub fn int(i: i64) -> Expr {
+        Expr::Const(Value::Int(i))
+    }
+
+    /// An arbitrary constant value.
+    pub fn constant(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// A variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// A relational atom `R(x₁, …, x_k)`.
+    pub fn rel(name: impl Into<String>, vars: &[&str]) -> Expr {
+        Expr::Rel(name.into(), vars.iter().map(|v| v.to_string()).collect())
+    }
+
+    /// A comparison `a θ b`.
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    /// Equality `a = b`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::cmp(CmpOp::Eq, a, b)
+    }
+
+    /// An assignment `x := q`.
+    pub fn assign(var: impl Into<String>, term: Expr) -> Expr {
+        Expr::Assign(var.into(), Box::new(term))
+    }
+
+    /// The product of a sequence of factors (`1` for the empty sequence), associating to
+    /// the left so the sideways-binding order matches the sequence order.
+    pub fn product(factors: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut it = factors.into_iter();
+        match it.next() {
+            None => Expr::int(1),
+            Some(first) => it.fold(first, Expr::mul),
+        }
+    }
+
+    /// The sum of a sequence of terms (`0` for the empty sequence).
+    pub fn sum_of(terms: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut it = terms.into_iter();
+        match it.next() {
+            None => Expr::int(0),
+            Some(first) => it.fold(first, Expr::add),
+        }
+    }
+
+    /// Whether the expression is the constant zero.
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Expr::Const(Value::Int(0)))
+    }
+
+    /// Whether the expression is the constant one.
+    pub fn is_one(&self) -> bool {
+        matches!(self, Expr::Const(Value::Int(1)))
+    }
+
+    /// All variables occurring anywhere in the expression (as atom arguments, value terms,
+    /// assignment targets or comparison operands).
+    pub fn variables(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Add(a, b) | Expr::Mul(a, b) => {
+                a.collect_variables(out);
+                b.collect_variables(out);
+            }
+            Expr::Neg(a) | Expr::Sum(a) => a.collect_variables(out),
+            Expr::Const(_) => {}
+            Expr::Var(x) => {
+                out.insert(x.clone());
+            }
+            Expr::Rel(_, vars) => out.extend(vars.iter().cloned()),
+            Expr::Cmp(_, a, b) => {
+                a.collect_variables(out);
+                b.collect_variables(out);
+            }
+            Expr::Assign(x, t) => {
+                out.insert(x.clone());
+                t.collect_variables(out);
+            }
+        }
+    }
+
+    /// The names of all relations referenced by the expression.
+    pub fn relations(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_relations(&mut out);
+        out
+    }
+
+    fn collect_relations(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Add(a, b) | Expr::Mul(a, b) => {
+                a.collect_relations(out);
+                b.collect_relations(out);
+            }
+            Expr::Neg(a) | Expr::Sum(a) => a.collect_relations(out),
+            Expr::Cmp(_, a, b) => {
+                a.collect_relations(out);
+                b.collect_relations(out);
+            }
+            Expr::Assign(_, t) => t.collect_relations(out),
+            Expr::Rel(name, _) => {
+                out.insert(name.clone());
+            }
+            Expr::Const(_) | Expr::Var(_) => {}
+        }
+    }
+
+    /// Renames every occurrence of variable `from` to `to` (in atoms, value terms,
+    /// comparisons, assignment targets and assignment terms).
+    pub fn rename_variable(&self, from: &str, to: &str) -> Expr {
+        match self {
+            Expr::Add(a, b) => Expr::add(a.rename_variable(from, to), b.rename_variable(from, to)),
+            Expr::Mul(a, b) => Expr::mul(a.rename_variable(from, to), b.rename_variable(from, to)),
+            Expr::Neg(a) => Expr::neg(a.rename_variable(from, to)),
+            Expr::Sum(a) => Expr::sum(a.rename_variable(from, to)),
+            Expr::Const(c) => Expr::Const(c.clone()),
+            Expr::Var(x) => Expr::Var(if x == from { to.to_string() } else { x.clone() }),
+            Expr::Rel(name, vars) => Expr::Rel(
+                name.clone(),
+                vars.iter()
+                    .map(|v| if v == from { to.to_string() } else { v.clone() })
+                    .collect(),
+            ),
+            Expr::Cmp(op, a, b) => {
+                Expr::cmp(*op, a.rename_variable(from, to), b.rename_variable(from, to))
+            }
+            Expr::Assign(x, t) => Expr::Assign(
+                if x == from { to.to_string() } else { x.clone() },
+                Box::new(t.rename_variable(from, to)),
+            ),
+        }
+    }
+
+    /// Applies several variable renamings at once (simultaneously, not sequentially).
+    pub fn rename_variables(&self, renaming: &std::collections::BTreeMap<String, String>) -> Expr {
+        let lookup = |x: &String| renaming.get(x).cloned().unwrap_or_else(|| x.clone());
+        match self {
+            Expr::Add(a, b) => {
+                Expr::add(a.rename_variables(renaming), b.rename_variables(renaming))
+            }
+            Expr::Mul(a, b) => {
+                Expr::mul(a.rename_variables(renaming), b.rename_variables(renaming))
+            }
+            Expr::Neg(a) => Expr::neg(a.rename_variables(renaming)),
+            Expr::Sum(a) => Expr::sum(a.rename_variables(renaming)),
+            Expr::Const(c) => Expr::Const(c.clone()),
+            Expr::Var(x) => Expr::Var(lookup(x)),
+            Expr::Rel(name, vars) => Expr::Rel(name.clone(), vars.iter().map(lookup).collect()),
+            Expr::Cmp(op, a, b) => Expr::cmp(
+                *op,
+                a.rename_variables(renaming),
+                b.rename_variables(renaming),
+            ),
+            Expr::Assign(x, t) => {
+                Expr::Assign(lookup(x), Box::new(t.rename_variables(renaming)))
+            }
+        }
+    }
+
+    /// The number of AST nodes (a crude size measure used in tests and diagnostics).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Add(a, b) | Expr::Mul(a, b) | Expr::Cmp(_, a, b) => 1 + a.size() + b.size(),
+            Expr::Neg(a) | Expr::Sum(a) | Expr::Assign(_, a) => 1 + a.size(),
+            Expr::Const(_) | Expr::Var(_) | Expr::Rel(_, _) => 1,
+        }
+    }
+
+    /// Whether the expression contains a `Sum` nested inside a comparison — i.e. whether
+    /// it falls outside the *simple conditions* class of Theorem 6.4, for which the degree
+    /// of the delta is guaranteed to drop.
+    pub fn has_nested_aggregate_condition(&self) -> bool {
+        fn contains_sum(e: &Expr) -> bool {
+            match e {
+                Expr::Sum(_) => true,
+                Expr::Add(a, b) | Expr::Mul(a, b) | Expr::Cmp(_, a, b) => {
+                    contains_sum(a) || contains_sum(b)
+                }
+                Expr::Neg(a) | Expr::Assign(_, a) => contains_sum(a),
+                _ => false,
+            }
+        }
+        fn contains_rel(e: &Expr) -> bool {
+            match e {
+                Expr::Rel(_, _) => true,
+                Expr::Add(a, b) | Expr::Mul(a, b) | Expr::Cmp(_, a, b) => {
+                    contains_rel(a) || contains_rel(b)
+                }
+                Expr::Neg(a) | Expr::Sum(a) | Expr::Assign(_, a) => contains_rel(a),
+                _ => false,
+            }
+        }
+        match self {
+            Expr::Cmp(_, a, b) => {
+                contains_sum(a) || contains_sum(b) || contains_rel(a) || contains_rel(b)
+            }
+            Expr::Add(a, b) | Expr::Mul(a, b) => {
+                a.has_nested_aggregate_condition() || b.has_nested_aggregate_condition()
+            }
+            Expr::Neg(a) | Expr::Sum(a) => a.has_nested_aggregate_condition(),
+            Expr::Assign(_, t) => t.has_nested_aggregate_condition(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Mul(a, b) => write!(f, "{a} * {b}"),
+            Expr::Neg(a) => write!(f, "-({a})"),
+            Expr::Sum(a) => write!(f, "Sum({a})"),
+            Expr::Const(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Var(x) => write!(f, "{x}"),
+            Expr::Rel(name, vars) => {
+                write!(f, "{name}({})", vars.join(", "))
+            }
+            Expr::Cmp(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Assign(x, t) => write!(f, "({x} := {t})"),
+        }
+    }
+}
+
+/// A named AGCA query: an expression plus the variables bound from the outside (the
+/// group-by keys of the SQL translation).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Query {
+    /// A name used for the materialized view of the query.
+    pub name: String,
+    /// The bound (group-by) variables `b⃗`, in output order.
+    pub group_by: Vec<String>,
+    /// The query body.
+    pub expr: Expr,
+}
+
+impl Query {
+    /// Creates a named query.
+    pub fn new(name: impl Into<String>, group_by: &[&str], expr: Expr) -> Self {
+        Query {
+            name: name.into(),
+            group_by: group_by.iter().map(|s| s.to_string()).collect(),
+            expr,
+        }
+    }
+
+    /// A query with no group-by variables (a single aggregate value).
+    pub fn scalar(name: impl Into<String>, expr: Expr) -> Self {
+        Query::new(name, &[], expr)
+    }
+
+    /// The relations referenced by the query.
+    pub fn relations(&self) -> BTreeSet<String> {
+        self.expr.relations()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.group_by.is_empty() {
+            write!(f, "{} := {}", self.name, self.expr)
+        } else {
+            write!(f, "{}[{}] := {}", self.name, self.group_by.join(", "), self.expr)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_query() -> Expr {
+        // Sum(C(c, n) * C(c2, n2) * (n = n2))  — Example 5.2 (with explicit variables).
+        Expr::sum(Expr::product(vec![
+            Expr::rel("C", &["c", "n"]),
+            Expr::rel("C", &["c2", "n2"]),
+            Expr::eq(Expr::var("n"), Expr::var("n2")),
+        ]))
+    }
+
+    #[test]
+    fn constructors_and_display() {
+        let q = example_query();
+        assert_eq!(
+            q.to_string(),
+            "Sum(C(c, n) * C(c2, n2) * (n = n2))"
+        );
+        assert_eq!(Expr::int(3).to_string(), "3");
+        assert_eq!(Expr::constant("FR").to_string(), "'FR'");
+        assert_eq!(Expr::assign("x", Expr::int(1)).to_string(), "(x := 1)");
+        assert_eq!(
+            Expr::neg(Expr::var("x")).to_string(),
+            "-(x)"
+        );
+        assert_eq!(
+            Expr::add(Expr::int(1), Expr::int(2)).to_string(),
+            "(1 + 2)"
+        );
+    }
+
+    #[test]
+    fn product_and_sum_of_edge_cases() {
+        assert!(Expr::product(vec![]).is_one());
+        assert!(Expr::sum_of(vec![]).is_zero());
+        assert_eq!(Expr::product(vec![Expr::var("x")]), Expr::var("x"));
+        assert_eq!(Expr::sum_of(vec![Expr::var("x")]), Expr::var("x"));
+    }
+
+    #[test]
+    fn variable_and_relation_collection() {
+        let q = example_query();
+        let vars: Vec<String> = q.variables().into_iter().collect();
+        assert_eq!(vars, vec!["c", "c2", "n", "n2"]);
+        let rels: Vec<String> = q.relations().into_iter().collect();
+        assert_eq!(rels, vec!["C"]);
+        assert!(Expr::int(1).variables().is_empty());
+        assert_eq!(
+            Expr::assign("x", Expr::var("y")).variables().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn renaming() {
+        let q = example_query();
+        let renamed = q.rename_variable("n", "nation");
+        assert!(renamed.variables().contains("nation"));
+        assert!(!renamed.variables().contains("n"));
+        // n2 must be untouched.
+        assert!(renamed.variables().contains("n2"));
+
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("c".to_string(), "c2".to_string());
+        map.insert("c2".to_string(), "c".to_string());
+        let swapped = q.rename_variables(&map);
+        // Simultaneous renaming swaps without capture.
+        assert_eq!(swapped.rename_variables(&map), q);
+    }
+
+    #[test]
+    fn complement_of_comparison_ops() {
+        assert_eq!(CmpOp::Eq.complement(), CmpOp::Ne);
+        assert_eq!(CmpOp::Lt.complement(), CmpOp::Ge);
+        assert_eq!(CmpOp::Le.complement(), CmpOp::Gt);
+        assert_eq!(CmpOp::Gt.complement().complement(), CmpOp::Gt);
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Le.test(Equal));
+        assert!(CmpOp::Le.test(Less));
+        assert!(!CmpOp::Le.test(Greater));
+        assert!(CmpOp::Ne.test(Less));
+        assert!(!CmpOp::Eq.test(Less));
+        assert!(CmpOp::Ge.test(Equal));
+    }
+
+    #[test]
+    fn size_and_flags() {
+        assert_eq!(Expr::int(1).size(), 1);
+        assert_eq!(Expr::add(Expr::int(1), Expr::var("x")).size(), 3);
+        let q = example_query();
+        assert!(q.size() > 5);
+        assert!(!q.has_nested_aggregate_condition());
+        let nested = Expr::cmp(
+            CmpOp::Gt,
+            Expr::sum(Expr::rel("R", &["x"])),
+            Expr::int(10),
+        );
+        assert!(nested.has_nested_aggregate_condition());
+        assert!(Expr::mul(Expr::rel("S", &["y"]), nested).has_nested_aggregate_condition());
+    }
+
+    #[test]
+    fn query_construction_and_display() {
+        let q = Query::new("by_nation", &["c"], example_query());
+        assert_eq!(q.group_by, vec!["c"]);
+        assert!(q.to_string().starts_with("by_nation[c] := Sum("));
+        let s = Query::scalar("total", Expr::int(1));
+        assert!(s.group_by.is_empty());
+        assert_eq!(s.to_string(), "total := 1");
+        assert_eq!(q.relations().len(), 1);
+    }
+}

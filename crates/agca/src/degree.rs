@@ -1,0 +1,93 @@
+//! The polynomial degree of an AGCA expression (Definition 6.3).
+//!
+//! The degree counts, per monomial, the number of relational atoms joined together; it is
+//! the exponent in the `O(n^deg)` data complexity of non-incremental evaluation and the
+//! quantity that strictly decreases under the delta transform (Theorem 6.4), which is what
+//! makes recursive delta compilation terminate.
+
+use crate::ast::Expr;
+
+/// The degree `deg(q)` of an AGCA expression, per Definition 6.3:
+///
+/// * `deg(α * β) = deg(α) + deg(β)`
+/// * `deg(α + β) = max(deg(α), deg(β))`
+/// * `deg(−α) = deg(Sum(α)) = deg(α θ 0) = deg(α)`
+/// * `deg(R(x⃗)) = 1`, and `deg(·) = 0` for constants, variables and assignments.
+pub fn degree(expr: &Expr) -> usize {
+    match expr {
+        Expr::Mul(a, b) => degree(a) + degree(b),
+        Expr::Add(a, b) => degree(a).max(degree(b)),
+        Expr::Neg(a) | Expr::Sum(a) => degree(a),
+        Expr::Cmp(_, a, b) => degree(a).max(degree(b)),
+        Expr::Rel(_, _) => 1,
+        Expr::Const(_) | Expr::Var(_) => 0,
+        // `x := q` is treated like the condition `x = q` (Section 6); its degree is that
+        // of the term.
+        Expr::Assign(_, t) => degree(t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(degree(&Expr::int(5)), 0);
+        assert_eq!(degree(&Expr::var("x")), 0);
+        assert_eq!(degree(&Expr::rel("R", &["x", "y"])), 1);
+        assert_eq!(degree(&Expr::assign("x", Expr::int(1))), 0);
+        assert_eq!(
+            degree(&Expr::cmp(CmpOp::Lt, Expr::var("x"), Expr::int(0))),
+            0
+        );
+    }
+
+    #[test]
+    fn products_add_and_sums_take_max() {
+        let r = Expr::rel("R", &["x"]);
+        let s = Expr::rel("S", &["y"]);
+        assert_eq!(degree(&Expr::mul(r.clone(), s.clone())), 2);
+        assert_eq!(degree(&Expr::add(r.clone(), Expr::mul(r.clone(), s.clone()))), 2);
+        assert_eq!(degree(&Expr::add(r.clone(), Expr::int(1))), 1);
+        assert_eq!(degree(&Expr::neg(Expr::mul(r.clone(), s.clone()))), 2);
+        assert_eq!(degree(&Expr::sum(Expr::mul(r, s))), 2);
+    }
+
+    #[test]
+    fn example_6_2_degrees() {
+        // q = Sum(C(c,n) * C(c',n)) has degree 2.
+        let q = Expr::sum(Expr::mul(
+            Expr::rel("C", &["c", "n"]),
+            Expr::rel("C", &["c2", "n"]),
+        ));
+        assert_eq!(degree(&q), 2);
+    }
+
+    #[test]
+    fn degree_of_example_1_3() {
+        // Sum(R(a,b) * S(c,d) * T(e,f) * (b = c) * (d = e) * a * f) has degree 3.
+        let q = Expr::sum(Expr::product(vec![
+            Expr::rel("R", &["a", "b"]),
+            Expr::rel("S", &["c", "d"]),
+            Expr::rel("T", &["e", "f"]),
+            Expr::eq(Expr::var("b"), Expr::var("c")),
+            Expr::eq(Expr::var("d"), Expr::var("e")),
+            Expr::var("a"),
+            Expr::var("f"),
+        ]));
+        assert_eq!(degree(&q), 3);
+    }
+
+    #[test]
+    fn conditions_with_nested_aggregates_inherit_the_inner_degree() {
+        // deg(α θ 0) = deg(α): a nested aggregate with a relation has degree 1.
+        let cond = Expr::cmp(
+            CmpOp::Gt,
+            Expr::sum(Expr::rel("R", &["x"])),
+            Expr::int(10),
+        );
+        assert_eq!(degree(&cond), 1);
+    }
+}

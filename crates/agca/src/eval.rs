@@ -1,0 +1,556 @@
+//! The reference evaluator: the denotational semantics `[[·]]` of Section 4.
+//!
+//! Evaluation takes an expression, a database and a binding tuple `b⃗` and produces a GMR
+//! over [`Number`] multiplicities — one point of the parametrized GMR `[[q]](A)`. The
+//! evaluator follows the paper's equations literally (including sideways binding passing
+//! in products and the sub-tuple semantics of `Sum`); it is deliberately simple and serves
+//! as the correctness oracle for the compiled incremental programs, as the engine of the
+//! non-incremental baselines, and as the initializer for materialized views over non-empty
+//! databases.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dbring_algebra::{Number, Ring, Semiring};
+use dbring_relations::{Database, Gmr, Tuple, Value};
+
+use crate::ast::{Expr, Query};
+#[cfg(test)]
+use crate::ast::CmpOp;
+
+/// Errors raised during evaluation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// A variable was used as a value before being bound (the `fail` case of `[[y]]`).
+    UnboundVariable(String),
+    /// The expression references a relation the database does not declare.
+    UnknownRelation(String),
+    /// A relational atom's variable list does not match the relation's declared arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of variables in the atom.
+        got: usize,
+    },
+    /// A non-numeric value (e.g. a string) was used where a multiplicity or arithmetic
+    /// operand is required.
+    NonNumericValue {
+        /// Where the value was used.
+        context: String,
+        /// The offending value.
+        value: Value,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(x) => write!(f, "unbound variable {x}"),
+            EvalError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            EvalError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(f, "atom {relation} has {got} variables, relation has arity {expected}"),
+            EvalError::NonNumericValue { context, value } => {
+                write!(f, "non-numeric value {value} used in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Compares two values: numerically when both are numeric, structurally otherwise.
+pub fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    match (a.as_number(), b.as_number()) {
+        (Some(x), Some(y)) => x.compare(&y),
+        _ => a.cmp(b),
+    }
+}
+
+/// Evaluates `[[expr]](db)(bindings)`: the GMR produced by the expression under the given
+/// binding tuple.
+pub fn eval(expr: &Expr, db: &Database, bindings: &Tuple) -> Result<Gmr<Number>, EvalError> {
+    match expr {
+        Expr::Add(a, b) => Ok(eval(a, db, bindings)?.add(&eval(b, db, bindings)?)),
+        Expr::Neg(a) => Ok(eval(a, db, bindings)?.neg()),
+        Expr::Mul(a, b) => {
+            // (f * g)(b)(x) = Σ_{x = y ⋈ z, {b}⋈{y} ≠ ∅} f(b)(y) * g(b ⋈ y)(z)
+            let left = eval(a, db, bindings)?;
+            let mut out = Gmr::zero();
+            for (y, m1) in left.iter() {
+                let Some(by) = bindings.join(y) else {
+                    continue;
+                };
+                let right = eval(b, db, &by)?;
+                for (z, m2) in right.iter() {
+                    if let Some(x) = y.join(z) {
+                        out.add_entry(x, m1.mul(m2));
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Expr::Sum(q) => {
+            // [[Sum q]](b)(x) = Σ_{x ⋈ y = y} [[q]](b)(y): each result tuple contributes its
+            // multiplicity to every one of its sub-tuples (including ⟨⟩, the grand total).
+            let inner = eval(q, db, bindings)?;
+            let mut out = Gmr::zero();
+            for (y, m) in inner.iter() {
+                for x in y.subtuples() {
+                    out.add_entry(x, *m);
+                }
+            }
+            Ok(out)
+        }
+        Expr::Const(v) => {
+            let n = v.as_number().ok_or_else(|| EvalError::NonNumericValue {
+                context: "constant multiplicity".to_string(),
+                value: v.clone(),
+            })?;
+            Ok(Gmr::singleton(Tuple::empty(), n))
+        }
+        Expr::Var(x) => {
+            let v = bindings
+                .get(x)
+                .ok_or_else(|| EvalError::UnboundVariable(x.clone()))?;
+            let n = v.as_number().ok_or_else(|| EvalError::NonNumericValue {
+                context: format!("variable {x} used as a multiplicity"),
+                value: v.clone(),
+            })?;
+            Ok(Gmr::singleton(Tuple::empty(), n))
+        }
+        Expr::Rel(name, vars) => {
+            let columns = db
+                .columns(name)
+                .ok_or_else(|| EvalError::UnknownRelation(name.clone()))?;
+            if columns.len() != vars.len() {
+                return Err(EvalError::ArityMismatch {
+                    relation: name.clone(),
+                    expected: columns.len(),
+                    got: vars.len(),
+                });
+            }
+            let columns = columns.to_vec();
+            let data = db.relation(name).expect("columns() implies existence");
+            let mut out = Gmr::zero();
+            'tuples: for (t, m) in data.iter() {
+                // Rename the stored columns to the atom's variables.
+                let mut renamed = Tuple::empty();
+                for (var, col) in vars.iter().zip(columns.iter()) {
+                    let value = t
+                        .get(col)
+                        .expect("stored tuples always carry the declared schema")
+                        .clone();
+                    match renamed.extended(var.clone(), value) {
+                        Some(next) => renamed = next,
+                        // A repeated variable bound to two different values: the atom does
+                        // not match this tuple.
+                        None => continue 'tuples,
+                    }
+                }
+                // |dom(x⃗)| must equal the relation's arity (repeated variables collapse the
+                // domain and are rejected by the paper's semantics).
+                if renamed.arity() != vars.len() {
+                    continue;
+                }
+                // Selection on bound variables: {b} ⋈ {x} ≠ ∅.
+                if !renamed.is_consistent_with(bindings) {
+                    continue;
+                }
+                out.add_entry(renamed, Number::Int(*m));
+            }
+            Ok(out)
+        }
+        Expr::Cmp(op, lhs, rhs) => {
+            let l = eval_scalar(lhs, db, bindings)?;
+            let r = eval_scalar(rhs, db, bindings)?;
+            if op.test(compare_values(&l, &r)) {
+                Ok(Gmr::one())
+            } else {
+                Ok(Gmr::zero())
+            }
+        }
+        Expr::Assign(x, term) => {
+            let v = eval_scalar(term, db, bindings)?;
+            // Well-formedness: if x is already bound to a different value, the singleton
+            // {x ↦ v} is inconsistent with the binding and the result is 0.
+            if let Some(existing) = bindings.get(x) {
+                if *existing != v {
+                    return Ok(Gmr::zero());
+                }
+            }
+            Ok(Gmr::singleton(Tuple::singleton(x.clone(), v), Number::Int(1)))
+        }
+    }
+}
+
+/// Evaluates an expression as a *scalar value* under the bindings: the value
+/// `[[q]](db)(b)(⟨⟩)`, with variables and constants passed through as their actual values
+/// (so string-valued comparisons work).
+pub fn eval_scalar(expr: &Expr, db: &Database, bindings: &Tuple) -> Result<Value, EvalError> {
+    fn numeric(
+        expr: &Expr,
+        db: &Database,
+        bindings: &Tuple,
+        context: &str,
+    ) -> Result<Number, EvalError> {
+        let v = eval_scalar(expr, db, bindings)?;
+        v.as_number().ok_or_else(|| EvalError::NonNumericValue {
+            context: context.to_string(),
+            value: v,
+        })
+    }
+    match expr {
+        Expr::Var(x) => bindings
+            .get(x)
+            .cloned()
+            .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
+        Expr::Const(v) => Ok(v.clone()),
+        Expr::Add(a, b) => Ok(Value::from(
+            numeric(a, db, bindings, "addition")?.add(&numeric(b, db, bindings, "addition")?),
+        )),
+        Expr::Mul(a, b) => Ok(Value::from(
+            numeric(a, db, bindings, "multiplication")?
+                .mul(&numeric(b, db, bindings, "multiplication")?),
+        )),
+        Expr::Neg(a) => Ok(Value::from(numeric(a, db, bindings, "negation")?.neg())),
+        Expr::Sum(q) => Ok(Value::from(eval(q, db, bindings)?.total())),
+        // Relational atoms, comparisons and assignments used as scalars: the value at ⟨⟩.
+        other => Ok(Value::from(
+            eval(other, db, bindings)?.get(&Tuple::empty()),
+        )),
+    }
+}
+
+/// Evaluates a group-by query for a single group: `[[q]](db)(b⃗)(⟨⟩)` where `b⃗` binds the
+/// group-by variables to `group`.
+pub fn eval_group(query: &Query, db: &Database, group: &[Value]) -> Result<Number, EvalError> {
+    assert_eq!(
+        group.len(),
+        query.group_by.len(),
+        "group key arity mismatch"
+    );
+    let bindings = Tuple::from_pairs(
+        query
+            .group_by
+            .iter()
+            .cloned()
+            .zip(group.iter().cloned()),
+    );
+    Ok(eval(&query.expr, db, &bindings)?.get(&Tuple::empty()))
+}
+
+/// Evaluates a group-by aggregate query for *all* groups present in the data.
+///
+/// The query's expression must be a top-level `Sum(…)` (the shape produced by the SQL
+/// translation); the groups are the distinct values of the group-by variables in the
+/// support of the inner expression. A query without group-by variables yields a single
+/// entry with the empty key.
+pub fn eval_all_groups(
+    query: &Query,
+    db: &Database,
+) -> Result<BTreeMap<Vec<Value>, Number>, EvalError> {
+    let inner: &Expr = match &query.expr {
+        Expr::Sum(q) => q,
+        other => other,
+    };
+    let mut out: BTreeMap<Vec<Value>, Number> = BTreeMap::new();
+    if query.group_by.is_empty() {
+        let total = eval(inner, db, &Tuple::empty())?.total();
+        out.insert(Vec::new(), total);
+        return Ok(out);
+    }
+    let result = eval(inner, db, &Tuple::empty())?;
+    for (t, m) in result.iter() {
+        let mut key = Vec::with_capacity(query.group_by.len());
+        for var in &query.group_by {
+            match t.get(var) {
+                Some(v) => key.push(v.clone()),
+                None => return Err(EvalError::UnboundVariable(var.clone())),
+            }
+        }
+        let entry = out.entry(key).or_insert(Number::Int(0));
+        *entry = entry.add(m);
+    }
+    // Drop groups whose aggregate cancelled to zero, mirroring GMR support pruning.
+    out.retain(|_, v| !v.is_zero());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbring_relations::tuple;
+
+    /// The database of Example 4.1 / 4.3: R(a, b) = {(a1, b1) ↦ r1, (a2, b2) ↦ r2},
+    /// with concrete values a1=10, b1=20, a2=30, b2=40, r1=2, r2=3.
+    fn example_4_db() -> Database {
+        let mut db = Database::new();
+        db.declare("R", &["a", "b"]).unwrap();
+        for _ in 0..2 {
+            db.insert("R", vec![Value::int(10), Value::int(20)]).unwrap();
+        }
+        for _ in 0..3 {
+            db.insert("R", vec![Value::int(30), Value::int(40)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn example_4_1_atom_with_bound_variable_selects() {
+        let db = example_4_db();
+        // [[R(x, y)]]({y ↦ 20}) keeps only the tuple with y = 20, renamed to (x, y).
+        let r = eval(
+            &Expr::rel("R", &["x", "y"]),
+            &db,
+            &tuple! { "y" => 20 },
+        )
+        .unwrap();
+        assert_eq!(r.support_size(), 1);
+        assert_eq!(r.get(&tuple! { "x" => 10, "y" => 20 }), Number::Int(2));
+    }
+
+    #[test]
+    fn example_4_2_conditions_filter_by_comparison() {
+        let db = example_4_db();
+        let lt = Expr::mul(
+            Expr::rel("R", &["x", "y"]),
+            Expr::cmp(CmpOp::Lt, Expr::var("x"), Expr::var("y")),
+        );
+        let out = eval(&lt, &db, &Tuple::empty()).unwrap();
+        // Both tuples satisfy x < y here (10<20, 30<40).
+        assert_eq!(out.support_size(), 2);
+        let ge = Expr::mul(
+            Expr::rel("R", &["x", "y"]),
+            Expr::cmp(CmpOp::Ge, Expr::var("x"), Expr::var("y")),
+        );
+        assert!(eval(&ge, &db, &Tuple::empty()).unwrap().is_zero());
+    }
+
+    #[test]
+    fn example_4_3_sum_with_value_term() {
+        let db = example_4_db();
+        // Sum(R(x, y) * 3 * x) = r1*3*a1 + r2*3*a2 = 2*3*10 + 3*3*30 = 330.
+        let q = Expr::sum(Expr::product(vec![
+            Expr::rel("R", &["x", "y"]),
+            Expr::int(3),
+            Expr::var("x"),
+        ]));
+        let out = eval(&q, &db, &Tuple::empty()).unwrap();
+        assert_eq!(out.get(&Tuple::empty()), Number::Int(330));
+    }
+
+    #[test]
+    fn example_4_4_constructing_gmrs_from_scratch() {
+        // [[(x := x1)*(y := y1)*z + (x := x2)*(-3)]] under the given bindings builds a GMR
+        // with no database access at all.
+        let db = Database::new();
+        let expr = Expr::add(
+            Expr::product(vec![
+                Expr::assign("x", Expr::var("x1")),
+                Expr::assign("y", Expr::var("y1")),
+                Expr::var("z"),
+            ]),
+            Expr::mul(Expr::assign("x", Expr::var("x2")), Expr::int(-3)),
+        );
+        let bindings = tuple! { "x1" => "a1", "y1" => "b1", "x2" => "a2", "z" => 2 };
+        let out = eval(&expr, &db, &bindings).unwrap();
+        assert_eq!(
+            out.get(&tuple! { "x" => "a1", "y" => "b1" }),
+            Number::Int(2)
+        );
+        assert_eq!(out.get(&tuple! { "x" => "a2" }), Number::Int(-3));
+        assert_eq!(out.support_size(), 2);
+    }
+
+    #[test]
+    fn unbound_variable_fails() {
+        let db = example_4_db();
+        let err = eval(&Expr::var("z"), &db, &Tuple::empty()).unwrap_err();
+        assert_eq!(err, EvalError::UnboundVariable("z".to_string()));
+        let err2 = eval(
+            &Expr::mul(Expr::rel("R", &["x", "y"]), Expr::var("z")),
+            &db,
+            &Tuple::empty(),
+        )
+        .unwrap_err();
+        assert_eq!(err2, EvalError::UnboundVariable("z".to_string()));
+    }
+
+    #[test]
+    fn unknown_relation_and_arity_errors() {
+        let db = example_4_db();
+        assert_eq!(
+            eval(&Expr::rel("S", &["x"]), &db, &Tuple::empty()).unwrap_err(),
+            EvalError::UnknownRelation("S".to_string())
+        );
+        assert!(matches!(
+            eval(&Expr::rel("R", &["x"]), &db, &Tuple::empty()).unwrap_err(),
+            EvalError::ArityMismatch { expected: 2, got: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn string_values_work_in_equality_conditions() {
+        let mut db = Database::new();
+        db.declare("C", &["cid", "nation"]).unwrap();
+        db.insert("C", vec![Value::int(1), Value::str("FR")]).unwrap();
+        db.insert("C", vec![Value::int(2), Value::str("DE")]).unwrap();
+        db.insert("C", vec![Value::int(3), Value::str("FR")]).unwrap();
+        // Customers from France: Sum(C(c, n) * (n = 'FR'))
+        let q = Expr::sum(Expr::mul(
+            Expr::rel("C", &["c", "n"]),
+            Expr::eq(Expr::var("n"), Expr::constant("FR")),
+        ));
+        assert_eq!(
+            eval(&q, &db, &Tuple::empty()).unwrap().get(&Tuple::empty()),
+            Number::Int(2)
+        );
+    }
+
+    #[test]
+    fn example_5_2_group_by_customers_same_nation() {
+        let mut db = Database::new();
+        db.declare("C", &["cid", "nation"]).unwrap();
+        db.insert("C", vec![Value::int(1), Value::str("FR")]).unwrap();
+        db.insert("C", vec![Value::int(2), Value::str("FR")]).unwrap();
+        db.insert("C", vec![Value::int(3), Value::str("DE")]).unwrap();
+        // Sum(C(c, n) * C(c2, n2) * (n = n2)) with bound variable c.
+        let q = Query::new(
+            "per_customer",
+            &["c"],
+            Expr::sum(Expr::product(vec![
+                Expr::rel("C", &["c", "n"]),
+                Expr::rel("C", &["c2", "n2"]),
+                Expr::eq(Expr::var("n"), Expr::var("n2")),
+            ])),
+        );
+        // Per-group evaluation (the paper's [[Sum(…)]](A)({c ↦ v})).
+        assert_eq!(eval_group(&q, &db, &[Value::int(1)]).unwrap(), Number::Int(2));
+        assert_eq!(eval_group(&q, &db, &[Value::int(3)]).unwrap(), Number::Int(1));
+        // All groups at once.
+        let groups = eval_all_groups(&q, &db).unwrap();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[&vec![Value::int(1)]], Number::Int(2));
+        assert_eq!(groups[&vec![Value::int(2)]], Number::Int(2));
+        assert_eq!(groups[&vec![Value::int(3)]], Number::Int(1));
+    }
+
+    #[test]
+    fn example_1_2_self_join_count() {
+        // Q(R) = select count(*) from R r1, R r2 where r1.A = r2.A
+        let mut db = Database::new();
+        db.declare("R", &["A"]).unwrap();
+        let q = Query::scalar(
+            "q",
+            Expr::sum(Expr::product(vec![
+                Expr::rel("R", &["x"]),
+                Expr::rel("R", &["y"]),
+                Expr::eq(Expr::var("x"), Expr::var("y")),
+            ])),
+        );
+        let count = |db: &Database| eval_all_groups(&q, db).unwrap().get(&vec![]).copied();
+        // A scalar (no group-by) query always reports a value, even on the empty database.
+        assert_eq!(count(&db), Some(Number::Int(0)));
+        // Replay the update trace of Example 1.2 and check Q(R) along the way.
+        let c = Value::str("c");
+        let d = Value::str("d");
+        db.insert("R", vec![c.clone()]).unwrap();
+        assert_eq!(count(&db), Some(Number::Int(1)));
+        db.insert("R", vec![c.clone()]).unwrap();
+        assert_eq!(count(&db), Some(Number::Int(4)));
+        db.insert("R", vec![d.clone()]).unwrap();
+        assert_eq!(count(&db), Some(Number::Int(5)));
+        db.insert("R", vec![c.clone()]).unwrap();
+        assert_eq!(count(&db), Some(Number::Int(10)));
+        db.delete("R", vec![d.clone()]).unwrap();
+        assert_eq!(count(&db), Some(Number::Int(9)));
+        db.insert("R", vec![c.clone()]).unwrap();
+        assert_eq!(count(&db), Some(Number::Int(16)));
+        db.delete("R", vec![c.clone()]).unwrap();
+        assert_eq!(count(&db), Some(Number::Int(9)));
+    }
+
+    #[test]
+    fn scalar_arithmetic_and_errors() {
+        let db = Database::new();
+        let b = tuple! { "x" => 3, "s" => "txt" };
+        assert_eq!(
+            eval_scalar(
+                &Expr::add(Expr::var("x"), Expr::int(4)),
+                &db,
+                &b
+            )
+            .unwrap(),
+            Value::int(7)
+        );
+        assert_eq!(
+            eval_scalar(&Expr::neg(Expr::var("x")), &db, &b).unwrap(),
+            Value::int(-3)
+        );
+        assert_eq!(
+            eval_scalar(&Expr::var("s"), &db, &b).unwrap(),
+            Value::str("txt")
+        );
+        assert!(matches!(
+            eval_scalar(&Expr::add(Expr::var("s"), Expr::int(1)), &db, &b),
+            Err(EvalError::NonNumericValue { .. })
+        ));
+        // String constants cannot be multiplicities.
+        assert!(matches!(
+            eval(&Expr::constant("oops"), &db, &Tuple::empty()),
+            Err(EvalError::NonNumericValue { .. })
+        ));
+    }
+
+    #[test]
+    fn negation_and_deletion_semantics() {
+        let db = example_4_db();
+        let r = Expr::rel("R", &["x", "y"]);
+        let zero = eval(
+            &Expr::add(r.clone(), Expr::neg(r.clone())),
+            &db,
+            &Tuple::empty(),
+        )
+        .unwrap();
+        assert!(zero.is_zero());
+    }
+
+    #[test]
+    fn repeated_variables_in_atoms_match_nothing() {
+        // Per the |dom(x⃗)| = |sch(R)| side condition, R(x, x) never matches; the idiom is
+        // R(x, y) * (x = y).
+        let db = example_4_db();
+        let out = eval(&Expr::rel("R", &["x", "x"]), &db, &Tuple::empty()).unwrap();
+        assert!(out.is_zero());
+    }
+
+    #[test]
+    fn sum_produces_all_subtuple_marginals() {
+        let db = example_4_db();
+        let q = Expr::sum(Expr::rel("R", &["x", "y"]));
+        let out = eval(&q, &db, &Tuple::empty()).unwrap();
+        // Grand total.
+        assert_eq!(out.get(&Tuple::empty()), Number::Int(5));
+        // Marginal per x value.
+        assert_eq!(out.get(&tuple! { "x" => 10 }), Number::Int(2));
+        assert_eq!(out.get(&tuple! { "x" => 30 }), Number::Int(3));
+        // Full tuples keep their multiplicities.
+        assert_eq!(out.get(&tuple! { "x" => 10, "y" => 20 }), Number::Int(2));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(EvalError::UnboundVariable("x".into()).to_string().contains("x"));
+        assert!(EvalError::UnknownRelation("R".into()).to_string().contains("R"));
+        let e = EvalError::NonNumericValue {
+            context: "test".into(),
+            value: Value::str("s"),
+        };
+        assert!(e.to_string().contains("test"));
+    }
+}

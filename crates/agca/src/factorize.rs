@@ -1,0 +1,368 @@
+//! Monomial factorization and variable elimination (Section 5, Example 1.3).
+//!
+//! A monomial factorizes into the connected components of its factor hypergraph: two
+//! factors are connected when they share a variable that is *not* externally bound
+//! (externally bound variables — group-by keys and trigger parameters — are fixed at
+//! evaluation time and therefore do not create a dependency). Each component can be
+//! aggregated independently and the component aggregates multiplied, because the SQL
+//! aggregate sum distributes over multiplication; this is precisely how the delta of
+//! Example 1.3 splits into `(∆Q)₁(c) ∗ (∆Q)₂(d)`, turning one quadratic-size view into two
+//! linear-size ones.
+//!
+//! Variable elimination removes the variable-to-variable assignments (`x := y`) that the
+//! delta transform introduces for relational atoms, by renaming `x` to `y` in the rest of
+//! the monomial; the resulting expressions are smaller and their factorizations finer.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dbring_relations::Value;
+
+use crate::ast::Expr;
+
+/// Partitions the factors of a monomial into connected components.
+///
+/// Two factors are connected when they share at least one variable outside `bound` (the
+/// externally-bound variables: group-by keys and trigger parameters). The result contains
+/// the factor *indices*, each component listing its factors in their original order —
+/// preserving the left-to-right binding order within a component. Factors with no
+/// connecting variables form singleton components.
+pub fn connected_components(factors: &[Expr], bound: &BTreeSet<String>) -> Vec<Vec<usize>> {
+    let n = factors.len();
+    // Union-find over factor indices.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    // Map each connecting variable to the first factor that mentions it.
+    let mut var_owner: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, factor) in factors.iter().enumerate() {
+        for var in factor.variables() {
+            if bound.contains(&var) {
+                continue;
+            }
+            match var_owner.get(&var) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+                None => {
+                    var_owner.insert(var, i);
+                }
+            }
+        }
+    }
+    // Group indices by root, preserving order of first appearance and order within groups.
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    let mut root_to_component: BTreeMap<usize, usize> = BTreeMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        match root_to_component.get(&root) {
+            Some(&c) => components[c].push(i),
+            None => {
+                root_to_component.insert(root, components.len());
+                components.push(vec![i]);
+            }
+        }
+    }
+    components
+}
+
+/// Like [`connected_components`], but returns the factors themselves.
+pub fn factor_groups(factors: &[Expr], bound: &BTreeSet<String>) -> Vec<Vec<Expr>> {
+    connected_components(factors, bound)
+        .into_iter()
+        .map(|idxs| idxs.into_iter().map(|i| factors[i].clone()).collect())
+        .collect()
+}
+
+/// Eliminates variable-to-variable assignments `x := y` from a monomial by renaming `x`
+/// to `y` in every other factor and dropping the assignment.
+///
+/// Returns the remaining factors and the renaming that was applied (so callers can rewrite
+/// group-by keys or statement target keys accordingly). Assignments to constants or to
+/// complex terms are left in place.
+pub fn eliminate_assignments(
+    factors: &[Expr],
+    protect: &BTreeSet<String>,
+) -> (Vec<Expr>, BTreeMap<String, String>) {
+    let mut remaining: Vec<Expr> = factors.to_vec();
+    let mut renaming: BTreeMap<String, String> = BTreeMap::new();
+    loop {
+        // Find the next eliminable assignment x := y where x is not protected, or where the
+        // target is another plain variable we may redirect keys to.
+        let position = remaining.iter().position(|f| {
+            matches!(f, Expr::Assign(x, t)
+                if matches!(**t, Expr::Var(_)) && !protect.contains(x))
+        });
+        let Some(idx) = position else { break };
+        let Expr::Assign(x, t) = remaining.remove(idx) else {
+            unreachable!()
+        };
+        let Expr::Var(y) = *t else { unreachable!() };
+        // Apply x -> y to every remaining factor.
+        remaining = remaining
+            .iter()
+            .map(|f| f.rename_variable(&x, &y))
+            .collect();
+        // Compose with the renaming accumulated so far (earlier targets may themselves be
+        // renamed later).
+        for target in renaming.values_mut() {
+            if *target == x {
+                *target = y.clone();
+            }
+        }
+        renaming.insert(x, y);
+    }
+    (remaining, renaming)
+}
+
+/// Eliminates equality conditions between two variables (`x = y`) from a monomial by
+/// renaming one side to the other and dropping the condition — the "variable elimination"
+/// of Section 5 applied to equalities rather than assignments.
+///
+/// A variable in `protect` (typically the trigger parameters, whose values are given from
+/// the outside) is never renamed away; if both sides are protected the condition is kept
+/// as a runtime guard. Returns the remaining factors and the applied renaming.
+pub fn eliminate_equalities(
+    factors: &[Expr],
+    protect: &BTreeSet<String>,
+) -> (Vec<Expr>, BTreeMap<String, String>) {
+    // An equality between two arguments of the *same* relational atom must stay a
+    // condition: renaming would produce a repeated-variable atom, which AGCA's semantics
+    // defines to be empty (the `|dom(x⃗)| = |sch(R)|` side condition).
+    let same_atom_pair = |factors: &[Expr], x: &str, y: &str| {
+        factors.iter().any(|f| {
+            matches!(f, Expr::Rel(_, vars)
+                if vars.iter().any(|v| v == x) && vars.iter().any(|v| v == y))
+        })
+    };
+    let mut remaining: Vec<Expr> = factors.to_vec();
+    let mut renaming: BTreeMap<String, String> = BTreeMap::new();
+    let mut skipped: Vec<Expr> = Vec::new();
+    loop {
+        let position = remaining.iter().position(|f| {
+            matches!(f, Expr::Cmp(crate::ast::CmpOp::Eq, a, b)
+                if matches!((&**a, &**b), (Expr::Var(x), Expr::Var(y))
+                    if x != y && (!protect.contains(x) || !protect.contains(y))))
+        });
+        let Some(idx) = position else { break };
+        let Expr::Cmp(_, a, b) = remaining.remove(idx) else {
+            unreachable!()
+        };
+        let (Expr::Var(x), Expr::Var(y)) = (*a, *b) else {
+            unreachable!()
+        };
+        if same_atom_pair(&remaining, &x, &y) {
+            skipped.push(Expr::eq(Expr::Var(x), Expr::Var(y)));
+            continue;
+        }
+        // Rename the unprotected side to the other one.
+        let (from, to) = if protect.contains(&x) { (y, x) } else { (x, y) };
+        remaining = remaining
+            .iter()
+            .map(|f| f.rename_variable(&from, &to))
+            .collect();
+        for target in renaming.values_mut() {
+            if *target == from {
+                *target = to.clone();
+            }
+        }
+        // Skipped same-atom equalities may mention the renamed variable too.
+        skipped = skipped
+            .iter()
+            .map(|f| f.rename_variable(&from, &to))
+            .collect();
+        renaming.insert(from, to);
+    }
+    remaining.extend(skipped);
+    (remaining, renaming)
+}
+
+/// Replaces every occurrence of `var` *as a value term* (`Expr::Var`) and inside
+/// comparison/assignment operands with the constant `value`. Occurrences as relational-atom
+/// arguments are left untouched (atom arguments must stay variables); callers that need to
+/// bind an atom argument to a constant keep the assignment factor instead.
+pub fn substitute_value(expr: &Expr, var: &str, value: &Value) -> Expr {
+    match expr {
+        Expr::Var(x) if x == var => Expr::Const(value.clone()),
+        Expr::Var(_) | Expr::Const(_) | Expr::Rel(_, _) => expr.clone(),
+        Expr::Add(a, b) => Expr::add(
+            substitute_value(a, var, value),
+            substitute_value(b, var, value),
+        ),
+        Expr::Mul(a, b) => Expr::mul(
+            substitute_value(a, var, value),
+            substitute_value(b, var, value),
+        ),
+        Expr::Neg(a) => Expr::neg(substitute_value(a, var, value)),
+        Expr::Sum(a) => Expr::sum(substitute_value(a, var, value)),
+        Expr::Cmp(op, a, b) => Expr::cmp(
+            *op,
+            substitute_value(a, var, value),
+            substitute_value(b, var, value),
+        ),
+        Expr::Assign(x, t) => Expr::Assign(x.clone(), Box::new(substitute_value(t, var, value))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+
+    fn bound(vars: &[&str]) -> BTreeSet<String> {
+        vars.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn example_1_3_delta_factorizes_into_two_components() {
+        // ∆Q(±S(c, d)) = ± Sum over:  R(a, b) * (b = c) * a   and   T(e, f) * (d = e) * f
+        // with c, d the update parameters (externally bound).
+        let factors = vec![
+            Expr::rel("R", &["a", "b"]),
+            Expr::eq(Expr::var("b"), Expr::var("c")),
+            Expr::var("a"),
+            Expr::rel("T", &["e", "f"]),
+            Expr::eq(Expr::var("d"), Expr::var("e")),
+            Expr::var("f"),
+        ];
+        let comps = connected_components(&factors, &bound(&["c", "d"]));
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1, 2]); // the R-side: shares a, b
+        assert_eq!(comps[1], vec![3, 4, 5]); // the T-side: shares e, f
+        // Without treating c, d as bound the two sides are still independent (they share
+        // no variable at all), so the factorization is the same.
+        let comps2 = connected_components(&factors, &bound(&[]));
+        assert_eq!(comps2.len(), 2);
+    }
+
+    #[test]
+    fn shared_free_variables_merge_components() {
+        // R(x, y) and S(y, z) share y → one component; T(w) is independent.
+        let factors = vec![
+            Expr::rel("R", &["x", "y"]),
+            Expr::rel("S", &["y", "z"]),
+            Expr::rel("T", &["w"]),
+        ];
+        let comps = connected_components(&factors, &bound(&[]));
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1]);
+        assert_eq!(comps[1], vec![2]);
+        // If y is externally bound, R and S decouple.
+        let comps_bound = connected_components(&factors, &bound(&["y"]));
+        assert_eq!(comps_bound.len(), 3);
+    }
+
+    #[test]
+    fn conditions_glue_their_atoms_together() {
+        let factors = vec![
+            Expr::rel("R", &["x"]),
+            Expr::rel("S", &["y"]),
+            Expr::eq(Expr::var("x"), Expr::var("y")),
+        ];
+        let comps = connected_components(&factors, &bound(&[]));
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn factor_groups_returns_expressions_in_order() {
+        let factors = vec![
+            Expr::rel("R", &["x"]),
+            Expr::rel("S", &["y"]),
+            Expr::var("x"),
+        ];
+        let groups = factor_groups(&factors, &bound(&[]));
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![Expr::rel("R", &["x"]), Expr::var("x")]);
+        assert_eq!(groups[1], vec![Expr::rel("S", &["y"])]);
+    }
+
+    #[test]
+    fn empty_and_constant_monomials() {
+        assert!(connected_components(&[], &bound(&[])).is_empty());
+        // A variable-free condition forms its own component.
+        let factors = vec![
+            Expr::cmp(CmpOp::Lt, Expr::int(1), Expr::int(2)),
+            Expr::rel("R", &["x"]),
+        ];
+        let comps = connected_components(&factors, &bound(&[]));
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn assignment_elimination_renames_and_drops() {
+        // (x := c1) * (y := n1) * C(z, y): eliminate both assignments (nothing protected).
+        let factors = vec![
+            Expr::assign("x", Expr::var("c1")),
+            Expr::assign("y", Expr::var("n1")),
+            Expr::rel("C", &["z", "y"]),
+            Expr::eq(Expr::var("x"), Expr::var("z")),
+        ];
+        let (remaining, renaming) = eliminate_assignments(&factors, &bound(&[]));
+        assert_eq!(remaining.len(), 2);
+        assert_eq!(remaining[0], Expr::rel("C", &["z", "n1"]));
+        assert_eq!(remaining[1], Expr::eq(Expr::var("c1"), Expr::var("z")));
+        assert_eq!(renaming.get("x"), Some(&"c1".to_string()));
+        assert_eq!(renaming.get("y"), Some(&"n1".to_string()));
+    }
+
+    #[test]
+    fn protected_variables_keep_their_assignments() {
+        let factors = vec![
+            Expr::assign("c", Expr::var("c1")),
+            Expr::rel("C", &["c2", "n"]),
+        ];
+        let (remaining, renaming) = eliminate_assignments(&factors, &bound(&["c"]));
+        assert_eq!(remaining.len(), 2);
+        assert!(renaming.is_empty());
+        assert!(matches!(remaining[0], Expr::Assign(_, _)));
+    }
+
+    #[test]
+    fn constant_assignments_are_not_eliminated() {
+        let factors = vec![
+            Expr::assign("x", Expr::int(3)),
+            Expr::rel("R", &["x"]),
+        ];
+        let (remaining, renaming) = eliminate_assignments(&factors, &bound(&[]));
+        assert_eq!(remaining.len(), 2);
+        assert!(renaming.is_empty());
+    }
+
+    #[test]
+    fn chained_assignments_compose() {
+        // (x := y) * (z := x): after eliminating both, z maps to y.
+        let factors = vec![
+            Expr::assign("x", Expr::var("y")),
+            Expr::assign("z", Expr::var("x")),
+            Expr::var("z"),
+        ];
+        let (remaining, renaming) = eliminate_assignments(&factors, &bound(&[]));
+        assert_eq!(remaining, vec![Expr::var("y")]);
+        assert_eq!(renaming.get("z"), Some(&"y".to_string()));
+        assert_eq!(renaming.get("x"), Some(&"y".to_string()));
+    }
+
+    #[test]
+    fn value_substitution_touches_terms_but_not_atom_arguments() {
+        let e = Expr::mul(
+            Expr::rel("R", &["x", "y"]),
+            Expr::mul(
+                Expr::cmp(CmpOp::Gt, Expr::var("x"), Expr::var("y")),
+                Expr::var("x"),
+            ),
+        );
+        let sub = substitute_value(&e, "x", &Value::int(7));
+        // The atom still uses the variable name x; the comparison and the value term use 7.
+        assert!(sub.to_string().contains("R(x, y)"));
+        assert!(sub.to_string().contains("(7 > y)"));
+        assert!(sub.to_string().ends_with("* 7"));
+    }
+}

@@ -1,0 +1,50 @@
+//! AGCA — the AGgregation CAlculus of *Incremental Query Evaluation in a Ring of
+//! Databases* (Koch, PODS 2010), Sections 4 and 5.
+//!
+//! AGCA builds aggregate queries from an extremely small set of connectives over the ring
+//! of generalized multiset relations:
+//!
+//! ```text
+//! q ::=  q * q  |  q + q  |  -q  |  Sum(q)  |  c  |  x  |  R(x⃗)  |  q θ 0  |  x := q
+//! ```
+//!
+//! The language behaves like a polynomial ring of relations: it has an additive inverse, a
+//! normal form of polynomials (sums of monomials), and monomials factorize along variable
+//! connectivity — the three properties that recursive delta processing (in `dbring-delta`
+//! and `dbring-compiler`) builds on.
+//!
+//! Modules:
+//!
+//! * [`ast`] — expression and query types, constructors and traversals;
+//! * [`parser`] — a hand-written lexer/recursive-descent parser for the AGCA text syntax;
+//! * [`sql`] — a SQL-subset frontend (`SELECT … SUM(…) FROM … WHERE … GROUP BY …`)
+//!   lowered to AGCA exactly as in Section 5 ("From SQL to the calculus");
+//! * [`eval`] — the reference evaluator implementing the denotational semantics `[[·]]`
+//!   of Section 4 over `Gmr<Number>`;
+//! * [`safety`] — range restriction: the static check that variables are bound before use;
+//! * [`normalize`] — the polynomial normal form (sums of monomials) of Section 5;
+//! * [`factorize`] — monomial factorization along connected components of the variable
+//!   hypergraph (Section 5, Example 1.3) and variable renaming/elimination helpers;
+//! * [`degree`] — the polynomial degree of a query (Definition 6.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod degree;
+pub mod eval;
+pub mod factorize;
+pub mod normalize;
+pub mod optimize;
+pub mod parser;
+pub mod safety;
+pub mod sql;
+
+pub use ast::{CmpOp, Expr, Query};
+pub use degree::degree;
+pub use eval::{eval, eval_all_groups, eval_scalar, EvalError};
+pub use normalize::{Monomial, Polynomial};
+pub use optimize::optimize_for_evaluation;
+pub use parser::{parse_expr, parse_query, ParseError};
+pub use safety::{check_safety, SafetyError};
+pub use sql::parse_sql;

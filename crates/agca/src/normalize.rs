@@ -1,0 +1,359 @@
+//! The polynomial normal form of AGCA expressions (Section 5).
+//!
+//! Because AGCA inherits distributivity from the GMR ring, every expression can be
+//! rewritten as a *sum of monomials*: each monomial is a numeric coefficient times an
+//! ordered product of atomic factors (relational atoms, conditions, assignments, variables
+//! and `Sum` sub-aggregates). `Sum` is linear, so it is pushed through addition and
+//! constant coefficients are pulled out of it. The normal form is what the delta transform
+//! and the compiler operate on: deltas are computed monomial by monomial, and monomials
+//! are what factorizes along variable connectivity (Example 1.3).
+//!
+//! Factor *order is preserved* throughout: AGCA's product passes bindings sideways from
+//! left to right, so reordering factors could turn a safe query into an unsafe one.
+
+use dbring_algebra::{Number, Ring, Semiring};
+use dbring_relations::Value;
+use serde::{Deserialize, Serialize};
+
+use crate::ast::Expr;
+use crate::degree::degree;
+
+/// A monomial: `coefficient * f₁ * f₂ * … * f_k` with atomic factors in evaluation order.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Monomial {
+    /// The numeric coefficient (product of all constant factors and signs).
+    pub coefficient: Number,
+    /// The non-constant factors, in left-to-right evaluation order.
+    pub factors: Vec<Expr>,
+}
+
+impl Monomial {
+    /// The monomial `1` (empty product).
+    pub fn one() -> Self {
+        Monomial {
+            coefficient: Number::Int(1),
+            factors: Vec::new(),
+        }
+    }
+
+    /// A constant monomial.
+    pub fn constant(c: Number) -> Self {
+        Monomial {
+            coefficient: c,
+            factors: Vec::new(),
+        }
+    }
+
+    /// A monomial with coefficient 1 and a single factor.
+    pub fn factor(f: Expr) -> Self {
+        Monomial {
+            coefficient: Number::Int(1),
+            factors: vec![f],
+        }
+    }
+
+    /// The product of two monomials (coefficients multiply, factor lists concatenate in
+    /// order).
+    pub fn multiply(&self, other: &Self) -> Self {
+        Monomial {
+            coefficient: self.coefficient.mul(&other.coefficient),
+            factors: self
+                .factors
+                .iter()
+                .chain(other.factors.iter())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The monomial with negated coefficient.
+    pub fn negate(&self) -> Self {
+        Monomial {
+            coefficient: self.coefficient.neg(),
+            factors: self.factors.clone(),
+        }
+    }
+
+    /// The polynomial degree of the monomial (sum of its factors' degrees).
+    pub fn degree(&self) -> usize {
+        self.factors.iter().map(degree).sum()
+    }
+
+    /// Rebuilds an [`Expr`] from the monomial.
+    pub fn to_expr(&self) -> Expr {
+        if self.coefficient.is_zero() {
+            return Expr::int(0);
+        }
+        let product = Expr::product(self.factors.iter().cloned());
+        if self.coefficient.is_one() && !self.factors.is_empty() {
+            product
+        } else if self.factors.is_empty() {
+            Expr::Const(Value::from(self.coefficient))
+        } else if self.coefficient == Number::Int(-1) {
+            Expr::neg(product)
+        } else {
+            Expr::mul(Expr::Const(Value::from(self.coefficient)), product)
+        }
+    }
+}
+
+/// A polynomial: a sum of monomials. The zero polynomial has no monomials.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Polynomial {
+    /// The monomials, with like terms combined and zero terms removed.
+    pub monomials: Vec<Monomial>,
+}
+
+impl Polynomial {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial::default()
+    }
+
+    /// Builds a polynomial from monomials, combining like terms (identical factor lists)
+    /// and dropping zero coefficients.
+    pub fn from_monomials(monomials: impl IntoIterator<Item = Monomial>) -> Self {
+        let mut combined: Vec<Monomial> = Vec::new();
+        for m in monomials {
+            if m.coefficient.is_zero() {
+                continue;
+            }
+            if let Some(existing) = combined.iter_mut().find(|e| e.factors == m.factors) {
+                existing.coefficient = existing.coefficient.add(&m.coefficient);
+            } else {
+                combined.push(m);
+            }
+        }
+        combined.retain(|m| !m.coefficient.is_zero());
+        Polynomial {
+            monomials: combined,
+        }
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.monomials.is_empty()
+    }
+
+    /// The degree of the polynomial: the maximum monomial degree (0 for the zero
+    /// polynomial).
+    pub fn degree(&self) -> usize {
+        self.monomials.iter().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Rebuilds an [`Expr`] (a right-leaning sum of the monomials' expressions).
+    pub fn to_expr(&self) -> Expr {
+        if self.is_zero() {
+            return Expr::int(0);
+        }
+        Expr::sum_of(self.monomials.iter().map(Monomial::to_expr))
+    }
+
+    /// The sum of two polynomials.
+    pub fn add(&self, other: &Self) -> Self {
+        Polynomial::from_monomials(self.monomials.iter().chain(other.monomials.iter()).cloned())
+    }
+
+    /// The product of two polynomials (distributes monomials pairwise, left factors first).
+    pub fn multiply(&self, other: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.monomials.len() * other.monomials.len());
+        for a in &self.monomials {
+            for b in &other.monomials {
+                out.push(a.multiply(b));
+            }
+        }
+        Polynomial::from_monomials(out)
+    }
+
+    /// The additive inverse.
+    pub fn negate(&self) -> Self {
+        Polynomial {
+            monomials: self.monomials.iter().map(Monomial::negate).collect(),
+        }
+    }
+}
+
+/// Rewrites an expression into polynomial normal form: distributes products over sums,
+/// folds signs and numeric constants into coefficients, pushes `Sum` through `+` and pulls
+/// constant coefficients out of it, and combines like monomials.
+pub fn normalize(expr: &Expr) -> Polynomial {
+    match expr {
+        Expr::Add(a, b) => normalize(a).add(&normalize(b)),
+        Expr::Neg(a) => normalize(a).negate(),
+        Expr::Mul(a, b) => normalize(a).multiply(&normalize(b)),
+        Expr::Const(v) => match v.as_number() {
+            Some(n) => Polynomial::from_monomials([Monomial::constant(n)]),
+            // Non-numeric constants cannot be multiplicities; keep them as an opaque factor
+            // so the evaluator reports the proper error.
+            None => Polynomial::from_monomials([Monomial::factor(expr.clone())]),
+        },
+        Expr::Sum(q) => {
+            // Sum is linear: Sum(Σ cᵢ·mᵢ) = Σ cᵢ·Sum(mᵢ); Sum of a constant is the constant.
+            let inner = normalize(q);
+            Polynomial::from_monomials(inner.monomials.into_iter().map(|m| {
+                if m.factors.is_empty() {
+                    m
+                } else {
+                    Monomial {
+                        coefficient: m.coefficient,
+                        factors: vec![Expr::sum(Expr::product(m.factors))],
+                    }
+                }
+            }))
+        }
+        Expr::Var(_) | Expr::Rel(_, _) | Expr::Cmp(_, _, _) | Expr::Assign(_, _) => {
+            Polynomial::from_monomials([Monomial::factor(expr.clone())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+
+    #[test]
+    fn constants_fold_into_coefficients() {
+        let e = Expr::mul(Expr::int(3), Expr::mul(Expr::rel("R", &["x"]), Expr::int(-2)));
+        let p = normalize(&e);
+        assert_eq!(p.monomials.len(), 1);
+        assert_eq!(p.monomials[0].coefficient, Number::Int(-6));
+        assert_eq!(p.monomials[0].factors, vec![Expr::rel("R", &["x"])]);
+    }
+
+    #[test]
+    fn products_distribute_over_sums() {
+        // R(x) * (S(y) + T(z)) = R(x)*S(y) + R(x)*T(z)
+        let e = Expr::mul(
+            Expr::rel("R", &["x"]),
+            Expr::add(Expr::rel("S", &["y"]), Expr::rel("T", &["z"])),
+        );
+        let p = normalize(&e);
+        assert_eq!(p.monomials.len(), 2);
+        assert_eq!(
+            p.monomials[0].factors,
+            vec![Expr::rel("R", &["x"]), Expr::rel("S", &["y"])]
+        );
+        assert_eq!(
+            p.monomials[1].factors,
+            vec![Expr::rel("R", &["x"]), Expr::rel("T", &["z"])]
+        );
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn like_terms_combine_and_cancel() {
+        let r = Expr::rel("R", &["x"]);
+        // R + R = 2R
+        let p = normalize(&Expr::add(r.clone(), r.clone()));
+        assert_eq!(p.monomials.len(), 1);
+        assert_eq!(p.monomials[0].coefficient, Number::Int(2));
+        // R - R = 0
+        let q = normalize(&Expr::add(r.clone(), Expr::neg(r.clone())));
+        assert!(q.is_zero());
+        assert!(q.to_expr().is_zero());
+    }
+
+    #[test]
+    fn negation_folds_into_coefficients() {
+        let e = Expr::neg(Expr::mul(Expr::int(2), Expr::rel("R", &["x"])));
+        let p = normalize(&e);
+        assert_eq!(p.monomials[0].coefficient, Number::Int(-2));
+        // Double negation cancels.
+        let p2 = normalize(&Expr::neg(e));
+        assert_eq!(p2.monomials[0].coefficient, Number::Int(2));
+    }
+
+    #[test]
+    fn sum_is_pushed_through_addition_and_constants() {
+        // Sum(2*R(x) + 3) = 2*Sum(R(x)) + 3
+        let e = Expr::sum(Expr::add(
+            Expr::mul(Expr::int(2), Expr::rel("R", &["x"])),
+            Expr::int(3),
+        ));
+        let p = normalize(&e);
+        assert_eq!(p.monomials.len(), 2);
+        let with_sum = p
+            .monomials
+            .iter()
+            .find(|m| !m.factors.is_empty())
+            .unwrap();
+        assert_eq!(with_sum.coefficient, Number::Int(2));
+        assert_eq!(with_sum.factors, vec![Expr::sum(Expr::rel("R", &["x"]))]);
+        let constant = p.monomials.iter().find(|m| m.factors.is_empty()).unwrap();
+        assert_eq!(constant.coefficient, Number::Int(3));
+    }
+
+    #[test]
+    fn factor_order_is_preserved() {
+        // R(x, y) * (x < y): the condition must stay to the right of the atom that binds
+        // its variables.
+        let e = Expr::mul(
+            Expr::rel("R", &["x", "y"]),
+            Expr::cmp(CmpOp::Lt, Expr::var("x"), Expr::var("y")),
+        );
+        let p = normalize(&e);
+        assert_eq!(p.monomials.len(), 1);
+        assert!(matches!(p.monomials[0].factors[0], Expr::Rel(_, _)));
+        assert!(matches!(p.monomials[0].factors[1], Expr::Cmp(_, _, _)));
+    }
+
+    #[test]
+    fn to_expr_roundtrips_through_normalization() {
+        let e = Expr::mul(
+            Expr::add(Expr::rel("R", &["x"]), Expr::neg(Expr::rel("S", &["x"]))),
+            Expr::add(Expr::rel("T", &["x"]), Expr::int(2)),
+        );
+        let p = normalize(&e);
+        // Re-normalizing the rebuilt expression is a fixpoint.
+        assert_eq!(normalize(&p.to_expr()), p);
+    }
+
+    #[test]
+    fn monomial_helpers() {
+        let m = Monomial::factor(Expr::rel("R", &["x"]));
+        assert_eq!(m.degree(), 1);
+        assert_eq!(m.to_expr(), Expr::rel("R", &["x"]));
+        let neg = m.negate();
+        assert_eq!(neg.to_expr(), Expr::neg(Expr::rel("R", &["x"])));
+        let c = Monomial::constant(Number::Int(5));
+        assert_eq!(c.to_expr(), Expr::int(5));
+        assert_eq!(Monomial::one().to_expr(), Expr::int(1));
+        let prod = m.multiply(&Monomial::constant(Number::Int(3)));
+        assert_eq!(prod.coefficient, Number::Int(3));
+        assert_eq!(prod.factors.len(), 1);
+        assert_eq!(
+            Monomial::constant(Number::Int(0)).to_expr(),
+            Expr::int(0)
+        );
+    }
+
+    #[test]
+    fn polynomial_arithmetic() {
+        let r = Polynomial::from_monomials([Monomial::factor(Expr::rel("R", &["x"]))]);
+        let s = Polynomial::from_monomials([Monomial::factor(Expr::rel("S", &["x"]))]);
+        let sum = r.add(&s);
+        assert_eq!(sum.monomials.len(), 2);
+        let prod = r.multiply(&s);
+        assert_eq!(prod.monomials.len(), 1);
+        assert_eq!(prod.degree(), 2);
+        assert!(r.add(&r.negate()).is_zero());
+        assert_eq!(Polynomial::zero().degree(), 0);
+        assert_eq!(Polynomial::zero().to_expr(), Expr::int(0));
+    }
+
+    #[test]
+    fn degree_matches_ast_degree() {
+        let e = Expr::add(
+            Expr::mul(Expr::rel("R", &["x"]), Expr::rel("S", &["y"])),
+            Expr::rel("T", &["z"]),
+        );
+        assert_eq!(normalize(&e).degree(), crate::degree::degree(&e));
+    }
+
+    #[test]
+    fn zero_coefficient_monomials_are_dropped() {
+        let e = Expr::mul(Expr::int(0), Expr::rel("R", &["x"]));
+        assert!(normalize(&e).is_zero());
+    }
+}

@@ -1,0 +1,226 @@
+//! A light evaluation-order optimizer for the *reference* evaluation paths.
+//!
+//! The reference evaluator multiplies factors left to right, so a monomial written as
+//! `R(a,b) * S(c,d) * (b = c)` first materializes the full cross product `R × S` and only
+//! then filters it. Re-ordering the monomial to `R(a,b) * (… ) * S(c,d) * (b = c)` — more
+//! generally, placing every condition and value term at the earliest position where all of
+//! its variables are bound — is semantics-preserving (AGCA's product is commutative on
+//! well-formed inputs) and turns cross products into index-nested-loop-style joins.
+//!
+//! This matters for the baselines (naive re-evaluation and classical first-order IVM) and
+//! for view initialization from a non-empty database, all of which use the reference
+//! evaluator; the compiled trigger programs never need it, since the compiler already
+//! factorizes monomials and emits constant-work statements.
+
+use std::collections::BTreeSet;
+
+use crate::ast::Expr;
+use crate::factorize::eliminate_equalities;
+use crate::normalize::{normalize, Monomial, Polynomial};
+
+/// Whether a factor *binds* new variables when evaluated (relational atoms and
+/// assignments do; conditions, value terms and nested aggregates do not).
+fn is_binder(factor: &Expr) -> bool {
+    matches!(factor, Expr::Rel(_, _) | Expr::Assign(_, _))
+}
+
+/// Reorders the factors of a monomial so that every non-binding factor (condition, value
+/// term, nested aggregate) is evaluated as soon as all of its variables are bound, while
+/// binding factors keep their original relative order. Factors whose variables never
+/// become fully bound are appended at the end in their original order (the evaluator will
+/// then report the safety violation exactly as before).
+pub fn optimize_factor_order(factors: &[Expr], initially_bound: &BTreeSet<String>) -> Vec<Expr> {
+    // Split the monomial into binders (kept in order) and fillers (placed as early as
+    // their variables allow, keeping their relative order among themselves).
+    let binders: Vec<&Expr> = factors.iter().filter(|f| is_binder(f)).collect();
+    let mut fillers: Vec<(&Expr, BTreeSet<String>)> = factors
+        .iter()
+        .filter(|f| !is_binder(f))
+        .map(|f| (f, f.variables()))
+        .collect();
+
+    let mut bound = initially_bound.clone();
+    let mut out: Vec<Expr> = Vec::with_capacity(factors.len());
+    let emit_ready = |bound: &BTreeSet<String>,
+                          fillers: &mut Vec<(&Expr, BTreeSet<String>)>,
+                          out: &mut Vec<Expr>| {
+        let mut remaining = Vec::with_capacity(fillers.len());
+        for (factor, vars) in fillers.drain(..) {
+            if vars.is_subset(bound) {
+                out.push(factor.clone());
+            } else {
+                remaining.push((factor, vars));
+            }
+        }
+        *fillers = remaining;
+    };
+
+    emit_ready(&bound, &mut fillers, &mut out);
+    for binder in binders {
+        out.push(binder.clone());
+        match binder {
+            Expr::Rel(_, vars) => bound.extend(vars.iter().cloned()),
+            Expr::Assign(x, _) => {
+                bound.insert(x.clone());
+            }
+            _ => unreachable!("is_binder covers exactly these"),
+        }
+        emit_ready(&bound, &mut fillers, &mut out);
+    }
+    // Anything left never becomes fully bound; keep it at the end in original order so the
+    // evaluator reports the same safety error it would have reported before.
+    out.extend(fillers.into_iter().map(|(f, _)| f.clone()));
+    out
+}
+
+/// Rewrites an expression into an equivalent one whose monomials evaluate without
+/// unnecessary cross products (see module docs). The group-by variables of the surrounding
+/// query, if any, may be passed as `bound` since they are bound from the outside.
+pub fn optimize_for_evaluation(expr: &Expr, bound: &BTreeSet<String>) -> Expr {
+    fn optimize_polynomial(poly: &Polynomial, bound: &BTreeSet<String>) -> Polynomial {
+        Polynomial {
+            monomials: poly
+                .monomials
+                .iter()
+                .map(|m| {
+                    // Equality conditions between two query variables are folded into the
+                    // atoms by renaming one side (Section 5's variable elimination): the
+                    // evaluator's per-atom consistency filter then performs the join
+                    // selection instead of a post-hoc filter over a cross product.
+                    // Externally bound variables (group-by keys, update parameters) are
+                    // protected so callers can still refer to them by name.
+                    let (factors, _) = eliminate_equalities(&m.factors, bound);
+                    Monomial {
+                        coefficient: m.coefficient,
+                        factors: optimize_factor_order(&factors, bound)
+                            .iter()
+                            .map(|f| match f {
+                                // Recurse into nested aggregates so their bodies are
+                                // optimized too.
+                                Expr::Sum(inner) => {
+                                    Expr::sum(optimize_for_evaluation(inner, bound))
+                                }
+                                other => other.clone(),
+                            })
+                            .collect(),
+                    }
+                })
+                .collect(),
+        }
+    }
+    match expr {
+        // Keep a top-level Sum wrapper in place so group-by handling is unaffected.
+        Expr::Sum(inner) => Expr::sum(optimize_for_evaluation(inner, bound)),
+        other => optimize_polynomial(&normalize(other), bound).to_expr(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+    use crate::eval::eval;
+    use crate::parser::parse_expr;
+    use dbring_relations::{Database, Tuple, Value};
+
+    fn bound(vars: &[&str]) -> BTreeSet<String> {
+        vars.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn conditions_move_next_to_their_binding_atoms() {
+        let factors = vec![
+            Expr::rel("R", &["a", "b"]),
+            Expr::rel("S", &["c", "d"]),
+            Expr::rel("T", &["e", "f"]),
+            Expr::eq(Expr::var("b"), Expr::var("c")),
+            Expr::eq(Expr::var("d"), Expr::var("e")),
+            Expr::var("a"),
+            Expr::var("f"),
+        ];
+        let ordered = optimize_factor_order(&factors, &bound(&[]));
+        let rendered: Vec<String> = ordered.iter().map(|f| f.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "R(a, b)",
+                "a", // bound as soon as R is evaluated
+                "S(c, d)",
+                "(b = c)",
+                "T(e, f)",
+                "(d = e)",
+                "f",
+            ]
+        );
+    }
+
+    #[test]
+    fn externally_bound_variables_let_guards_move_to_the_front() {
+        let factors = vec![
+            Expr::rel("R", &["a", "b"]),
+            Expr::cmp(CmpOp::Lt, Expr::var("x"), Expr::int(5)),
+        ];
+        let ordered = optimize_factor_order(&factors, &bound(&["x"]));
+        assert_eq!(ordered[0].to_string(), "(x < 5)");
+        assert_eq!(ordered[1].to_string(), "R(a, b)");
+    }
+
+    #[test]
+    fn unsatisfiable_factors_stay_at_the_end() {
+        let factors = vec![
+            Expr::rel("R", &["a"]),
+            Expr::var("never_bound"),
+        ];
+        let ordered = optimize_factor_order(&factors, &bound(&[]));
+        assert_eq!(ordered.len(), 2);
+        assert_eq!(ordered[1], Expr::var("never_bound"));
+    }
+
+    #[test]
+    fn optimization_preserves_semantics() {
+        let mut db = Database::new();
+        db.declare("R", &["A", "B"]).unwrap();
+        db.declare("S", &["C", "D"]).unwrap();
+        db.declare("T", &["E", "F"]).unwrap();
+        for (a, b) in [(1, 10), (2, 11), (3, 10)] {
+            db.insert("R", vec![Value::int(a), Value::int(b)]).unwrap();
+        }
+        for (c, d) in [(10, 20), (11, 21), (10, 21)] {
+            db.insert("S", vec![Value::int(c), Value::int(d)]).unwrap();
+        }
+        for (e, f) in [(20, 5), (21, 7)] {
+            db.insert("T", vec![Value::int(e), Value::int(f)]).unwrap();
+        }
+        let q = parse_expr(
+            "Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)",
+        )
+        .unwrap();
+        let optimized = optimize_for_evaluation(&q, &BTreeSet::new());
+        let original = eval(&q, &db, &Tuple::empty()).unwrap();
+        let rewritten = eval(&optimized, &db, &Tuple::empty()).unwrap();
+        assert_eq!(original.get(&Tuple::empty()), rewritten.get(&Tuple::empty()));
+        // The equality join conditions have been folded into the atoms (shared variables),
+        // so no explicit equality condition survives, the three atoms are still present,
+        // and the join variables are now shared between adjacent atoms.
+        let text = optimized.to_string();
+        assert!(!text.contains('='), "equalities should be eliminated: {text}");
+        assert_eq!(optimized.relations().len(), 3);
+        assert!(optimized.variables().len() < q.variables().len());
+    }
+
+    #[test]
+    fn sums_of_monomials_and_nested_aggregates_are_handled() {
+        let q = parse_expr("Sum(R(x, y) * (x = y)) + Sum(S(u, v) * u)").unwrap();
+        let optimized = optimize_for_evaluation(&q, &BTreeSet::new());
+        // Structure is preserved: still a sum of two aggregates.
+        assert_eq!(optimized.relations().len(), 2);
+        let mut db = Database::new();
+        db.declare("R", &["A", "B"]).unwrap();
+        db.declare("S", &["A", "B"]).unwrap();
+        db.insert("R", vec![Value::int(1), Value::int(1)]).unwrap();
+        db.insert("S", vec![Value::int(3), Value::int(9)]).unwrap();
+        let a = eval(&q, &db, &Tuple::empty()).unwrap();
+        let b = eval(&optimized, &db, &Tuple::empty()).unwrap();
+        assert_eq!(a.get(&Tuple::empty()), b.get(&Tuple::empty()));
+    }
+}

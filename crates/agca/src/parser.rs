@@ -1,0 +1,590 @@
+//! A text syntax for AGCA expressions and queries, with a hand-written lexer and
+//! recursive-descent parser.
+//!
+//! Grammar (comparisons and assignments are parenthesized, which keeps the syntax
+//! unambiguous without a precedence table for `θ`):
+//!
+//! ```text
+//! query   :=  NAME ('[' var (',' var)* ']')? ':=' expr
+//! expr    :=  term (('+' | '-') term)*
+//! term    :=  unary ('*' unary)*
+//! unary   :=  '-' unary | atom
+//! atom    :=  'Sum' '(' expr ')'
+//!          |  '(' inner ')'
+//!          |  NUMBER | STRING
+//!          |  NAME '(' var (',' var)* ')'          -- relational atom
+//!          |  NAME                                  -- variable
+//! inner   :=  expr ( cmp expr | ':=' expr )?        -- comparison / assignment / grouping
+//! cmp     :=  '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+//! ```
+//!
+//! Examples: `Sum(C(c, n) * C(c2, n2) * (n = n2))`, `Sum(R(a, b) * (b = c) * a)`,
+//! `q[c] := Sum(C(c, n) * C(c2, n) )`.
+
+use std::fmt;
+
+
+use crate::ast::{CmpOp, Expr, Query};
+
+/// A parse error with a human-readable message and the byte offset it refers to.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte position in the input at which the error was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokens shared by the AGCA parser and the SQL frontend.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Dot,
+    Comma,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Cmp(CmpOp),
+    Assign,
+    Semicolon,
+}
+
+/// Lexes an input string into tokens paired with their byte positions.
+pub(crate) fn lex(input: &str) -> Result<Vec<(Token, usize)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '+' => {
+                tokens.push((Token::Plus, i));
+                i += 1;
+            }
+            '-' => {
+                tokens.push((Token::Minus, i));
+                i += 1;
+            }
+            '*' => {
+                tokens.push((Token::Star, i));
+                i += 1;
+            }
+            '/' => {
+                tokens.push((Token::Slash, i));
+                i += 1;
+            }
+            '.' => {
+                tokens.push((Token::Dot, i));
+                i += 1;
+            }
+            ',' => {
+                tokens.push((Token::Comma, i));
+                i += 1;
+            }
+            ';' => {
+                tokens.push((Token::Semicolon, i));
+                i += 1;
+            }
+            '(' => {
+                tokens.push((Token::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((Token::RParen, i));
+                i += 1;
+            }
+            '[' => {
+                tokens.push((Token::LBracket, i));
+                i += 1;
+            }
+            ']' => {
+                tokens.push((Token::RBracket, i));
+                i += 1;
+            }
+            '=' => {
+                tokens.push((Token::Cmp(CmpOp::Eq), i));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push((Token::Cmp(CmpOp::Ne), i));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        message: "expected '=' after '!'".to_string(),
+                        position: i,
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push((Token::Cmp(CmpOp::Le), i));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push((Token::Cmp(CmpOp::Ne), i));
+                    i += 2;
+                } else {
+                    tokens.push((Token::Cmp(CmpOp::Lt), i));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push((Token::Cmp(CmpOp::Ge), i));
+                    i += 2;
+                } else {
+                    tokens.push((Token::Cmp(CmpOp::Gt), i));
+                    i += 1;
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push((Token::Assign, i));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        message: "expected '=' after ':'".to_string(),
+                        position: i,
+                    });
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError {
+                        message: "unterminated string literal".to_string(),
+                        position: i,
+                    });
+                }
+                tokens.push((Token::Str(input[start..j].to_string()), i));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit()
+                        || (bytes[j] == b'.'
+                            && j + 1 < bytes.len()
+                            && (bytes[j + 1] as char).is_ascii_digit()))
+                {
+                    if bytes[j] == b'.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &input[start..j];
+                let token = if is_float {
+                    Token::Float(text.parse().map_err(|_| ParseError {
+                        message: format!("invalid float literal {text}"),
+                        position: start,
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| ParseError {
+                        message: format!("invalid integer literal {text}"),
+                        position: start,
+                    })?)
+                };
+                tokens.push((token, start));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                tokens.push((Token::Ident(input[start..j].to_string()), start));
+                i = j;
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    position: i,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// A token cursor shared by the AGCA and SQL parsers.
+pub(crate) struct Cursor {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Cursor {
+    pub(crate) fn new(input: &str) -> Result<Self, ParseError> {
+        Ok(Cursor {
+            tokens: lex(input)?,
+            pos: 0,
+            input_len: input.len(),
+        })
+    }
+
+    pub(crate) fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    pub(crate) fn position(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|(_, p)| *p)
+            .unwrap_or(self.input_len)
+    }
+
+    pub(crate) fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub(crate) fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position: self.position(),
+        }
+    }
+
+    pub(crate) fn expect(&mut self, token: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == token => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.error(format!("expected {token:?}, found {other:?}"))),
+        }
+    }
+
+    pub(crate) fn eat(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Consumes an identifier equal (case-insensitively) to `keyword`.
+    pub(crate) fn expect_keyword(&mut self, keyword: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(keyword) => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.error(format!("expected keyword {keyword}, found {other:?}"))),
+        }
+    }
+
+    /// Whether the next token is the given keyword (case-insensitive), without consuming.
+    pub(crate) fn at_keyword(&self, keyword: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(keyword))
+    }
+
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+}
+
+/// Parses an AGCA expression from its text syntax.
+pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
+    let mut cursor = Cursor::new(input)?;
+    let expr = parse_add(&mut cursor)?;
+    if !cursor.at_end() {
+        return Err(cursor.error("trailing input after expression"));
+    }
+    Ok(expr)
+}
+
+/// Parses a named query definition `name := expr` or `name[x, y] := expr`.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let mut cursor = Cursor::new(input)?;
+    let name = cursor.expect_ident()?;
+    let mut group_by = Vec::new();
+    if cursor.eat(&Token::LBracket) {
+        loop {
+            group_by.push(cursor.expect_ident()?);
+            if !cursor.eat(&Token::Comma) {
+                break;
+            }
+        }
+        cursor.expect(&Token::RBracket)?;
+    }
+    cursor.expect(&Token::Assign)?;
+    let expr = parse_add(&mut cursor)?;
+    if !cursor.at_end() {
+        return Err(cursor.error("trailing input after query"));
+    }
+    Ok(Query {
+        name,
+        group_by,
+        expr,
+    })
+}
+
+fn parse_add(cursor: &mut Cursor) -> Result<Expr, ParseError> {
+    let mut lhs = parse_mul(cursor)?;
+    loop {
+        if cursor.eat(&Token::Plus) {
+            let rhs = parse_mul(cursor)?;
+            lhs = Expr::add(lhs, rhs);
+        } else if cursor.eat(&Token::Minus) {
+            let rhs = parse_mul(cursor)?;
+            lhs = Expr::add(lhs, Expr::neg(rhs));
+        } else {
+            return Ok(lhs);
+        }
+    }
+}
+
+fn parse_mul(cursor: &mut Cursor) -> Result<Expr, ParseError> {
+    let mut lhs = parse_unary(cursor)?;
+    while cursor.eat(&Token::Star) {
+        let rhs = parse_unary(cursor)?;
+        lhs = Expr::mul(lhs, rhs);
+    }
+    Ok(lhs)
+}
+
+fn parse_unary(cursor: &mut Cursor) -> Result<Expr, ParseError> {
+    if cursor.eat(&Token::Minus) {
+        Ok(Expr::neg(parse_unary(cursor)?))
+    } else {
+        parse_atom(cursor)
+    }
+}
+
+fn parse_atom(cursor: &mut Cursor) -> Result<Expr, ParseError> {
+    match cursor.next() {
+        Some(Token::Int(i)) => Ok(Expr::int(i)),
+        Some(Token::Float(f)) => Ok(Expr::constant(f)),
+        Some(Token::Str(s)) => Ok(Expr::Const(dbring_relations::Value::str(&s))),
+        Some(Token::LParen) => {
+            let inner = parse_inner(cursor)?;
+            cursor.expect(&Token::RParen)?;
+            Ok(inner)
+        }
+        Some(Token::Ident(name)) => {
+            if name.eq_ignore_ascii_case("Sum") && cursor.peek() == Some(&Token::LParen) {
+                cursor.expect(&Token::LParen)?;
+                let inner = parse_add(cursor)?;
+                cursor.expect(&Token::RParen)?;
+                return Ok(Expr::sum(inner));
+            }
+            if cursor.peek() == Some(&Token::LParen) {
+                // Relational atom.
+                cursor.expect(&Token::LParen)?;
+                let mut vars = Vec::new();
+                if cursor.peek() != Some(&Token::RParen) {
+                    loop {
+                        vars.push(cursor.expect_ident()?);
+                        if !cursor.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                }
+                cursor.expect(&Token::RParen)?;
+                return Ok(Expr::Rel(name, vars));
+            }
+            Ok(Expr::Var(name))
+        }
+        other => Err(cursor.error(format!("expected an atom, found {other:?}"))),
+    }
+}
+
+/// The interior of a parenthesized group: an expression, optionally followed by a
+/// comparison operator or `:=` and a right-hand side.
+fn parse_inner(cursor: &mut Cursor) -> Result<Expr, ParseError> {
+    let lhs = parse_add(cursor)?;
+    match cursor.peek() {
+        Some(Token::Cmp(op)) => {
+            let op = *op;
+            cursor.next();
+            let rhs = parse_add(cursor)?;
+            Ok(Expr::cmp(op, lhs, rhs))
+        }
+        Some(Token::Assign) => {
+            cursor.next();
+            let rhs = parse_add(cursor)?;
+            match lhs {
+                Expr::Var(x) => Ok(Expr::assign(x, rhs)),
+                other => Err(cursor.error(format!(
+                    "left-hand side of ':=' must be a variable, found {other}"
+                ))),
+            }
+        }
+        _ => Ok(lhs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_running_example() {
+        let q = parse_expr("Sum(C(c, n) * C(c2, n2) * (n = n2))").unwrap();
+        let expected = Expr::sum(Expr::product(vec![
+            Expr::rel("C", &["c", "n"]),
+            Expr::rel("C", &["c2", "n2"]),
+            Expr::eq(Expr::var("n"), Expr::var("n2")),
+        ]));
+        assert_eq!(q, expected);
+    }
+
+    #[test]
+    fn parses_example_1_3() {
+        let q = parse_expr(
+            "Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)",
+        )
+        .unwrap();
+        assert_eq!(crate::degree::degree(&q), 3);
+        assert_eq!(q.relations().len(), 3);
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        // a + b * c parses as a + (b * c)
+        let e = parse_expr("x + y * z").unwrap();
+        assert_eq!(
+            e,
+            Expr::add(Expr::var("x"), Expr::mul(Expr::var("y"), Expr::var("z")))
+        );
+        // Subtraction desugars to + (−·).
+        let e2 = parse_expr("x - y").unwrap();
+        assert_eq!(e2, Expr::add(Expr::var("x"), Expr::neg(Expr::var("y"))));
+        // Parenthesized grouping.
+        let e3 = parse_expr("(x + y) * z").unwrap();
+        assert_eq!(
+            e3,
+            Expr::mul(Expr::add(Expr::var("x"), Expr::var("y")), Expr::var("z"))
+        );
+    }
+
+    #[test]
+    fn comparisons_and_assignments() {
+        assert_eq!(
+            parse_expr("(x < y)").unwrap(),
+            Expr::cmp(CmpOp::Lt, Expr::var("x"), Expr::var("y"))
+        );
+        assert_eq!(
+            parse_expr("(x >= 3)").unwrap(),
+            Expr::cmp(CmpOp::Ge, Expr::var("x"), Expr::int(3))
+        );
+        assert_eq!(
+            parse_expr("(x <> y)").unwrap(),
+            Expr::cmp(CmpOp::Ne, Expr::var("x"), Expr::var("y"))
+        );
+        assert_eq!(
+            parse_expr("(x != y)").unwrap(),
+            Expr::cmp(CmpOp::Ne, Expr::var("x"), Expr::var("y"))
+        );
+        assert_eq!(
+            parse_expr("(x := 3 + y)").unwrap(),
+            Expr::assign("x", Expr::add(Expr::int(3), Expr::var("y")))
+        );
+        assert_eq!(
+            parse_expr("(n = 'FR')").unwrap(),
+            Expr::eq(Expr::var("n"), Expr::constant("FR"))
+        );
+    }
+
+    #[test]
+    fn literals_and_unary_minus() {
+        assert_eq!(parse_expr("42").unwrap(), Expr::int(42));
+        assert_eq!(parse_expr("2.5").unwrap(), Expr::constant(2.5));
+        assert_eq!(parse_expr("-x").unwrap(), Expr::neg(Expr::var("x")));
+        assert_eq!(
+            parse_expr("- 3 * R(x)").unwrap(),
+            Expr::mul(Expr::neg(Expr::int(3)), Expr::rel("R", &["x"]))
+        );
+        assert_eq!(parse_expr("'abc'").unwrap(), Expr::constant("abc"));
+    }
+
+    #[test]
+    fn relation_atoms() {
+        assert_eq!(parse_expr("R(x, y)").unwrap(), Expr::rel("R", &["x", "y"]));
+        assert_eq!(parse_expr("R()").unwrap(), Expr::Rel("R".to_string(), vec![]));
+        // `Sum` used as a relation name still works if not followed by a single argument
+        // expression... it is treated as the aggregate, so use a different name.
+        assert_eq!(parse_expr("Total(x)").unwrap(), Expr::rel("Total", &["x"]));
+    }
+
+    #[test]
+    fn query_definitions() {
+        let q = parse_query("per_nation[c] := Sum(C(c, n) * C(c2, n))").unwrap();
+        assert_eq!(q.name, "per_nation");
+        assert_eq!(q.group_by, vec!["c"]);
+        assert_eq!(crate::degree::degree(&q.expr), 2);
+        let s = parse_query("total := Sum(R(x) * x)").unwrap();
+        assert!(s.group_by.is_empty());
+        let multi = parse_query("m[a, b] := Sum(R(a, b, v) * v)").unwrap();
+        assert_eq!(multi.group_by, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("R(x").is_err());
+        assert!(parse_expr("x +").is_err());
+        assert!(parse_expr("x ! y").is_err());
+        assert!(parse_expr("'unterminated").is_err());
+        assert!(parse_expr("x : 3").is_err());
+        assert!(parse_expr("(3 := x)").is_err());
+        assert!(parse_expr("x y").is_err()); // trailing input
+        assert!(parse_query("q[ := R(x)").is_err());
+        assert!(parse_query("q = R(x)").is_err());
+        let err = parse_expr("x @ y").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        // Display of a parsed expression parses back to the same AST.
+        for text in [
+            "Sum(C(c, n) * C(c2, n2) * (n = n2))",
+            "(x := 3) * R(x, y)",
+            "Sum(R(a, b) * (b = c) * a)",
+            "(1 + R(x)) * -(S(y))",
+        ] {
+            let parsed = parse_expr(text).unwrap();
+            let reparsed = parse_expr(&parsed.to_string()).unwrap();
+            assert_eq!(parsed, reparsed, "roundtrip failed for {text}");
+        }
+    }
+}

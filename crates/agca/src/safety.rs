@@ -1,0 +1,249 @@
+//! Range restriction ("safety") of AGCA expressions (end of Section 4).
+//!
+//! Evaluation of a variable `[[x]]` fails if `x` is not bound at evaluation time. The
+//! static analysis here mirrors the classical range-restriction check of relational
+//! calculus, with `∧`/`∨` replaced by `*`/`+`: it propagates the set of bound variables
+//! left-to-right through products (sideways binding passing) and requires both summands of
+//! an addition to be evaluable, returning only the variables guaranteed by *both* branches.
+//! Queries that pass the check never raise `UnboundVariable` at runtime for the same
+//! initial binding set.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ast::{Expr, Query};
+
+/// A range-restriction violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SafetyError {
+    /// A variable was used as a value (in a term, comparison or assignment right-hand
+    /// side) without being bound first.
+    UnboundVariable {
+        /// The offending variable.
+        var: String,
+        /// A rendering of the sub-expression in which it occurred.
+        context: String,
+    },
+    /// An assignment re-binds a variable that is already bound (the paper distinguishes
+    /// `x := q` from the condition `x = q` precisely by whether `x` is already safe).
+    RebindsBoundVariable {
+        /// The assigned variable.
+        var: String,
+    },
+}
+
+impl fmt::Display for SafetyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SafetyError::UnboundVariable { var, context } => {
+                write!(f, "variable {var} is not range-restricted in {context}")
+            }
+            SafetyError::RebindsBoundVariable { var } => {
+                write!(f, "assignment re-binds already bound variable {var}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SafetyError {}
+
+/// Checks that an expression is range-restricted given the initially bound variables, and
+/// returns the set of variables guaranteed to be bound in (the schema of) its result.
+pub fn check_safety(
+    expr: &Expr,
+    bound: &BTreeSet<String>,
+) -> Result<BTreeSet<String>, SafetyError> {
+    match expr {
+        Expr::Const(_) => Ok(bound.clone()),
+        Expr::Var(x) => {
+            if bound.contains(x) {
+                Ok(bound.clone())
+            } else {
+                Err(SafetyError::UnboundVariable {
+                    var: x.clone(),
+                    context: expr.to_string(),
+                })
+            }
+        }
+        Expr::Rel(_, vars) => {
+            let mut out = bound.clone();
+            out.extend(vars.iter().cloned());
+            Ok(out)
+        }
+        Expr::Mul(a, b) => {
+            // Sideways binding passing: the right factor sees what the left factor bound.
+            let after_a = check_safety(a, bound)?;
+            check_safety(b, &after_a)
+        }
+        Expr::Add(a, b) => {
+            let oa = check_safety(a, bound)?;
+            let ob = check_safety(b, bound)?;
+            // Only variables guaranteed by both branches remain bound.
+            Ok(oa.intersection(&ob).cloned().collect())
+        }
+        Expr::Neg(a) | Expr::Sum(a) => check_safety(a, bound),
+        Expr::Cmp(_, a, b) => {
+            // Both sides are value terms: every variable they use must be bound — either
+            // from the outside / earlier factors, or internally by a nested aggregate (the
+            // recursive check handles the latter, since a nested `Sum(R(y) * y)` binds `y`
+            // before using it).
+            check_safety(a, bound)?;
+            check_safety(b, bound)?;
+            Ok(bound.clone())
+        }
+        Expr::Assign(x, term) => {
+            check_safety(term, bound)?;
+            if bound.contains(x) {
+                // `x := q` with `x` already bound behaves like the condition `x = q`; we
+                // accept it (the evaluator implements exactly that), so this is not an
+                // error — the variable simply stays bound.
+                return Ok(bound.clone());
+            }
+            let mut out = bound.clone();
+            out.insert(x.clone());
+            Ok(out)
+        }
+    }
+}
+
+/// Checks a whole query: the body must be range-restricted when the group-by variables are
+/// considered bound... and, conversely, each group-by variable must actually be produced by
+/// the body (otherwise groups would be unidentifiable).
+pub fn check_query_safety(query: &Query) -> Result<(), SafetyError> {
+    let bound: BTreeSet<String> = query.group_by.iter().cloned().collect();
+    check_safety(&query.expr, &bound)?;
+    // The body evaluated with *no* outside bindings must still bind every group-by
+    // variable (they are the grouping columns of the result).
+    let produced = check_safety(&query.expr, &BTreeSet::new()).unwrap_or_default();
+    for g in &query.group_by {
+        if !produced.contains(g) {
+            return Err(SafetyError::UnboundVariable {
+                var: g.clone(),
+                context: format!("group-by variable of {}", query.name),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+
+    fn bound(vars: &[&str]) -> BTreeSet<String> {
+        vars.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn atoms_bind_their_variables() {
+        let out = check_safety(&Expr::rel("R", &["x", "y"]), &bound(&[])).unwrap();
+        assert_eq!(out, bound(&["x", "y"]));
+    }
+
+    #[test]
+    fn products_pass_bindings_sideways() {
+        // R(x, y) * (x < y) is safe; (x < y) * R(x, y) is not.
+        let safe = Expr::mul(
+            Expr::rel("R", &["x", "y"]),
+            Expr::cmp(CmpOp::Lt, Expr::var("x"), Expr::var("y")),
+        );
+        assert!(check_safety(&safe, &bound(&[])).is_ok());
+
+        let unsafe_expr = Expr::mul(
+            Expr::cmp(CmpOp::Lt, Expr::var("x"), Expr::var("y")),
+            Expr::rel("R", &["x", "y"]),
+        );
+        assert!(matches!(
+            check_safety(&unsafe_expr, &bound(&[])),
+            Err(SafetyError::UnboundVariable { .. })
+        ));
+        // ... unless the variables are bound from the outside.
+        assert!(check_safety(&unsafe_expr, &bound(&["x", "y"])).is_ok());
+    }
+
+    #[test]
+    fn addition_keeps_only_common_bindings() {
+        let e = Expr::add(Expr::rel("R", &["x", "y"]), Expr::rel("S", &["x", "z"]));
+        let out = check_safety(&e, &bound(&[])).unwrap();
+        assert_eq!(out, bound(&["x"]));
+        // Using y after the union is unsafe.
+        let bad = Expr::mul(e, Expr::var("y"));
+        assert!(check_safety(&bad, &bound(&[])).is_err());
+    }
+
+    #[test]
+    fn value_terms_require_bound_variables() {
+        assert!(check_safety(&Expr::var("x"), &bound(&[])).is_err());
+        assert!(check_safety(&Expr::var("x"), &bound(&["x"])).is_ok());
+        let term = Expr::mul(Expr::rel("R", &["x"]), Expr::var("x"));
+        assert!(check_safety(&term, &bound(&[])).is_ok());
+    }
+
+    #[test]
+    fn assignments_bind_their_target() {
+        // (x := 3) * R(x, y): the assignment makes x available for the atom's selection.
+        let e = Expr::mul(Expr::assign("x", Expr::int(3)), Expr::rel("R", &["x", "y"]));
+        let out = check_safety(&e, &bound(&[])).unwrap();
+        assert!(out.contains("x") && out.contains("y"));
+        // The assignment's term must itself be bound.
+        let bad = Expr::assign("x", Expr::var("u"));
+        assert!(check_safety(&bad, &bound(&[])).is_err());
+        assert!(check_safety(&bad, &bound(&["u"])).is_ok());
+        // Assigning to an already-bound variable degrades to an equality condition.
+        let cond_like = Expr::mul(Expr::rel("R", &["x", "y"]), Expr::assign("x", Expr::int(3)));
+        assert!(check_safety(&cond_like, &bound(&[])).is_ok());
+    }
+
+    #[test]
+    fn sum_and_negation_are_transparent() {
+        let e = Expr::sum(Expr::neg(Expr::mul(
+            Expr::rel("R", &["x", "y"]),
+            Expr::var("x"),
+        )));
+        assert!(check_safety(&e, &bound(&[])).is_ok());
+    }
+
+    #[test]
+    fn nested_aggregate_conditions_are_checked_recursively() {
+        // (Sum(S(y) * y) > x) * R(x): unsafe because x is compared before R binds it...
+        let cond = Expr::cmp(
+            CmpOp::Gt,
+            Expr::sum(Expr::mul(Expr::rel("S", &["y"]), Expr::var("y"))),
+            Expr::var("x"),
+        );
+        let bad = Expr::mul(cond.clone(), Expr::rel("R", &["x"]));
+        assert!(check_safety(&bad, &bound(&[])).is_err());
+        // ... but safe in the other order.
+        let good = Expr::mul(Expr::rel("R", &["x"]), cond);
+        assert!(check_safety(&good, &bound(&[])).is_ok());
+    }
+
+    #[test]
+    fn query_safety_requires_group_by_vars_to_be_produced() {
+        let q = crate::ast::Query::new(
+            "g",
+            &["c"],
+            Expr::sum(Expr::rel("C", &["c", "n"])),
+        );
+        assert!(check_query_safety(&q).is_ok());
+        let bad = crate::ast::Query::new(
+            "g",
+            &["missing"],
+            Expr::sum(Expr::rel("C", &["c", "n"])),
+        );
+        assert!(check_query_safety(&bad).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SafetyError::UnboundVariable {
+            var: "x".into(),
+            context: "x".into(),
+        };
+        assert!(e.to_string().contains("range-restricted"));
+        assert!(SafetyError::RebindsBoundVariable { var: "x".into() }
+            .to_string()
+            .contains("re-binds"));
+    }
+}

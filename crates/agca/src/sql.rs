@@ -1,0 +1,542 @@
+//! A SQL-subset frontend, lowered to AGCA exactly as in Section 5 ("From SQL to the
+//! calculus"): a query
+//!
+//! ```sql
+//! SELECT b⃗, SUM(t) FROM R1 r1, R2 r2, ... WHERE φ GROUP BY b⃗
+//! ```
+//!
+//! becomes `Sum(R1(x⃗₁) * R2(x⃗₂) * … * φ * t)` with the group-by columns as bound
+//! variables. Supported: inner joins expressed in the `WHERE` clause, equality and
+//! inequality predicates between columns and constants, arithmetic (`+`, `-`, `*`) inside
+//! the aggregate, `SUM(expr)` and `COUNT(*)`, table aliases, and `GROUP BY`.
+//!
+//! Column references become AGCA variables named `alias.column`; each table mention gets a
+//! distinct alias (explicitly, or implicitly the table name), which is what makes
+//! self-joins such as Example 5.2 work.
+
+use dbring_relations::Database;
+
+use crate::ast::{Expr, Query};
+use crate::parser::{Cursor, ParseError, Token};
+
+/// One table mention in the FROM clause.
+#[derive(Clone, Debug)]
+struct FromItem {
+    relation: String,
+    alias: String,
+    columns: Vec<String>,
+}
+
+impl FromItem {
+    fn variable(&self, column: &str) -> String {
+        format!("{}.{}", self.alias, column)
+    }
+}
+
+/// Parses a SQL aggregate query and lowers it to an AGCA [`Query`].
+///
+/// The database supplies the column names of each referenced relation. The query name is
+/// taken from the aggregate's `AS` alias when present, otherwise `"q"`.
+pub fn parse_sql(input: &str, db: &Database) -> Result<Query, ParseError> {
+    let mut cursor = Cursor::new(input)?;
+    cursor.expect_keyword("SELECT")?;
+
+    // --- SELECT list: group columns and exactly one aggregate ------------------------
+    #[derive(Debug)]
+    enum SelectItem {
+        Column(String),
+        SumAgg(ValueAst, Option<String>),
+        CountStar(Option<String>),
+    }
+    let mut select_items = Vec::new();
+    loop {
+        if cursor.at_keyword("SUM") {
+            cursor.next();
+            cursor.expect(&Token::LParen)?;
+            let term = parse_value(&mut cursor)?;
+            cursor.expect(&Token::RParen)?;
+            let alias = parse_optional_alias(&mut cursor)?;
+            select_items.push(SelectItem::SumAgg(term, alias));
+        } else if cursor.at_keyword("COUNT") {
+            cursor.next();
+            cursor.expect(&Token::LParen)?;
+            cursor.expect(&Token::Star)?;
+            cursor.expect(&Token::RParen)?;
+            let alias = parse_optional_alias(&mut cursor)?;
+            select_items.push(SelectItem::CountStar(alias));
+        } else {
+            let col = parse_column_ref(&mut cursor)?;
+            // A plain column may carry an alias too; it does not affect the lowering.
+            let _ = parse_optional_alias(&mut cursor)?;
+            select_items.push(SelectItem::Column(col));
+        }
+        if !cursor.eat(&Token::Comma) {
+            break;
+        }
+    }
+
+    // --- FROM clause ------------------------------------------------------------------
+    cursor.expect_keyword("FROM")?;
+    let mut from_items: Vec<FromItem> = Vec::new();
+    loop {
+        let relation = cursor.expect_ident()?;
+        let alias = match cursor.peek() {
+            Some(Token::Ident(s))
+                if !["WHERE", "GROUP", "AS"].iter().any(|k| s.eq_ignore_ascii_case(k)) =>
+            {
+                let a = s.clone();
+                cursor.next();
+                a
+            }
+            _ => {
+                if cursor.at_keyword("AS") {
+                    cursor.next();
+                    cursor.expect_ident()?
+                } else {
+                    relation.clone()
+                }
+            }
+        };
+        let columns = db
+            .columns(&relation)
+            .ok_or_else(|| cursor.error(format!("unknown relation {relation}")))?
+            .to_vec();
+        if from_items.iter().any(|f| f.alias == alias) {
+            return Err(cursor.error(format!("duplicate table alias {alias}")));
+        }
+        from_items.push(FromItem {
+            relation,
+            alias,
+            columns,
+        });
+        if !cursor.eat(&Token::Comma) {
+            break;
+        }
+    }
+
+    let resolve = |cursor: &Cursor, column_ref: &str| -> Result<String, ParseError> {
+        resolve_column(&from_items, column_ref)
+            .map_err(|message| cursor.error(message))
+    };
+
+    // --- WHERE clause -----------------------------------------------------------------
+    let mut condition_factors: Vec<Expr> = Vec::new();
+    if cursor.at_keyword("WHERE") {
+        cursor.next();
+        loop {
+            let lhs = parse_value(&mut cursor)?;
+            let op = match cursor.next() {
+                Some(Token::Cmp(op)) => op,
+                other => {
+                    return Err(cursor.error(format!("expected comparison operator, found {other:?}")))
+                }
+            };
+            let rhs = parse_value(&mut cursor)?;
+            condition_factors.push(Expr::cmp(
+                op,
+                lower_value(&lhs, &from_items, &cursor)?,
+                lower_value(&rhs, &from_items, &cursor)?,
+            ));
+            if cursor.at_keyword("AND") {
+                cursor.next();
+            } else {
+                break;
+            }
+        }
+    }
+
+    // --- GROUP BY clause ---------------------------------------------------------------
+    let mut group_by: Vec<String> = Vec::new();
+    if cursor.at_keyword("GROUP") {
+        cursor.next();
+        cursor.expect_keyword("BY")?;
+        loop {
+            let col = parse_column_ref(&mut cursor)?;
+            group_by.push(resolve(&cursor, &col)?);
+            if !cursor.eat(&Token::Comma) {
+                break;
+            }
+        }
+    }
+    cursor.eat(&Token::Semicolon);
+    if !cursor.at_end() {
+        return Err(cursor.error("trailing input after SQL query"));
+    }
+
+    // --- Validate the SELECT list ------------------------------------------------------
+    let mut aggregate: Option<(ValueAst, Option<String>)> = None;
+    for item in &select_items {
+        match item {
+            SelectItem::SumAgg(term, alias) => {
+                if aggregate.is_some() {
+                    return Err(cursor.error("only one aggregate per query is supported"));
+                }
+                aggregate = Some((term.clone(), alias.clone()));
+            }
+            SelectItem::CountStar(alias) => {
+                if aggregate.is_some() {
+                    return Err(cursor.error("only one aggregate per query is supported"));
+                }
+                aggregate = Some((ValueAst::Int(1), alias.clone()));
+            }
+            SelectItem::Column(col) => {
+                let var = resolve(&cursor, col)?;
+                if !group_by.contains(&var) {
+                    return Err(cursor.error(format!(
+                        "non-aggregate select column {col} must appear in GROUP BY"
+                    )));
+                }
+            }
+        }
+    }
+    let (agg_term, agg_alias) =
+        aggregate.ok_or_else(|| cursor.error("query must contain SUM(...) or COUNT(*)"))?;
+
+    // --- Lower to AGCA ------------------------------------------------------------------
+    let mut factors: Vec<Expr> = Vec::new();
+    for item in &from_items {
+        let vars: Vec<String> = item.columns.iter().map(|c| item.variable(c)).collect();
+        factors.push(Expr::Rel(
+            item.relation.clone(),
+            vars,
+        ));
+    }
+    factors.extend(condition_factors);
+    let term_expr = lower_value(&agg_term, &from_items, &cursor)?;
+    if !term_expr.is_one() {
+        factors.push(term_expr);
+    }
+    let expr = Expr::sum(Expr::product(factors));
+    Ok(Query {
+        name: agg_alias.unwrap_or_else(|| "q".to_string()),
+        group_by,
+        expr,
+    })
+}
+
+/// Arithmetic value expressions appearing inside SUM(...) and WHERE predicates.
+#[derive(Clone, Debug)]
+enum ValueAst {
+    Column(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Add(Box<ValueAst>, Box<ValueAst>),
+    Sub(Box<ValueAst>, Box<ValueAst>),
+    Mul(Box<ValueAst>, Box<ValueAst>),
+    Neg(Box<ValueAst>),
+}
+
+fn lower_value(
+    value: &ValueAst,
+    from_items: &[FromItem],
+    cursor: &Cursor,
+) -> Result<Expr, ParseError> {
+    Ok(match value {
+        ValueAst::Column(c) => Expr::Var(
+            resolve_column(from_items, c).map_err(|message| cursor.error(message))?,
+        ),
+        ValueAst::Int(i) => Expr::int(*i),
+        ValueAst::Float(f) => Expr::constant(*f),
+        ValueAst::Str(s) => Expr::constant(s.as_str()),
+        ValueAst::Add(a, b) => Expr::add(
+            lower_value(a, from_items, cursor)?,
+            lower_value(b, from_items, cursor)?,
+        ),
+        ValueAst::Sub(a, b) => Expr::add(
+            lower_value(a, from_items, cursor)?,
+            Expr::neg(lower_value(b, from_items, cursor)?),
+        ),
+        ValueAst::Mul(a, b) => Expr::mul(
+            lower_value(a, from_items, cursor)?,
+            lower_value(b, from_items, cursor)?,
+        ),
+        ValueAst::Neg(a) => Expr::neg(lower_value(a, from_items, cursor)?),
+    })
+}
+
+fn resolve_column(from_items: &[FromItem], column_ref: &str) -> Result<String, String> {
+    if let Some((alias, column)) = column_ref.split_once('.') {
+        let item = from_items
+            .iter()
+            .find(|f| f.alias == alias)
+            .ok_or_else(|| format!("unknown table alias {alias}"))?;
+        if !item.columns.iter().any(|c| c == column) {
+            return Err(format!(
+                "relation {} has no column {column}",
+                item.relation
+            ));
+        }
+        Ok(item.variable(column))
+    } else {
+        let mut matches: Vec<&FromItem> = from_items
+            .iter()
+            .filter(|f| f.columns.iter().any(|c| c == column_ref))
+            .collect();
+        match (matches.len(), matches.pop()) {
+            (1, Some(item)) => Ok(item.variable(column_ref)),
+            (0, _) => Err(format!("unknown column {column_ref}")),
+            _ => Err(format!("ambiguous column {column_ref}")),
+        }
+    }
+}
+
+fn parse_optional_alias(cursor: &mut Cursor) -> Result<Option<String>, ParseError> {
+    if cursor.at_keyword("AS") {
+        cursor.next();
+        Ok(Some(cursor.expect_ident()?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn parse_column_ref(cursor: &mut Cursor) -> Result<String, ParseError> {
+    let first = cursor.expect_ident()?;
+    if cursor.eat(&Token::Dot) {
+        let second = cursor.expect_ident()?;
+        Ok(format!("{first}.{second}"))
+    } else {
+        Ok(first)
+    }
+}
+
+fn parse_value(cursor: &mut Cursor) -> Result<ValueAst, ParseError> {
+    let mut lhs = parse_value_term(cursor)?;
+    loop {
+        if cursor.eat(&Token::Plus) {
+            lhs = ValueAst::Add(Box::new(lhs), Box::new(parse_value_term(cursor)?));
+        } else if cursor.eat(&Token::Minus) {
+            lhs = ValueAst::Sub(Box::new(lhs), Box::new(parse_value_term(cursor)?));
+        } else {
+            return Ok(lhs);
+        }
+    }
+}
+
+fn parse_value_term(cursor: &mut Cursor) -> Result<ValueAst, ParseError> {
+    let mut lhs = parse_value_factor(cursor)?;
+    loop {
+        if cursor.eat(&Token::Star) {
+            lhs = ValueAst::Mul(Box::new(lhs), Box::new(parse_value_factor(cursor)?));
+        } else if cursor.peek() == Some(&Token::Slash) {
+            return Err(cursor.error("division is not supported in the SQL subset"));
+        } else {
+            return Ok(lhs);
+        }
+    }
+}
+
+fn parse_value_factor(cursor: &mut Cursor) -> Result<ValueAst, ParseError> {
+    match cursor.next() {
+        Some(Token::Int(i)) => Ok(ValueAst::Int(i)),
+        Some(Token::Float(f)) => Ok(ValueAst::Float(f)),
+        Some(Token::Str(s)) => Ok(ValueAst::Str(s)),
+        Some(Token::Minus) => Ok(ValueAst::Neg(Box::new(parse_value_factor(cursor)?))),
+        Some(Token::LParen) => {
+            let inner = parse_value(cursor)?;
+            cursor.expect(&Token::RParen)?;
+            Ok(inner)
+        }
+        Some(Token::Ident(first)) => {
+            if cursor.eat(&Token::Dot) {
+                let second = cursor.expect_ident()?;
+                Ok(ValueAst::Column(format!("{first}.{second}")))
+            } else {
+                Ok(ValueAst::Column(first))
+            }
+        }
+        other => Err(cursor.error(format!("expected a value expression, found {other:?}"))),
+    }
+}
+
+/// A helper for tests and examples: builds a catalog-only database (declared relations,
+/// no contents) from `(relation, columns)` pairs.
+pub fn catalog(relations: &[(&str, &[&str])]) -> Database {
+    let mut db = Database::new();
+    for (name, columns) in relations {
+        db.declare(*name, columns).expect("duplicate relation in catalog");
+    }
+    db
+}
+
+/// Re-exported for documentation: the mapping from SQL column references to AGCA variable
+/// names (`alias.column`).
+pub fn column_variable(alias: &str, column: &str) -> String {
+    format!("{alias}.{column}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::degree;
+
+    fn example_catalog() -> Database {
+        catalog(&[
+            ("C", &["cid", "nation"]),
+            ("R", &["A", "B"]),
+            ("S", &["C", "D"]),
+            ("T", &["E", "F"]),
+        ])
+    }
+
+    #[test]
+    fn example_5_2_translates_to_agca() {
+        let db = example_catalog();
+        let q = parse_sql(
+            "SELECT C1.cid, SUM(1) FROM C C1, C C2 \
+             WHERE C1.nation = C2.nation GROUP BY C1.cid;",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(q.group_by, vec!["C1.cid"]);
+        assert_eq!(degree(&q.expr), 2);
+        // Shape: Sum(C(C1.cid, C1.nation) * C(C2.cid, C2.nation) * (C1.nation = C2.nation))
+        let expected = Expr::sum(Expr::product(vec![
+            Expr::rel("C", &["C1.cid", "C1.nation"]),
+            Expr::rel("C", &["C2.cid", "C2.nation"]),
+            Expr::eq(Expr::var("C1.nation"), Expr::var("C2.nation")),
+        ]));
+        assert_eq!(q.expr, expected);
+    }
+
+    #[test]
+    fn example_1_3_translates_to_agca() {
+        let db = example_catalog();
+        let q = parse_sql(
+            "SELECT SUM(A * F) FROM R, S, T WHERE B = C AND D = E",
+            &db,
+        )
+        .unwrap();
+        assert!(q.group_by.is_empty());
+        assert_eq!(degree(&q.expr), 3);
+        assert_eq!(q.relations().len(), 3);
+        let expected = Expr::sum(Expr::product(vec![
+            Expr::rel("R", &["R.A", "R.B"]),
+            Expr::rel("S", &["S.C", "S.D"]),
+            Expr::rel("T", &["T.E", "T.F"]),
+            Expr::eq(Expr::var("R.B"), Expr::var("S.C")),
+            Expr::eq(Expr::var("S.D"), Expr::var("T.E")),
+            Expr::mul(Expr::var("R.A"), Expr::var("T.F")),
+        ]));
+        assert_eq!(q.expr, expected);
+    }
+
+    #[test]
+    fn example_1_2_count_star_self_join() {
+        let db = catalog(&[("R", &["A"])]);
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM R r1, R r2 WHERE r1.A = r2.A",
+            &db,
+        )
+        .unwrap();
+        assert!(q.group_by.is_empty());
+        assert_eq!(degree(&q.expr), 2);
+        // COUNT(*) is SUM(1): the value term is dropped (multiplying by 1).
+        let expected = Expr::sum(Expr::product(vec![
+            Expr::rel("R", &["r1.A"]),
+            Expr::rel("R", &["r2.A"]),
+            Expr::eq(Expr::var("r1.A"), Expr::var("r2.A")),
+        ]));
+        assert_eq!(q.expr, expected);
+    }
+
+    #[test]
+    fn aggregate_alias_names_the_query() {
+        let db = example_catalog();
+        let q = parse_sql(
+            "SELECT SUM(A) AS total_a FROM R",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(q.name, "total_a");
+        let q2 = parse_sql("SELECT SUM(A) FROM R", &db).unwrap();
+        assert_eq!(q2.name, "q");
+    }
+
+    #[test]
+    fn constants_and_arithmetic_in_aggregates_and_predicates() {
+        let db = example_catalog();
+        let q = parse_sql(
+            "SELECT SUM(2 * A + B - 1) FROM R WHERE A >= 10 AND B <> 'x'",
+            &db,
+        )
+        .unwrap();
+        let text = q.expr.to_string();
+        assert!(text.contains("(R.A >= 10)"));
+        assert!(text.contains("(R.B != 'x')"));
+        assert!(text.contains("2 * R.A"));
+        assert_eq!(degree(&q.expr), 1);
+    }
+
+    #[test]
+    fn unqualified_columns_resolve_when_unambiguous() {
+        let db = example_catalog();
+        let q = parse_sql(
+            "SELECT cid, SUM(1) FROM C GROUP BY cid",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(q.group_by, vec!["C.cid"]);
+        // Ambiguous without qualification across a self-join:
+        let err = parse_sql(
+            "SELECT cid, SUM(1) FROM C C1, C C2 GROUP BY cid",
+            &db,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn error_cases() {
+        let db = example_catalog();
+        assert!(parse_sql("SELECT SUM(1) FROM Missing", &db).is_err());
+        assert!(parse_sql("SELECT SUM(1) FROM R R, S R", &db)
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate table alias"));
+        assert!(parse_sql("SELECT nation FROM C GROUP BY nation", &db)
+            .unwrap_err()
+            .to_string()
+            .contains("SUM"));
+        assert!(parse_sql("SELECT cid, SUM(1) FROM C", &db)
+            .unwrap_err()
+            .to_string()
+            .contains("GROUP BY"));
+        assert!(parse_sql("SELECT SUM(1), SUM(2) FROM C", &db)
+            .unwrap_err()
+            .to_string()
+            .contains("only one aggregate"));
+        assert!(parse_sql("SELECT SUM(A / 2) FROM R", &db)
+            .unwrap_err()
+            .to_string()
+            .contains("division"));
+        assert!(parse_sql("SELECT SUM(Z) FROM R", &db)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown column"));
+        assert!(parse_sql("SELECT SUM(X.A) FROM R", &db)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown table alias"));
+    }
+
+    #[test]
+    fn translated_queries_are_safe_and_evaluable() {
+        use dbring_relations::Value;
+        let mut db = Database::new();
+        db.declare("C", &["cid", "nation"]).unwrap();
+        db.insert("C", vec![Value::int(1), Value::str("FR")]).unwrap();
+        db.insert("C", vec![Value::int(2), Value::str("FR")]).unwrap();
+        db.insert("C", vec![Value::int(3), Value::str("DE")]).unwrap();
+        let q = parse_sql(
+            "SELECT C1.cid, SUM(1) FROM C C1, C C2 \
+             WHERE C1.nation = C2.nation GROUP BY C1.cid",
+            &db,
+        )
+        .unwrap();
+        crate::safety::check_query_safety(&q).unwrap();
+        let groups = crate::eval::eval_all_groups(&q, &db).unwrap();
+        assert_eq!(groups[&vec![Value::int(1)]], dbring_algebra::Number::Int(2));
+        assert_eq!(groups[&vec![Value::int(3)]], dbring_algebra::Number::Int(1));
+    }
+}

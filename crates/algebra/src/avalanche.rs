@@ -1,0 +1,221 @@
+//! Avalanche (semi)rings `⇒A[G]` (Definition 2.5, Theorem 2.6).
+//!
+//! An avalanche-ring element is a function `f : G → A[G]`; the product threads the left
+//! factor's index into the argument of the right factor:
+//!
+//! ```text
+//! (f ∗ g)(b) = x ↦ Σ_{x = y ∗ z}  f(b)(y) ∗_A g(b ∗ y)(z)
+//! ```
+//!
+//! This "sideways binding passing" is what lets the query calculus of Section 4 express
+//! range-restricted conditions and assignments without a higher-order selection operator:
+//! the tuple produced by the left factor becomes part of the binding context of the right
+//! factor. The database instantiation (parametrized GMRs) lives in `dbring-relations`;
+//! this module provides the generic construction over any [`PartialMonoid`] so the
+//! algebraic laws can be tested in isolation.
+
+use std::rc::Rc;
+
+use crate::monoid::PartialMonoid;
+use crate::monoid_ring::MonoidRing;
+use crate::semiring::{Ring, Semiring};
+
+/// An element of the avalanche (semi)ring `⇒A[G]`: a function `G → A[G]`.
+///
+/// Elements are represented as shared closures; they cannot be compared for equality in
+/// general (function extensionality), so tests compare them pointwise at sample indices.
+#[derive(Clone)]
+pub struct Avalanche<A: Semiring + 'static, G: PartialMonoid + 'static> {
+    f: Rc<dyn Fn(&G) -> MonoidRing<A, G>>,
+}
+
+impl<A: Semiring, G: PartialMonoid> Avalanche<A, G> {
+    /// Wraps an arbitrary function `G → A[G]`.
+    pub fn new(f: impl Fn(&G) -> MonoidRing<A, G> + 'static) -> Self {
+        Avalanche { f: Rc::new(f) }
+    }
+
+    /// The constant function `· ↦ α`: the embedding of `A[G]` as the sub-ring `⇒A[G]₀`
+    /// of parameter-ignoring functions (Proposition 2.8).
+    pub fn lift(alpha: MonoidRing<A, G>) -> Self {
+        Avalanche::new(move |_| alpha.clone())
+    }
+
+    /// The additive identity `· ↦ 0_{A[G]}`.
+    pub fn zero() -> Self {
+        Avalanche::lift(MonoidRing::zero())
+    }
+
+    /// The multiplicative identity `· ↦ 1_{A[G]}`.
+    pub fn one() -> Self {
+        Avalanche::lift(MonoidRing::one())
+    }
+
+    /// Evaluates the function at binding context `b`.
+    pub fn at(&self, b: &G) -> MonoidRing<A, G> {
+        (self.f)(b)
+    }
+
+    /// Pointwise addition `(f + g)(b)(x) = f(b)(x) + g(b)(x)`.
+    pub fn add(&self, other: &Self) -> Self {
+        let (f, g) = (self.clone(), other.clone());
+        Avalanche::new(move |b| f.at(b).add(&g.at(b)))
+    }
+
+    /// The avalanche product with sideways binding passing (Definition 2.5):
+    /// `(f ∗ g)(b)(x) = Σ_{x = y ∗ z} f(b)(y) ∗_A g(b ∗ y)(z)`.
+    ///
+    /// Combinations where `b ∗ y` or `y ∗ z` fall outside the mutilated monoid are dropped
+    /// (the extended-type convention at the end of Section 2.4).
+    pub fn mul(&self, other: &Self) -> Self {
+        let (f, g) = (self.clone(), other.clone());
+        Avalanche::new(move |b| {
+            let mut out = MonoidRing::zero();
+            let left = f.at(b);
+            for (y, ay) in left.iter() {
+                let Some(by) = b.try_combine(y) else {
+                    continue;
+                };
+                let right = g.at(&by);
+                for (z, az) in right.iter() {
+                    if let Some(x) = y.try_combine(z) {
+                        out.add_entry(x, ay.mul(az));
+                    }
+                }
+            }
+            out
+        })
+    }
+}
+
+impl<A: Ring, G: PartialMonoid> Avalanche<A, G> {
+    /// The additive inverse `(−f)(b)(x) = −f(b)(x)` (available when `A` is a ring).
+    pub fn neg(&self) -> Self {
+        let f = self.clone();
+        Avalanche::new(move |b| f.at(b).neg())
+    }
+
+    /// Subtraction `f − g`.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+}
+
+impl<A: Semiring, G: PartialMonoid> std::fmt::Debug for Avalanche<A, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Avalanche(<fn>)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::NatAdd;
+
+    type Av = Avalanche<i64, NatAdd>;
+    type Poly = MonoidRing<i64, NatAdd>;
+
+    fn sample_points() -> Vec<NatAdd> {
+        (0..5).map(NatAdd).collect()
+    }
+
+    fn assert_pointwise_eq(f: &Av, g: &Av) {
+        for b in sample_points() {
+            assert_eq!(f.at(&b), g.at(&b), "differ at binding {b:?}");
+        }
+    }
+
+    /// A non-constant avalanche element: returns χ_b scaled by (b + 1), i.e. genuinely
+    /// depends on the binding context.
+    fn context_sensitive() -> Av {
+        Avalanche::new(|b: &NatAdd| Poly::singleton(*b, (b.0 + 1) as i64))
+    }
+
+    #[test]
+    fn lifted_elements_ignore_their_argument() {
+        let alpha = Poly::from_pairs(vec![(NatAdd(1), 2), (NatAdd(2), 3)]);
+        let f = Av::lift(alpha.clone());
+        for b in sample_points() {
+            assert_eq!(f.at(&b), alpha);
+        }
+    }
+
+    #[test]
+    fn one_is_the_multiplicative_identity() {
+        let f = context_sensitive();
+        assert_pointwise_eq(&Av::one().mul(&f), &f);
+        assert_pointwise_eq(&f.mul(&Av::one()), &f);
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        let f = context_sensitive();
+        for b in sample_points() {
+            assert!(Av::zero().mul(&f).at(&b).is_zero());
+            assert!(f.mul(&Av::zero()).at(&b).is_zero());
+        }
+    }
+
+    #[test]
+    fn addition_is_pointwise_and_has_inverses() {
+        let f = context_sensitive();
+        let g = Av::lift(Poly::singleton(NatAdd(1), 7));
+        for b in sample_points() {
+            assert_eq!(f.add(&g).at(&b), f.at(&b).add(&g.at(&b)));
+            assert!(f.sub(&f).at(&b).is_zero());
+        }
+    }
+
+    #[test]
+    fn multiplication_is_associative() {
+        let f = context_sensitive();
+        let g = Av::lift(Poly::from_pairs(vec![(NatAdd(0), 1), (NatAdd(1), 1)]));
+        let h = Avalanche::new(|b: &NatAdd| {
+            if b.0 % 2 == 0 {
+                Poly::one()
+            } else {
+                Poly::singleton(NatAdd(2), -1)
+            }
+        });
+        assert_pointwise_eq(&f.mul(&g).mul(&h), &f.mul(&g.mul(&h)));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition() {
+        let f = context_sensitive();
+        let g = Av::lift(Poly::singleton(NatAdd(1), 2));
+        let h = Av::lift(Poly::singleton(NatAdd(2), -3));
+        assert_pointwise_eq(&f.mul(&g.add(&h)), &f.mul(&g).add(&f.mul(&h)));
+        assert_pointwise_eq(&f.add(&g).mul(&h), &f.mul(&h).add(&g.mul(&h)));
+    }
+
+    #[test]
+    fn binding_is_passed_sideways() {
+        // f produces χ_1 with coefficient 1; g inspects its binding and returns the
+        // binding's value as a coefficient. After multiplying, g must have seen b ∗ 1.
+        let f = Av::lift(Poly::singleton(NatAdd(1), 1));
+        let g = Avalanche::new(|b: &NatAdd| Poly::singleton(NatAdd(0), b.0 as i64));
+        let prod = f.mul(&g);
+        // At binding 3: f(3) = {1 ↦ 1}; g(3 ∗ 1 = 4) = {0 ↦ 4}; product = {1 ↦ 4}.
+        assert_eq!(prod.at(&NatAdd(3)), Poly::singleton(NatAdd(1), 4));
+        // Reversing the order changes the result: g(3) = {0 ↦ 3}; f sees binding 3 ∗ 0 = 3
+        // but ignores it; product = {1 ↦ 3}. Sideways binding passing is order-sensitive.
+        assert_eq!(g.mul(&f).at(&NatAdd(3)), Poly::singleton(NatAdd(1), 3));
+    }
+
+    #[test]
+    fn lift_is_a_ring_embedding_on_examples() {
+        // Proposition 2.8: the parameter-ignoring functions form a sub-ring isomorphic
+        // to A[G]: lift(α) ∗ lift(β) = lift(α ∗ β), lift(α) + lift(β) = lift(α + β).
+        let alpha = Poly::from_pairs(vec![(NatAdd(0), 2), (NatAdd(1), 1)]);
+        let beta = Poly::from_pairs(vec![(NatAdd(1), -1), (NatAdd(2), 5)]);
+        assert_pointwise_eq(
+            &Av::lift(alpha.clone()).mul(&Av::lift(beta.clone())),
+            &Av::lift(alpha.mul(&beta)),
+        );
+        assert_pointwise_eq(
+            &Av::lift(alpha.clone()).add(&Av::lift(beta.clone())),
+            &Av::lift(alpha.add(&beta)),
+        );
+    }
+}

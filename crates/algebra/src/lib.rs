@@ -1,0 +1,45 @@
+//! Abstract-algebra substrate for the `dbring` reproduction of
+//! *Incremental Query Evaluation in a Ring of Databases* (Koch, PODS 2010).
+//!
+//! This crate implements Section 2 of the paper:
+//!
+//! * [`semiring`] — the [`Semiring`](semiring::Semiring) and [`Ring`](semiring::Ring) traits
+//!   together with the standard instances (ℤ, ℚ, ℝ as `f64`, ℕ, 𝔹).
+//! * [`monoid`] — (partial) monoids `G` used as the index structure of monoid rings.
+//! * [`monoid_ring`] — the monoid (semi)ring `A[G]` of finite-support functions `G → A`
+//!   with the convolution product (Definition 2.3, Proposition 2.4).
+//! * [`avalanche`] — the avalanche (semi)ring `⇒A[G]` of functions `G → A[G]` with the
+//!   sideways-binding-passing product (Definition 2.5, Theorem 2.6).
+//! * [`mutilate`] — "mutilating the monoids": quotients of `A[G]` by the ideal induced by a
+//!   downward-closed subset `G₀ ⊆ G` (Section 2.4, Lemmas 2.9–2.12).
+//! * [`module`] — the view of `A[G]` as a free `A`-module and the scalar action (Section 2.5).
+//! * [`polynomial`] — univariate polynomials over a ring, with symbolic differencing
+//!   (`∆f(x, u) = f(x + u) − f(x)`), reproducing Example 1.1.
+//! * [`recursive_delta`] — the abstract recursive delta-memoization scheme of Section 1.1
+//!   (Equation (1)); regenerates Figure 1 of the paper.
+//! * [`number`] — a dynamically typed exact-int / float numeric ring used for aggregate
+//!   values throughout the workspace.
+//!
+//! Everything here is deliberately independent of databases; the database instantiation
+//! (the ring of generalized multiset relations `A[T]`) lives in `dbring-relations`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avalanche;
+pub mod module;
+pub mod monoid;
+pub mod monoid_ring;
+pub mod mutilate;
+pub mod number;
+pub mod polynomial;
+pub mod recursive_delta;
+pub mod semiring;
+
+pub use avalanche::Avalanche;
+pub use monoid::{FreeMonoid, Monoid, MultiDegree, NatAdd, PartialMonoid};
+pub use monoid_ring::MonoidRing;
+pub use number::Number;
+pub use polynomial::Polynomial;
+pub use recursive_delta::{DeltaHierarchy, RecursiveMemo};
+pub use semiring::{BoolSemiring, Natural, Rational, Ring, Semiring};

@@ -1,0 +1,138 @@
+//! Monoid rings as modules and algebras (Section 2.5).
+//!
+//! Proposition 2.15: `A[G]` with the scalar action `a·α : x ↦ a ∗ α(x)` is an `A`-module
+//! that is free on the basis `{χ_g | g ∈ G}`, and — for commutative `A` — an associative
+//! `A`-algebra. Proposition 2.16 then shows the convolution product is the *unique*
+//! extension of the additive group of `ℤ[G]` to a ring that is conservative over `∗_G`;
+//! this crate demonstrates the uniqueness argument as an executable check
+//! ([`product_determined_by_distributivity`]).
+
+use crate::monoid::PartialMonoid;
+use crate::monoid_ring::MonoidRing;
+use crate::semiring::{Ring, Semiring};
+
+/// A (left) module over the ring `A` (Definition 2.13), with operations written additively.
+///
+/// The laws — `(a+b)m = am + bm`, `(ab)m = a(bm)`, `a(m+n) = am + an`, `1m = m` — are
+/// checked by the property-test suite for the provided [`MonoidRing`] instance.
+pub trait Module<A: Ring>: Clone + PartialEq {
+    /// The zero element of the module's additive group.
+    fn zero() -> Self;
+    /// Addition in the module.
+    fn add(&self, other: &Self) -> Self;
+    /// Additive inverse in the module.
+    fn neg(&self) -> Self;
+    /// The scalar action `a · m`.
+    fn scale(&self, a: &A) -> Self;
+}
+
+impl<A: Ring, G: PartialMonoid> Module<A> for MonoidRing<A, G> {
+    fn zero() -> Self {
+        MonoidRing::zero()
+    }
+    fn add(&self, other: &Self) -> Self {
+        MonoidRing::add(self, other)
+    }
+    fn neg(&self) -> Self {
+        MonoidRing::neg(self)
+    }
+    fn scale(&self, a: &A) -> Self {
+        MonoidRing::scale(self, a)
+    }
+}
+
+/// Expresses `α` in the free basis `{χ_g}`: the unique decomposition
+/// `α = Σ aᵢ χ_{gᵢ}` with non-zero coefficients (Proposition 2.15(1)).
+pub fn basis_decomposition<A: Semiring, G: PartialMonoid>(
+    alpha: &MonoidRing<A, G>,
+) -> Vec<(G, A)> {
+    alpha
+        .iter()
+        .map(|(g, a)| (g.clone(), a.clone()))
+        .collect()
+}
+
+/// Recomputes the product `α ∗ β` *only* from distributivity, the scalar action, and the
+/// base-monoid operation on basis elements (`χ_g ◦ χ_h = χ_{g∗h}`), i.e. without calling
+/// the convolution product on non-basis elements. Proposition 2.16 states this is forced
+/// to agree with `∗_{A[G]}`; the crate's tests verify the agreement.
+pub fn product_determined_by_distributivity<A: Ring, G: PartialMonoid>(
+    alpha: &MonoidRing<A, G>,
+    beta: &MonoidRing<A, G>,
+) -> MonoidRing<A, G> {
+    let mut out = MonoidRing::zero();
+    for (g, a) in alpha.iter() {
+        for (h, b) in beta.iter() {
+            // χ_g ◦ χ_h must be χ_{g∗h}; scale by the two coefficients (bilinearity).
+            let chi = match g.try_combine(h) {
+                Some(gh) => MonoidRing::singleton(gh, A::one()),
+                None => MonoidRing::zero(),
+            };
+            out = Module::add(&out, &chi.scale(&a.mul(b)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::NatAdd;
+
+    type Poly = MonoidRing<i64, NatAdd>;
+
+    #[test]
+    fn module_axioms_on_examples() {
+        let m = Poly::from_pairs(vec![(NatAdd(0), 2), (NatAdd(2), -3)]);
+        let n = Poly::from_pairs(vec![(NatAdd(1), 4)]);
+        let (a, b) = (3i64, -5i64);
+
+        // (a + b) m = a m + b m
+        assert_eq!(m.scale(&(a + b)), Module::add(&m.scale(&a), &m.scale(&b)));
+        // (a b) m = a (b m)
+        assert_eq!(m.scale(&(a * b)), m.scale(&b).scale(&a));
+        // a (m + n) = a m + a n
+        assert_eq!(
+            Module::add(&m, &n).scale(&a),
+            Module::add(&m.scale(&a), &n.scale(&a))
+        );
+        // 1 m = m
+        assert_eq!(m.scale(&1), m);
+        // m + (-m) = 0
+        assert_eq!(Module::add(&m, &Module::neg(&m)), Poly::zero());
+    }
+
+    #[test]
+    fn basis_decomposition_is_faithful() {
+        let m = Poly::from_pairs(vec![(NatAdd(0), 2), (NatAdd(2), -3), (NatAdd(7), 1)]);
+        let decomposition = basis_decomposition(&m);
+        assert_eq!(decomposition.len(), 3);
+        // Reassemble from the basis: Σ aᵢ χ_{gᵢ}
+        let rebuilt = decomposition
+            .into_iter()
+            .fold(Poly::zero(), |acc, (g, a)| {
+                Module::add(&acc, &Poly::singleton(g, 1).scale(&a))
+            });
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn convolution_is_forced_by_distributivity() {
+        let alpha = Poly::from_pairs(vec![(NatAdd(0), 1), (NatAdd(1), 2), (NatAdd(3), -1)]);
+        let beta = Poly::from_pairs(vec![(NatAdd(1), 5), (NatAdd(2), 7)]);
+        assert_eq!(
+            product_determined_by_distributivity(&alpha, &beta),
+            alpha.mul(&beta)
+        );
+    }
+
+    #[test]
+    fn bilinearity_of_the_convolution_product() {
+        // (a·x) ∗ y = a·(x ∗ y) = x ∗ (a·y)   (Proposition 2.14(2) / 2.15(2))
+        let x = Poly::from_pairs(vec![(NatAdd(1), 2)]);
+        let y = Poly::from_pairs(vec![(NatAdd(2), 3), (NatAdd(0), 1)]);
+        let a = 7i64;
+        assert_eq!(x.scale(&a).mul(&y), x.mul(&y).scale(&a));
+        assert_eq!(x.mul(&y.scale(&a)), x.mul(&y).scale(&a));
+    }
+}

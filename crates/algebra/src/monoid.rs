@@ -1,0 +1,192 @@
+//! Monoids and partial monoids: the index structures `G` of monoid rings `A[G]`.
+//!
+//! The paper builds monoid rings over a monoid `G` (Definition 2.3) and then removes
+//! ("mutilates", Section 2.4) a downward-closed set of elements — in the database case,
+//! the zero `∅` of the singleton-join monoid — by quotienting with the induced ideal.
+//! Operationally the quotient `A[G₀]` is a monoid-ring-like structure whose product simply
+//! *drops* contributions whose index lands outside `G₀`. We capture exactly that with
+//! [`PartialMonoid`]: a monoid whose `combine` may fail. A total [`Monoid`] is a
+//! `PartialMonoid` whose `combine` always succeeds (blanket impl).
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A monoid `(G, ∗, 1)`.
+pub trait Monoid: Clone + Eq + Hash + Debug {
+    /// The neutral element `1_G`.
+    fn unit() -> Self;
+    /// The (total, associative) monoid operation.
+    fn combine(&self, other: &Self) -> Self;
+}
+
+/// A "mutilated" monoid `G₀ ⊆ G`: the operation is inherited from `G` but combinations
+/// that fall outside `G₀` are reported as `None` (Section 2.4).
+///
+/// Monoid rings built over a `PartialMonoid` are exactly the quotient rings
+/// `A[G]/I_{A[G],G₀}` of Lemma 2.9: the dropped products are the elements of the ideal.
+pub trait PartialMonoid: Clone + Eq + Hash + Debug {
+    /// The neutral element; must satisfy `try_combine(partial_unit, g) = Some(g)` for every
+    /// `g ∈ G₀`.
+    fn partial_unit() -> Self;
+    /// The partial operation: `None` means the product falls outside the downward-closed
+    /// complement `G₀` (e.g. an inconsistent tuple join).
+    fn try_combine(&self, other: &Self) -> Option<Self>;
+}
+
+impl<M: Monoid> PartialMonoid for M {
+    fn partial_unit() -> Self {
+        <M as Monoid>::unit()
+    }
+    fn try_combine(&self, other: &Self) -> Option<Self> {
+        Some(<M as Monoid>::combine(self, other))
+    }
+}
+
+/// The additive monoid of natural-number exponents `(ℕ, +, 0)`.
+///
+/// `A[NatAdd]` is the univariate polynomial ring `A[x]` — the structure behind
+/// Example 1.1 and Figure 1 of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NatAdd(pub u32);
+
+impl Monoid for NatAdd {
+    fn unit() -> Self {
+        NatAdd(0)
+    }
+    fn combine(&self, other: &Self) -> Self {
+        NatAdd(self.0 + other.0)
+    }
+}
+
+/// A multivariate exponent vector: a finitely supported map from variable names to
+/// positive exponents. `A[MultiDegree]` is the multivariate polynomial ring
+/// `A[x₁, x₂, …]`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct MultiDegree(BTreeMap<String, u32>);
+
+impl MultiDegree {
+    /// The exponent vector of a single variable `x^1`.
+    pub fn var(name: impl Into<String>) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(name.into(), 1);
+        MultiDegree(m)
+    }
+
+    /// The exponent vector `x^k`.
+    pub fn var_pow(name: impl Into<String>, k: u32) -> Self {
+        let mut m = BTreeMap::new();
+        if k > 0 {
+            m.insert(name.into(), k);
+        }
+        MultiDegree(m)
+    }
+
+    /// Total degree (sum of exponents).
+    pub fn total_degree(&self) -> u32 {
+        self.0.values().sum()
+    }
+
+    /// The exponent of `name` (0 if absent).
+    pub fn exponent(&self, name: &str) -> u32 {
+        self.0.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(variable, exponent)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+impl Monoid for MultiDegree {
+    fn unit() -> Self {
+        MultiDegree(BTreeMap::new())
+    }
+    fn combine(&self, other: &Self) -> Self {
+        let mut out = self.0.clone();
+        for (k, v) in &other.0 {
+            *out.entry(k.clone()).or_insert(0) += v;
+        }
+        MultiDegree(out)
+    }
+}
+
+/// The free (word) monoid over an alphabet `T`: concatenation of sequences.
+///
+/// This is the canonical *non-commutative* monoid; it exists to exercise the
+/// non-commutative code paths of [`MonoidRing`](crate::MonoidRing) in tests
+/// (Proposition 2.4(3) only promises commutativity of `A[G]` when `G` commutes).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct FreeMonoid<T: Clone + Eq + Hash + Debug + Ord>(pub Vec<T>);
+
+impl<T: Clone + Eq + Hash + Debug + Ord> FreeMonoid<T> {
+    /// The single-letter word.
+    pub fn letter(t: T) -> Self {
+        FreeMonoid(vec![t])
+    }
+}
+
+impl<T: Clone + Eq + Hash + Debug + Ord> Monoid for FreeMonoid<T> {
+    fn unit() -> Self {
+        FreeMonoid(Vec::new())
+    }
+    fn combine(&self, other: &Self) -> Self {
+        let mut v = self.0.clone();
+        v.extend(other.0.iter().cloned());
+        FreeMonoid(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nat_add_is_a_monoid() {
+        assert_eq!(NatAdd::unit(), NatAdd(0));
+        assert_eq!(NatAdd(2).combine(&NatAdd(3)), NatAdd(5));
+        // associativity on a few values
+        let (a, b, c) = (NatAdd(1), NatAdd(4), NatAdd(7));
+        assert_eq!(a.combine(&b).combine(&c), a.combine(&b.combine(&c)));
+    }
+
+    #[test]
+    fn total_monoid_is_partial_monoid() {
+        // The blanket impl never fails.
+        let r: Option<NatAdd> = NatAdd(1).try_combine(&NatAdd(2));
+        assert_eq!(r, Some(NatAdd(3)));
+        assert_eq!(<NatAdd as PartialMonoid>::partial_unit(), NatAdd(0));
+    }
+
+    #[test]
+    fn multidegree_combines_exponents() {
+        let x2 = MultiDegree::var_pow("x", 2);
+        let xy = MultiDegree::var("x").combine(&MultiDegree::var("y"));
+        let prod = x2.combine(&xy);
+        assert_eq!(prod.exponent("x"), 3);
+        assert_eq!(prod.exponent("y"), 1);
+        assert_eq!(prod.exponent("z"), 0);
+        assert_eq!(prod.total_degree(), 4);
+        assert_eq!(MultiDegree::unit().total_degree(), 0);
+        assert_eq!(MultiDegree::var_pow("x", 0), MultiDegree::unit());
+    }
+
+    #[test]
+    fn multidegree_is_commutative() {
+        let a = MultiDegree::var("x");
+        let b = MultiDegree::var_pow("y", 3);
+        assert_eq!(a.combine(&b), b.combine(&a));
+    }
+
+    #[test]
+    fn free_monoid_is_not_commutative() {
+        let ab = FreeMonoid::letter('a').combine(&FreeMonoid::letter('b'));
+        let ba = FreeMonoid::letter('b').combine(&FreeMonoid::letter('a'));
+        assert_ne!(ab, ba);
+        assert_eq!(ab, FreeMonoid(vec!['a', 'b']));
+        assert_eq!(
+            FreeMonoid::<char>::unit().combine(&ab),
+            ab.combine(&FreeMonoid::unit())
+        );
+    }
+}

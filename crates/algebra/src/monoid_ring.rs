@@ -1,0 +1,339 @@
+//! Monoid (semi)rings `A[G]` (Definition 2.3, Proposition 2.4).
+//!
+//! `A[G]` is the set of finite-support functions `α : G → A`, with pointwise addition and
+//! the convolution product `(α ∗ β)(x) = Σ_{x = y ∗ z} α(y) ∗ β(z)`. When `G` is a
+//! [`PartialMonoid`] (a mutilated monoid, Section 2.4), products whose index combination
+//! fails are dropped — this is exactly the quotient `A[G]/I_{A[G],G₀}` of Lemma 2.9.
+//!
+//! The ring of generalized multiset relations of Section 3 (`dbring-relations`) is the
+//! instance where `G` is the join monoid of singleton relations and `A = ℤ`.
+
+use std::collections::HashMap;
+
+use crate::monoid::PartialMonoid;
+use crate::semiring::{Ring, Semiring};
+
+/// An element of the monoid (semi)ring `A[G]`: a finite-support function `G → A`.
+///
+/// The representation is sparse: only indices with a non-zero coefficient are stored, and
+/// every mutating operation prunes coefficients that become zero. Two elements compare
+/// equal iff they have the same non-zero coefficients (i.e. equality is semantic function
+/// equality, independent of insertion order).
+#[derive(Clone, Debug)]
+pub struct MonoidRing<A: Semiring, G: PartialMonoid> {
+    support: HashMap<G, A>,
+}
+
+impl<A: Semiring, G: PartialMonoid> Default for MonoidRing<A, G> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<A: Semiring, G: PartialMonoid> MonoidRing<A, G> {
+    /// The zero element (empty support).
+    pub fn zero() -> Self {
+        MonoidRing {
+            support: HashMap::new(),
+        }
+    }
+
+    /// The multiplicative identity `χ_{1_G}` (the unit of `G` with coefficient `1_A`).
+    pub fn one() -> Self {
+        Self::singleton(G::partial_unit(), A::one())
+    }
+
+    /// The basis element `a · χ_g`: coefficient `a` on index `g`, zero elsewhere.
+    pub fn singleton(g: G, a: A) -> Self {
+        let mut support = HashMap::new();
+        if !a.is_zero() {
+            support.insert(g, a);
+        }
+        MonoidRing { support }
+    }
+
+    /// Builds an element from `(index, coefficient)` pairs, summing duplicates.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (G, A)>) -> Self {
+        let mut out = Self::zero();
+        for (g, a) in pairs {
+            out.add_entry(g, a);
+        }
+        out
+    }
+
+    /// The coefficient of index `g` (zero if absent).
+    pub fn get(&self, g: &G) -> A {
+        self.support.get(g).cloned().unwrap_or_else(A::zero)
+    }
+
+    /// Adds `a` to the coefficient of `g`, pruning if the result is zero.
+    pub fn add_entry(&mut self, g: G, a: A) {
+        if a.is_zero() {
+            return;
+        }
+        match self.support.entry(g) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().add_assign(&a);
+                if e.get().is_zero() {
+                    e.remove();
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(a);
+            }
+        }
+    }
+
+    /// Number of indices with non-zero coefficient.
+    pub fn support_size(&self) -> usize {
+        self.support.len()
+    }
+
+    /// Whether this is the zero element.
+    pub fn is_zero(&self) -> bool {
+        self.support.is_empty()
+    }
+
+    /// Iterates over `(index, coefficient)` pairs of the support (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&G, &A)> {
+        self.support.iter()
+    }
+
+    /// Pointwise addition `(α + β)(x) = α(x) + β(x)`.
+    pub fn add(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (g, a) in &other.support {
+            out.add_entry(g.clone(), a.clone());
+        }
+        out
+    }
+
+    /// The convolution product `(α ∗ β)(x) = Σ_{x = y ∗ z} α(y) ∗ β(z)`.
+    ///
+    /// Index combinations for which `y ∗ z` is undefined (falls outside the mutilated
+    /// monoid `G₀`) contribute nothing; this implements the quotient construction of
+    /// Section 2.4.
+    pub fn mul(&self, other: &Self) -> Self {
+        let mut out = Self::zero();
+        for (y, ay) in &self.support {
+            for (z, az) in &other.support {
+                if let Some(x) = y.try_combine(z) {
+                    out.add_entry(x, ay.mul(az));
+                }
+            }
+        }
+        out
+    }
+
+    /// The scalar action `a · α` of the `A`-module structure (Section 2.5).
+    pub fn scale(&self, a: &A) -> Self {
+        if a.is_zero() {
+            return Self::zero();
+        }
+        let mut out = Self::zero();
+        for (g, coeff) in &self.support {
+            out.add_entry(g.clone(), a.mul(coeff));
+        }
+        out
+    }
+
+    /// Applies a (semi)ring homomorphism `A → B` to every coefficient.
+    pub fn map_coefficients<B: Semiring>(&self, f: impl Fn(&A) -> B) -> MonoidRing<B, G> {
+        let mut out = MonoidRing::zero();
+        for (g, a) in &self.support {
+            out.add_entry(g.clone(), f(a));
+        }
+        out
+    }
+
+    /// The sum of all coefficients (the image of the "forget the index" homomorphism onto
+    /// `A` when `G` is trivial; for GMRs this is the `Sum(…)` grand total).
+    pub fn total(&self) -> A {
+        let mut acc = A::zero();
+        for a in self.support.values() {
+            acc.add_assign(a);
+        }
+        acc
+    }
+}
+
+impl<A: Ring, G: PartialMonoid> MonoidRing<A, G> {
+    /// The additive inverse `(−α)(x) = −α(x)` (available when `A` is a ring).
+    pub fn neg(&self) -> Self {
+        let mut out = Self::zero();
+        for (g, a) in &self.support {
+            out.add_entry(g.clone(), a.neg());
+        }
+        out
+    }
+
+    /// Subtraction `α − β`.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+}
+
+impl<A: Semiring, G: PartialMonoid> PartialEq for MonoidRing<A, G> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.support.len() != other.support.len() {
+            return false;
+        }
+        self.support
+            .iter()
+            .all(|(g, a)| other.support.get(g).is_some_and(|b| a == b))
+    }
+}
+
+impl<A: Semiring, G: PartialMonoid> Semiring for MonoidRing<A, G> {
+    fn zero() -> Self {
+        MonoidRing::zero()
+    }
+    fn one() -> Self {
+        MonoidRing::one()
+    }
+    fn add(&self, other: &Self) -> Self {
+        MonoidRing::add(self, other)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        MonoidRing::mul(self, other)
+    }
+    fn is_zero(&self) -> bool {
+        MonoidRing::is_zero(self)
+    }
+}
+
+impl<A: Ring, G: PartialMonoid> Ring for MonoidRing<A, G> {
+    fn neg(&self) -> Self {
+        MonoidRing::neg(self)
+    }
+}
+
+impl<A: Semiring, G: PartialMonoid> FromIterator<(G, A)> for MonoidRing<A, G> {
+    fn from_iter<T: IntoIterator<Item = (G, A)>>(iter: T) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::{FreeMonoid, Monoid, MultiDegree, NatAdd};
+
+    type Poly = MonoidRing<i64, NatAdd>;
+
+    fn x_pow(k: u32, coeff: i64) -> Poly {
+        Poly::singleton(NatAdd(k), coeff)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Poly::zero().is_zero());
+        assert_eq!(Poly::one().get(&NatAdd(0)), 1);
+        assert_eq!(Poly::one().support_size(), 1);
+    }
+
+    #[test]
+    fn addition_is_pointwise_and_prunes_zeros() {
+        let p = x_pow(1, 3).add(&x_pow(2, 5));
+        assert_eq!(p.get(&NatAdd(1)), 3);
+        assert_eq!(p.get(&NatAdd(2)), 5);
+        let q = p.add(&x_pow(1, -3));
+        assert_eq!(q.get(&NatAdd(1)), 0);
+        assert_eq!(q.support_size(), 1);
+    }
+
+    #[test]
+    fn convolution_is_polynomial_multiplication() {
+        // (1 + x) * (1 - x) = 1 - x^2
+        let one_plus_x = Poly::one().add(&x_pow(1, 1));
+        let one_minus_x = Poly::one().add(&x_pow(1, -1));
+        let prod = one_plus_x.mul(&one_minus_x);
+        assert_eq!(prod.get(&NatAdd(0)), 1);
+        assert_eq!(prod.get(&NatAdd(1)), 0);
+        assert_eq!(prod.get(&NatAdd(2)), -1);
+    }
+
+    #[test]
+    fn multiplication_by_zero_annihilates() {
+        let p = x_pow(3, 7).add(&x_pow(1, 2));
+        assert!(p.mul(&Poly::zero()).is_zero());
+        assert!(Poly::zero().mul(&p).is_zero());
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity() {
+        let p = x_pow(3, 7).add(&x_pow(1, 2));
+        assert_eq!(p.mul(&Poly::one()), p);
+        assert_eq!(Poly::one().mul(&p), p);
+    }
+
+    #[test]
+    fn additive_inverse() {
+        let p = x_pow(2, 4).add(&x_pow(0, -1));
+        assert!(p.add(&p.neg()).is_zero());
+        assert_eq!(p.sub(&p), Poly::zero());
+    }
+
+    #[test]
+    fn scalar_action_distributes() {
+        let p = x_pow(1, 2).add(&x_pow(2, 3));
+        let scaled = p.scale(&5);
+        assert_eq!(scaled.get(&NatAdd(1)), 10);
+        assert_eq!(scaled.get(&NatAdd(2)), 15);
+        assert!(p.scale(&0).is_zero());
+    }
+
+    #[test]
+    fn equality_is_semantic() {
+        let p = Poly::from_pairs(vec![(NatAdd(1), 2), (NatAdd(2), 3)]);
+        let q = Poly::from_pairs(vec![(NatAdd(2), 3), (NatAdd(1), 2)]);
+        assert_eq!(p, q);
+        let r = Poly::from_pairs(vec![(NatAdd(1), 2), (NatAdd(2), 3), (NatAdd(5), 0)]);
+        assert_eq!(p, r);
+    }
+
+    #[test]
+    fn from_pairs_sums_duplicates() {
+        let p = Poly::from_pairs(vec![(NatAdd(1), 2), (NatAdd(1), 5)]);
+        assert_eq!(p.get(&NatAdd(1)), 7);
+    }
+
+    #[test]
+    fn total_sums_coefficients() {
+        let p = Poly::from_pairs(vec![(NatAdd(0), 2), (NatAdd(3), 5), (NatAdd(7), -1)]);
+        assert_eq!(p.total(), 6);
+    }
+
+    #[test]
+    fn map_coefficients_is_a_homomorphism_on_examples() {
+        let p = Poly::from_pairs(vec![(NatAdd(0), 2), (NatAdd(1), 3)]);
+        let q = Poly::from_pairs(vec![(NatAdd(1), 5)]);
+        let f = |a: &i64| (*a as f64) * 0.5;
+        let lhs = p.mul(&q).map_coefficients(f);
+        let rhs = p.map_coefficients(f).mul(&q.map_coefficients(|a| *a as f64));
+        // (a/2) * b  ==  (a*b)/2
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn multivariate_polynomials_multiply() {
+        type MPoly = MonoidRing<i64, MultiDegree>;
+        let x = MPoly::singleton(MultiDegree::var("x"), 1);
+        let y = MPoly::singleton(MultiDegree::var("y"), 1);
+        // (x + y)^2 = x^2 + 2xy + y^2
+        let sum = x.add(&y);
+        let sq = sum.mul(&sum);
+        assert_eq!(sq.get(&MultiDegree::var_pow("x", 2)), 1);
+        assert_eq!(sq.get(&MultiDegree::var_pow("y", 2)), 1);
+        let xy = MultiDegree::var("x").combine(&MultiDegree::var("y"));
+        assert_eq!(sq.get(&xy), 2);
+    }
+
+    #[test]
+    fn free_monoid_ring_is_noncommutative() {
+        type Words = MonoidRing<i64, FreeMonoid<char>>;
+        let a = Words::singleton(FreeMonoid::letter('a'), 1);
+        let b = Words::singleton(FreeMonoid::letter('b'), 1);
+        assert_ne!(a.mul(&b), b.mul(&a));
+    }
+}

@@ -1,0 +1,151 @@
+//! "Mutilating the monoids" (Section 2.4): quotients of `A[G]` induced by a
+//! downward-closed subset `G₀ ⊆ G`.
+//!
+//! Operationally there are two faces of the construction:
+//!
+//! 1. **Partial monoids.** Building [`MonoidRing`] directly over a [`PartialMonoid`] whose
+//!    `try_combine` returns `None` outside `G₀` *is* the quotient ring `A[G₀] = A[G]/I`:
+//!    the convolution product silently drops the contributions that the ideal `I` would
+//!    absorb. The database instantiation (removing the zero `∅` from the join monoid of
+//!    singletons, Proposition 3.3) works this way.
+//! 2. **The natural projection.** [`restrict`] is the ring homomorphism
+//!    `φ_{A[G],G₀} : A[G] → A[G₀]` of Lemma 2.9(1): it forgets all coefficients outside
+//!    `G₀`. Its kernel is the ideal `I_{A[G],G₀}` (Lemma 2.11), and the homomorphism
+//!    property is exercised by the property tests of this crate.
+//!
+//! [`BoundedNat`] is a worked example of a mutilated monoid: truncating the exponent
+//! monoid `(ℕ, +)` at a bound `B` yields the ring of truncated polynomials
+//! `A[x]/(x^{B+1})`.
+
+use crate::monoid::{Monoid, PartialMonoid};
+use crate::monoid_ring::MonoidRing;
+use crate::semiring::Semiring;
+
+/// The natural projection `φ_{A[G],G₀}` of Lemma 2.9(1): keeps only the coefficients whose
+/// index satisfies `in_g0` and drops the rest.
+///
+/// For a downward-closed `G₀` this is a (semi)ring homomorphism onto the quotient
+/// `A[G]/I_{A[G],G₀}`; for an arbitrary predicate it is merely an additive-monoid
+/// homomorphism. Whether the predicate is downward-closed is the caller's obligation
+/// (see [`is_downward_closed_on`] for a finite-sample check used in tests).
+pub fn restrict<A: Semiring, G: PartialMonoid>(
+    alpha: &MonoidRing<A, G>,
+    in_g0: impl Fn(&G) -> bool,
+) -> MonoidRing<A, G> {
+    MonoidRing::from_pairs(
+        alpha
+            .iter()
+            .filter(|(g, _)| in_g0(g))
+            .map(|(g, a)| (g.clone(), a.clone())),
+    )
+}
+
+/// Checks the downward-closure condition `g ∗ h ∈ G₀ ⇒ g, h ∈ G₀` on all pairs drawn from
+/// a finite sample of monoid elements. Intended for tests and documentation examples; it
+/// is *not* a proof for infinite monoids.
+pub fn is_downward_closed_on<G: Monoid>(
+    sample: &[G],
+    in_g0: impl Fn(&G) -> bool,
+) -> bool {
+    for g in sample {
+        for h in sample {
+            let prod = g.combine(h);
+            if in_g0(&prod) && (!in_g0(g) || !in_g0(h)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The exponent monoid `(ℕ, +)` truncated at `B`: combination fails when the sum of
+/// exponents exceeds `B`.
+///
+/// `MonoidRing<A, BoundedNat<B>>` is the truncated polynomial ring `A[x]/(x^{B+1})`, the
+/// textbook example of the quotient construction of Section 2.4.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct BoundedNat<const B: u32>(pub u32);
+
+impl<const B: u32> PartialMonoid for BoundedNat<B> {
+    fn partial_unit() -> Self {
+        BoundedNat(0)
+    }
+    fn try_combine(&self, other: &Self) -> Option<Self> {
+        let sum = self.0 + other.0;
+        if sum <= B {
+            Some(BoundedNat(sum))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::NatAdd;
+
+    type Poly = MonoidRing<i64, NatAdd>;
+    type TruncPoly = MonoidRing<i64, BoundedNat<2>>;
+
+    #[test]
+    fn bounded_exponents_are_downward_closed() {
+        // On plain NatAdd, the predicate "value <= 2" is downward closed.
+        let sample: Vec<NatAdd> = (0..6).map(NatAdd).collect();
+        assert!(is_downward_closed_on(&sample, |g| g.0 <= 2));
+        // "value is even" is not downward closed: 1 + 1 = 2 is even but 1 is not.
+        assert!(!is_downward_closed_on(&sample, |g| g.0 % 2 == 0));
+    }
+
+    #[test]
+    fn truncated_polynomials_drop_high_powers() {
+        // (1 + x)^3 in A[x]/(x^3) = 1 + 3x + 3x^2   (the x^3 term is annihilated)
+        let one_plus_x = TruncPoly::one().add(&TruncPoly::singleton(BoundedNat(1), 1));
+        let cube = one_plus_x.mul(&one_plus_x).mul(&one_plus_x);
+        assert_eq!(cube.get(&BoundedNat(0)), 1);
+        assert_eq!(cube.get(&BoundedNat(1)), 3);
+        assert_eq!(cube.get(&BoundedNat(2)), 3);
+        assert_eq!(cube.support_size(), 3);
+    }
+
+    #[test]
+    fn restriction_is_the_natural_projection() {
+        let p = Poly::from_pairs(vec![(NatAdd(0), 1), (NatAdd(1), 2), (NatAdd(5), 7)]);
+        let projected = restrict(&p, |g| g.0 <= 2);
+        assert_eq!(projected.get(&NatAdd(0)), 1);
+        assert_eq!(projected.get(&NatAdd(1)), 2);
+        assert_eq!(projected.get(&NatAdd(5)), 0);
+        assert_eq!(projected.support_size(), 2);
+    }
+
+    #[test]
+    fn restriction_commutes_with_multiplication_for_downward_closed_sets() {
+        // φ(α ∗ β) = φ(α) ∗ φ(β) computed in the quotient; we verify the instance by
+        // comparing against the truncated-polynomial ring.
+        let in_g0 = |g: &NatAdd| g.0 <= 2;
+        let a = Poly::from_pairs(vec![(NatAdd(0), 1), (NatAdd(1), 1)]);
+        let b = Poly::from_pairs(vec![(NatAdd(1), 2), (NatAdd(2), 3)]);
+        let lhs = restrict(&a.mul(&b), in_g0);
+
+        // Compute the same product in A[x]/(x^3).
+        let ta = TruncPoly::from_pairs(a.iter().map(|(g, c)| (BoundedNat::<2>(g.0), *c)));
+        let tb = TruncPoly::from_pairs(b.iter().map(|(g, c)| (BoundedNat::<2>(g.0), *c)));
+        let rhs = ta.mul(&tb);
+
+        for k in 0..=2u32 {
+            assert_eq!(lhs.get(&NatAdd(k)), rhs.get(&BoundedNat(k)), "power {k}");
+        }
+    }
+
+    #[test]
+    fn kernel_elements_multiply_into_the_kernel() {
+        // Lemma 2.11: I is an ideal — r * i stays in the kernel of φ.
+        let in_g0 = |g: &NatAdd| g.0 <= 1;
+        // i is supported only outside G0 (powers >= 2), hence in the kernel.
+        let i = Poly::from_pairs(vec![(NatAdd(2), 5), (NatAdd(4), -1)]);
+        assert!(restrict(&i, in_g0).is_zero());
+        let r = Poly::from_pairs(vec![(NatAdd(0), 3), (NatAdd(1), 2), (NatAdd(3), 9)]);
+        assert!(restrict(&r.mul(&i), in_g0).is_zero());
+        assert!(restrict(&i.mul(&r), in_g0).is_zero());
+    }
+}

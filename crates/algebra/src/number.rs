@@ -1,0 +1,190 @@
+//! A dynamically typed numeric ring used for aggregate values throughout the workspace.
+//!
+//! AGCA aggregate queries mix integer multiplicities with data values that may be
+//! floating point (`Sum(R(a, f) * a * f)`). [`Number`] is a small exact-when-possible
+//! numeric tower: integer arithmetic stays exact (wrapping `i64`, matching the paper's
+//! machine-word model from Theorem 7.1), and any operation involving a float widens to
+//! `f64`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::semiring::{Ring, Semiring};
+
+/// An integer-or-float number forming a commutative ring.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum Number {
+    /// Exact 64-bit integer (wrapping arithmetic).
+    Int(i64),
+    /// IEEE-754 double.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as an `f64` (exact ints convert losslessly up to 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Number::Int(i) => *i as f64,
+            Number::Float(f) => *f,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer (or an integral float).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::Int(i) => Some(*i),
+            Number::Float(f) if f.fract() == 0.0 && f.abs() < 9.2e18 => Some(*f as i64),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// Whether the representation is the exact-integer variant.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Number::Int(_))
+    }
+
+    /// Numeric comparison (ints and floats compare by value).
+    pub fn compare(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a.cmp(b),
+            _ => self
+                .as_f64()
+                .partial_cmp(&other.as_f64())
+                .unwrap_or(std::cmp::Ordering::Equal),
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl PartialOrd for Number {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.compare(other))
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Self {
+        Number::Int(v)
+    }
+}
+
+impl From<i32> for Number {
+    fn from(v: i32) -> Self {
+        Number::Int(v as i64)
+    }
+}
+
+impl From<f64> for Number {
+    fn from(v: f64) -> Self {
+        Number::Float(v)
+    }
+}
+
+impl std::fmt::Display for Number {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+impl Semiring for Number {
+    fn zero() -> Self {
+        Number::Int(0)
+    }
+    fn one() -> Self {
+        Number::Int(1)
+    }
+    fn add(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => Number::Int(a.wrapping_add(*b)),
+            _ => Number::Float(self.as_f64() + other.as_f64()),
+        }
+    }
+    fn mul(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => Number::Int(a.wrapping_mul(*b)),
+            _ => Number::Float(self.as_f64() * other.as_f64()),
+        }
+    }
+    fn is_zero(&self) -> bool {
+        match self {
+            Number::Int(i) => *i == 0,
+            Number::Float(f) => *f == 0.0,
+        }
+    }
+}
+
+impl Ring for Number {
+    fn neg(&self) -> Self {
+        match self {
+            Number::Int(i) => Number::Int(i.wrapping_neg()),
+            Number::Float(f) => Number::Float(-f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arithmetic_stays_exact() {
+        let a = Number::Int(3);
+        let b = Number::Int(4);
+        assert_eq!(a.add(&b), Number::Int(7));
+        assert_eq!(a.mul(&b), Number::Int(12));
+        assert!(a.add(&b).is_int());
+        assert_eq!(Ring::neg(&a), Number::Int(-3));
+    }
+
+    #[test]
+    fn mixed_arithmetic_widens_to_float() {
+        let a = Number::Int(3);
+        let b = Number::Float(0.5);
+        assert_eq!(a.add(&b), Number::Float(3.5));
+        assert_eq!(a.mul(&b), Number::Float(1.5));
+        assert!(!a.mul(&b).is_int());
+    }
+
+    #[test]
+    fn cross_representation_equality_and_ordering() {
+        assert_eq!(Number::Int(2), Number::Float(2.0));
+        assert!(Number::Int(2) < Number::Float(2.5));
+        assert!(Number::Float(-1.0) < Number::Int(0));
+        assert_eq!(Number::Int(2).compare(&Number::Int(2)), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Number::from(5i64).as_f64(), 5.0);
+        assert_eq!(Number::from(2.5f64).as_i64(), None);
+        assert_eq!(Number::Float(3.0).as_i64(), Some(3));
+        assert_eq!(Number::Int(-7).as_i64(), Some(-7));
+        assert_eq!(Number::from(5i32), Number::Int(5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Number::Int(42).to_string(), "42");
+        assert_eq!(Number::Float(1.5).to_string(), "1.5");
+    }
+
+    #[test]
+    fn ring_identities() {
+        let x = Number::Float(2.5);
+        assert_eq!(x.add(&Number::zero()), x);
+        assert_eq!(x.mul(&Number::one()), x);
+        assert!(x.sub(&x).is_zero());
+        assert!(Number::zero().is_zero());
+        assert!(Number::one().is_one());
+    }
+}

@@ -1,0 +1,293 @@
+//! Univariate polynomials over a commutative ring, with the symbolic differencing used in
+//! Example 1.1 of the paper.
+//!
+//! The delta of a polynomial `f` with respect to an update `u` is
+//! `∆f(x, u) = f(x + u) − f(x)`; it is again a polynomial in `x` (of degree one less), so
+//! iterating `∆` terminates after `deg(f) + 1` steps. This is the "toy instance" of the
+//! recursive incremental view maintenance scheme that Section 1.1 builds intuition with,
+//! and the structure behind Figure 1.
+
+use crate::semiring::{Ring, Semiring};
+
+/// A dense univariate polynomial `c₀ + c₁x + c₂x² + …` over a commutative ring `A`.
+///
+/// The coefficient vector is kept *normalized*: the highest-order stored coefficient is
+/// non-zero (the zero polynomial stores an empty vector).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Polynomial<A: Ring> {
+    coeffs: Vec<A>,
+}
+
+impl<A: Ring> Polynomial<A> {
+    /// Builds a polynomial from coefficients in increasing-power order, trimming trailing
+    /// zeros.
+    pub fn new(coeffs: Vec<A>) -> Self {
+        let mut p = Polynomial { coeffs };
+        p.normalize();
+        p
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: A) -> Self {
+        Polynomial::new(vec![c])
+    }
+
+    /// The identity polynomial `x`.
+    pub fn x() -> Self {
+        Polynomial::new(vec![A::zero(), A::one()])
+    }
+
+    /// The monomial `c·xᵏ`.
+    pub fn monomial(c: A, k: usize) -> Self {
+        if c.is_zero() {
+            return Self::zero();
+        }
+        let mut coeffs = vec![A::zero(); k + 1];
+        coeffs[k] = c;
+        Polynomial { coeffs }
+    }
+
+    fn normalize(&mut self) {
+        while self.coeffs.last().is_some_and(Semiring::is_zero) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// The degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        if self.coeffs.is_empty() {
+            None
+        } else {
+            Some(self.coeffs.len() - 1)
+        }
+    }
+
+    /// The coefficient of `xᵏ`.
+    pub fn coefficient(&self, k: usize) -> A {
+        self.coeffs.get(k).cloned().unwrap_or_else(A::zero)
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's scheme).
+    pub fn eval(&self, x: &A) -> A {
+        let mut acc = A::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = acc.mul(x).add(c);
+        }
+        acc
+    }
+
+    /// Polynomial addition.
+    pub fn add(&self, other: &Self) -> Self {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..n)
+            .map(|i| self.coefficient(i).add(&other.coefficient(i)))
+            .collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self) -> Self {
+        Polynomial::new(self.coeffs.iter().map(Ring::neg).collect())
+    }
+
+    /// Polynomial subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    /// Polynomial multiplication (convolution of coefficient vectors).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut coeffs = vec![A::zero(); self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            for (j, b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j].add_assign(&a.mul(b));
+            }
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Scales every coefficient by `a`.
+    pub fn scale(&self, a: &A) -> Self {
+        Polynomial::new(self.coeffs.iter().map(|c| c.mul(a)).collect())
+    }
+
+    /// Composition `self ∘ g`, i.e. the polynomial `x ↦ self(g(x))` (Horner's scheme over
+    /// polynomials).
+    pub fn compose(&self, g: &Self) -> Self {
+        let mut acc = Self::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = acc.mul(g).add(&Self::constant(c.clone()));
+        }
+        acc
+    }
+
+    /// The shifted polynomial `x ↦ f(x + u)`.
+    pub fn shift(&self, u: &A) -> Self {
+        self.compose(&Polynomial::new(vec![u.clone(), A::one()]))
+    }
+
+    /// The symbolic delta `∆f_u : x ↦ f(x + u) − f(x)` of Example 1.1.
+    ///
+    /// For a non-constant `f` this has degree `deg(f) − 1`; for a constant `f` it is zero.
+    pub fn delta(&self, u: &A) -> Self {
+        self.shift(u).sub(self)
+    }
+
+    /// The iterated delta `∆ʲf(·, u₁, …, uⱼ)` as a polynomial in `x`, obtained by applying
+    /// [`Polynomial::delta`] once per update, left to right.
+    pub fn iterated_delta(&self, updates: &[A]) -> Self {
+        let mut p = self.clone();
+        for u in updates {
+            p = p.delta(u);
+        }
+        p
+    }
+}
+
+impl<A: Ring + std::fmt::Display> std::fmt::Display for Polynomial<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (k, c) in self.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match k {
+                0 => write!(f, "{c}")?,
+                1 => write!(f, "{c}*x")?,
+                _ => write!(f, "{c}*x^{k}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x_squared() -> Polynomial<i64> {
+        // f(x) = x^2, the running example of Section 1.1.
+        Polynomial::monomial(1, 2)
+    }
+
+    #[test]
+    fn construction_and_normalization() {
+        let p = Polynomial::new(vec![1, 2, 0, 0]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(p.coefficient(0), 1);
+        assert_eq!(p.coefficient(1), 2);
+        assert_eq!(p.coefficient(5), 0);
+        assert!(Polynomial::<i64>::zero().is_zero());
+        assert_eq!(Polynomial::<i64>::zero().degree(), None);
+        assert!(Polynomial::monomial(0i64, 3).is_zero());
+    }
+
+    #[test]
+    fn evaluation() {
+        let f = x_squared();
+        assert_eq!(f.eval(&0), 0);
+        assert_eq!(f.eval(&3), 9);
+        assert_eq!(f.eval(&-4), 16);
+        let g = Polynomial::new(vec![1, -2, 3]); // 1 - 2x + 3x^2
+        assert_eq!(g.eval(&2), 1 - 4 + 12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let f = Polynomial::new(vec![1i64, 1]); // 1 + x
+        let g = Polynomial::new(vec![-1i64, 1]); // -1 + x
+        assert_eq!(f.mul(&g), Polynomial::new(vec![-1, 0, 1])); // x^2 - 1
+        assert_eq!(f.add(&g), Polynomial::new(vec![0, 2]));
+        assert_eq!(f.sub(&f), Polynomial::zero());
+        assert_eq!(f.scale(&3), Polynomial::new(vec![3, 3]));
+    }
+
+    #[test]
+    fn composition_and_shift() {
+        let f = x_squared();
+        // f(x + 1) = x^2 + 2x + 1
+        assert_eq!(f.shift(&1), Polynomial::new(vec![1, 2, 1]));
+        // f(x - 1) = x^2 - 2x + 1
+        assert_eq!(f.shift(&-1), Polynomial::new(vec![1, -2, 1]));
+        // (x+1)^2 ∘ (2x) = (2x+1)^2 = 4x^2 + 4x + 1
+        let g = Polynomial::new(vec![1i64, 1]).mul(&Polynomial::new(vec![1, 1]));
+        assert_eq!(
+            g.compose(&Polynomial::new(vec![0, 2])),
+            Polynomial::new(vec![1, 4, 4])
+        );
+    }
+
+    #[test]
+    fn example_1_1_deltas_of_x_squared() {
+        let f = x_squared();
+        // ∆f(x, u) = 2ux + u², here with u as a concrete value.
+        assert_eq!(f.delta(&1), Polynomial::new(vec![1, 2])); // 2x + 1
+        assert_eq!(f.delta(&-1), Polynomial::new(vec![1, -2])); // -2x + 1
+        // ∆²f(x, u1, u2) = 2 u1 u2, a constant.
+        assert_eq!(f.iterated_delta(&[1, 1]), Polynomial::constant(2));
+        assert_eq!(f.iterated_delta(&[1, -1]), Polynomial::constant(-2));
+        assert_eq!(f.iterated_delta(&[-1, -1]), Polynomial::constant(2));
+        // ∆³f ≡ 0.
+        assert!(f.iterated_delta(&[1, 1, 1]).is_zero());
+        assert!(f.iterated_delta(&[-1, 1, -1]).is_zero());
+    }
+
+    #[test]
+    fn delta_reduces_degree_by_one() {
+        let f = Polynomial::new(vec![5i64, -3, 2, 7]); // degree 3
+        assert_eq!(f.delta(&2).degree(), Some(2));
+        assert_eq!(f.iterated_delta(&[2, 1]).degree(), Some(1));
+        assert_eq!(f.iterated_delta(&[2, 1, -1]).degree(), Some(0));
+        assert!(f.iterated_delta(&[2, 1, -1, 3]).is_zero());
+        // Constants vanish after one delta.
+        assert!(Polynomial::constant(9i64).delta(&5).is_zero());
+    }
+
+    #[test]
+    fn delta_satisfies_the_defining_equation() {
+        // f(x + u) = f(x) + ∆f(x, u) for all sampled x, u.
+        let f = Polynomial::new(vec![2i64, 0, -1, 4]);
+        for x in -5i64..=5 {
+            for u in [-2i64, -1, 1, 3] {
+                let lhs = f.eval(&(x + u));
+                let rhs = f.eval(&x) + f.delta(&u).eval(&x);
+                assert_eq!(lhs, rhs, "x={x}, u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn works_over_floats() {
+        let f = Polynomial::new(vec![0.5f64, 0.0, 1.0]); // 0.5 + x^2
+        assert_eq!(f.eval(&2.0), 4.5);
+        assert_eq!(f.delta(&1.0).eval(&3.0), f.eval(&4.0) - f.eval(&3.0));
+    }
+
+    #[test]
+    fn display_formatting() {
+        let f = Polynomial::new(vec![1i64, 0, 3]);
+        assert_eq!(f.to_string(), "1 + 3*x^2");
+        assert_eq!(Polynomial::<i64>::zero().to_string(), "0");
+        assert_eq!(Polynomial::new(vec![0i64, 2]).to_string(), "2*x");
+    }
+}

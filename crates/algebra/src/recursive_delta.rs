@@ -1,0 +1,315 @@
+//! The abstract recursive delta-memoization scheme of Section 1.1.
+//!
+//! Given a function `f` whose `k`-th delta is identically zero and a finite set of
+//! possible updates `U`, the scheme memoizes the values `∆ʲf(x, u₁,…,uⱼ)` for all
+//! `0 ≤ j < k` and all `(u₁,…,uⱼ) ∈ Uʲ`. Applying an update `u` then only requires the
+//! additions of Equation (1):
+//!
+//! ```text
+//! ∆ʲf(x + u, θ)  :=  ∆ʲf(x, θ) + ∆ʲ⁺¹f(x, θ, u)
+//! ```
+//!
+//! processed in order of increasing `j` so the table can be updated in place. The function
+//! definitions are consulted **only** during initialization; afterwards each update costs
+//! exactly one addition per memoized value — the constant-work-per-value property that the
+//! paper later lifts to query evaluation (Theorem 7.1).
+//!
+//! [`RecursiveMemo`] is the generic engine; [`Polynomial`](crate::Polynomial) provides the
+//! [`DeltaHierarchy`] instance that regenerates Figure 1 (`f(x) = x²`, `U = {+1, −1}`).
+
+use std::collections::HashMap;
+
+use crate::polynomial::Polynomial;
+use crate::semiring::Ring;
+
+/// A function `f : A → A` together with a static bound `k` such that `∆ᵏf ≡ 0`, and a way
+/// to evaluate any iterated delta *from its definition* (used only at initialization).
+pub trait DeltaHierarchy<A> {
+    /// The number of memoized levels `k`: the `k`-th delta is identically zero.
+    ///
+    /// `order() == 0` means the function itself is identically zero.
+    fn order(&self) -> usize;
+
+    /// Evaluates `∆ʲf(x, u₁,…,uⱼ)` from the definition, where `j = updates.len()`.
+    fn delta_at(&self, x: &A, updates: &[A]) -> A;
+}
+
+impl<A: Ring> DeltaHierarchy<A> for Polynomial<A> {
+    fn order(&self) -> usize {
+        match self.degree() {
+            None => 0,
+            Some(d) => d + 1,
+        }
+    }
+
+    fn delta_at(&self, x: &A, updates: &[A]) -> A {
+        self.iterated_delta(updates).eval(x)
+    }
+}
+
+/// The memoized hierarchy of delta values for one function under a finite update set `U`.
+///
+/// Level `j` stores one value per `j`-tuple of update indices; level 0 stores the single
+/// value `f(x)` for the current `x`. The structure never re-evaluates the function after
+/// construction: [`RecursiveMemo::apply`] performs only ring additions (counted in
+/// [`RecursiveMemo::additions`]).
+#[derive(Clone, Debug)]
+pub struct RecursiveMemo<A: Ring> {
+    updates: Vec<A>,
+    /// `levels[j]` maps a `j`-tuple of indices into `updates` to the memoized value
+    /// `∆ʲf(x_current, u_{i₁}, …, u_{iⱼ})`.
+    levels: Vec<HashMap<Vec<usize>, A>>,
+    additions: u64,
+}
+
+impl<A: Ring> RecursiveMemo<A> {
+    /// Initializes the hierarchy for function `f` at starting point `x0` with possible
+    /// updates `updates` (the paper's `U`), evaluating every `∆ʲf` from its definition.
+    pub fn new(f: &impl DeltaHierarchy<A>, x0: &A, updates: Vec<A>) -> Self {
+        let k = f.order();
+        let mut levels = Vec::with_capacity(k);
+        for j in 0..k {
+            let mut level = HashMap::new();
+            for idx in index_tuples(updates.len(), j) {
+                let args: Vec<A> = idx.iter().map(|&i| updates[i].clone()).collect();
+                level.insert(idx, f.delta_at(x0, &args));
+            }
+            levels.push(level);
+        }
+        RecursiveMemo {
+            updates,
+            levels,
+            additions: 0,
+        }
+    }
+
+    /// The possible updates `U`, in the order used by update indices.
+    pub fn updates(&self) -> &[A] {
+        &self.updates
+    }
+
+    /// The number of memoized levels `k`.
+    pub fn order(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total number of memoized values (`|U|⁰ + |U|¹ + … + |U|^(k−1)`).
+    pub fn memoized_values(&self) -> usize {
+        self.levels.iter().map(HashMap::len).sum()
+    }
+
+    /// The current value `f(x)` (level 0), or zero if the function is identically zero.
+    pub fn current(&self) -> A {
+        self.value(&[]).unwrap_or_else(A::zero)
+    }
+
+    /// The memoized value `∆ʲf(x, u_{i₁},…,u_{iⱼ})` for `j = update_indices.len()`.
+    ///
+    /// Returns `None` if `j ≥ k` (those deltas are identically zero and not stored) or an
+    /// index is out of range.
+    pub fn value(&self, update_indices: &[usize]) -> Option<A> {
+        self.levels
+            .get(update_indices.len())
+            .and_then(|level| level.get(update_indices))
+            .cloned()
+    }
+
+    /// Applies the update with index `update_index` (into [`RecursiveMemo::updates`]) using
+    /// Equation (1): every memoized value receives exactly one addition, in place, in order
+    /// of increasing level.
+    ///
+    /// # Panics
+    /// Panics if `update_index` is out of range.
+    pub fn apply(&mut self, update_index: usize) {
+        assert!(
+            update_index < self.updates.len(),
+            "update index {update_index} out of range"
+        );
+        let k = self.levels.len();
+        for j in 0..k {
+            // ∆ʲf(x+u, θ) := ∆ʲf(x, θ) + ∆ʲ⁺¹f(x, θ, u); the (j+1)-st delta is zero when
+            // j + 1 == k, so the top level is left untouched (it is constant in x).
+            if j + 1 == k {
+                break;
+            }
+            let keys: Vec<Vec<usize>> = self.levels[j].keys().cloned().collect();
+            for theta in keys {
+                let mut extended = theta.clone();
+                extended.push(update_index);
+                let increment = self.levels[j + 1]
+                    .get(&extended)
+                    .cloned()
+                    .unwrap_or_else(A::zero);
+                if let Some(v) = self.levels[j].get_mut(&theta) {
+                    *v = v.add(&increment);
+                    self.additions += 1;
+                }
+            }
+        }
+    }
+
+    /// The total number of ring additions performed by [`RecursiveMemo::apply`] so far.
+    pub fn additions(&self) -> u64 {
+        self.additions
+    }
+
+    /// A deterministic snapshot of all memoized values, ordered by level and then by the
+    /// update-index tuple — one row of Figure 1.
+    pub fn snapshot(&self) -> Vec<(Vec<usize>, A)> {
+        let mut out = Vec::with_capacity(self.memoized_values());
+        for level in &self.levels {
+            let mut entries: Vec<_> = level.iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            out.extend(entries.into_iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
+    }
+}
+
+/// All `j`-tuples over `0..n`, in lexicographic order.
+fn index_tuples(n: usize, j: usize) -> Vec<Vec<usize>> {
+    if j == 0 {
+        return vec![Vec::new()];
+    }
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n.pow(j as u32));
+    let shorter = index_tuples(n, j - 1);
+    for prefix in shorter {
+        for i in 0..n {
+            let mut t = prefix.clone();
+            t.push(i);
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 1 setup: f(x) = x², U = {+1, −1}, starting at x = 0.
+    fn figure1_memo() -> RecursiveMemo<i64> {
+        let f = Polynomial::monomial(1i64, 2);
+        RecursiveMemo::new(&f, &0, vec![1, -1])
+    }
+
+    #[test]
+    fn figure1_initialization_at_zero() {
+        let memo = figure1_memo();
+        assert_eq!(memo.order(), 3);
+        // |U|^0 + |U|^1 + |U|^2 = 1 + 2 + 4 = 7 memoized values, as in the paper.
+        assert_eq!(memo.memoized_values(), 7);
+        // Row x = 0 of Figure 1: f = 0, ∆f(·,+1) = 1, ∆f(·,−1) = 1,
+        // ∆²f(+1,+1) = 2, ∆²f(+1,−1) = −2, ∆²f(−1,+1) = −2, ∆²f(−1,−1) = 2.
+        assert_eq!(memo.current(), 0);
+        assert_eq!(memo.value(&[0]), Some(1)); // u = +1
+        assert_eq!(memo.value(&[1]), Some(1)); // u = −1
+        assert_eq!(memo.value(&[0, 0]), Some(2));
+        assert_eq!(memo.value(&[0, 1]), Some(-2));
+        assert_eq!(memo.value(&[1, 0]), Some(-2));
+        assert_eq!(memo.value(&[1, 1]), Some(2));
+        // ∆³f is not memoized (identically zero).
+        assert_eq!(memo.value(&[0, 0, 0]), None);
+    }
+
+    #[test]
+    fn applying_updates_tracks_f_without_reevaluation() {
+        let mut memo = figure1_memo();
+        let f = Polynomial::monomial(1i64, 2);
+        let mut x = 0i64;
+        // The walk used in the paper's narrative: increment to 4, then back down to −2.
+        let walk: Vec<usize> = [0, 0, 0, 0, 1, 1, 1, 1, 1, 1].to_vec();
+        for &u_idx in &walk {
+            memo.apply(u_idx);
+            x += memo.updates()[u_idx];
+            assert_eq!(memo.current(), f.eval(&x), "after moving to x = {x}");
+            // First deltas must also match their definitions.
+            assert_eq!(memo.value(&[0]).unwrap(), f.delta(&1).eval(&x));
+            assert_eq!(memo.value(&[1]).unwrap(), f.delta(&-1).eval(&x));
+        }
+    }
+
+    #[test]
+    fn each_update_costs_one_addition_per_non_top_level_value() {
+        let mut memo = figure1_memo();
+        // Levels 0 and 1 hold 1 + 2 = 3 values that receive one addition each; the top
+        // level (constant in x) receives none.
+        memo.apply(0);
+        assert_eq!(memo.additions(), 3);
+        memo.apply(1);
+        assert_eq!(memo.additions(), 6);
+    }
+
+    #[test]
+    fn example_from_the_paper_x_equals_3_incremented() {
+        // "let x = 3 and we increment x by 1. Then f(·) += 7 = 16, ∆¹f(·,+1) += 2 = 9,
+        //  ∆¹f(·,−1) += −2 = −7, and ∆²f(·,·,·) += 0."
+        let f = Polynomial::monomial(1i64, 2);
+        let mut memo = RecursiveMemo::new(&f, &3, vec![1, -1]);
+        assert_eq!(memo.current(), 9);
+        assert_eq!(memo.value(&[0]), Some(7));
+        assert_eq!(memo.value(&[1]), Some(-5));
+        memo.apply(0);
+        assert_eq!(memo.current(), 16);
+        assert_eq!(memo.value(&[0]), Some(9));
+        assert_eq!(memo.value(&[1]), Some(-7));
+        assert_eq!(memo.value(&[0, 0]), Some(2));
+    }
+
+    #[test]
+    fn zero_function_needs_no_memoized_values() {
+        let memo = RecursiveMemo::new(&Polynomial::<i64>::zero(), &5, vec![1, -1]);
+        assert_eq!(memo.order(), 0);
+        assert_eq!(memo.memoized_values(), 0);
+        assert_eq!(memo.current(), 0);
+    }
+
+    #[test]
+    fn constant_function_has_a_single_level() {
+        let mut memo = RecursiveMemo::new(&Polynomial::constant(42i64), &0, vec![1, -1]);
+        assert_eq!(memo.order(), 1);
+        assert_eq!(memo.memoized_values(), 1);
+        memo.apply(0);
+        assert_eq!(memo.current(), 42);
+        assert_eq!(memo.additions(), 0);
+    }
+
+    #[test]
+    fn cubic_polynomial_is_tracked_exactly() {
+        let f = Polynomial::new(vec![1i64, -2, 0, 3]); // 1 - 2x + 3x^3, degree 3
+        let updates = vec![1i64, -1, 2];
+        let mut memo = RecursiveMemo::new(&f, &-1, updates.clone());
+        assert_eq!(memo.order(), 4);
+        assert_eq!(memo.memoized_values(), 1 + 3 + 9 + 27);
+        let mut x = -1i64;
+        for u_idx in [0usize, 2, 1, 2, 0, 0, 1] {
+            memo.apply(u_idx);
+            x += updates[u_idx];
+            assert_eq!(memo.current(), f.eval(&x));
+        }
+    }
+
+    #[test]
+    fn snapshot_is_ordered_and_complete() {
+        let memo = figure1_memo();
+        let snap = memo.snapshot();
+        assert_eq!(snap.len(), 7);
+        assert_eq!(snap[0].0, Vec::<usize>::new());
+        assert_eq!(snap[1].0, vec![0]);
+        assert_eq!(snap[2].0, vec![1]);
+        assert_eq!(snap[3].0, vec![0, 0]);
+        assert_eq!(snap[6].0, vec![1, 1]);
+    }
+
+    #[test]
+    fn index_tuples_enumeration() {
+        assert_eq!(index_tuples(2, 0), vec![Vec::<usize>::new()]);
+        assert_eq!(index_tuples(2, 1), vec![vec![0], vec![1]]);
+        assert_eq!(index_tuples(2, 2).len(), 4);
+        assert_eq!(index_tuples(3, 3).len(), 27);
+        assert!(index_tuples(0, 2).is_empty());
+    }
+}

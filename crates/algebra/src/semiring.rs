@@ -1,0 +1,358 @@
+//! Semirings and rings (Definition 2.1 of the paper) and their standard instances.
+//!
+//! A *semiring* `(A, +, ∗, 0, 1)` has a commutative additive monoid, a multiplicative
+//! monoid, distributivity, and `0` annihilating under `∗`. A *ring with identity*
+//! additionally has additive inverses. The delta-processing machinery of the paper
+//! needs the additive inverse (deletions are insertions with negative multiplicity),
+//! which is why the central structures of this workspace are rings; the semiring
+//! generalization is kept because it costs nothing and covers set-semantics query
+//! processing (Example 2.2: the Boolean semiring).
+
+use std::fmt::Debug;
+
+/// A commutative semiring `(A, +, ∗, 0, 1)`.
+///
+/// Laws (checked by property tests in this crate, not by the compiler):
+///
+/// * `(A, +, 0)` is a commutative monoid;
+/// * `(A, ∗, 1)` is a monoid;
+/// * `∗` distributes over `+` on both sides;
+/// * `0 ∗ a = a ∗ 0 = 0`.
+///
+/// All operations take references and return owned values; implementations are expected
+/// to be cheap to clone (numbers) or to use structural sharing where appropriate.
+pub trait Semiring: Clone + PartialEq + Debug {
+    /// The additive identity `0`.
+    fn zero() -> Self;
+    /// The multiplicative identity `1`.
+    fn one() -> Self;
+    /// Addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Multiplication.
+    fn mul(&self, other: &Self) -> Self;
+    /// Whether this element is the additive identity.
+    ///
+    /// Used to keep finite-support representations (monoid rings, GMRs) sparse: entries
+    /// whose value `is_zero` are pruned.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+    /// Whether this element is the multiplicative identity.
+    fn is_one(&self) -> bool {
+        *self == Self::one()
+    }
+    /// In-place addition; the default forwards to [`Semiring::add`].
+    fn add_assign(&mut self, other: &Self) {
+        *self = self.add(other);
+    }
+}
+
+/// A commutative ring with identity: a [`Semiring`] whose additive monoid is a group.
+pub trait Ring: Semiring {
+    /// The additive inverse `−a`.
+    fn neg(&self) -> Self;
+    /// Subtraction `a − b = a + (−b)`.
+    fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+}
+
+/// Convenience: sum of an iterator of semiring elements.
+pub fn sum<A: Semiring>(items: impl IntoIterator<Item = A>) -> A {
+    let mut acc = A::zero();
+    for item in items {
+        acc.add_assign(&item);
+    }
+    acc
+}
+
+/// Convenience: product of an iterator of semiring elements.
+pub fn product<A: Semiring>(items: impl IntoIterator<Item = A>) -> A {
+    let mut acc = A::one();
+    for item in items {
+        acc = acc.mul(&item);
+    }
+    acc
+}
+
+macro_rules! impl_int_ring {
+    ($($t:ty),*) => {
+        $(
+            impl Semiring for $t {
+                fn zero() -> Self { 0 }
+                fn one() -> Self { 1 }
+                fn add(&self, other: &Self) -> Self { self.wrapping_add(*other) }
+                fn mul(&self, other: &Self) -> Self { self.wrapping_mul(*other) }
+                fn is_zero(&self) -> bool { *self == 0 }
+                fn is_one(&self) -> bool { *self == 1 }
+            }
+            impl Ring for $t {
+                fn neg(&self) -> Self { self.wrapping_neg() }
+                fn sub(&self, other: &Self) -> Self { self.wrapping_sub(*other) }
+            }
+        )*
+    };
+}
+
+// The paper's Theorem 7.1 argument assumes fixed-size machine words with modular
+// arithmetic ("arithmetics is modulo maximum word size"), which is exactly two's
+// complement wrapping — hence `wrapping_*` rather than panicking arithmetic.
+impl_int_ring!(i8, i16, i32, i64, i128, isize);
+
+impl Semiring for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+}
+
+impl Ring for f64 {
+    fn neg(&self) -> Self {
+        -self
+    }
+}
+
+/// The semiring of natural numbers `(ℕ, +, ∗, 0, 1)` (Example 2.2).
+///
+/// ℕ has no additive inverse and therefore does **not** form a ring; it is included to
+/// exercise the semiring-only code paths (classical bag semantics without deletions).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Natural(pub u64);
+
+impl Semiring for Natural {
+    fn zero() -> Self {
+        Natural(0)
+    }
+    fn one() -> Self {
+        Natural(1)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Natural(self.0.wrapping_add(other.0))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Natural(self.0.wrapping_mul(other.0))
+    }
+}
+
+/// The Boolean semiring `(𝔹, ∨, ∧, false, true)` (Example 2.2).
+///
+/// Monoid rings over `BoolSemiring` model set-semantics relations: a tuple is either in
+/// the relation or not, and the convolution product is the set-semantics natural join.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct BoolSemiring(pub bool);
+
+impl Semiring for BoolSemiring {
+    fn zero() -> Self {
+        BoolSemiring(false)
+    }
+    fn one() -> Self {
+        BoolSemiring(true)
+    }
+    fn add(&self, other: &Self) -> Self {
+        BoolSemiring(self.0 || other.0)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        BoolSemiring(self.0 && other.0)
+    }
+}
+
+/// Exact rational numbers ℚ with `i64` numerator/denominator, kept in lowest terms with a
+/// positive denominator (Example 2.2).
+///
+/// Used in tests where exact fractional multiplicities are convenient (e.g. checking that
+/// `A[G]` is a ring for a ring `A` other than ℤ). Arithmetic panics on overflow of the
+/// underlying `i64`s or on a zero denominator; the test workloads stay far away from
+/// those bounds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Rational {
+    num: i64,
+    den: i64,
+}
+
+impl Rational {
+    /// Creates the rational `num / den`, normalizing sign and reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Self {
+        assert!(den != 0, "Rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs()).max(1) as i64;
+        Rational {
+            num: sign * (num / g),
+            den: (den / g).abs(),
+        }
+    }
+
+    /// Creates the integer rational `n / 1`.
+    pub fn from_int(n: i64) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numerator(&self) -> i64 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denominator(&self) -> i64 {
+        self.den
+    }
+
+    /// Multiplicative inverse, if the value is nonzero.
+    pub fn recip(&self) -> Option<Self> {
+        if self.num == 0 {
+            None
+        } else {
+            Some(Rational::new(self.den, self.num))
+        }
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Semiring for Rational {
+    fn zero() -> Self {
+        Rational { num: 0, den: 1 }
+    }
+    fn one() -> Self {
+        Rational { num: 1, den: 1 }
+    }
+    fn add(&self, other: &Self) -> Self {
+        Rational::new(
+            self.num * other.den + other.num * self.den,
+            self.den * other.den,
+        )
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Rational::new(self.num * other.num, self.den * other.den)
+    }
+    fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+}
+
+impl Ring for Rational {
+    fn neg(&self) -> Self {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl std::fmt::Display for Rational {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ring_basics() {
+        assert_eq!(<i64 as Semiring>::zero(), 0);
+        assert_eq!(<i64 as Semiring>::one(), 1);
+        assert_eq!(3i64.add(&4), 7);
+        assert_eq!(3i64.mul(&4), 12);
+        assert_eq!(Ring::neg(&3i64), -3);
+        assert_eq!(10i64.sub(&4), 6);
+        assert!(0i64.is_zero());
+        assert!(1i64.is_one());
+    }
+
+    #[test]
+    fn integer_ring_wraps_like_machine_words() {
+        // Theorem 7.1 assumes modular machine-word arithmetic.
+        assert_eq!(i64::MAX.add(&1), i64::MIN);
+        assert_eq!(i64::MIN.sub(&1), i64::MAX);
+    }
+
+    #[test]
+    fn float_ring_basics() {
+        assert_eq!(1.5f64.add(&2.5), 4.0);
+        assert_eq!(1.5f64.mul(&2.0), 3.0);
+        assert_eq!(Ring::neg(&1.5f64), -1.5);
+    }
+
+    #[test]
+    fn natural_is_semiring_without_inverse() {
+        let a = Natural(3);
+        let b = Natural(4);
+        assert_eq!(a.add(&b), Natural(7));
+        assert_eq!(a.mul(&b), Natural(12));
+        assert_eq!(Natural::zero(), Natural(0));
+        assert_eq!(Natural::one(), Natural(1));
+    }
+
+    #[test]
+    fn boolean_semiring_is_or_and() {
+        let t = BoolSemiring(true);
+        let f = BoolSemiring(false);
+        assert_eq!(t.add(&f), t);
+        assert_eq!(f.add(&f), f);
+        assert_eq!(t.mul(&f), f);
+        assert_eq!(t.mul(&t), t);
+        assert_eq!(BoolSemiring::zero(), f);
+        assert_eq!(BoolSemiring::one(), t);
+    }
+
+    #[test]
+    fn rational_normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(1, -2), Rational::new(-1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(0, 5), Rational::zero());
+        assert_eq!(Rational::new(3, 1).to_string(), "3");
+        assert_eq!(Rational::new(1, 3).to_string(), "1/3");
+    }
+
+    #[test]
+    fn rational_arithmetic() {
+        let half = Rational::new(1, 2);
+        let third = Rational::new(1, 3);
+        assert_eq!(half.add(&third), Rational::new(5, 6));
+        assert_eq!(half.mul(&third), Rational::new(1, 6));
+        assert_eq!(half.sub(&half), Rational::zero());
+        assert_eq!(half.recip(), Some(Rational::new(2, 1)));
+        assert_eq!(Rational::zero().recip(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rational_zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn sum_and_product_helpers() {
+        assert_eq!(sum(vec![1i64, 2, 3, 4]), 10);
+        assert_eq!(product(vec![1i64, 2, 3, 4]), 24);
+        assert_eq!(sum(Vec::<i64>::new()), 0);
+        assert_eq!(product(Vec::<i64>::new()), 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! Property-based verification of the algebraic laws claimed in Section 2 of the paper:
+//! (semi)ring axioms for the coefficient rings, ring axioms for monoid rings `A[G]`
+//! (Proposition 2.4), module axioms for the scalar action (Proposition 2.15), delta laws
+//! for polynomials (Example 1.1), and the recursive memoization invariant of Section 1.1.
+
+use dbring_algebra::monoid::NatAdd;
+use dbring_algebra::mutilate::restrict;
+use dbring_algebra::{MonoidRing, Polynomial, Rational, RecursiveMemo, Ring, Semiring};
+use proptest::prelude::*;
+
+type Poly = MonoidRing<i64, NatAdd>;
+
+fn arb_rational() -> impl Strategy<Value = Rational> {
+    (-50i64..50, 1i64..20).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+fn arb_poly() -> impl Strategy<Value = Poly> {
+    prop::collection::vec((0u32..6, -20i64..20), 0..6)
+        .prop_map(|pairs| Poly::from_pairs(pairs.into_iter().map(|(k, c)| (NatAdd(k), c))))
+}
+
+fn arb_dense_poly() -> impl Strategy<Value = Polynomial<i64>> {
+    prop::collection::vec(-10i64..10, 0..5).prop_map(Polynomial::new)
+}
+
+proptest! {
+    // ---------- coefficient rings ----------
+
+    #[test]
+    fn i64_ring_axioms(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.add(&Ring::neg(&a)), 0);
+        prop_assert_eq!(a.mul(&<i64 as Semiring>::one()), a);
+        prop_assert_eq!(a.mul(&<i64 as Semiring>::zero()), 0);
+    }
+
+    #[test]
+    fn rational_ring_axioms(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert!(a.sub(&a).is_zero());
+        prop_assert_eq!(a.mul(&Rational::one()), a);
+    }
+
+    // ---------- monoid rings A[G] (Proposition 2.4) ----------
+
+    #[test]
+    fn monoid_ring_addition_is_commutative_group(p in arb_poly(), q in arb_poly(), r in arb_poly()) {
+        prop_assert_eq!(p.add(&q), q.add(&p));
+        prop_assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
+        prop_assert_eq!(p.add(&Poly::zero()), p.clone());
+        prop_assert!(p.add(&p.neg()).is_zero());
+    }
+
+    #[test]
+    fn monoid_ring_multiplication_is_monoid(p in arb_poly(), q in arb_poly(), r in arb_poly()) {
+        prop_assert_eq!(p.mul(&q).mul(&r), p.mul(&q.mul(&r)));
+        prop_assert_eq!(p.mul(&Poly::one()), p.clone());
+        prop_assert_eq!(Poly::one().mul(&p), p.clone());
+        prop_assert!(p.mul(&Poly::zero()).is_zero());
+    }
+
+    #[test]
+    fn monoid_ring_distributivity(p in arb_poly(), q in arb_poly(), r in arb_poly()) {
+        prop_assert_eq!(p.mul(&q.add(&r)), p.mul(&q).add(&p.mul(&r)));
+        prop_assert_eq!(p.add(&q).mul(&r), p.mul(&r).add(&q.mul(&r)));
+    }
+
+    #[test]
+    fn monoid_ring_commutative_when_monoid_is(p in arb_poly(), q in arb_poly()) {
+        // Proposition 2.4(3): NatAdd is commutative, hence so is A[NatAdd].
+        prop_assert_eq!(p.mul(&q), q.mul(&p));
+    }
+
+    // ---------- module structure (Proposition 2.15) ----------
+
+    #[test]
+    fn module_axioms(p in arb_poly(), q in arb_poly(), a in -20i64..20, b in -20i64..20) {
+        prop_assert_eq!(p.scale(&(a + b)), p.scale(&a).add(&p.scale(&b)));
+        prop_assert_eq!(p.scale(&(a * b)), p.scale(&b).scale(&a));
+        prop_assert_eq!(p.add(&q).scale(&a), p.scale(&a).add(&q.scale(&a)));
+        prop_assert_eq!(p.scale(&1), p.clone());
+        // Bilinearity of the convolution product (Proposition 2.15(2)).
+        prop_assert_eq!(p.scale(&a).mul(&q), p.mul(&q).scale(&a));
+        prop_assert_eq!(p.mul(&q.scale(&a)), p.mul(&q).scale(&a));
+    }
+
+    // ---------- mutilation (Lemma 2.9) ----------
+
+    #[test]
+    fn restriction_is_additive_and_multiplicative(p in arb_poly(), q in arb_poly(), bound in 0u32..8) {
+        let in_g0 = |g: &NatAdd| g.0 <= bound;
+        // Additive homomorphism.
+        prop_assert_eq!(
+            restrict(&p.add(&q), in_g0),
+            restrict(&p, in_g0).add(&restrict(&q, in_g0))
+        );
+        // Multiplicative homomorphism *into the quotient*: the product of the projections,
+        // re-projected, equals the projection of the product. (Downward closure of
+        // `exponent <= bound` under addition of naturals makes this hold.)
+        prop_assert_eq!(
+            restrict(&p.mul(&q), in_g0),
+            restrict(&restrict(&p, in_g0).mul(&restrict(&q, in_g0)), in_g0)
+        );
+    }
+
+    // ---------- polynomial deltas (Example 1.1) ----------
+
+    #[test]
+    fn polynomial_delta_equation(f in arb_dense_poly(), x in -30i64..30, u in -5i64..5) {
+        // f(x + u) = f(x) + ∆f(x, u)
+        prop_assert_eq!(f.eval(&(x + u)), f.eval(&x) + f.delta(&u).eval(&x));
+    }
+
+    #[test]
+    fn polynomial_delta_reduces_degree(f in arb_dense_poly(), u in -5i64..5) {
+        if u != 0 {
+            match f.degree() {
+                None | Some(0) => prop_assert!(f.delta(&u).is_zero()),
+                Some(d) => {
+                    let dd = f.delta(&u).degree();
+                    prop_assert!(dd.is_none() || dd.unwrap() <= d - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kth_delta_vanishes(f in arb_dense_poly(), us in prop::collection::vec(-3i64..4, 5)) {
+        // For degree <= 4 polynomials, the 5th delta is identically zero.
+        prop_assert!(f.iterated_delta(&us).is_zero());
+    }
+
+    // ---------- recursive memoization (Section 1.1, Equation (1)) ----------
+
+    #[test]
+    fn recursive_memo_tracks_function_exactly(
+        f in arb_dense_poly(),
+        x0 in -10i64..10,
+        walk in prop::collection::vec(0usize..3, 0..25),
+    ) {
+        let updates = vec![1i64, -1, 2];
+        let mut memo = RecursiveMemo::new(&f, &x0, updates.clone());
+        let mut x = x0;
+        for &step in &walk {
+            memo.apply(step);
+            x += updates[step];
+        }
+        prop_assert_eq!(memo.current(), f.eval(&x));
+    }
+
+    #[test]
+    fn recursive_memo_work_is_constant_per_update(
+        f in arb_dense_poly(),
+        walk in prop::collection::vec(0usize..2, 1..20),
+    ) {
+        let updates = vec![1i64, -1];
+        let mut memo = RecursiveMemo::new(&f, &0, updates);
+        let per_update: u64 = memo
+            .snapshot()
+            .iter()
+            .filter(|(idx, _)| idx.len() + 1 < memo.order())
+            .count() as u64;
+        for &step in &walk {
+            memo.apply(step);
+        }
+        // Exactly `per_update` additions per applied update, independent of the walk.
+        prop_assert_eq!(memo.additions(), per_update * walk.len() as u64);
+    }
+}
+
+// ---------- avalanche semirings (Definition 2.5, Theorem 2.6) ----------
+
+mod avalanche_axioms {
+    use dbring_algebra::monoid::NatAdd;
+    use dbring_algebra::{Avalanche, MonoidRing};
+    use proptest::prelude::*;
+
+    type Poly = MonoidRing<i64, NatAdd>;
+    type Av = Avalanche<i64, NatAdd>;
+
+    /// A small symbolic description of an avalanche element, so proptest can generate and
+    /// shrink them (closures themselves cannot be generated directly).
+    #[derive(Clone, Debug)]
+    enum Description {
+        Constant(Vec<(u32, i64)>),
+        /// Returns χ_{b} scaled by (coefficient + b): genuinely context-sensitive.
+        ContextScaled(i64),
+        /// Returns the constant on even bindings and zero on odd ones.
+        Parity(Vec<(u32, i64)>),
+    }
+
+    fn realize(description: &Description) -> Av {
+        match description.clone() {
+            Description::Constant(pairs) => Avalanche::lift(Poly::from_pairs(
+                pairs.into_iter().map(|(k, c)| (NatAdd(k), c)),
+            )),
+            Description::ContextScaled(coefficient) => Avalanche::new(move |b: &NatAdd| {
+                Poly::singleton(*b, coefficient + b.0 as i64)
+            }),
+            Description::Parity(pairs) => Avalanche::new(move |b: &NatAdd| {
+                if b.0 % 2 == 0 {
+                    Poly::from_pairs(pairs.clone().into_iter().map(|(k, c)| (NatAdd(k), c)))
+                } else {
+                    Poly::zero()
+                }
+            }),
+        }
+    }
+
+    fn arb_description() -> impl Strategy<Value = Description> {
+        let pairs = prop::collection::vec((0u32..4, -5i64..6), 0..4);
+        prop_oneof![
+            pairs.clone().prop_map(Description::Constant),
+            (-5i64..6).prop_map(Description::ContextScaled),
+            pairs.prop_map(Description::Parity),
+        ]
+    }
+
+    fn assert_pointwise_eq(left: &Av, right: &Av) -> Result<(), TestCaseError> {
+        for b in (0..6).map(NatAdd) {
+            prop_assert_eq!(left.at(&b), right.at(&b), "differ at binding {:?}", b);
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn avalanche_ring_axioms(
+            fd in arb_description(),
+            gd in arb_description(),
+            hd in arb_description(),
+        ) {
+            let (f, g, h) = (realize(&fd), realize(&gd), realize(&hd));
+            // Additive commutative group (pointwise).
+            assert_pointwise_eq(&f.add(&g), &g.add(&f))?;
+            assert_pointwise_eq(&f.add(&g).add(&h), &f.add(&g.add(&h)))?;
+            assert_pointwise_eq(&f.add(&Av::zero()), &f)?;
+            assert_pointwise_eq(&f.sub(&f), &Av::zero())?;
+            // Multiplicative monoid with sideways binding passing.
+            assert_pointwise_eq(&f.mul(&g).mul(&h), &f.mul(&g.mul(&h)))?;
+            assert_pointwise_eq(&Av::one().mul(&f), &f)?;
+            assert_pointwise_eq(&f.mul(&Av::one()), &f)?;
+            assert_pointwise_eq(&f.mul(&Av::zero()), &Av::zero())?;
+            // Distributivity on both sides.
+            assert_pointwise_eq(&f.mul(&g.add(&h)), &f.mul(&g).add(&f.mul(&h)))?;
+            assert_pointwise_eq(&f.add(&g).mul(&h), &f.mul(&h).add(&g.mul(&h)))?;
+        }
+
+        #[test]
+        fn lifting_is_a_ring_homomorphism(
+            alpha in prop::collection::vec((0u32..4, -5i64..6), 0..4),
+            beta in prop::collection::vec((0u32..4, -5i64..6), 0..4),
+        ) {
+            // Proposition 2.8: the parameter-ignoring functions form a sub-ring isomorphic
+            // to A[G].
+            let a = Poly::from_pairs(alpha.into_iter().map(|(k, c)| (NatAdd(k), c)));
+            let b = Poly::from_pairs(beta.into_iter().map(|(k, c)| (NatAdd(k), c)));
+            assert_pointwise_eq(&Av::lift(a.clone()).mul(&Av::lift(b.clone())), &Av::lift(a.mul(&b)))?;
+            assert_pointwise_eq(&Av::lift(a.clone()).add(&Av::lift(b.clone())), &Av::lift(a.add(&b)))?;
+            assert_pointwise_eq(&Av::lift(a.neg()), &Av::lift(a).neg())?;
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion bench for Experiment E1 (Figure 1 / Section 1.1): per-update cost of the
+//! recursive delta memo versus re-evaluating the polynomial from scratch.
+//!
+//! For a plain machine-arithmetic polynomial, re-evaluation is of course a couple of
+//! nanoseconds and wins outright — the memoization table exists to make the *structure* of
+//! Section 1.1 concrete and measurable (a fixed number of additions per update,
+//! independent of the function), not to speed up `x²`. The pay-off appears when "one
+//! evaluation of f" is an aggregate query over a database, which is what the other
+//! benchmarks measure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbring::{Polynomial, RecursiveMemo};
+use std::hint::black_box;
+
+fn bench_figure1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1_poly");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for degree in [2usize, 4, 6] {
+        // f(x) = x^degree plus lower-order terms.
+        let coeffs: Vec<i64> = (0..=degree as i64).collect();
+        let f = Polynomial::new(coeffs);
+        let updates = vec![1i64, -1];
+
+        group.bench_with_input(
+            BenchmarkId::new("memoized_update", degree),
+            &degree,
+            |b, _| {
+                let mut memo = RecursiveMemo::new(&f, &0, updates.clone());
+                let mut flip = 0usize;
+                b.iter(|| {
+                    memo.apply(flip % 2);
+                    flip += 1;
+                    black_box(memo.current())
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("full_reevaluation", degree),
+            &degree,
+            |b, _| {
+                let mut x = 0i64;
+                let mut flip = 0i64;
+                b.iter(|| {
+                    x += if flip % 2 == 0 { 1 } else { -1 };
+                    flip += 1;
+                    black_box(f.eval(&x))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Experiment E6 — **Theorem 6.4**: the degree of the delta of a simple-condition AGCA
+//! query is `max(0, deg(q) − 1)`. Prints, for a suite of queries, the degree at every
+//! level of the recursive delta tower and the number of views the unfactorized scheme
+//! would materialize.
+//!
+//! Run with: `cargo run --release -p dbring-bench --bin exp_degree`
+
+use dbring::{parse_expr, Database};
+use dbring_agca::degree::degree;
+use dbring_bench::header;
+use dbring_delta::build_tower;
+
+fn main() {
+    let mut catalog = Database::new();
+    catalog.declare("C", &["cid", "nation"]).unwrap();
+    catalog.declare("R", &["A", "B"]).unwrap();
+    catalog.declare("S", &["C", "D"]).unwrap();
+    catalog.declare("T", &["E", "F"]).unwrap();
+    catalog.declare("U", &["A"]).unwrap();
+
+    let suite = [
+        ("count(C)", "Sum(C(c, n))"),
+        ("sum of values", "Sum(C(c, n) * n)"),
+        ("self-join count (Ex. 1.2)", "Sum(U(x) * U(y) * (x = y))"),
+        ("customers by nation (Ex. 6.2)", "Sum(C(c, n) * C(c2, n))"),
+        (
+            "three-way join (Ex. 1.3)",
+            "Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)",
+        ),
+        (
+            "four-way self join",
+            "Sum(U(a) * U(b) * U(c) * U(d) * (a = b) * (c = d))",
+        ),
+        ("filtered sum", "Sum(C(c, n) * (n >= 3) * n)"),
+    ];
+
+    header("Theorem 6.4: degrees along the recursive delta chain");
+    println!(
+        "{:<32} {:>7} | {:<24} | {:>14}",
+        "query", "deg(q)", "degrees per delta level", "views (unfact.)"
+    );
+    for (name, text) in suite {
+        let q = parse_expr(text).unwrap();
+        let tower = build_tower(&catalog, &q, 10);
+        let degrees = tower.degrees_per_level();
+        // Check the theorem: each level drops the degree by exactly one until zero.
+        for (level, pair) in degrees.windows(2).enumerate() {
+            assert_eq!(
+                pair[1],
+                pair[0].saturating_sub(1),
+                "degree must drop by one at level {} of {}",
+                level + 1,
+                name
+            );
+        }
+        assert_eq!(degrees.len(), degree(&q) + 1, "tower depth is deg(q)+1");
+        println!(
+            "{:<32} {:>7} | {:<24} | {:>14}",
+            name,
+            degree(&q),
+            degrees
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(" -> "),
+            tower.view_count()
+        );
+    }
+    println!(
+        "\nevery chain ends at degree 0 after deg(q) deltas — the k-th delta depends only on \
+         the update, which is what makes the trigger programs database-free (Theorem 7.1)"
+    );
+}

@@ -1,0 +1,726 @@
+//! The recursive IVM compilation algorithm (Section 7).
+//!
+//! `compile` turns an AGCA query into a [`TriggerProgram`]:
+//!
+//! 1. the query itself becomes the *output map*, keyed by its group-by variables;
+//! 2. for every relation the map's definition mentions and for both signs, the delta of
+//!    the definition is taken symbolically and normalized into monomials;
+//! 3. each monomial becomes one trigger statement: variable-to-variable assignments
+//!    introduced by `∆R` are eliminated by renaming, the remaining factors are split into
+//!    connected components (Example 1.3), database-dependent components are materialized
+//!    as *new maps* — compiled recursively by the same procedure — and database-free
+//!    factors become scalar terms and comparison guards of the statement;
+//! 4. recursion bottoms out because every materialized component has strictly smaller
+//!    degree than its parent (Theorem 6.4).
+//!
+//! Structurally identical auxiliary maps are deduplicated (after canonicalizing their key
+//! variable names), and each trigger's statements are ordered by decreasing degree of the
+//! target map so that every map is updated from the *pre-update* state of the maps it
+//! reads, exactly as Equation (1) requires.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use dbring_relations::Database;
+
+use dbring_agca::ast::{CmpOp, Expr, Query};
+use dbring_agca::degree::degree;
+use dbring_agca::factorize::{eliminate_assignments, eliminate_equalities, factor_groups};
+use dbring_agca::normalize::Monomial;
+use dbring_agca::safety::{check_query_safety, SafetyError};
+use dbring_delta::{delta_normalized, Sign, UpdateEvent};
+
+use crate::ir::{
+    scalar_from_expr, IrError, MapDef, MapId, RhsFactor, ScalarExpr, Statement, Trigger,
+    TriggerProgram,
+};
+
+/// Errors raised by the compiler.
+#[derive(Clone, Debug)]
+pub enum CompileError {
+    /// The query contains an aggregate or relational atom inside a comparison; such
+    /// conditions are not *simple* and fall outside the class covered by Theorem 6.4.
+    NestedAggregateCondition,
+    /// The query references a relation that the catalog does not declare.
+    UnknownRelation(String),
+    /// A relational atom's variable count does not match the relation's declared arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of variables in the offending atom.
+        got: usize,
+    },
+    /// The query is not range-restricted.
+    Unsafe(SafetyError),
+    /// A construct the compiler does not handle (the reference evaluator still does).
+    Unsupported(String),
+    /// The generated program failed structural validation (an internal invariant
+    /// violation; should not happen for accepted inputs).
+    Internal(IrError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NestedAggregateCondition => {
+                write!(f, "conditions containing aggregates or relations are not supported by the compiler")
+            }
+            CompileError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            CompileError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(f, "atom {relation} uses {got} variables but the relation has arity {expected}"),
+            CompileError::Unsafe(e) => write!(f, "query is not range-restricted: {e}"),
+            CompileError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+            CompileError::Internal(e) => write!(f, "internal error: generated program is ill-formed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles a query against a catalog (a [`Database`] whose declared relations provide the
+/// column names; contents are ignored) into a trigger program.
+pub fn compile(catalog: &Database, query: &Query) -> Result<TriggerProgram, CompileError> {
+    if query.expr.has_nested_aggregate_condition() {
+        return Err(CompileError::NestedAggregateCondition);
+    }
+    check_atom_arities(&query.expr, catalog)?;
+    check_query_safety(query).map_err(CompileError::Unsafe)?;
+
+    let mut compiler = Compiler {
+        catalog,
+        maps: Vec::new(),
+        triggers: BTreeMap::new(),
+        cache: HashMap::new(),
+    };
+    let output = compiler.compile_map(
+        query.name.clone(),
+        query.expr.clone(),
+        query.group_by.clone(),
+    )?;
+
+    let maps = compiler.maps;
+    let mut triggers: Vec<Trigger> = compiler.triggers.into_values().collect();
+    for trigger in &mut triggers {
+        // Update higher-degree maps first: a ∆^j view is refreshed from the *old* value of
+        // the ∆^(j+1) views it reads (Equation (1) processed in order of increasing j).
+        trigger
+            .statements
+            .sort_by_key(|s| (std::cmp::Reverse(maps[s.target].degree), s.target));
+    }
+    let program = TriggerProgram {
+        maps,
+        triggers,
+        output,
+    };
+    program.validate().map_err(CompileError::Internal)?;
+    Ok(program)
+}
+
+fn check_atom_arities(expr: &Expr, catalog: &Database) -> Result<(), CompileError> {
+    match expr {
+        Expr::Rel(name, vars) => {
+            let columns = catalog
+                .columns(name)
+                .ok_or_else(|| CompileError::UnknownRelation(name.clone()))?;
+            if columns.len() != vars.len() {
+                return Err(CompileError::ArityMismatch {
+                    relation: name.clone(),
+                    expected: columns.len(),
+                    got: vars.len(),
+                });
+            }
+            Ok(())
+        }
+        Expr::Add(a, b) | Expr::Mul(a, b) | Expr::Cmp(_, a, b) => {
+            check_atom_arities(a, catalog)?;
+            check_atom_arities(b, catalog)
+        }
+        Expr::Neg(a) | Expr::Sum(a) | Expr::Assign(_, a) => check_atom_arities(a, catalog),
+        Expr::Const(_) | Expr::Var(_) => Ok(()),
+    }
+}
+
+struct Compiler<'a> {
+    catalog: &'a Database,
+    maps: Vec<MapDef>,
+    /// Keyed by (relation, is-insert) so triggers merge across maps.
+    triggers: BTreeMap<(String, bool), Trigger>,
+    /// Structural deduplication of auxiliary maps: (canonical definition text, keys) → id.
+    cache: HashMap<(String, Vec<String>), MapId>,
+}
+
+impl Compiler<'_> {
+    /// The canonical trigger parameter names for a relation: `@<relation>_<column>`.
+    /// The `@` prefix cannot be produced by the parsers, so parameters never collide with
+    /// query variables.
+    fn trigger_params(&self, relation: &str) -> Vec<String> {
+        self.catalog
+            .columns(relation)
+            .expect("relation existence checked before")
+            .iter()
+            .map(|c| format!("@{relation}_{c}"))
+            .collect()
+    }
+
+    fn compile_map(
+        &mut self,
+        name: String,
+        definition: Expr,
+        key_vars: Vec<String>,
+    ) -> Result<MapId, CompileError> {
+        let cache_key = (definition.to_string(), key_vars.clone());
+        if let Some(id) = self.cache.get(&cache_key) {
+            return Ok(*id);
+        }
+        let id = self.maps.len();
+        self.maps.push(MapDef {
+            id,
+            name,
+            key_vars: key_vars.clone(),
+            degree: degree(&definition),
+            definition: definition.clone(),
+        });
+        self.cache.insert(cache_key, id);
+
+        for relation in definition.relations() {
+            if self.catalog.columns(&relation).is_none() {
+                return Err(CompileError::UnknownRelation(relation));
+            }
+            for sign in [Sign::Insert, Sign::Delete] {
+                let params = self.trigger_params(&relation);
+                let event = UpdateEvent {
+                    relation: relation.clone(),
+                    sign,
+                    params: params.clone(),
+                };
+                let poly = delta_normalized(&definition, &event);
+                let mut statements = Vec::new();
+                for monomial in &poly.monomials {
+                    if let Some(statement) =
+                        self.compile_statement(id, &key_vars, &params, monomial)?
+                    {
+                        statements.push(statement);
+                    }
+                }
+                if statements.is_empty() {
+                    continue;
+                }
+                let entry = self
+                    .triggers
+                    .entry((relation.clone(), sign == Sign::Insert))
+                    .or_insert_with(|| Trigger {
+                        relation: relation.clone(),
+                        sign,
+                        params: params.clone(),
+                        statements: Vec::new(),
+                    });
+                entry.statements.extend(statements);
+            }
+        }
+        Ok(id)
+    }
+
+    /// Compiles one delta monomial into a trigger statement, or `None` when the statement
+    /// can be proven dead (a guard that can never hold).
+    fn compile_statement(
+        &mut self,
+        target: MapId,
+        target_keys: &[String],
+        params: &[String],
+        monomial: &Monomial,
+    ) -> Result<Option<Statement>, CompileError> {
+        let outer_bound: BTreeSet<String> = params
+            .iter()
+            .chain(target_keys.iter())
+            .cloned()
+            .collect();
+        // 1. Flatten the outer Sum wrapper(s): the statement semantics already sums over
+        //    all loop-variable bindings, so `Sum(f₁ * … * f_k)` contributes its factors
+        //    directly (provided its variables do not collide with other factors').
+        let factors = flatten_sums(&monomial.factors, &outer_bound);
+        // 2. Variable elimination (Section 5): first the variable-to-variable assignments
+        //    introduced by ∆R, then equality conditions between variables — either may pin
+        //    a target key or a join variable to a trigger parameter.
+        let (factors, assign_renaming) = eliminate_assignments(&factors, &BTreeSet::new());
+        let params_set: BTreeSet<String> = params.iter().cloned().collect();
+        let (factors, eq_renaming) = eliminate_equalities(&factors, &params_set);
+        let apply_renaming = |k: &String| -> String {
+            let once = assign_renaming.get(k).cloned().unwrap_or_else(|| k.clone());
+            eq_renaming.get(&once).cloned().unwrap_or(once)
+        };
+        let target_key_syms: Vec<String> = target_keys.iter().map(apply_renaming).collect();
+        // 3. The externally-bound variables of this statement: trigger parameters plus the
+        //    (possibly renamed) target keys.
+        let mut bound: BTreeSet<String> = params.iter().cloned().collect();
+        bound.extend(target_key_syms.iter().cloned());
+        // 4. Split into connected components and translate each.
+        let mut lookups: Vec<RhsFactor> = Vec::new();
+        let mut scalars: Vec<RhsFactor> = Vec::new();
+        for group in factor_groups(&factors, &bound) {
+            let has_relations = group.iter().any(|f| !f.relations().is_empty());
+            if has_relations {
+                let (map, keys) = self.materialize_component(&group, &bound)?;
+                lookups.push(RhsFactor::MapLookup { map, keys });
+                continue;
+            }
+            for factor in group {
+                match factor {
+                    Expr::Cmp(op, lhs, rhs) => {
+                        let l = scalar_from_expr(&lhs)
+                            .ok_or(CompileError::NestedAggregateCondition)?;
+                        let r = scalar_from_expr(&rhs)
+                            .ok_or(CompileError::NestedAggregateCondition)?;
+                        // Guards over syntactically identical operands are decided at
+                        // compile time: reflexive comparisons are dropped (always 1) and
+                        // irreflexive ones kill the whole statement (always 0).
+                        if l == r {
+                            match op {
+                                CmpOp::Eq | CmpOp::Le | CmpOp::Ge => continue,
+                                CmpOp::Ne | CmpOp::Lt | CmpOp::Gt => return Ok(None),
+                            }
+                        }
+                        scalars.push(RhsFactor::Guard(op, l, r));
+                    }
+                    // A leftover assignment (to a constant or a complex term) acts as an
+                    // equality guard on an already-bound variable.
+                    Expr::Assign(x, term) => {
+                        let t = scalar_from_expr(&term).ok_or_else(|| {
+                            CompileError::Unsupported(format!(
+                                "assignment to a non-scalar term: ({x} := {term})"
+                            ))
+                        })?;
+                        scalars.push(RhsFactor::Guard(CmpOp::Eq, ScalarExpr::Var(x), t));
+                    }
+                    other => match scalar_from_expr(&other) {
+                        Some(s) => scalars.push(RhsFactor::Scalar(s)),
+                        None => {
+                            return Err(CompileError::Unsupported(format!(
+                                "database-free factor {other} cannot be turned into a scalar"
+                            )))
+                        }
+                    },
+                }
+            }
+        }
+        let mut out_factors = lookups;
+        out_factors.append(&mut scalars);
+        // Range-restriction of the generated statement: every loop variable (a variable
+        // that is not a trigger parameter) must be enumerable from a map lookup. A target
+        // key constrained only by an inequality against the update (e.g. a view keyed by a
+        // running threshold) would require initializing entries over the whole active
+        // domain on first access — a refinement the compiler does not implement; such
+        // queries are still supported by the reference evaluator and the classical-IVM
+        // baseline.
+        let lookup_bound: BTreeSet<String> = out_factors
+            .iter()
+            .filter_map(|f| match f {
+                RhsFactor::MapLookup { keys, .. } => Some(keys.iter().cloned()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        let params_or_lookups = |v: &String| params.contains(v) || lookup_bound.contains(v);
+        for var in target_key_syms.iter() {
+            if !params_or_lookups(var) {
+                return Err(CompileError::Unsupported(format!(
+                    "view key {var} is not determined by the update parameters or by a \
+                     materialized lookup (active-domain initialization would be required)"
+                )));
+            }
+        }
+        for factor in &out_factors {
+            for var in factor.variables() {
+                if !params_or_lookups(&var) {
+                    return Err(CompileError::Unsupported(format!(
+                        "variable {var} in a trigger statement is not bound by the update \
+                         parameters or by a materialized lookup"
+                    )));
+                }
+            }
+        }
+        Ok(Some(Statement {
+            target,
+            target_keys: target_key_syms,
+            coefficient: monomial.coefficient,
+            factors: out_factors,
+        }))
+    }
+
+    /// Materializes one database-dependent component of a delta monomial as an auxiliary
+    /// map (reusing an existing structurally-identical map if possible) and returns the
+    /// map id plus the caller-side key variables.
+    fn materialize_component(
+        &mut self,
+        group: &[Expr],
+        bound: &BTreeSet<String>,
+    ) -> Result<(MapId, Vec<String>), CompileError> {
+        let vars: BTreeSet<String> = group.iter().flat_map(|f| f.variables()).collect();
+        // The caller-side keys: the component's variables that are externally bound (trigger
+        // parameters or target keys). Sorted order keeps map identities deterministic.
+        let call_keys: Vec<String> = vars.intersection(bound).cloned().collect();
+        // Canonicalize the key names inside the definition so that (a) structurally equal
+        // views deduplicate regardless of which parameters they were reached through, and
+        // (b) no trigger parameter name survives inside a map definition, which would
+        // otherwise be captured by a later delta with respect to the same relation.
+        let renaming: BTreeMap<String, String> = call_keys
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), format!("$k{i}")))
+            .collect();
+        let canonical_keys: Vec<String> = (0..call_keys.len()).map(|i| format!("$k{i}")).collect();
+        let definition = Expr::product(group.iter().map(|f| f.rename_variables(&renaming)));
+        let name = format!("m{}", self.maps.len());
+        let id = self.compile_map(name, definition, canonical_keys)?;
+        Ok((id, call_keys))
+    }
+}
+
+/// Splits the `Mul` chain of an expression into its factors.
+fn product_factors(expr: &Expr) -> Vec<Expr> {
+    match expr {
+        Expr::Mul(a, b) => {
+            let mut out = product_factors(a);
+            out.extend(product_factors(b));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Flattens top-level `Sum(…)` factors of a monomial into their inner factors whenever the
+/// inner variables cannot collide with the other factors' free variables (the statement
+/// semantics performs the summation anyway). Factors left un-flattened are kept atomic.
+fn flatten_sums(factors: &[Expr], bound: &BTreeSet<String>) -> Vec<Expr> {
+    let mut out = Vec::new();
+    for (i, factor) in factors.iter().enumerate() {
+        if let Expr::Sum(inner) = factor {
+            let other_vars: BTreeSet<String> = factors
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .flat_map(|(_, f)| f.variables())
+                .filter(|v| !bound.contains(v))
+                .collect();
+            let inner_vars = inner.variables();
+            if inner_vars.is_disjoint(&other_vars) {
+                out.extend(product_factors(inner));
+                continue;
+            }
+        }
+        out.push(factor.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbring_agca::parser::parse_query;
+    use dbring_agca::sql::parse_sql;
+
+    fn customer_catalog() -> Database {
+        let mut db = Database::new();
+        db.declare("C", &["cid", "nation"]).unwrap();
+        db
+    }
+
+    fn rst_catalog() -> Database {
+        let mut db = Database::new();
+        db.declare("R", &["A", "B"]).unwrap();
+        db.declare("S", &["C", "D"]).unwrap();
+        db.declare("T", &["E", "F"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn compiles_example_6_2_customer_query() {
+        let catalog = customer_catalog();
+        let q = parse_query("q[c] := Sum(C(c, n) * C(c2, n))").unwrap();
+        let program = compile(&catalog, &q).unwrap();
+        program.validate().unwrap();
+        // Output map plus the two auxiliary views: per-nation count and the (cid, nation)
+        // multiplicity map.
+        assert_eq!(program.maps.len(), 3);
+        assert_eq!(program.output_map().key_vars, vec!["c"]);
+        assert_eq!(program.output_map().degree, 2);
+        // Two triggers (insert and delete on C).
+        assert_eq!(program.triggers.len(), 2);
+        let insert = program.trigger("C", Sign::Insert).unwrap();
+        assert_eq!(insert.params, vec!["@C_cid", "@C_nation"]);
+        // Three statements maintain q (one per product-rule term), plus one per auxiliary
+        // view.
+        let q_statements: Vec<_> = insert
+            .statements
+            .iter()
+            .filter(|s| s.target == program.output)
+            .collect();
+        assert_eq!(q_statements.len(), 3);
+        assert_eq!(insert.statements.len(), 5);
+        // The statements for q come first (highest degree), so they read pre-update values.
+        assert_eq!(insert.statements[0].target, program.output);
+        assert_eq!(insert.statements[1].target, program.output);
+        assert_eq!(insert.statements[2].target, program.output);
+        // One of the q statements has a loop variable (the "for all customers of the
+        // inserted nation" term).
+        assert!(q_statements
+            .iter()
+            .any(|s| !s.loop_variables(&insert.params).is_empty()));
+        // The other two q statements are constant-work: a single lookup keyed by the
+        // parameters, or no factors at all (the "+1" term).
+        assert!(q_statements.iter().any(|s| s.factors.is_empty()));
+        assert!(q_statements.iter().any(|s| matches!(
+            s.factors.as_slice(),
+            [RhsFactor::MapLookup { keys, .. }] if keys == &vec!["@C_nation".to_string()]
+        )));
+    }
+
+    #[test]
+    fn compiles_example_1_3_with_factorized_deltas() {
+        let catalog = rst_catalog();
+        let q = parse_sql(
+            "SELECT SUM(A * F) FROM R, S, T WHERE B = C AND D = E",
+            &catalog,
+        )
+        .unwrap();
+        let program = compile(&catalog, &q).unwrap();
+        program.validate().unwrap();
+        // The +S trigger must update the output with a product of two independent
+        // single-key lookups — the paper's (∆Q)₁(c) * (∆Q)₂(d).
+        let on_s = program.trigger("S", Sign::Insert).unwrap();
+        let q_stmt = on_s
+            .statements
+            .iter()
+            .find(|s| s.target == program.output)
+            .unwrap();
+        let lookups: Vec<_> = q_stmt
+            .factors
+            .iter()
+            .filter(|f| matches!(f, RhsFactor::MapLookup { .. }))
+            .collect();
+        assert_eq!(lookups.len(), 2, "delta wrt S must factorize into two views");
+        for lookup in &lookups {
+            if let RhsFactor::MapLookup { map, keys } = lookup {
+                assert_eq!(keys.len(), 1, "each factor view is keyed by one parameter");
+                assert_eq!(program.maps[*map].key_vars.len(), 1);
+            }
+        }
+        // Each factor view has degree 1 (a single relation), so its own maintenance is a
+        // constant-time statement.
+        let aux_degrees: Vec<usize> = program.maps.iter().map(|m| m.degree).collect();
+        assert!(aux_degrees.iter().filter(|&&d| d == 1).count() >= 2);
+    }
+
+    #[test]
+    fn insert_and_delete_triggers_share_auxiliary_maps() {
+        let catalog = customer_catalog();
+        let q = parse_query("q[c] := Sum(C(c, n) * C(c2, n))").unwrap();
+        let program = compile(&catalog, &q).unwrap();
+        let ins = program.trigger("C", Sign::Insert).unwrap();
+        let del = program.trigger("C", Sign::Delete).unwrap();
+        // Deletion uses the same auxiliary maps with flipped coefficients, not new maps.
+        assert_eq!(program.maps.len(), 3);
+        assert_eq!(ins.statements.len(), del.statements.len());
+        // Per-view statements (degree-1 targets) flip sign exactly.
+        for (i, d) in ins.statements.iter().zip(&del.statements) {
+            if program.maps[i.target].degree == 1 {
+                assert_eq!(d.target, i.target);
+                assert_eq!(
+                    d.coefficient.as_i64().unwrap(),
+                    -i.coefficient.as_i64().unwrap()
+                );
+            }
+        }
+        // The output-map statements are the paper's ∆Q = ±(2·count) + 1: two lookup terms
+        // that flip sign and the constant +1 term (from ∆C·∆C) that does not.
+        let q_coeffs = |t: &Trigger| -> Vec<i64> {
+            t.statements
+                .iter()
+                .filter(|s| s.target == program.output)
+                .map(|s| s.coefficient.as_i64().unwrap())
+                .collect()
+        };
+        assert_eq!(q_coeffs(ins).iter().sum::<i64>(), 3);
+        assert_eq!(q_coeffs(del).iter().sum::<i64>(), -1);
+    }
+
+    #[test]
+    fn scalar_self_join_count_compiles_to_the_paper_trigger() {
+        // Example 1.2: q = SELECT count(*) FROM R r1, R r2 WHERE r1.A = r2.A.
+        let mut catalog = Database::new();
+        catalog.declare("R", &["A"]).unwrap();
+        let q = parse_query("q := Sum(R(x) * R(y) * (x = y))").unwrap();
+        let program = compile(&catalog, &q).unwrap();
+        program.validate().unwrap();
+        // Maps: q itself plus the per-value multiplicity view of R.
+        assert_eq!(program.maps.len(), 2);
+        let insert = program.trigger("R", Sign::Insert).unwrap();
+        // ∆q = 1 + 2 * count(R where A = a): constant-work statements only, no loops.
+        for stmt in &insert.statements {
+            assert!(stmt.loop_variables(&insert.params).is_empty());
+        }
+        let q_stmts: Vec<_> = insert
+            .statements
+            .iter()
+            .filter(|s| s.target == program.output)
+            .collect();
+        let coeff_sum: i64 = q_stmts
+            .iter()
+            .map(|s| s.coefficient.as_i64().unwrap())
+            .sum();
+        // +1 (the ∆R*∆R term) + 1 + 1 (the two cross terms) = 3 statements; their
+        // coefficients are 1 each and two of them carry a lookup.
+        assert_eq!(q_stmts.len(), 3);
+        assert_eq!(coeff_sum, 3);
+        let with_lookup = q_stmts
+            .iter()
+            .filter(|s| s.factors.iter().any(|f| matches!(f, RhsFactor::MapLookup { .. })))
+            .count();
+        assert_eq!(with_lookup, 2);
+    }
+
+    #[test]
+    fn group_by_sql_query_compiles_and_validates() {
+        let catalog = customer_catalog();
+        let q = parse_sql(
+            "SELECT C1.cid, SUM(1) FROM C C1, C C2 WHERE C1.nation = C2.nation GROUP BY C1.cid",
+            &catalog,
+        )
+        .unwrap();
+        let program = compile(&catalog, &q).unwrap();
+        program.validate().unwrap();
+        assert_eq!(program.output_map().key_vars, vec!["C1.cid"]);
+        assert_eq!(program.maps.len(), 3);
+    }
+
+    #[test]
+    fn value_aggregation_keeps_scalar_terms() {
+        let mut catalog = Database::new();
+        catalog.declare("Sales", &["cust", "price", "qty"]).unwrap();
+        let q = parse_sql(
+            "SELECT cust, SUM(price * qty) FROM Sales GROUP BY cust",
+            &catalog,
+        )
+        .unwrap();
+        let program = compile(&catalog, &q).unwrap();
+        program.validate().unwrap();
+        // Degree-1 query: a single map, and the insert trigger multiplies the two
+        // parameters together.
+        assert_eq!(program.maps.len(), 1);
+        let insert = program.trigger("Sales", Sign::Insert).unwrap();
+        assert_eq!(insert.statements.len(), 1);
+        let stmt = &insert.statements[0];
+        assert_eq!(stmt.target_keys, vec!["@Sales_cust"]);
+        assert!(stmt
+            .factors
+            .iter()
+            .any(|f| matches!(f, RhsFactor::Scalar(_))));
+        // Deletion negates.
+        let delete = program.trigger("Sales", Sign::Delete).unwrap();
+        assert_eq!(
+            delete.statements[0].coefficient.as_i64().unwrap(),
+            -stmt.coefficient.as_i64().unwrap()
+        );
+    }
+
+    #[test]
+    fn conditions_against_constants_become_guards() {
+        let catalog = customer_catalog();
+        let q = parse_query("q := Sum(C(c, n) * (n >= 10) * n)").unwrap();
+        let program = compile(&catalog, &q).unwrap();
+        program.validate().unwrap();
+        let insert = program.trigger("C", Sign::Insert).unwrap();
+        let stmt = &insert.statements[0];
+        assert!(stmt
+            .factors
+            .iter()
+            .any(|f| matches!(f, RhsFactor::Guard(CmpOp::Ge, _, _))));
+        assert!(stmt
+            .factors
+            .iter()
+            .any(|f| matches!(f, RhsFactor::Scalar(ScalarExpr::Var(v)) if v == "@C_nation")));
+    }
+
+    #[test]
+    fn error_cases() {
+        let catalog = customer_catalog();
+        // Nested aggregate in a condition.
+        let nested = parse_query("q := Sum(C(c, n) * (Sum(C(c2, n2) * n2) > 5))").unwrap();
+        assert!(matches!(
+            compile(&catalog, &nested),
+            Err(CompileError::NestedAggregateCondition)
+        ));
+        // Unknown relation.
+        let unknown = parse_query("q := Sum(Z(x))").unwrap();
+        assert!(matches!(
+            compile(&catalog, &unknown),
+            Err(CompileError::UnknownRelation(_))
+        ));
+        // Arity mismatch.
+        let arity = parse_query("q := Sum(C(x))").unwrap();
+        assert!(matches!(
+            compile(&catalog, &arity),
+            Err(CompileError::ArityMismatch { .. })
+        ));
+        // Unsafe query (variable never bound).
+        let unsafe_q = parse_query("q := Sum(C(c, n) * z)").unwrap();
+        assert!(matches!(
+            compile(&catalog, &unsafe_q),
+            Err(CompileError::Unsafe(_))
+        ));
+        // Error messages render.
+        assert!(CompileError::UnknownRelation("Z".into())
+            .to_string()
+            .contains("Z"));
+        assert!(CompileError::NestedAggregateCondition.to_string().contains("conditions"));
+    }
+
+    #[test]
+    fn degree_one_queries_need_no_auxiliary_maps() {
+        let catalog = customer_catalog();
+        let q = parse_query("total[n] := Sum(C(c, n))").unwrap();
+        let program = compile(&catalog, &q).unwrap();
+        assert_eq!(program.maps.len(), 1);
+        let insert = program.trigger("C", Sign::Insert).unwrap();
+        assert_eq!(insert.statements.len(), 1);
+        assert_eq!(insert.statements[0].target_keys, vec!["@C_nation"]);
+        assert!(insert.statements[0].factors.is_empty());
+        assert_eq!(insert.statements[0].coefficient.as_i64(), Some(1));
+    }
+
+    #[test]
+    fn three_level_hierarchy_for_a_degree_three_query() {
+        let catalog = rst_catalog();
+        let q = parse_sql(
+            "SELECT SUM(A * F) FROM R, S, T WHERE B = C AND D = E",
+            &catalog,
+        )
+        .unwrap();
+        let program = compile(&catalog, &q).unwrap();
+        // Degrees present: 3 (the query), 2 (pair views), 1 (single-relation views).
+        let mut degrees: Vec<usize> = program.maps.iter().map(|m| m.degree).collect();
+        degrees.sort_unstable();
+        assert_eq!(*degrees.first().unwrap(), 1);
+        assert_eq!(*degrees.last().unwrap(), 3);
+        assert!(degrees.contains(&2));
+        // All six triggers exist.
+        assert_eq!(program.triggers.len(), 6);
+        // Every statement's lookups have strictly smaller degree than the target.
+        for trigger in &program.triggers {
+            for stmt in &trigger.statements {
+                for factor in &stmt.factors {
+                    if let RhsFactor::MapLookup { map, .. } = factor {
+                        assert!(
+                            program.maps[*map].degree < program.maps[stmt.target].degree,
+                            "lookups must reference strictly lower-degree views"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

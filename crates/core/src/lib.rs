@@ -1,0 +1,313 @@
+//! # dbring — incremental query evaluation in a ring of databases
+//!
+//! A from-scratch Rust reproduction of Christoph Koch's *Incremental Query Evaluation in a
+//! Ring of Databases* (PODS 2010): the ring of generalized multiset relations, the AGCA
+//! aggregate query calculus, recursive delta processing, and a compiler that turns
+//! aggregate queries into trigger programs which maintain the query result with a
+//! **constant number of arithmetic operations per maintained value per single-tuple
+//! update** — no joins, no aggregation operators, no access to the base relations.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dbring::{Catalog, IncrementalView, Value};
+//!
+//! // Declare the schema.
+//! let mut catalog = Catalog::new();
+//! catalog.declare("Sales", &["cust", "price", "qty"]).unwrap();
+//!
+//! // Define a standing aggregate query (SQL subset or AGCA text syntax).
+//! let mut revenue = IncrementalView::from_sql(
+//!     &catalog,
+//!     "SELECT cust, SUM(price * qty) AS revenue FROM Sales GROUP BY cust",
+//! )
+//! .unwrap();
+//!
+//! // Stream updates; the view stays fresh after every single-tuple change.
+//! revenue.insert("Sales", vec![Value::int(1), Value::float(9.5), Value::int(3)]).unwrap();
+//! revenue.insert("Sales", vec![Value::int(1), Value::float(0.5), Value::int(1)]).unwrap();
+//! revenue.delete("Sales", vec![Value::int(1), Value::float(0.5), Value::int(1)]).unwrap();
+//! assert_eq!(revenue.value(&[Value::int(1)]).as_f64(), 28.5);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | layer | crate | paper section |
+//! |---|---|---|
+//! | abstract algebra (monoid/avalanche rings, polynomials, recursive memoization) | `dbring-algebra` | §1.1, §2 |
+//! | generalized multiset relations, databases, updates | `dbring-relations` | §3 |
+//! | the AGCA calculus: AST, parsers, evaluator, normalization, factorization | `dbring-agca` | §4–5 |
+//! | the delta transform and delta hierarchies | `dbring-delta` | §6 |
+//! | the NC0C trigger IR and the recursive IVM compiler | `dbring-compiler` | §7 |
+//! | the trigger executor, op counting, baselines | `dbring-runtime` | §1.1, §7 |
+//!
+//! This facade re-exports the pieces most users need and adds [`IncrementalView`], a
+//! one-stop API that parses, checks, compiles and runs a standing query.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use dbring_agca::ast::{CmpOp, Expr, Query};
+pub use dbring_agca::eval::{eval, eval_all_groups, EvalError};
+pub use dbring_agca::parser::{parse_expr, parse_query, ParseError};
+pub use dbring_agca::safety::SafetyError;
+pub use dbring_agca::sql::parse_sql;
+pub use dbring_algebra::{Number, Polynomial, RecursiveMemo, Ring, Semiring};
+pub use dbring_compiler::{compile, generate_nc0c, CompileError, TriggerProgram};
+pub use dbring_delta::{delta, Sign, UpdateEvent};
+pub use dbring_relations::{Database, Gmr, Tuple, Update, Value};
+pub use dbring_runtime::{ClassicalIvm, ExecStats, Executor, MaintenanceStrategy, NaiveReeval, RuntimeError};
+
+/// A schema catalog: relation names and their column lists. (Alias of [`Database`]; a
+/// catalog is simply a database whose contents are ignored.)
+pub type Catalog = Database;
+
+/// Any error that can occur while building or driving an [`IncrementalView`].
+#[derive(Clone, Debug)]
+pub enum Error {
+    /// The query text failed to parse.
+    Parse(ParseError),
+    /// The query could not be compiled to a trigger program.
+    Compile(CompileError),
+    /// Evaluating a query with the reference evaluator failed (initialization).
+    Eval(EvalError),
+    /// Applying an update to the compiled program failed.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Compile(e) => write!(f, "{e}"),
+            Error::Eval(e) => write!(f, "{e}"),
+            Error::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+impl From<CompileError> for Error {
+    fn from(e: CompileError) -> Self {
+        Error::Compile(e)
+    }
+}
+impl From<EvalError> for Error {
+    fn from(e: EvalError) -> Self {
+        Error::Eval(e)
+    }
+}
+impl From<RuntimeError> for Error {
+    fn from(e: RuntimeError) -> Self {
+        Error::Runtime(e)
+    }
+}
+
+/// A standing aggregate query maintained incrementally by a compiled trigger program.
+///
+/// Construction parses (if needed), range-checks, compiles and validates the query; after
+/// that, every [`IncrementalView::apply`] performs only the constant-work trigger
+/// statements of the compiled program — the base relations are not stored.
+#[derive(Clone, Debug)]
+pub struct IncrementalView {
+    query: Query,
+    executor: Executor,
+}
+
+impl IncrementalView {
+    /// Builds a view from an already-parsed AGCA [`Query`].
+    pub fn new(catalog: &Catalog, query: Query) -> Result<Self, Error> {
+        let program = compile(catalog, &query)?;
+        Ok(IncrementalView {
+            query,
+            executor: Executor::new(program),
+        })
+    }
+
+    /// Builds a view from a SQL aggregate query (the Section 5 SQL subset).
+    pub fn from_sql(catalog: &Catalog, sql: &str) -> Result<Self, Error> {
+        let query = parse_sql(sql, catalog)?;
+        Self::new(catalog, query)
+    }
+
+    /// Builds a view from the AGCA text syntax, e.g.
+    /// `"q[c] := Sum(C(c, n) * C(c2, n))"`.
+    pub fn from_agca(catalog: &Catalog, text: &str) -> Result<Self, Error> {
+        let query = parse_query(text)?;
+        Self::new(catalog, query)
+    }
+
+    /// Initializes all materialized views from an existing (non-empty) database. Call this
+    /// once, before streaming updates, when the view does not start from scratch.
+    pub fn with_initial_database(mut self, db: &Database) -> Result<Self, Error> {
+        self.executor.initialize_from(db)?;
+        Ok(self)
+    }
+
+    /// The query this view maintains.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The compiled trigger program (inspect with [`TriggerProgram::describe`]).
+    pub fn program(&self) -> &TriggerProgram {
+        self.executor.program()
+    }
+
+    /// The program rendered in the paper's low-level NC0C language (a C-like listing of
+    /// map declarations and trigger functions), for inspection or embedding elsewhere.
+    pub fn nc0c_source(&self) -> String {
+        generate_nc0c(self.program())
+    }
+
+    /// Applies one single-tuple update.
+    pub fn apply(&mut self, update: &Update) -> Result<(), Error> {
+        self.executor.apply(update)?;
+        Ok(())
+    }
+
+    /// Applies a sequence of updates.
+    pub fn apply_all<'a>(
+        &mut self,
+        updates: impl IntoIterator<Item = &'a Update>,
+    ) -> Result<(), Error> {
+        for u in updates {
+            self.apply(u)?;
+        }
+        Ok(())
+    }
+
+    /// Convenience: applies the insertion `+R(values)`.
+    pub fn insert(&mut self, relation: &str, values: Vec<Value>) -> Result<(), Error> {
+        self.apply(&Update::insert(relation, values))
+    }
+
+    /// Convenience: applies the deletion `−R(values)`.
+    pub fn delete(&mut self, relation: &str, values: Vec<Value>) -> Result<(), Error> {
+        self.apply(&Update::delete(relation, values))
+    }
+
+    /// The aggregate value for one group key (the empty slice for queries without
+    /// `GROUP BY`). Missing groups read as zero.
+    pub fn value(&self, group_key: &[Value]) -> Number {
+        self.executor.output_value(group_key)
+    }
+
+    /// The full result table, sorted by group key.
+    pub fn table(&self) -> BTreeMap<Vec<Value>, Number> {
+        self.executor.output_table()
+    }
+
+    /// Work counters (updates applied, ring additions/multiplications performed).
+    pub fn stats(&self) -> ExecStats {
+        self.executor.stats()
+    }
+
+    /// Total number of entries across the whole view hierarchy (memory footprint).
+    pub fn total_entries(&self) -> usize {
+        self.executor.total_entries()
+    }
+
+    /// Borrows the underlying executor (for experiments needing map-level access).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Mutably borrows the underlying executor.
+    pub fn executor_mut(&mut self) -> &mut Executor {
+        &mut self.executor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customer_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare("C", &["cid", "nation"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn sql_and_agca_constructors_agree() {
+        let catalog = customer_catalog();
+        let mut via_sql = IncrementalView::from_sql(
+            &catalog,
+            "SELECT C1.cid, SUM(1) FROM C C1, C C2 WHERE C1.nation = C2.nation GROUP BY C1.cid",
+        )
+        .unwrap();
+        let mut via_agca =
+            IncrementalView::from_agca(&catalog, "q[c] := Sum(C(c, n) * C(c2, n))").unwrap();
+        for i in 0..20 {
+            let u = Update::insert(
+                "C",
+                vec![Value::int(i), Value::str(["FR", "DE"][(i % 2) as usize])],
+            );
+            via_sql.apply(&u).unwrap();
+            via_agca.apply(&u).unwrap();
+        }
+        assert_eq!(via_sql.table(), via_agca.table());
+        assert_eq!(via_sql.value(&[Value::int(0)]), Number::Int(10));
+    }
+
+    #[test]
+    fn initialization_from_existing_database() {
+        let catalog = customer_catalog();
+        let mut db = catalog.clone();
+        db.insert("C", vec![Value::int(1), Value::str("FR")]).unwrap();
+        db.insert("C", vec![Value::int(2), Value::str("FR")]).unwrap();
+        let view = IncrementalView::from_agca(&catalog, "q[c] := Sum(C(c, n) * C(c2, n))")
+            .unwrap()
+            .with_initial_database(&db)
+            .unwrap();
+        assert_eq!(view.value(&[Value::int(1)]), Number::Int(2));
+        assert_eq!(view.table().len(), 2);
+        assert!(view.total_entries() >= 2);
+    }
+
+    #[test]
+    fn errors_are_propagated_and_displayed() {
+        let catalog = customer_catalog();
+        assert!(matches!(
+            IncrementalView::from_sql(&catalog, "SELECT nope FROM C"),
+            Err(Error::Parse(_))
+        ));
+        assert!(matches!(
+            IncrementalView::from_agca(&catalog, "q := Sum(Z(x))"),
+            Err(Error::Compile(_))
+        ));
+        let err = IncrementalView::from_agca(&catalog, "q := Sum(Z(x))").unwrap_err();
+        assert!(err.to_string().contains("Z"));
+        let mut view =
+            IncrementalView::from_agca(&catalog, "q[c] := Sum(C(c, n))").unwrap();
+        assert!(matches!(
+            view.insert("C", vec![Value::int(1)]),
+            Err(Error::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn accessors_expose_query_program_and_stats() {
+        let catalog = customer_catalog();
+        let mut view =
+            IncrementalView::from_agca(&catalog, "q[c] := Sum(C(c, n) * C(c2, n))").unwrap();
+        assert_eq!(view.query().group_by, vec!["c"]);
+        assert!(view.program().describe().contains("on +C"));
+        assert!(view.nc0c_source().contains("void on_insert_C"));
+        view.insert("C", vec![Value::int(1), Value::str("FR")]).unwrap();
+        assert_eq!(view.stats().updates, 1);
+        assert!(view.executor().total_entries() > 0);
+        view.executor_mut().reset_stats();
+        assert_eq!(view.stats().updates, 0);
+    }
+}

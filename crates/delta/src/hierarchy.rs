@@ -1,0 +1,221 @@
+//! Recursive delta hierarchies ("delta towers").
+//!
+//! Taking deltas repeatedly — `∆Q`, `∆²Q`, … — terminates for queries with simple
+//! conditions because the degree strictly decreases (Theorem 6.4); after `deg(Q)` steps
+//! the expressions depend only on the update parameters. The tower built here enumerates
+//! *all* delta sequences over the relations a query mentions, which is exactly the set of
+//! auxiliary views the recursive IVM scheme of Section 1.1 materializes (before the
+//! factorization refinements applied by the compiler). The tower is used by the
+//! experiments that regenerate Examples 6.2/6.5 and by the property tests of Theorem 6.4.
+
+use dbring_relations::Database;
+use serde::{Deserialize, Serialize};
+
+use dbring_agca::ast::Expr;
+use dbring_agca::degree::degree;
+use dbring_agca::normalize::normalize;
+
+use crate::transform::{delta, Sign, UpdateEvent};
+
+/// All insertion/deletion events (with fresh parameter names for nesting level `level`)
+/// for the relations referenced by `expr`, using the database catalog for arities.
+///
+/// Relations not declared in the database are skipped (their deltas would never fire).
+pub fn update_events(db: &Database, expr: &Expr, level: usize) -> Vec<UpdateEvent> {
+    let mut events = Vec::new();
+    for relation in expr.relations() {
+        let Some(columns) = db.columns(&relation) else {
+            continue;
+        };
+        let arity = columns.len();
+        for sign in [Sign::Insert, Sign::Delete] {
+            events.push(UpdateEvent::with_fresh_params(
+                relation.clone(),
+                sign,
+                arity,
+                level,
+            ));
+        }
+    }
+    events
+}
+
+/// Applies the delta transform once per event, left to right:
+/// `∆_{u_k}(… ∆_{u_1}(expr) …)`.
+pub fn iterated_delta(expr: &Expr, events: &[UpdateEvent]) -> Expr {
+    let mut out = expr.clone();
+    for event in events {
+        out = delta(&out, event);
+    }
+    out
+}
+
+/// One entry of a delta tower: the event sequence and the (simplified) delta expression it
+/// leads to.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TowerEntry {
+    /// The sequence of update events `u₁, …, u_j` this delta is taken with respect to.
+    pub events: Vec<UpdateEvent>,
+    /// The simplified `∆^j` expression.
+    pub expr: Expr,
+    /// Its polynomial degree.
+    pub degree: usize,
+}
+
+/// The full hierarchy of recursive deltas of a query: level `j` holds `∆^j Q` for every
+/// length-`j` sequence of update events over the query's relations.
+///
+/// The tower stops at the first level where every entry is the zero expression (which, by
+/// Theorem 6.4, happens after at most `deg(Q) + 1` levels for simple-condition queries).
+/// The size of level `j` is `(2·#relations)^j`, so towers are only built for the small,
+/// fixed queries of the experiments and tests.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeltaTower {
+    /// `levels[j]` holds all `j`-th deltas; `levels[0]` is the query itself.
+    pub levels: Vec<Vec<TowerEntry>>,
+}
+
+impl DeltaTower {
+    /// The number of levels that contain a non-zero expression.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total number of non-zero delta expressions across all levels (the number of views
+    /// the unfactorized recursive IVM scheme would materialize).
+    pub fn view_count(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// The maximum degree found at each level (for exhibiting Theorem 6.4).
+    pub fn degrees_per_level(&self) -> Vec<usize> {
+        self.levels
+            .iter()
+            .map(|entries| entries.iter().map(|e| e.degree).max().unwrap_or(0))
+            .collect()
+    }
+}
+
+/// Builds the delta tower of `expr` over the relations it references, using `db` as the
+/// catalog for arities. `max_levels` bounds the construction defensively (useful for
+/// expressions with non-simple conditions, where termination is not guaranteed).
+pub fn build_tower(db: &Database, expr: &Expr, max_levels: usize) -> DeltaTower {
+    let mut levels: Vec<Vec<TowerEntry>> = vec![vec![TowerEntry {
+        events: Vec::new(),
+        expr: expr.clone(),
+        degree: degree(expr),
+    }]];
+    for level in 1..=max_levels {
+        let events = update_events(db, expr, level);
+        let mut next = Vec::new();
+        for entry in &levels[level - 1] {
+            for event in &events {
+                let d = delta(&entry.expr, event);
+                let simplified = normalize(&d).to_expr();
+                if simplified.is_zero() {
+                    continue;
+                }
+                let mut chain = entry.events.clone();
+                chain.push(event.clone());
+                next.push(TowerEntry {
+                    degree: degree(&simplified),
+                    events: chain,
+                    expr: simplified,
+                });
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        levels.push(next);
+    }
+    DeltaTower { levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbring_agca::parser::parse_expr;
+
+    fn customer_catalog() -> Database {
+        let mut db = Database::new();
+        db.declare("C", &["cid", "nation"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn update_events_cover_both_signs_per_relation() {
+        let db = customer_catalog();
+        let q = parse_expr("Sum(C(c, n) * C(c2, n))").unwrap();
+        let events = update_events(&db, &q, 1);
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().any(|e| e.sign == Sign::Insert));
+        assert!(events.iter().any(|e| e.sign == Sign::Delete));
+        assert!(events.iter().all(|e| e.relation == "C" && e.params.len() == 2));
+        // Undeclared relations are skipped.
+        let q2 = parse_expr("Sum(C(c, n) * Unknown(x))").unwrap();
+        assert_eq!(update_events(&db, &q2, 1).len(), 2);
+    }
+
+    #[test]
+    fn tower_of_the_customer_query_has_three_levels() {
+        let db = customer_catalog();
+        let q = parse_expr("Sum(C(c, n) * C(c2, n))").unwrap();
+        let tower = build_tower(&db, &q, 10);
+        // Level 0: the query (degree 2); level 1: first deltas (degree 1); level 2: second
+        // deltas (degree 0); level 3 would be all-zero, so it is absent.
+        assert_eq!(tower.depth(), 3);
+        assert_eq!(tower.degrees_per_level(), vec![2, 1, 0]);
+        assert_eq!(tower.levels[1].len(), 2);
+        assert_eq!(tower.levels[2].len(), 4);
+        assert_eq!(tower.view_count(), 1 + 2 + 4);
+        // Every second delta is database-free (references no relation).
+        for entry in &tower.levels[2] {
+            assert!(entry.expr.relations().is_empty());
+            assert_eq!(entry.events.len(), 2);
+        }
+    }
+
+    #[test]
+    fn iterated_delta_matches_the_tower() {
+        let db = customer_catalog();
+        let q = parse_expr("Sum(C(c, n) * C(c2, n))").unwrap();
+        let tower = build_tower(&db, &q, 10);
+        let entry = &tower.levels[1][0];
+        let direct = iterated_delta(&q, &entry.events);
+        assert_eq!(normalize(&direct), normalize(&entry.expr));
+    }
+
+    #[test]
+    fn degree_zero_queries_have_a_single_level() {
+        let db = customer_catalog();
+        let q = parse_expr("Sum((x := 1) * x)").unwrap();
+        let tower = build_tower(&db, &q, 10);
+        assert_eq!(tower.depth(), 1);
+        assert_eq!(tower.view_count(), 1);
+    }
+
+    #[test]
+    fn max_levels_bounds_the_construction() {
+        let db = customer_catalog();
+        let q = parse_expr("Sum(C(c, n) * C(c2, n))").unwrap();
+        let tower = build_tower(&db, &q, 1);
+        assert_eq!(tower.depth(), 2);
+    }
+
+    #[test]
+    fn three_way_join_tower_degrees_decrease() {
+        let mut db = Database::new();
+        db.declare("R", &["A", "B"]).unwrap();
+        db.declare("S", &["C", "D"]).unwrap();
+        db.declare("T", &["E", "F"]).unwrap();
+        let q = parse_expr(
+            "Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)",
+        )
+        .unwrap();
+        let tower = build_tower(&db, &q, 10);
+        assert_eq!(tower.degrees_per_level(), vec![3, 2, 1, 0]);
+        // Level 1 has one entry per (relation, sign) pair = 6.
+        assert_eq!(tower.levels[1].len(), 6);
+    }
+}

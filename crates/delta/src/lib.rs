@@ -1,0 +1,30 @@
+//! Delta processing for AGCA queries (Section 6 of *Incremental Query Evaluation in a Ring
+//! of Databases*, Koch, PODS 2010).
+//!
+//! The central object is the *delta transform* `∆_u(α)`: given a symbolic single-tuple
+//! update `u = ±R(t⃗)`, it produces an AGCA expression over the same database such that
+//!
+//! ```text
+//! [[α]](D + u)  =  [[α]](D)  +  [[∆_u α]](D)        (Proposition 6.1)
+//! ```
+//!
+//! Because AGCA is closed under `∆` and the degree strictly decreases for queries with
+//! simple conditions (Theorem 6.4), deltas can be taken *recursively* until a degree-0
+//! expression — one that depends only on the update, not on the database — is reached.
+//! That recursion is what the compiler (`dbring-compiler`) materializes as a hierarchy of
+//! views; this crate provides the symbolic machinery:
+//!
+//! * [`transform`] — [`UpdateEvent`]s (symbolic `±R(t⃗)` with named parameters) and the
+//!   delta rules for every AGCA construct;
+//! * [`hierarchy`] — iterated deltas, enumeration of update events for a query, and the
+//!   full *delta tower* used by experiments and tests to exhibit Examples 6.2/6.5 and the
+//!   degree-reduction theorem.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod transform;
+
+pub use hierarchy::{build_tower, iterated_delta, update_events, DeltaTower};
+pub use transform::{delta, delta_normalized, Sign, UpdateEvent};

@@ -1,0 +1,379 @@
+//! The delta transform `∆_{±R(t⃗)}` (Section 6).
+//!
+//! Updates are *symbolic*: an [`UpdateEvent`] names the relation, the sign, and one fresh
+//! parameter variable per column. The delta of a query is again an AGCA expression whose
+//! free variables include those parameters; binding the parameters to the concrete values
+//! of a runtime update (via [`UpdateEvent::binding`]) and evaluating yields the change to
+//! the query result. Keeping the update symbolic is what allows the compiler to generate
+//! *triggers*: code parameterized by the inserted/deleted tuple.
+
+use dbring_relations::{Tuple, Update, Value};
+use serde::{Deserialize, Serialize};
+
+use dbring_agca::ast::{CmpOp, Expr};
+use dbring_agca::normalize::{normalize, Polynomial};
+
+/// The sign of an update event: insertion or deletion.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Sign {
+    /// `+R(t⃗)` — insertion of one tuple.
+    Insert,
+    /// `−R(t⃗)` — deletion of one tuple.
+    Delete,
+}
+
+impl Sign {
+    /// The opposite sign.
+    pub fn flip(&self) -> Sign {
+        match self {
+            Sign::Insert => Sign::Delete,
+            Sign::Delete => Sign::Insert,
+        }
+    }
+
+    /// `+1` or `−1`.
+    pub fn multiplier(&self) -> i64 {
+        match self {
+            Sign::Insert => 1,
+            Sign::Delete => -1,
+        }
+    }
+}
+
+impl std::fmt::Display for Sign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sign::Insert => write!(f, "+"),
+            Sign::Delete => write!(f, "-"),
+        }
+    }
+}
+
+/// A symbolic single-tuple update `±R(t₁, …, t_k)`: the `tᵢ` are *parameter variables*
+/// that stand for the concrete values of the affected tuple.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct UpdateEvent {
+    /// The updated relation.
+    pub relation: String,
+    /// Insertion or deletion.
+    pub sign: Sign,
+    /// The parameter variable names, one per column of the relation.
+    pub params: Vec<String>,
+}
+
+impl UpdateEvent {
+    /// A symbolic insertion event.
+    pub fn insert(relation: impl Into<String>, params: &[&str]) -> Self {
+        UpdateEvent {
+            relation: relation.into(),
+            sign: Sign::Insert,
+            params: params.iter().map(|p| p.to_string()).collect(),
+        }
+    }
+
+    /// A symbolic deletion event.
+    pub fn delete(relation: impl Into<String>, params: &[&str]) -> Self {
+        UpdateEvent {
+            relation: relation.into(),
+            sign: Sign::Delete,
+            params: params.iter().map(|p| p.to_string()).collect(),
+        }
+    }
+
+    /// An event for `relation` with auto-generated parameter names
+    /// `@<relation>_<level>_<i>` (the `@` prefix keeps them disjoint from query variables).
+    pub fn with_fresh_params(
+        relation: impl Into<String>,
+        sign: Sign,
+        arity: usize,
+        level: usize,
+    ) -> Self {
+        let relation = relation.into();
+        let params = (0..arity)
+            .map(|i| format!("@{relation}_{level}_{i}"))
+            .collect();
+        UpdateEvent {
+            relation,
+            sign,
+            params,
+        }
+    }
+
+    /// The event with the opposite sign (same parameters).
+    pub fn flipped(&self) -> Self {
+        UpdateEvent {
+            relation: self.relation.clone(),
+            sign: self.sign.flip(),
+            params: self.params.clone(),
+        }
+    }
+
+    /// The binding tuple `{t₁ ↦ v₁, …}` that instantiates the event's parameters with the
+    /// concrete values of a runtime update.
+    ///
+    /// # Panics
+    /// Panics if the number of values differs from the number of parameters.
+    pub fn binding(&self, values: &[Value]) -> Tuple {
+        assert_eq!(
+            values.len(),
+            self.params.len(),
+            "update arity mismatch for {}",
+            self.relation
+        );
+        Tuple::from_pairs(self.params.iter().cloned().zip(values.iter().cloned()))
+    }
+
+    /// Whether a concrete [`Update`] matches this symbolic event (same relation, same
+    /// sign).
+    pub fn matches(&self, update: &Update) -> bool {
+        self.relation == update.relation
+            && ((self.sign == Sign::Insert) == (update.multiplicity > 0))
+    }
+}
+
+impl std::fmt::Display for UpdateEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}({})", self.sign, self.relation, self.params.join(", "))
+    }
+}
+
+/// The delta transform `∆_u(α)` (Section 6). The result is a plain AGCA expression; use
+/// [`delta_normalized`] to additionally bring it into polynomial normal form (which folds
+/// the cancellations that make Theorem 6.4 visible).
+pub fn delta(expr: &Expr, event: &UpdateEvent) -> Expr {
+    match expr {
+        // ∆(α + β) = ∆α + ∆β
+        Expr::Add(a, b) => Expr::add(delta(a, event), delta(b, event)),
+        // ∆(−α) = −∆α
+        Expr::Neg(a) => Expr::neg(delta(a, event)),
+        // ∆(Sum α) = Sum(∆α)
+        Expr::Sum(a) => Expr::sum(delta(a, event)),
+        // ∆(α * β) = ∆α * β + α * ∆β + ∆α * ∆β
+        Expr::Mul(a, b) => {
+            let da = delta(a, event);
+            let db = delta(b, event);
+            let mut terms = Vec::new();
+            if !da.is_zero() {
+                terms.push(Expr::mul(da.clone(), (**b).clone()));
+            }
+            if !db.is_zero() {
+                terms.push(Expr::mul((**a).clone(), db.clone()));
+            }
+            if !da.is_zero() && !db.is_zero() {
+                terms.push(Expr::mul(da, db));
+            }
+            Expr::sum_of(terms)
+        }
+        // Constants and variables do not depend on the database.
+        Expr::Const(_) | Expr::Var(_) => Expr::int(0),
+        // ∆(±R(x⃗)): the explicit construction of the change to R.
+        Expr::Rel(name, vars) => {
+            if *name != event.relation {
+                return Expr::int(0);
+            }
+            assert_eq!(
+                vars.len(),
+                event.params.len(),
+                "update event for {name} has arity {} but the atom has arity {}",
+                event.params.len(),
+                vars.len()
+            );
+            let assignments = Expr::product(
+                vars.iter()
+                    .zip(event.params.iter())
+                    .map(|(x, t)| Expr::assign(x.clone(), Expr::var(t.clone()))),
+            );
+            match event.sign {
+                Sign::Insert => assignments,
+                Sign::Delete => Expr::neg(assignments),
+            }
+        }
+        // Conditions: zero for simple conditions (∆t = 0); otherwise the truth-table rule
+        // ∆(t θ 0) = ((t+∆t) θ 0)(t θ̄ 0) − ((t+∆t) θ̄ 0)(t θ 0).
+        Expr::Cmp(op, lhs, rhs) => {
+            let dl = delta(lhs, event);
+            let dr = delta(rhs, event);
+            if dl.is_zero() && dr.is_zero() {
+                return Expr::int(0);
+            }
+            let new_lhs = if dl.is_zero() {
+                (**lhs).clone()
+            } else {
+                Expr::add((**lhs).clone(), dl)
+            };
+            let new_rhs = if dr.is_zero() {
+                (**rhs).clone()
+            } else {
+                Expr::add((**rhs).clone(), dr)
+            };
+            let old = Expr::cmp(*op, (**lhs).clone(), (**rhs).clone());
+            let old_bar = Expr::cmp(op.complement(), (**lhs).clone(), (**rhs).clone());
+            let new = Expr::cmp(*op, new_lhs.clone(), new_rhs.clone());
+            let new_bar = Expr::cmp(op.complement(), new_lhs, new_rhs);
+            Expr::add(
+                Expr::mul(new, old_bar),
+                Expr::neg(Expr::mul(new_bar, old)),
+            )
+        }
+        // Assignments are treated like the equality condition x = t (Section 6); their
+        // delta is governed by the term's delta.
+        Expr::Assign(x, term) => {
+            let dt = delta(term, event);
+            if dt.is_zero() {
+                return Expr::int(0);
+            }
+            delta(
+                &Expr::cmp(CmpOp::Eq, Expr::Var(x.clone()), (**term).clone()),
+                event,
+            )
+        }
+    }
+}
+
+/// The delta transform followed by normalization into polynomial form.
+pub fn delta_normalized(expr: &Expr, event: &UpdateEvent) -> Polynomial {
+    normalize(&delta(expr, event))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbring_agca::degree::degree;
+    use dbring_agca::parser::parse_expr;
+
+    #[test]
+    fn update_event_basics() {
+        let e = UpdateEvent::insert("R", &["t1", "t2"]);
+        assert_eq!(e.to_string(), "+R(t1, t2)");
+        assert_eq!(e.flipped().to_string(), "-R(t1, t2)");
+        assert_eq!(e.sign.multiplier(), 1);
+        assert_eq!(e.flipped().sign.multiplier(), -1);
+        assert_eq!(Sign::Insert.flip().flip(), Sign::Insert);
+        let fresh = UpdateEvent::with_fresh_params("S", Sign::Delete, 2, 1);
+        assert_eq!(fresh.params, vec!["@S_1_0", "@S_1_1"]);
+        let b = e.binding(&[Value::int(1), Value::str("x")]);
+        assert_eq!(b.get("t1"), Some(&Value::int(1)));
+        assert_eq!(b.get("t2"), Some(&Value::str("x")));
+        let upd = Update::insert("R", vec![Value::int(1), Value::str("x")]);
+        assert!(e.matches(&upd));
+        assert!(!e.flipped().matches(&upd));
+        assert!(!UpdateEvent::insert("S", &["a", "b"]).matches(&upd));
+    }
+
+    #[test]
+    #[should_panic]
+    fn binding_arity_mismatch_panics() {
+        UpdateEvent::insert("R", &["t1", "t2"]).binding(&[Value::int(1)]);
+    }
+
+    #[test]
+    fn delta_of_an_atom_is_a_product_of_assignments() {
+        let atom = Expr::rel("C", &["c", "n"]);
+        let plus = UpdateEvent::insert("C", &["c1", "n1"]);
+        let d = delta(&atom, &plus);
+        assert_eq!(
+            d,
+            Expr::mul(
+                Expr::assign("c", Expr::var("c1")),
+                Expr::assign("n", Expr::var("n1"))
+            )
+        );
+        let minus = UpdateEvent::delete("C", &["c1", "n1"]);
+        assert_eq!(delta(&atom, &minus), Expr::neg(d));
+        // Deltas with respect to other relations vanish.
+        assert!(delta(&atom, &UpdateEvent::insert("S", &["x"])).is_zero());
+    }
+
+    #[test]
+    fn delta_of_constants_variables_and_simple_conditions_is_zero() {
+        let e = UpdateEvent::insert("R", &["t"]);
+        assert!(delta(&Expr::int(7), &e).is_zero());
+        assert!(delta(&Expr::var("x"), &e).is_zero());
+        assert!(delta(&parse_expr("(x < y)").unwrap(), &e).is_zero());
+        assert!(delta(&parse_expr("(x := 3)").unwrap(), &e).is_zero());
+    }
+
+    #[test]
+    fn example_6_2_delta_of_the_customer_query() {
+        // q = Sum(C(c, n) * C(c2, n)); ∆ wrt +C(c1, n1) has three product terms.
+        let q = parse_expr("Sum(C(c, n) * C(c2, n))").unwrap();
+        let event = UpdateEvent::insert("C", &["c1", "n1"]);
+        let d = delta(&q, &event);
+        assert_eq!(degree(&q), 2);
+        assert_eq!(degree(&d), 1);
+        let p = delta_normalized(&q, &event);
+        // Three monomials: ∆C * C, C * ∆C, ∆C * ∆C.
+        assert_eq!(p.monomials.len(), 3);
+        let degrees: Vec<usize> = p.monomials.iter().map(|m| m.degree()).collect();
+        assert_eq!(degrees.iter().filter(|&&d| d == 1).count(), 2);
+        assert_eq!(degrees.iter().filter(|&&d| d == 0).count(), 1);
+    }
+
+    #[test]
+    fn example_6_5_second_delta_has_degree_zero() {
+        let q = parse_expr("Sum(C(c, n) * C(c2, n))").unwrap();
+        let e1 = UpdateEvent::insert("C", &["c1", "n1"]);
+        let e2 = UpdateEvent::insert("C", &["c2p", "n2p"]);
+        let d1 = delta(&q, &e1);
+        let d2 = delta(&d1, &e2);
+        assert_eq!(degree(&d2), 0);
+        // The second delta of a degree-2 query no longer references the database.
+        assert!(dbring_agca::normalize::normalize(&d2)
+            .monomials
+            .iter()
+            .all(|m| m.factors.iter().all(|f| f.relations().is_empty())));
+        // A third delta is identically zero after normalization.
+        let d3 = delta_normalized(&d2, &UpdateEvent::insert("C", &["c3", "n3"]));
+        assert!(d3.is_zero());
+    }
+
+    #[test]
+    fn deletion_deltas_flip_sign() {
+        let q = parse_expr("Sum(R(x) * x)").unwrap();
+        let plus = delta_normalized(&q, &UpdateEvent::insert("R", &["t"]));
+        let minus = delta_normalized(&q, &UpdateEvent::delete("R", &["t"]));
+        assert_eq!(plus.negate(), minus);
+    }
+
+    #[test]
+    fn product_rule_produces_three_terms() {
+        let q = parse_expr("R(x) * S(x)").unwrap();
+        // Update touches only R: two of the three product-rule terms survive... actually
+        // only ∆R * S survives (∆S = 0 kills the other two).
+        let d = delta_normalized(&q, &UpdateEvent::insert("R", &["t"]));
+        assert_eq!(d.monomials.len(), 1);
+        assert_eq!(d.degree(), 1);
+        // A self-join on R gets all three terms.
+        let qq = parse_expr("R(x) * R(y)").unwrap();
+        let dd = delta_normalized(&qq, &UpdateEvent::insert("R", &["t"]));
+        assert_eq!(dd.monomials.len(), 3);
+    }
+
+    #[test]
+    fn non_simple_condition_uses_the_truth_table_rule() {
+        // (Sum(R(x) * x) > 10) is not a simple condition: its delta is the ±1 change of
+        // the truth value.
+        let cond = parse_expr("(Sum(R(x) * x) > 10)").unwrap();
+        let d = delta(&cond, &UpdateEvent::insert("R", &["t"]));
+        assert!(!d.is_zero());
+        let text = d.to_string();
+        assert!(text.contains('>'));
+        assert!(text.contains("<="), "complement operator must appear: {text}");
+    }
+
+    #[test]
+    fn delta_is_still_within_agca() {
+        // Closure property: the delta of any of these parses back (round-trips through the
+        // text syntax), i.e. it is a plain AGCA expression.
+        for text in [
+            "Sum(C(c, n) * C(c2, n))",
+            "Sum(R(a, b) * S(b, c) * c)",
+            "Sum(R(a, b) * (a < b) * a)",
+        ] {
+            let q = parse_expr(text).unwrap();
+            let d = delta(&q, &UpdateEvent::insert("R", &["p1", "p2"]));
+            let reparsed = parse_expr(&d.to_string()).unwrap();
+            assert_eq!(reparsed, d);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based verification of the two central facts of Section 6:
+//!
+//! * **Proposition 6.1**: `[[α]](D + u) = [[α]](D) + [[∆_u α]](D)` — checked by evaluating
+//!   both sides with the reference evaluator on randomly generated databases and updates.
+//! * **Theorem 6.4**: `deg(∆α) = max(0, deg(α) − 1)` for simple-condition queries, and the
+//!   `deg(α)`-th delta is database-independent.
+
+use dbring_agca::degree::degree;
+use dbring_algebra::Semiring;
+use dbring_agca::eval::eval;
+use dbring_agca::normalize::normalize;
+use dbring_agca::parser::parse_expr;
+use dbring_delta::{delta, iterated_delta, Sign, UpdateEvent};
+use dbring_relations::{Database, Tuple, Update, Value};
+use proptest::prelude::*;
+
+/// The query corpus: simple-condition AGCA queries over C(cid, nation) and R(A)/S(A).
+fn query_corpus() -> Vec<&'static str> {
+    vec![
+        "Sum(C(c, n))",
+        "Sum(C(c, n) * n)",
+        "Sum(C(c, n) * C(c2, n2) * (n = n2))",
+        "Sum(C(c, n) * C(c2, n2) * (n < n2))",
+        "Sum(C(c, n) * C(c2, n2) * (n = n2) * n)",
+        "Sum(C(c, n) * (n >= 3))",
+        "C(c, n) * (c < n)",
+        "Sum(R(x) * S(x))",
+        "Sum(R(x) * S(y) * (x = y) * x)",
+        "Sum(R(x) * R(y) * (x = y))",
+        "Sum(C(c, n) * C(c2, n2) * (n = n2) + C(c3, n3) * 2)",
+    ]
+}
+
+fn schema() -> Database {
+    let mut db = Database::new();
+    db.declare("C", &["cid", "nation"]).unwrap();
+    db.declare("R", &["A"]).unwrap();
+    db.declare("S", &["A"]).unwrap();
+    db
+}
+
+/// Strategy for a random small database over the fixed schema (values in a tiny domain so
+/// joins and equalities actually fire).
+fn arb_database() -> impl Strategy<Value = Database> {
+    let c_rows = prop::collection::vec((0i64..4, 0i64..4), 0..8);
+    let r_rows = prop::collection::vec(0i64..4, 0..6);
+    let s_rows = prop::collection::vec(0i64..4, 0..6);
+    (c_rows, r_rows, s_rows).prop_map(|(c, r, s)| {
+        let mut db = schema();
+        for (cid, nation) in c {
+            db.insert("C", vec![Value::int(cid), Value::int(nation)]).unwrap();
+        }
+        for a in r {
+            db.insert("R", vec![Value::int(a)]).unwrap();
+        }
+        for a in s {
+            db.insert("S", vec![Value::int(a)]).unwrap();
+        }
+        db
+    })
+}
+
+/// Strategy for a random single-tuple update against the fixed schema.
+fn arb_update() -> impl Strategy<Value = Update> {
+    prop_oneof![
+        (0i64..4, 0i64..4, any::<bool>()).prop_map(|(cid, nation, ins)| {
+            let values = vec![Value::int(cid), Value::int(nation)];
+            if ins {
+                Update::insert("C", values)
+            } else {
+                Update::delete("C", values)
+            }
+        }),
+        (0i64..4, any::<bool>(), any::<bool>()).prop_map(|(a, on_r, ins)| {
+            let rel = if on_r { "R" } else { "S" };
+            let values = vec![Value::int(a)];
+            if ins {
+                Update::insert(rel, values)
+            } else {
+                Update::delete(rel, values)
+            }
+        }),
+    ]
+}
+
+/// Builds the symbolic event matching a concrete update, plus the parameter binding.
+fn symbolic_event(db: &Database, update: &Update) -> (UpdateEvent, Tuple) {
+    let arity = db.columns(&update.relation).unwrap().len();
+    let sign = if update.multiplicity > 0 {
+        Sign::Insert
+    } else {
+        Sign::Delete
+    };
+    let event = UpdateEvent::with_fresh_params(update.relation.clone(), sign, arity, 1);
+    let binding = event.binding(&update.values);
+    (event, binding)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn proposition_6_1_delta_is_exact(db in arb_database(), update in arb_update()) {
+        for text in query_corpus() {
+            let q = parse_expr(text).unwrap();
+            let (event, binding) = symbolic_event(&db, &update);
+            let d = delta(&q, &event);
+
+            let before = eval(&q, &db, &Tuple::empty()).unwrap();
+            let change = eval(&d, &db, &binding).unwrap();
+            let mut updated_db = db.clone();
+            updated_db.apply(&update).unwrap();
+            let after = eval(&q, &updated_db, &Tuple::empty()).unwrap();
+
+            prop_assert_eq!(
+                before.add(&change),
+                after,
+                "Proposition 6.1 violated for {} under {}",
+                text,
+                &update
+            );
+        }
+    }
+
+    #[test]
+    fn proposition_6_1_holds_under_bindings(db in arb_database(), update in arb_update(), group in 0i64..4) {
+        // The delta equation also holds pointwise for a bound group-by variable.
+        let q = parse_expr("Sum(C(c, n) * C(c2, n2) * (n = n2))").unwrap();
+        if update.relation != "C" {
+            return Ok(());
+        }
+        let (event, param_binding) = symbolic_event(&db, &update);
+        let d = delta(&q, &event);
+        let group_binding = Tuple::singleton("c", Value::int(group));
+        let full_binding = group_binding.join(&param_binding).unwrap();
+
+        let before = eval(&q, &db, &group_binding).unwrap().get(&Tuple::empty());
+        let change = eval(&d, &db, &full_binding).unwrap().get(&Tuple::empty());
+        let mut updated_db = db.clone();
+        updated_db.apply(&update).unwrap();
+        let after = eval(&q, &updated_db, &group_binding).unwrap().get(&Tuple::empty());
+        prop_assert_eq!(before.add(&change), after);
+    }
+
+    #[test]
+    fn theorem_6_4_degree_reduction(_dummy in 0u8..1) {
+        for text in query_corpus() {
+            let q = parse_expr(text).unwrap();
+            if q.has_nested_aggregate_condition() {
+                continue;
+            }
+            let k = degree(&q);
+            let mut current = q.clone();
+            for step in 1..=k + 1 {
+                let event = UpdateEvent::with_fresh_params("C", Sign::Insert, 2, step);
+                let event_r = UpdateEvent::with_fresh_params("R", Sign::Insert, 1, step);
+                // Take the delta with respect to whichever relation the expression still
+                // mentions (C first, then R) so the degree actually has a chance to drop.
+                let d = if current.relations().contains("C") {
+                    delta(&current, &event)
+                } else {
+                    delta(&current, &event_r)
+                };
+                let expected = degree(&current).saturating_sub(1);
+                let simplified = normalize(&d).to_expr();
+                if !simplified.is_zero() {
+                    prop_assert!(
+                        degree(&simplified) <= expected,
+                        "degree did not drop for {} at step {}: {} -> {}",
+                        text, step, degree(&current), degree(&simplified)
+                    );
+                }
+                current = simplified;
+                if current.is_zero() {
+                    break;
+                }
+            }
+            // After deg(q)+1 deltas everything must have vanished or become degree 0.
+            prop_assert!(current.is_zero() || degree(&current) == 0);
+        }
+    }
+
+    #[test]
+    fn kth_delta_is_database_independent(db in arb_database(), db2 in arb_database()) {
+        // The deg(q)-th delta evaluates identically on two unrelated databases: it is a
+        // function of the update parameters only (the key fact behind Theorem 7.1).
+        let q = parse_expr("Sum(C(c, n) * C(c2, n2) * (n = n2))").unwrap();
+        let e1 = UpdateEvent::insert("C", &["p1", "p2"]);
+        let e2 = UpdateEvent::insert("C", &["q1", "q2"]);
+        let dd = iterated_delta(&q, &[e1, e2]);
+        let binding = Tuple::from_pairs(vec![
+            ("p1", Value::int(1)),
+            ("p2", Value::int(2)),
+            ("q1", Value::int(1)),
+            ("q2", Value::int(2)),
+        ]);
+        let on_db1 = eval(&dd, &db, &binding).unwrap();
+        let on_db2 = eval(&dd, &db2, &binding).unwrap();
+        prop_assert_eq!(on_db1, on_db2);
+    }
+}

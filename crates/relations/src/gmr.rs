@@ -1,0 +1,246 @@
+//! Generalized multiset relations (GMRs): the ring `A[T]` of Definition 3.1.
+//!
+//! A GMR is a finite-support map from [`Tuple`]s to multiplicities in a ring `A`. Because
+//! tuples carry their own schema, addition (generalized multiset union) and multiplication
+//! (generalized natural join) are *total* — any two GMRs can be combined — which is what
+//! upgrade relational algebra to an actual ring (Proposition 3.3). In code the ring is
+//! obtained literally as the monoid ring over the join monoid of tuples:
+//! `Gmr<A> = MonoidRing<A, Tuple>`, so all ring operations (and the property tests that
+//! check the ring axioms) are inherited from `dbring-algebra`.
+
+use dbring_algebra::{MonoidRing, Number, Semiring};
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A generalized multiset relation with multiplicities in `A`.
+///
+/// The default multiplicity ring is [`Number`], which is what the AGCA evaluator produces
+/// (integer multiplicities that widen to floats when value aggregation demands it);
+/// `Gmr<i64>` is the paper's `ℤ[T]`.
+pub type Gmr<A = Number> = MonoidRing<A, Tuple>;
+
+/// Relation-flavoured convenience methods on GMRs.
+pub trait GmrExt<A: Semiring>: Sized {
+    /// Builds a classical multiset relation: every row uses the same `columns`, every
+    /// multiplicity is `1`.
+    fn from_rows<V: Into<Value> + Clone>(columns: &[&str], rows: &[Vec<V>]) -> Self;
+
+    /// Builds a GMR from `(tuple, multiplicity)` pairs (duplicates are summed).
+    fn from_weighted(rows: impl IntoIterator<Item = (Tuple, A)>) -> Self;
+
+    /// The common schema of all tuples in the support, if they agree (the `sch(R)` of a
+    /// classical multiset relation); `None` if the support is empty or heterogeneous.
+    fn common_schema(&self) -> Option<Vec<String>>;
+
+    /// The number of tuples counted with multiplicity... i.e. the sum of all
+    /// multiplicities (`Sum(R)` over the trivial group).
+    fn total_multiplicity(&self) -> A;
+
+    /// Renders the GMR as a small sorted table (for tests, examples and experiment
+    /// binaries).
+    fn display_table(&self) -> String;
+}
+
+impl<A: Semiring> GmrExt<A> for Gmr<A> {
+    fn from_rows<V: Into<Value> + Clone>(columns: &[&str], rows: &[Vec<V>]) -> Self {
+        let mut out = Gmr::zero();
+        for row in rows {
+            assert_eq!(
+                row.len(),
+                columns.len(),
+                "row arity {} does not match column count {}",
+                row.len(),
+                columns.len()
+            );
+            let tuple = Tuple::from_pairs(
+                columns
+                    .iter()
+                    .zip(row.iter())
+                    .map(|(c, v)| (*c, v.clone().into())),
+            );
+            out.add_entry(tuple, A::one());
+        }
+        out
+    }
+
+    fn from_weighted(rows: impl IntoIterator<Item = (Tuple, A)>) -> Self {
+        Gmr::from_pairs(rows)
+    }
+
+    fn common_schema(&self) -> Option<Vec<String>> {
+        let mut schema: Option<Vec<String>> = None;
+        for (tuple, _) in self.iter() {
+            let s: Vec<String> = tuple.schema().map(str::to_string).collect();
+            match &schema {
+                None => schema = Some(s),
+                Some(existing) if *existing == s => {}
+                Some(_) => return None,
+            }
+        }
+        schema
+    }
+
+    fn total_multiplicity(&self) -> A {
+        self.total()
+    }
+
+    fn display_table(&self) -> String {
+        let mut rows: Vec<String> = self
+            .iter()
+            .map(|(t, m)| format!("{t} -> {m:?}"))
+            .collect();
+        rows.sort();
+        rows.join("\n")
+    }
+}
+
+/// Whether a GMR over [`Number`] is a *classical multiset relation*: all tuples share one
+/// schema and no multiplicity is negative (Section 5, "AGCA on classical and multiset
+/// relations").
+pub fn is_classical_multiset(gmr: &Gmr<Number>) -> bool {
+    gmr.common_schema().is_some()
+        && gmr
+            .iter()
+            .all(|(_, m)| m.compare(&Number::Int(0)) != std::cmp::Ordering::Less)
+}
+
+/// Converts an integer-multiplicity GMR (`ℤ[T]`) into the [`Number`]-multiplicity form used
+/// by the evaluator. This is the coefficient-ring homomorphism `ℤ → Number` lifted to the
+/// monoid ring.
+pub fn to_number_gmr(gmr: &Gmr<i64>) -> Gmr<Number> {
+    gmr.map_coefficients(|m| Number::Int(*m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn example_3_2() -> (Gmr<i64>, Gmr<i64>, Gmr<i64>) {
+        // The three GMRs of Example 3.2, with r1=1, r2=2, s=3, t1=4, t2=5.
+        let r = Gmr::from_pairs(vec![
+            (tuple! { "A" => "a1" }, 1i64),
+            (tuple! { "A" => "a2", "B" => "b" }, 2),
+        ]);
+        let s = Gmr::from_pairs(vec![(tuple! { "C" => "c" }, 3i64)]);
+        let t = Gmr::from_pairs(vec![
+            (tuple! { "C" => "c" }, 4i64),
+            (tuple! { "B" => "b", "C" => "c" }, 5),
+        ]);
+        (r, s, t)
+    }
+
+    #[test]
+    fn example_3_2_addition() {
+        let (_, s, t) = example_3_2();
+        let sum = s.add(&t);
+        assert_eq!(sum.get(&tuple! { "C" => "c" }), 3 + 4);
+        assert_eq!(sum.get(&tuple! { "B" => "b", "C" => "c" }), 5);
+        assert_eq!(sum.support_size(), 2);
+    }
+
+    #[test]
+    fn example_3_2_multiplication() {
+        // R * (S + T) as displayed in the paper.
+        let (r, s, t) = example_3_2();
+        let prod = r.mul(&s.add(&t));
+        assert_eq!(
+            prod.get(&tuple! { "A" => "a1", "C" => "c" }),
+            1 * (3 + 4)
+        );
+        assert_eq!(
+            prod.get(&tuple! { "A" => "a1", "B" => "b", "C" => "c" }),
+            1 * 5
+        );
+        assert_eq!(
+            prod.get(&tuple! { "A" => "a2", "B" => "b", "C" => "c" }),
+            2 * (3 + 4) + 2 * 5
+        );
+        assert_eq!(prod.support_size(), 3);
+    }
+
+    #[test]
+    fn multiplication_on_classical_relations_is_natural_join() {
+        let r = Gmr::<i64>::from_rows(&["A", "B"], &[vec![1, 10], vec![2, 20], vec![2, 20]]);
+        let s = Gmr::<i64>::from_rows(&["B", "C"], &[vec![10, 100], vec![30, 300]]);
+        let joined = r.mul(&s);
+        assert_eq!(
+            joined.get(&tuple! { "A" => 1, "B" => 10, "C" => 100 }),
+            1
+        );
+        // Tuples with B=20 or B=30 have no join partner.
+        assert_eq!(joined.support_size(), 1);
+        // Multiplicities multiply: duplicate (2,20) row contributes nothing here, but a
+        // matching pair does.
+        let s2 = Gmr::<i64>::from_rows(&["B", "C"], &[vec![20, 200], vec![20, 201]]);
+        let joined2 = r.mul(&s2);
+        assert_eq!(
+            joined2.get(&tuple! { "A" => 2, "B" => 20, "C" => 200 }),
+            2
+        );
+    }
+
+    #[test]
+    fn addition_on_same_schema_is_bag_union() {
+        let r = Gmr::<i64>::from_rows(&["A"], &[vec![1], vec![2]]);
+        let s = Gmr::<i64>::from_rows(&["A"], &[vec![2], vec![3]]);
+        let u = r.add(&s);
+        assert_eq!(u.get(&tuple! { "A" => 1 }), 1);
+        assert_eq!(u.get(&tuple! { "A" => 2 }), 2);
+        assert_eq!(u.get(&tuple! { "A" => 3 }), 1);
+    }
+
+    #[test]
+    fn negative_multiplicities_model_deletions() {
+        // Remark 5.1: ∅ + (−R) = −R; deleting "too much" leaves negative tuples.
+        let r = Gmr::<i64>::from_rows(&["A"], &[vec![1]]);
+        let deleted = Gmr::<i64>::zero().sub(&r);
+        assert_eq!(deleted.get(&tuple! { "A" => 1 }), -1);
+        assert!(r.add(&deleted).is_zero());
+    }
+
+    #[test]
+    fn one_is_the_singleton_empty_tuple() {
+        let one = Gmr::<i64>::one();
+        assert_eq!(one.get(&Tuple::empty()), 1);
+        let r = Gmr::<i64>::from_rows(&["A"], &[vec![5]]);
+        assert_eq!(r.mul(&one), r);
+    }
+
+    #[test]
+    fn schema_helpers() {
+        let r = Gmr::<i64>::from_rows(&["A", "B"], &[vec![1, 2], vec![3, 4]]);
+        assert_eq!(r.common_schema(), Some(vec!["A".to_string(), "B".to_string()]));
+        assert_eq!(r.total_multiplicity(), 2);
+        let mixed = Gmr::from_pairs(vec![
+            (tuple! { "A" => 1 }, 1i64),
+            (tuple! { "B" => 2 }, 1),
+        ]);
+        assert_eq!(mixed.common_schema(), None);
+        assert_eq!(Gmr::<i64>::zero().common_schema(), None);
+    }
+
+    #[test]
+    fn classicality_check() {
+        let classical = to_number_gmr(&Gmr::<i64>::from_rows(&["A"], &[vec![1], vec![1]]));
+        assert!(is_classical_multiset(&classical));
+        let negative = Gmr::from_pairs(vec![(tuple! { "A" => 1 }, Number::Int(-1))]);
+        assert!(!is_classical_multiset(&negative));
+        let heterogeneous = Gmr::from_pairs(vec![
+            (tuple! { "A" => 1 }, Number::Int(1)),
+            (tuple! { "B" => 1 }, Number::Int(1)),
+        ]);
+        assert!(!is_classical_multiset(&heterogeneous));
+    }
+
+    #[test]
+    fn display_table_is_sorted() {
+        let r = Gmr::<i64>::from_rows(&["A"], &[vec![2], vec![1]]);
+        let table = r.display_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("A=1"));
+        assert!(lines[1].contains("A=2"));
+    }
+}

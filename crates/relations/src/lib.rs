@@ -1,0 +1,38 @@
+//! The ring of generalized multiset relations (Section 3 of *Incremental Query Evaluation
+//! in a Ring of Databases*, Koch, PODS 2010).
+//!
+//! A *generalized multiset relation* (GMR) is a finite-support map from schema-polymorphic
+//! tuples to multiplicities drawn from a ring. Addition generalizes multiset union,
+//! multiplication generalizes the natural join, and — because multiplicities may be
+//! negative — there is a full additive inverse, which is what makes compositional delta
+//! processing possible.
+//!
+//! The crate provides:
+//!
+//! * [`value`] — the data values of the active domain (`Adom`), hashable and orderable so
+//!   they can key sparse maps;
+//! * [`tuple`] — records as partial functions `Σ → Adom`; the natural join makes the set of
+//!   tuples (minus the inconsistent combinations) a mutilated commutative monoid, so the GMR
+//!   ring arises literally as the monoid ring `A[T]` of `dbring-algebra` (Proposition 3.3);
+//! * [`gmr`] — the GMR type itself plus relation-flavoured helpers (classical-multiset
+//!   checks, projections, schema inspection, pretty-printing);
+//! * [`pgmr`] — parametrized GMRs, i.e. the avalanche ring over tuples (Section 3.2), which
+//!   algebraizes sideways binding passing;
+//! * [`database`] — named relations with declared column orders, plus single-tuple
+//!   [`Update`](database::Update)s (`±R(t⃗)`), the update streams consumed by every
+//!   maintenance strategy in the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod gmr;
+pub mod pgmr;
+pub mod tuple;
+pub mod value;
+
+pub use database::{Database, Update};
+pub use gmr::{Gmr, GmrExt};
+pub use pgmr::Pgmr;
+pub use tuple::Tuple;
+pub use value::Value;

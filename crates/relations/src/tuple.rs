@@ -1,0 +1,317 @@
+//! Records ("tuples with a schema of their own", Section 3.1): partial functions from
+//! column names to values.
+//!
+//! The set `Sng∅` of singleton relations plus the empty relation forms a commutative
+//! monoid under natural join, with `{⟨⟩}` as unit and `∅` as zero. Removing the zero
+//! ("mutilation") gives the index monoid of the GMR ring. In code, [`Tuple`] implements
+//! [`PartialMonoid`]: `try_combine` is the natural join and returns `None` exactly when the
+//! join is inconsistent (the paper's `∅`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dbring_algebra::PartialMonoid;
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// A record: a partial function from column names (`Σ`) to data values (`Adom`).
+///
+/// The representation is an ordered map, so iteration order, `Display`, `Hash` and `Ord`
+/// are all deterministic and schema-order independent.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct Tuple(BTreeMap<String, Value>);
+
+impl Tuple {
+    /// The empty tuple `⟨⟩` (the unit of the join monoid).
+    pub fn empty() -> Self {
+        Tuple(BTreeMap::new())
+    }
+
+    /// Builds a tuple from `(column, value)` pairs.
+    ///
+    /// # Panics
+    /// Panics if the same column appears twice with different values (a malformed record).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (impl Into<String>, impl Into<Value>)>) -> Self {
+        let mut map = BTreeMap::new();
+        for (k, v) in pairs {
+            let k = k.into();
+            let v = v.into();
+            if let Some(prev) = map.insert(k.clone(), v.clone()) {
+                assert!(
+                    prev == v,
+                    "column {k:?} bound to two different values ({prev} vs {v})"
+                );
+            }
+        }
+        Tuple(map)
+    }
+
+    /// Builds the single-column tuple `{column ↦ value}`.
+    pub fn singleton(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        let mut map = BTreeMap::new();
+        map.insert(column.into(), value.into());
+        Tuple(map)
+    }
+
+    /// The value bound to `column`, if any.
+    pub fn get(&self, column: &str) -> Option<&Value> {
+        self.0.get(column)
+    }
+
+    /// Whether `column` is in the tuple's domain.
+    pub fn contains(&self, column: &str) -> bool {
+        self.0.contains_key(column)
+    }
+
+    /// The tuple's schema `dom(t⃗)`, in column order.
+    pub fn schema(&self) -> impl Iterator<Item = &str> {
+        self.0.keys().map(String::as_str)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the empty tuple `⟨⟩`.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over `(column, value)` pairs in column order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Returns a new tuple extended with `column ↦ value`.
+    ///
+    /// Returns `None` if `column` is already bound to a *different* value (so this is the
+    /// natural join with a singleton).
+    pub fn extended(&self, column: impl Into<String>, value: impl Into<Value>) -> Option<Self> {
+        self.join(&Tuple::singleton(column, value))
+    }
+
+    /// Whether the two records are *consistent*: they agree on every shared column
+    /// (`{t⃗} ⋈ {s⃗} ≠ ∅`).
+    pub fn is_consistent_with(&self, other: &Self) -> bool {
+        let (small, large) = if self.arity() <= other.arity() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .0
+            .iter()
+            .all(|(k, v)| large.0.get(k).is_none_or(|w| w == v))
+    }
+
+    /// The natural join of two records: their union if consistent, `None` otherwise.
+    pub fn join(&self, other: &Self) -> Option<Self> {
+        if !self.is_consistent_with(other) {
+            return None;
+        }
+        let mut map = self.0.clone();
+        for (k, v) in &other.0 {
+            map.insert(k.clone(), v.clone());
+        }
+        Some(Tuple(map))
+    }
+
+    /// The restriction `t⃗|_columns` of the record to a set of columns.
+    pub fn project(&self, columns: &[&str]) -> Self {
+        Tuple(
+            self.0
+                .iter()
+                .filter(|(k, _)| columns.contains(&k.as_str()))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        )
+    }
+
+    /// Whether `self` is a sub-record of `other` (i.e. `{self} ⋈ {other} = {other}`).
+    pub fn is_subtuple_of(&self, other: &Self) -> bool {
+        self.0
+            .iter()
+            .all(|(k, v)| other.0.get(k).is_some_and(|w| w == v))
+    }
+
+    /// All sub-records of this record (the `2^arity` restrictions of its domain).
+    ///
+    /// Used by the literal implementation of the `Sum` semantics; exponential in the arity,
+    /// which is bounded by the (small, fixed) number of query variables.
+    pub fn subtuples(&self) -> Vec<Tuple> {
+        let entries: Vec<(&String, &Value)> = self.0.iter().collect();
+        let mut out = Vec::with_capacity(1 << entries.len().min(20));
+        let n = entries.len();
+        for mask in 0u64..(1u64 << n) {
+            let mut map = BTreeMap::new();
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    map.insert((*k).clone(), (*v).clone());
+                }
+            }
+            out.push(Tuple(map));
+        }
+        out
+    }
+
+    /// Renames a column, leaving the tuple unchanged if the column is absent.
+    ///
+    /// # Panics
+    /// Panics if the target name is already bound to a different value.
+    pub fn rename(&self, from: &str, to: &str) -> Self {
+        match self.0.get(from) {
+            None => self.clone(),
+            Some(v) => {
+                let mut map = self.0.clone();
+                map.remove(from);
+                if let Some(prev) = map.insert(to.to_string(), v.clone()) {
+                    assert!(prev == *v, "rename collides with an existing binding");
+                }
+                Tuple(map)
+            }
+        }
+    }
+}
+
+impl PartialMonoid for Tuple {
+    fn partial_unit() -> Self {
+        Tuple::empty()
+    }
+    fn try_combine(&self, other: &Self) -> Option<Self> {
+        self.join(other)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl<K: Into<String>, V: Into<Value>> FromIterator<(K, V)> for Tuple {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        Tuple::from_pairs(iter)
+    }
+}
+
+/// Convenience macro for building tuples: `tuple! { "A" => 1, "B" => "x" }`.
+#[macro_export]
+macro_rules! tuple {
+    () => { $crate::Tuple::empty() };
+    ($($col:expr => $val:expr),+ $(,)?) => {
+        $crate::Tuple::from_pairs(vec![$(($col, $crate::Value::from($val))),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t_ab() -> Tuple {
+        Tuple::from_pairs(vec![("A", Value::int(1)), ("B", Value::str("x"))])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = t_ab();
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get("A"), Some(&Value::int(1)));
+        assert_eq!(t.get("B"), Some(&Value::str("x")));
+        assert_eq!(t.get("C"), None);
+        assert!(t.contains("A"));
+        assert!(!t.contains("C"));
+        assert_eq!(t.schema().collect::<Vec<_>>(), vec!["A", "B"]);
+        assert!(Tuple::empty().is_empty());
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn macro_builds_tuples() {
+        let t = tuple! { "A" => 1, "B" => "x" };
+        assert_eq!(t, t_ab());
+        assert_eq!(tuple! {}, Tuple::empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn conflicting_pairs_panic() {
+        let _ = Tuple::from_pairs(vec![("A", Value::int(1)), ("A", Value::int(2))]);
+    }
+
+    #[test]
+    fn consistency_and_join() {
+        let t = t_ab();
+        let s = Tuple::from_pairs(vec![("B", Value::str("x")), ("C", Value::int(9))]);
+        let u = Tuple::from_pairs(vec![("B", Value::str("y"))]);
+        assert!(t.is_consistent_with(&s));
+        assert!(!t.is_consistent_with(&u));
+        let joined = t.join(&s).unwrap();
+        assert_eq!(joined.arity(), 3);
+        assert_eq!(joined.get("C"), Some(&Value::int(9)));
+        assert_eq!(t.join(&u), None);
+        // The empty tuple is the join unit.
+        assert_eq!(t.join(&Tuple::empty()), Some(t.clone()));
+        assert_eq!(Tuple::empty().join(&t), Some(t.clone()));
+    }
+
+    #[test]
+    fn join_is_commutative_and_associative_on_examples() {
+        let a = tuple! { "A" => 1 };
+        let b = tuple! { "B" => 2 };
+        let c = tuple! { "A" => 1, "C" => 3 };
+        assert_eq!(a.join(&b), b.join(&a));
+        let abc1 = a.join(&b).and_then(|x| x.join(&c));
+        let abc2 = b.join(&c).and_then(|x| a.join(&x));
+        assert_eq!(abc1, abc2);
+    }
+
+    #[test]
+    fn partial_monoid_instance() {
+        assert_eq!(<Tuple as PartialMonoid>::partial_unit(), Tuple::empty());
+        let t = t_ab();
+        let u = tuple! { "B" => "y" };
+        assert_eq!(t.try_combine(&u), None);
+        assert_eq!(t.try_combine(&Tuple::empty()), Some(t));
+    }
+
+    #[test]
+    fn projection_and_subtuples() {
+        let t = tuple! { "A" => 1, "B" => 2, "C" => 3 };
+        assert_eq!(t.project(&["A", "C"]), tuple! { "A" => 1, "C" => 3 });
+        assert_eq!(t.project(&["Z"]), Tuple::empty());
+        assert!(tuple! { "A" => 1 }.is_subtuple_of(&t));
+        assert!(!tuple! { "A" => 2 }.is_subtuple_of(&t));
+        assert!(Tuple::empty().is_subtuple_of(&t));
+        let subs = t.subtuples();
+        assert_eq!(subs.len(), 8);
+        assert!(subs.contains(&Tuple::empty()));
+        assert!(subs.contains(&t));
+        assert!(subs.contains(&tuple! { "A" => 1, "C" => 3 }));
+    }
+
+    #[test]
+    fn extension_and_rename() {
+        let t = tuple! { "A" => 1 };
+        assert_eq!(t.extended("B", 2), Some(tuple! { "A" => 1, "B" => 2 }));
+        assert_eq!(t.extended("A", 2), None);
+        assert_eq!(t.extended("A", 1), Some(t.clone()));
+        assert_eq!(t.rename("A", "X"), tuple! { "X" => 1 });
+        assert_eq!(t.rename("Z", "X"), t);
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let t = tuple! { "B" => 2, "A" => 1 };
+        assert_eq!(t.to_string(), "⟨A=1, B=2⟩");
+        assert_eq!(Tuple::empty().to_string(), "⟨⟩");
+    }
+}

@@ -1,0 +1,249 @@
+//! Data values of the active domain `Adom`.
+//!
+//! Values appear both as tuple components (so they must be hashable and totally ordered to
+//! key the sparse GMR representation) and inside arithmetic terms of aggregate queries (so
+//! they must convert to the [`Number`] ring). Floats are stored with canonicalized bits so
+//! that `Value` can implement `Eq`/`Hash` without surprising the user: `-0.0` is identified
+//! with `0.0`, and all NaNs are identified with each other.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dbring_algebra::Number;
+use serde::{Deserialize, Serialize};
+
+/// A single data value: the elements of the active domain `Adom`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// IEEE-754 double with canonicalized bit pattern (see [`OrderedF64`]).
+    Float(OrderedF64),
+    /// Interned UTF-8 string.
+    Str(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Builds a float value.
+    pub fn float(f: f64) -> Self {
+        Value::Float(OrderedF64::new(f))
+    }
+
+    /// The value as a [`Number`], if it is numeric (`Int`, `Float`, or `Bool` as 0/1).
+    pub fn as_number(&self) -> Option<Number> {
+        match self {
+            Value::Int(i) => Some(Number::Int(*i)),
+            Value::Float(f) => Some(Number::Float(f.get())),
+            Value::Bool(b) => Some(Number::Int(i64::from(*b))),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "bool",
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl From<Number> for Value {
+    fn from(n: Number) -> Self {
+        match n {
+            Number::Int(i) => Value::Int(i),
+            Number::Float(f) => Value::float(f),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{}", x.get()),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// An `f64` wrapper with canonical bit pattern, giving `Eq`, `Ord` and `Hash`.
+///
+/// `-0.0` is canonicalized to `0.0` and every NaN to a single canonical NaN, so equality
+/// and hashing are consistent; ordering uses IEEE `total_cmp` on the canonical value.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wraps an `f64`, canonicalizing `-0.0` and NaN.
+    pub fn new(f: f64) -> Self {
+        if f.is_nan() {
+            OrderedF64(f64::NAN)
+        } else if f == 0.0 {
+            OrderedF64(0.0)
+        } else {
+            OrderedF64(f)
+        }
+    }
+
+    /// The wrapped value.
+    pub fn get(&self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for OrderedF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for OrderedF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(Value::int(3).as_int(), Some(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::str("abc").as_str(), Some("abc"));
+        assert_eq!(Value::from("xyz"), Value::str("xyz"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(String::from("s")), Value::str("s"));
+        assert_eq!(Value::int(3).as_str(), None);
+        assert_eq!(Value::str("abc").as_int(), None);
+    }
+
+    #[test]
+    fn numeric_conversion() {
+        assert_eq!(Value::int(3).as_number(), Some(Number::Int(3)));
+        assert_eq!(Value::float(2.5).as_number(), Some(Number::Float(2.5)));
+        assert_eq!(Value::Bool(true).as_number(), Some(Number::Int(1)));
+        assert_eq!(Value::str("x").as_number(), None);
+        assert_eq!(Value::from(Number::Int(7)), Value::Int(7));
+        assert_eq!(Value::from(Number::Float(0.5)), Value::float(0.5));
+    }
+
+    #[test]
+    fn float_canonicalization() {
+        assert_eq!(Value::float(0.0), Value::float(-0.0));
+        assert_eq!(Value::float(f64::NAN), Value::float(-f64::NAN));
+        let mut set = HashSet::new();
+        set.insert(Value::float(0.0));
+        assert!(set.contains(&Value::float(-0.0)));
+    }
+
+    #[test]
+    fn ordering_is_total_across_variants() {
+        let mut values = vec![
+            Value::str("b"),
+            Value::int(2),
+            Value::float(1.5),
+            Value::Bool(false),
+            Value::int(-1),
+            Value::str("a"),
+        ];
+        values.sort();
+        // Sorting must be deterministic and not panic; ints sort among ints, strings among
+        // strings (the inter-variant order is the enum declaration order).
+        let ints: Vec<_> = values.iter().filter_map(Value::as_int).collect();
+        assert_eq!(ints, vec![-1, 2]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::int(5).to_string(), "5");
+        assert_eq!(Value::float(1.5).to_string(), "1.5");
+        assert_eq!(Value::str("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::int(5).type_name(), "int");
+        assert_eq!(Value::str("hi").type_name(), "string");
+    }
+}

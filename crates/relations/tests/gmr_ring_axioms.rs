@@ -1,0 +1,96 @@
+//! Property-based verification of Proposition 3.3: the generalized multiset relations
+//! `A[T]` form a commutative ring with identity, and the A-module / bilinearity facts of
+//! Section 2.5 carry over to the database instantiation.
+
+use dbring_relations::gmr::{Gmr, GmrExt};
+use dbring_relations::{Tuple, Value};
+use proptest::prelude::*;
+
+/// Arbitrary tuples over a small column vocabulary {A, B, C} and small integer domain, so
+/// that joins actually collide.
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    let col = prop::sample::subsequence(vec!["A", "B", "C"], 0..=3);
+    col.prop_flat_map(|cols| {
+        let n = cols.len();
+        (Just(cols), prop::collection::vec(0i64..4, n))
+    })
+    .prop_map(|(cols, vals)| {
+        Tuple::from_pairs(cols.into_iter().zip(vals.into_iter().map(Value::int)))
+    })
+}
+
+fn arb_gmr() -> impl Strategy<Value = Gmr<i64>> {
+    prop::collection::vec((arb_tuple(), -4i64..5), 0..6).prop_map(Gmr::from_weighted)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn addition_is_a_commutative_group(r in arb_gmr(), s in arb_gmr(), t in arb_gmr()) {
+        prop_assert_eq!(r.add(&s), s.add(&r));
+        prop_assert_eq!(r.add(&s).add(&t), r.add(&s.add(&t)));
+        prop_assert_eq!(r.add(&Gmr::zero()), r.clone());
+        prop_assert!(r.add(&r.neg()).is_zero());
+    }
+
+    #[test]
+    fn multiplication_is_a_commutative_monoid(r in arb_gmr(), s in arb_gmr(), t in arb_gmr()) {
+        // The tuple join monoid is commutative, so A[T] is a commutative ring.
+        prop_assert_eq!(r.mul(&s), s.mul(&r));
+        prop_assert_eq!(r.mul(&s).mul(&t), r.mul(&s.mul(&t)));
+        prop_assert_eq!(r.mul(&Gmr::one()), r.clone());
+        prop_assert!(r.mul(&Gmr::zero()).is_zero());
+    }
+
+    #[test]
+    fn distributivity(r in arb_gmr(), s in arb_gmr(), t in arb_gmr()) {
+        prop_assert_eq!(r.mul(&s.add(&t)), r.mul(&s).add(&r.mul(&t)));
+        prop_assert_eq!(r.add(&s).mul(&t), r.mul(&t).add(&s.mul(&t)));
+    }
+
+    #[test]
+    fn scalar_action_is_bilinear(r in arb_gmr(), s in arb_gmr(), a in -5i64..6) {
+        prop_assert_eq!(r.scale(&a).mul(&s), r.mul(&s).scale(&a));
+        prop_assert_eq!(r.mul(&s.scale(&a)), r.mul(&s).scale(&a));
+    }
+
+    #[test]
+    fn delta_identity_for_base_relations(r in arb_gmr(), t in arb_tuple(), m in -2i64..3) {
+        // The simplest delta fact: (R + u) = R + u where u is a singleton update; i.e.
+        // updates commute with any further addition, and subtracting the update restores R.
+        let u = Gmr::singleton(t, m);
+        let updated = r.add(&u);
+        prop_assert_eq!(updated.sub(&u), r);
+    }
+
+    #[test]
+    fn join_with_singleton_empty_tuple_scales(r in arb_gmr(), m in -3i64..4) {
+        // R * {⟨⟩ ↦ m} = m · R  (the "π∅" trick from the introduction's discussion).
+        let scalar = Gmr::singleton(Tuple::empty(), m);
+        prop_assert_eq!(r.mul(&scalar), r.scale(&m));
+    }
+
+    #[test]
+    fn total_multiplicity_is_additive(r in arb_gmr(), s in arb_gmr()) {
+        prop_assert_eq!(
+            r.add(&s).total_multiplicity(),
+            r.total_multiplicity() + s.total_multiplicity()
+        );
+    }
+
+    #[test]
+    fn total_multiplicity_is_multiplicative_on_disjoint_schemas(
+        vals_a in prop::collection::vec((0i64..4, -3i64..4), 0..5),
+        vals_b in prop::collection::vec((0i64..4, -3i64..4), 0..5),
+    ) {
+        // For relations over disjoint schemas the join is a cross product, so the grand
+        // total multiplicity multiplies. (Not true for overlapping schemas.)
+        let r = Gmr::from_weighted(vals_a.into_iter().map(|(v, m)| (Tuple::singleton("A", v), m)));
+        let s = Gmr::from_weighted(vals_b.into_iter().map(|(v, m)| (Tuple::singleton("B", v), m)));
+        prop_assert_eq!(
+            r.mul(&s).total_multiplicity(),
+            r.total_multiplicity() * s.total_multiplicity()
+        );
+    }
+}

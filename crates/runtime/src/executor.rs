@@ -1,0 +1,561 @@
+//! The trigger-program executor: recursive IVM at runtime.
+//!
+//! The executor owns one [`MapStorage`] per materialized view of a compiled
+//! [`TriggerProgram`]. Applying a single-tuple update locates the matching trigger, binds
+//! the trigger parameters to the update's values and runs the trigger's statements in
+//! order. A statement is one monomial; statements without loop variables cost a constant
+//! number of arithmetic operations, and statements with loop variables cost a constant
+//! number of operations *per affected map entry* — the executor counts both so the
+//! experiments can verify the paper's constant-work claim (Theorem 7.1) directly.
+//!
+//! The base relations are never consulted: after initialization the executor's maps are
+//! the only state.
+
+use std::collections::HashMap;
+
+use dbring_algebra::{Number, Semiring};
+use dbring_relations::{Database, Update, Value};
+
+use dbring_agca::ast::Query;
+use dbring_agca::eval::{compare_values, eval_all_groups, EvalError};
+use dbring_compiler::{RhsFactor, ScalarExpr, Statement, TriggerProgram};
+use dbring_delta::Sign;
+
+use crate::storage::MapStorage;
+
+/// Counters describing the work performed by the executor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Number of single-tuple updates applied.
+    pub updates: u64,
+    /// Ring additions applied to map entries (one per write).
+    pub additions: u64,
+    /// Ring multiplications performed while evaluating statement monomials.
+    pub multiplications: u64,
+    /// Loop bindings enumerated across all statements.
+    pub bindings_enumerated: u64,
+}
+
+impl ExecStats {
+    /// Total arithmetic operations (additions + multiplications).
+    pub fn arithmetic_ops(&self) -> u64 {
+        self.additions + self.multiplications
+    }
+}
+
+/// Errors raised while applying an update.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RuntimeError {
+    /// The update's value count does not match the trigger's parameter count.
+    ArityMismatch {
+        /// The updated relation.
+        relation: String,
+        /// Expected number of values.
+        expected: usize,
+        /// Provided number of values.
+        got: usize,
+    },
+    /// A variable required by a statement was not bound (a compiler invariant violation).
+    UnboundVariable(String),
+    /// A non-numeric value reached an arithmetic position.
+    NonNumericValue(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(f, "update to {relation} carries {got} values, trigger expects {expected}"),
+            RuntimeError::UnboundVariable(v) => write!(f, "unbound variable {v} at runtime"),
+            RuntimeError::NonNumericValue(c) => write!(f, "non-numeric value in {c}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// The recursive-IVM runtime for one compiled trigger program.
+#[derive(Clone, Debug)]
+pub struct Executor {
+    program: TriggerProgram,
+    maps: Vec<MapStorage>,
+    stats: ExecStats,
+}
+
+impl Executor {
+    /// Creates an executor with empty views (correct when starting from the empty
+    /// database; otherwise call [`Executor::initialize_from`]).
+    pub fn new(program: TriggerProgram) -> Self {
+        let mut maps: Vec<MapStorage> = program
+            .maps
+            .iter()
+            .map(|m| MapStorage::new(m.key_vars.len()))
+            .collect();
+        // Register the slice indexes each statement will need: for every lookup, the key
+        // positions that are bound (by parameters or earlier lookups) at that point.
+        for trigger in &program.triggers {
+            for stmt in &trigger.statements {
+                let mut bound: Vec<String> = trigger.params.clone();
+                for factor in &stmt.factors {
+                    if let RhsFactor::MapLookup { map, keys } = factor {
+                        let positions: Vec<usize> = keys
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, k)| bound.contains(k))
+                            .map(|(i, _)| i)
+                            .collect();
+                        if !positions.is_empty() && positions.len() < keys.len() {
+                            maps[*map].register_index(positions);
+                        }
+                        for k in keys {
+                            if !bound.contains(k) {
+                                bound.push(k.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Executor {
+            program,
+            maps,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// The compiled program this executor runs.
+    pub fn program(&self) -> &TriggerProgram {
+        &self.program
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Resets the work counters (e.g. after initialization, before a measurement run).
+    pub fn reset_stats(&mut self) {
+        self.stats = ExecStats::default();
+    }
+
+    /// The storage of one materialized view.
+    pub fn map(&self, id: usize) -> &MapStorage {
+        &self.maps[id]
+    }
+
+    /// The output view's storage.
+    pub fn output(&self) -> &MapStorage {
+        &self.maps[self.program.output]
+    }
+
+    /// The output view as a sorted table.
+    pub fn output_table(&self) -> std::collections::BTreeMap<Vec<Value>, Number> {
+        self.output()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// The output value for one group key (zero if absent).
+    pub fn output_value(&self, key: &[Value]) -> Number {
+        self.output().get(key)
+    }
+
+    /// Total number of entries across all views (the memory footprint of the hierarchy).
+    pub fn total_entries(&self) -> usize {
+        self.maps.iter().map(MapStorage::len).sum()
+    }
+
+    /// Loads every view from a non-empty starting database by evaluating its defining
+    /// query with the reference evaluator (the initialization step of Section 1.1). The
+    /// database is *not* retained: subsequent maintenance never touches it.
+    pub fn initialize_from(&mut self, db: &Database) -> Result<(), EvalError> {
+        for def in &self.program.maps {
+            // Reorder the defining query once so that bulk initialization does not build
+            // needless cross products (the trigger statements themselves never evaluate
+            // these definitions).
+            let bound = def.key_vars.iter().cloned().collect();
+            let query = Query {
+                name: def.name.clone(),
+                group_by: def.key_vars.clone(),
+                expr: dbring_agca::optimize::optimize_for_evaluation(&def.definition, &bound),
+            };
+            let groups = eval_all_groups(&query, db)?;
+            for (key, value) in groups {
+                self.maps[def.id].set(key, value);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a single-tuple update by running the matching trigger. Updates whose
+    /// relation does not affect the query are ignored. Updates with |multiplicity| > 1 are
+    /// treated as that many single-tuple updates.
+    pub fn apply(&mut self, update: &Update) -> Result<(), RuntimeError> {
+        let sign = if update.multiplicity >= 0 {
+            Sign::Insert
+        } else {
+            Sign::Delete
+        };
+        let Some(trigger_index) = self
+            .program
+            .triggers
+            .iter()
+            .position(|t| t.relation == update.relation && t.sign == sign)
+        else {
+            return Ok(());
+        };
+        let trigger = &self.program.triggers[trigger_index];
+        if trigger.params.len() != update.values.len() {
+            return Err(RuntimeError::ArityMismatch {
+                relation: update.relation.clone(),
+                expected: trigger.params.len(),
+                got: update.values.len(),
+            });
+        }
+        let env: HashMap<String, Value> = trigger
+            .params
+            .iter()
+            .cloned()
+            .zip(update.values.iter().cloned())
+            .collect();
+        for _ in 0..update.multiplicity.unsigned_abs() {
+            self.stats.updates += 1;
+            for stmt_index in 0..self.program.triggers[trigger_index].statements.len() {
+                let stmt = &self.program.triggers[trigger_index].statements[stmt_index];
+                Self::execute_statement(&mut self.maps, &mut self.stats, stmt, &env)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a sequence of updates.
+    pub fn apply_all<'a>(
+        &mut self,
+        updates: impl IntoIterator<Item = &'a Update>,
+    ) -> Result<(), RuntimeError> {
+        for u in updates {
+            self.apply(u)?;
+        }
+        Ok(())
+    }
+
+    fn execute_statement(
+        maps: &mut [MapStorage],
+        stats: &mut ExecStats,
+        stmt: &Statement,
+        base_env: &HashMap<String, Value>,
+    ) -> Result<(), RuntimeError> {
+        // The set of candidate bindings, each with the product accumulated so far.
+        let mut envs: Vec<(HashMap<String, Value>, Number)> =
+            vec![(base_env.clone(), Number::Int(1))];
+        for factor in &stmt.factors {
+            if envs.is_empty() {
+                break;
+            }
+            match factor {
+                RhsFactor::MapLookup { map, keys } => {
+                    let storage = &maps[*map];
+                    let mut next = Vec::new();
+                    for (env, acc) in envs {
+                        let mut bound_positions = Vec::new();
+                        let mut bound_values = Vec::new();
+                        let mut unbound_positions = Vec::new();
+                        for (i, key_var) in keys.iter().enumerate() {
+                            match env.get(key_var) {
+                                Some(v) => {
+                                    bound_positions.push(i);
+                                    bound_values.push(v.clone());
+                                }
+                                None => unbound_positions.push(i),
+                            }
+                        }
+                        if unbound_positions.is_empty() {
+                            let value = storage.get(&bound_values);
+                            if value.is_zero() {
+                                continue;
+                            }
+                            stats.multiplications += 1;
+                            next.push((env, acc.mul(&value)));
+                        } else {
+                            for (full_key, value) in storage.slice(&bound_positions, &bound_values)
+                            {
+                                let mut extended = env.clone();
+                                let mut consistent = true;
+                                for &i in &unbound_positions {
+                                    let var = &keys[i];
+                                    let val = full_key[i].clone();
+                                    match extended.get(var) {
+                                        Some(existing) if *existing != val => {
+                                            consistent = false;
+                                            break;
+                                        }
+                                        _ => {
+                                            extended.insert(var.clone(), val);
+                                        }
+                                    }
+                                }
+                                if !consistent {
+                                    continue;
+                                }
+                                stats.multiplications += 1;
+                                stats.bindings_enumerated += 1;
+                                next.push((extended, acc.mul(&value)));
+                            }
+                        }
+                    }
+                    envs = next;
+                }
+                RhsFactor::Scalar(term) => {
+                    let mut next = Vec::with_capacity(envs.len());
+                    for (env, acc) in envs {
+                        let value = eval_scalar(term, &env)?;
+                        let number = value.as_number().ok_or_else(|| {
+                            RuntimeError::NonNumericValue(term.to_string())
+                        })?;
+                        if number.is_zero() {
+                            continue;
+                        }
+                        stats.multiplications += 1;
+                        next.push((env, acc.mul(&number)));
+                    }
+                    envs = next;
+                }
+                RhsFactor::Guard(op, lhs, rhs) => {
+                    let mut next = Vec::with_capacity(envs.len());
+                    for (env, acc) in envs {
+                        let l = eval_scalar(lhs, &env)?;
+                        let r = eval_scalar(rhs, &env)?;
+                        if op.test(compare_values(&l, &r)) {
+                            next.push((env, acc));
+                        }
+                    }
+                    envs = next;
+                }
+            }
+        }
+        // Collect all writes first, then apply (a statement never reads its own writes).
+        let mut writes: Vec<(Vec<Value>, Number)> = Vec::with_capacity(envs.len());
+        for (env, acc) in envs {
+            if acc.is_zero() {
+                continue;
+            }
+            let mut key = Vec::with_capacity(stmt.target_keys.len());
+            for var in &stmt.target_keys {
+                key.push(
+                    env.get(var)
+                        .cloned()
+                        .ok_or_else(|| RuntimeError::UnboundVariable(var.clone()))?,
+                );
+            }
+            writes.push((key, stmt.coefficient.mul(&acc)));
+        }
+        for (key, delta) in writes {
+            stats.additions += 1;
+            maps[stmt.target].add(key, delta);
+        }
+        Ok(())
+    }
+}
+
+fn eval_scalar(term: &ScalarExpr, env: &HashMap<String, Value>) -> Result<Value, RuntimeError> {
+    fn numeric(term: &ScalarExpr, env: &HashMap<String, Value>) -> Result<Number, RuntimeError> {
+        let v = eval_scalar(term, env)?;
+        v.as_number()
+            .ok_or_else(|| RuntimeError::NonNumericValue(term.to_string()))
+    }
+    match term {
+        ScalarExpr::Const(v) => Ok(v.clone()),
+        ScalarExpr::Var(x) => env
+            .get(x)
+            .cloned()
+            .ok_or_else(|| RuntimeError::UnboundVariable(x.clone())),
+        ScalarExpr::Add(a, b) => Ok(Value::from(numeric(a, env)?.add(&numeric(b, env)?))),
+        ScalarExpr::Mul(a, b) => Ok(Value::from(numeric(a, env)?.mul(&numeric(b, env)?))),
+        ScalarExpr::Neg(a) => Ok(Value::from(
+            numeric(a, env)?.mul(&Number::Int(-1)),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbring_agca::parser::parse_query;
+    use dbring_compiler::compile;
+
+    fn customer_catalog() -> Database {
+        let mut db = Database::new();
+        db.declare("C", &["cid", "nation"]).unwrap();
+        db
+    }
+
+    fn customers_program() -> TriggerProgram {
+        let catalog = customer_catalog();
+        let q = parse_query("q[c] := Sum(C(c, n) * C(c2, n))").unwrap();
+        compile(&catalog, &q).unwrap()
+    }
+
+    fn insert(cid: i64, nation: &str) -> Update {
+        Update::insert("C", vec![Value::int(cid), Value::str(nation)])
+    }
+
+    fn delete(cid: i64, nation: &str) -> Update {
+        Update::delete("C", vec![Value::int(cid), Value::str(nation)])
+    }
+
+    #[test]
+    fn example_5_2_maintained_incrementally() {
+        let mut exec = Executor::new(customers_program());
+        exec.apply(&insert(1, "FR")).unwrap();
+        exec.apply(&insert(2, "FR")).unwrap();
+        exec.apply(&insert(3, "DE")).unwrap();
+        assert_eq!(exec.output_value(&[Value::int(1)]), Number::Int(2));
+        assert_eq!(exec.output_value(&[Value::int(2)]), Number::Int(2));
+        assert_eq!(exec.output_value(&[Value::int(3)]), Number::Int(1));
+        // Deleting customer 2 drops customer 1's count back to 1 and removes group 2.
+        exec.apply(&delete(2, "FR")).unwrap();
+        assert_eq!(exec.output_value(&[Value::int(1)]), Number::Int(1));
+        assert_eq!(exec.output_value(&[Value::int(2)]), Number::Int(0));
+        assert_eq!(exec.output_table().len(), 2);
+    }
+
+    #[test]
+    fn example_1_2_update_trace() {
+        // q = SELECT count(*) FROM R r1, R r2 WHERE r1.A = r2.A, maintained over the exact
+        // update trace of Example 1.2; expected values are from the paper's table.
+        let mut catalog = Database::new();
+        catalog.declare("R", &["A"]).unwrap();
+        let q = parse_query("q := Sum(R(x) * R(y) * (x = y))").unwrap();
+        let program = compile(&catalog, &q).unwrap();
+        let mut exec = Executor::new(program);
+        let ins = |v: &str| Update::insert("R", vec![Value::str(v)]);
+        let del = |v: &str| Update::delete("R", vec![Value::str(v)]);
+        let trace = [
+            (ins("c"), 1),
+            (ins("c"), 4),
+            (ins("d"), 5),
+            (ins("c"), 10),
+            (del("d"), 9),
+            (ins("c"), 16),
+            (del("c"), 9),
+        ];
+        for (update, expected) in trace {
+            exec.apply(&update).unwrap();
+            assert_eq!(exec.output_value(&[]), Number::Int(expected), "after {update}");
+        }
+    }
+
+    #[test]
+    fn constant_work_per_update_for_the_self_join_count() {
+        // The Example 1.2 trigger has no loop variables, so the arithmetic work per update
+        // must be independent of how many tuples have been inserted.
+        let mut catalog = Database::new();
+        catalog.declare("R", &["A"]).unwrap();
+        let q = parse_query("q := Sum(R(x) * R(y) * (x = y))").unwrap();
+        let mut exec = Executor::new(compile(&catalog, &q).unwrap());
+        let mut per_update = Vec::new();
+        for i in 0..200 {
+            let before = exec.stats().arithmetic_ops();
+            exec.apply(&Update::insert("R", vec![Value::int(i % 5)]))
+                .unwrap();
+            per_update.push(exec.stats().arithmetic_ops() - before);
+        }
+        let max = *per_update.iter().max().unwrap();
+        let min = *per_update[10..].iter().min().unwrap();
+        assert!(max <= 12, "ops per update stay bounded, got {max}");
+        assert!(max <= min + 4, "ops per update do not grow with the database");
+    }
+
+    #[test]
+    fn initialization_from_a_nonempty_database_matches_streaming() {
+        let mut db = customer_catalog();
+        let updates: Vec<Update> = (0..30)
+            .map(|i| insert(i, ["FR", "DE", "IT"][(i % 3) as usize]))
+            .collect();
+        for u in &updates {
+            db.apply(u).unwrap();
+        }
+        // Path A: stream everything through the executor from empty.
+        let mut streamed = Executor::new(customers_program());
+        streamed.apply_all(&updates).unwrap();
+        // Path B: initialize from the loaded database, then stream nothing.
+        let mut initialized = Executor::new(customers_program());
+        initialized.initialize_from(&db).unwrap();
+        assert_eq!(streamed.output_table(), initialized.output_table());
+        // Both paths then agree on further maintenance.
+        let more = insert(100, "FR");
+        streamed.apply(&more).unwrap();
+        initialized.apply(&more).unwrap();
+        assert_eq!(streamed.output_table(), initialized.output_table());
+    }
+
+    #[test]
+    fn irrelevant_updates_are_ignored_and_arity_is_checked() {
+        let mut exec = Executor::new(customers_program());
+        exec.apply(&Update::insert("Other", vec![Value::int(1)])).unwrap();
+        assert!(exec.output_table().is_empty());
+        let err = exec
+            .apply(&Update::insert("C", vec![Value::int(1)]))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::ArityMismatch { .. }));
+        assert!(err.to_string().contains("1 values"));
+    }
+
+    #[test]
+    fn batched_multiplicity_updates() {
+        let mut exec = Executor::new(customers_program());
+        let mut batch = insert(1, "FR");
+        batch.multiplicity = 3;
+        exec.apply(&batch).unwrap();
+        // Three identical customers of the same nation: each of the 3 sees 3 → 3 per group
+        // key... group key is cid=1, so the count is 9.
+        assert_eq!(exec.output_value(&[Value::int(1)]), Number::Int(9));
+        assert_eq!(exec.stats().updates, 3);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut exec = Executor::new(customers_program());
+        exec.apply(&insert(1, "FR")).unwrap();
+        let stats = exec.stats();
+        assert_eq!(stats.updates, 1);
+        assert!(stats.additions > 0);
+        assert!(stats.arithmetic_ops() >= stats.additions);
+        exec.reset_stats();
+        assert_eq!(exec.stats(), ExecStats::default());
+        assert!(exec.total_entries() > 0);
+    }
+
+    #[test]
+    fn value_aggregation_with_floats() {
+        let mut catalog = Database::new();
+        catalog.declare("Sales", &["cust", "price", "qty"]).unwrap();
+        let q = dbring_agca::sql::parse_sql(
+            "SELECT cust, SUM(price * qty) AS revenue FROM Sales GROUP BY cust",
+            &catalog,
+        )
+        .unwrap();
+        let mut exec = Executor::new(compile(&catalog, &q).unwrap());
+        exec.apply(&Update::insert(
+            "Sales",
+            vec![Value::int(7), Value::float(2.5), Value::int(4)],
+        ))
+        .unwrap();
+        exec.apply(&Update::insert(
+            "Sales",
+            vec![Value::int(7), Value::float(1.0), Value::int(3)],
+        ))
+        .unwrap();
+        assert_eq!(exec.output_value(&[Value::int(7)]), Number::Float(13.0));
+        exec.apply(&Update::delete(
+            "Sales",
+            vec![Value::int(7), Value::float(1.0), Value::int(3)],
+        ))
+        .unwrap();
+        assert_eq!(exec.output_value(&[Value::int(7)]), Number::Float(10.0));
+    }
+}

@@ -1,0 +1,33 @@
+//! Runtime for the compiled trigger programs of `dbring-compiler`, plus the maintenance
+//! baselines the paper's complexity argument compares against.
+//!
+//! Three maintenance strategies are provided behind the common
+//! [`MaintenanceStrategy`](strategy::MaintenanceStrategy) interface:
+//!
+//! * [`Executor`](executor::Executor) — **recursive IVM** (the paper's contribution): runs
+//!   a compiled NC0C trigger program over flat hash maps; per update it performs a
+//!   constant number of arithmetic operations per maintained value and never touches the
+//!   base relations. Arithmetic operations and map writes are counted so the experiments
+//!   can verify the constant-work claim directly rather than only through wall-clock time.
+//! * [`ClassicalIvm`](baseline::ClassicalIvm) — classical first-order incremental view
+//!   maintenance: only the query result is materialized; on every update the *first* delta
+//!   query is evaluated against the stored database with the reference evaluator.
+//! * [`NaiveReeval`](baseline::NaiveReeval) — non-incremental evaluation: the query is
+//!   recomputed from scratch after every update.
+//!
+//! [`executor::Executor::initialize_from`] loads a compiled program's views from a
+//! non-empty starting database by evaluating each view's defining query once with the
+//! reference evaluator (the "initial values" step of Section 1.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod executor;
+pub mod storage;
+pub mod strategy;
+
+pub use baseline::{ClassicalIvm, NaiveReeval};
+pub use executor::{ExecStats, Executor, RuntimeError};
+pub use storage::MapStorage;
+pub use strategy::MaintenanceStrategy;

@@ -1,0 +1,261 @@
+//! Flat map storage for materialized views, with slice indexes.
+//!
+//! A view is a hash map from key tuples (`Vec<Value>`) to aggregate values ([`Number`]).
+//! Trigger statements with loop variables need to enumerate the entries of a map that
+//! match a *partially* bound key ("give me all `(nation, cid)` entries with this
+//! nation"); to keep that proportional to the number of matching entries — rather than to
+//! the size of the map, which would silently reintroduce a dependence on the database
+//! size — the storage maintains secondary indexes for exactly the key-position patterns
+//! the compiled program needs. Index maintenance is a constant amount of extra work per
+//! write.
+
+use std::collections::{HashMap, HashSet};
+
+use dbring_algebra::{Number, Ring, Semiring};
+use dbring_relations::Value;
+
+/// One materialized map: key tuples of a fixed arity mapping to aggregate values, plus the
+/// slice indexes registered for it.
+#[derive(Clone, Debug, Default)]
+pub struct MapStorage {
+    key_arity: usize,
+    data: HashMap<Vec<Value>, Number>,
+    /// For each registered pattern (a sorted list of key positions), an index from the
+    /// values at those positions to the set of full keys having those values.
+    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, HashSet<Vec<Value>>>>,
+}
+
+impl MapStorage {
+    /// Creates an empty map with the given key arity.
+    pub fn new(key_arity: usize) -> Self {
+        MapStorage {
+            key_arity,
+            data: HashMap::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// The key arity.
+    pub fn key_arity(&self) -> usize {
+        self.key_arity
+    }
+
+    /// Number of entries with a non-zero value.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the map has no non-zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The value stored under `key` (zero if absent).
+    pub fn get(&self, key: &[Value]) -> Number {
+        self.data.get(key).copied().unwrap_or(Number::Int(0))
+    }
+
+    /// Iterates over all `(key, value)` entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &Number)> {
+        self.data.iter()
+    }
+
+    /// Registers a slice index over the given key positions (deduplicated, ignored if the
+    /// pattern covers all positions or none). Must be called before entries are inserted
+    /// (the executor registers indexes at construction time).
+    pub fn register_index(&mut self, mut positions: Vec<usize>) {
+        positions.sort_unstable();
+        positions.dedup();
+        if positions.is_empty() || positions.len() >= self.key_arity {
+            return;
+        }
+        self.indexes.entry(positions).or_default();
+    }
+
+    /// The registered index patterns (sorted position lists).
+    pub fn index_patterns(&self) -> impl Iterator<Item = &Vec<usize>> {
+        self.indexes.keys()
+    }
+
+    /// Adds `delta` to the value under `key`, maintaining indexes and pruning zeros.
+    ///
+    /// # Panics
+    /// Panics if the key arity does not match.
+    pub fn add(&mut self, key: Vec<Value>, delta: Number) {
+        assert_eq!(key.len(), self.key_arity, "key arity mismatch");
+        if delta.is_zero() {
+            return;
+        }
+        let entry = self.data.entry(key.clone()).or_insert(Number::Int(0));
+        let was_absent = entry.is_zero();
+        *entry = entry.add(&delta);
+        let now_zero = entry.is_zero();
+        if now_zero {
+            self.data.remove(&key);
+        }
+        // Index maintenance: insert on first appearance, remove when pruned.
+        if was_absent && !now_zero {
+            for (pattern, index) in self.indexes.iter_mut() {
+                let slice_key: Vec<Value> = pattern.iter().map(|&i| key[i].clone()).collect();
+                index.entry(slice_key).or_default().insert(key.clone());
+            }
+        } else if !was_absent && now_zero {
+            for (pattern, index) in self.indexes.iter_mut() {
+                let slice_key: Vec<Value> = pattern.iter().map(|&i| key[i].clone()).collect();
+                if let Some(set) = index.get_mut(&slice_key) {
+                    set.remove(&key);
+                    if set.is_empty() {
+                        index.remove(&slice_key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Overwrites the value under `key` (used by initialization).
+    pub fn set(&mut self, key: Vec<Value>, value: Number) {
+        let current = self.get(&key);
+        let delta = value.add(&current.neg());
+        self.add(key, delta);
+    }
+
+    /// Enumerates the entries whose key matches `values` at the given positions.
+    ///
+    /// If an index is registered for exactly these positions it is used (cost proportional
+    /// to the number of matches); otherwise the map is scanned. Positions must be sorted.
+    pub fn slice<'a>(
+        &'a self,
+        positions: &[usize],
+        values: &[Value],
+    ) -> Vec<(&'a Vec<Value>, Number)> {
+        assert_eq!(positions.len(), values.len());
+        if positions.is_empty() {
+            return self.data.iter().map(|(k, v)| (k, *v)).collect();
+        }
+        if let Some(index) = self.indexes.get(positions) {
+            let Some(keys) = index.get(values) else {
+                return Vec::new();
+            };
+            return keys
+                .iter()
+                .filter_map(|k| self.data.get_key_value(k).map(|(k, v)| (k, *v)))
+                .collect();
+        }
+        // Fallback: full scan.
+        self.data
+            .iter()
+            .filter(|(k, _)| {
+                positions
+                    .iter()
+                    .zip(values.iter())
+                    .all(|(&i, v)| &k[i] == v)
+            })
+            .map(|(k, v)| (k, *v))
+            .collect()
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::int(v)).collect()
+    }
+
+    #[test]
+    fn get_add_and_prune() {
+        let mut m = MapStorage::new(2);
+        assert_eq!(m.get(&key(&[1, 2])), Number::Int(0));
+        m.add(key(&[1, 2]), Number::Int(5));
+        m.add(key(&[1, 3]), Number::Int(7));
+        assert_eq!(m.get(&key(&[1, 2])), Number::Int(5));
+        assert_eq!(m.len(), 2);
+        m.add(key(&[1, 2]), Number::Int(-5));
+        assert_eq!(m.get(&key(&[1, 2])), Number::Int(0));
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+        m.add(key(&[1, 3]), Number::Int(0));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.key_arity(), 2);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut m = MapStorage::new(1);
+        m.set(key(&[1]), Number::Int(10));
+        assert_eq!(m.get(&key(&[1])), Number::Int(10));
+        m.set(key(&[1]), Number::Int(3));
+        assert_eq!(m.get(&key(&[1])), Number::Int(3));
+        m.set(key(&[1]), Number::Int(0));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut m = MapStorage::new(2);
+        m.add(key(&[1]), Number::Int(1));
+    }
+
+    #[test]
+    fn slices_with_and_without_index() {
+        let mut indexed = MapStorage::new(2);
+        indexed.register_index(vec![0]);
+        let mut scanned = MapStorage::new(2);
+        for (a, b, v) in [(1, 10, 2), (1, 11, 3), (2, 10, 4), (2, 12, 5)] {
+            indexed.add(key(&[a, b]), Number::Int(v));
+            scanned.add(key(&[a, b]), Number::Int(v));
+        }
+        for store in [&indexed, &scanned] {
+            let mut hits: Vec<i64> = store
+                .slice(&[0], &key(&[1]))
+                .iter()
+                .map(|(_, v)| v.as_i64().unwrap())
+                .collect();
+            hits.sort_unstable();
+            assert_eq!(hits, vec![2, 3]);
+            assert!(store.slice(&[0], &key(&[9])).is_empty());
+            // Slicing on the second position works too (scan fallback for `indexed`).
+            assert_eq!(store.slice(&[1], &key(&[10])).len(), 2);
+            // Empty pattern = all entries.
+            assert_eq!(store.slice(&[], &[]).len(), 4);
+        }
+    }
+
+    #[test]
+    fn index_tracks_removals() {
+        let mut m = MapStorage::new(2);
+        m.register_index(vec![0]);
+        m.add(key(&[1, 10]), Number::Int(2));
+        m.add(key(&[1, 11]), Number::Int(3));
+        assert_eq!(m.slice(&[0], &key(&[1])).len(), 2);
+        m.add(key(&[1, 10]), Number::Int(-2));
+        assert_eq!(m.slice(&[0], &key(&[1])).len(), 1);
+        m.add(key(&[1, 11]), Number::Int(-3));
+        assert!(m.slice(&[0], &key(&[1])).is_empty());
+        // Re-inserting after pruning works.
+        m.add(key(&[1, 10]), Number::Int(9));
+        assert_eq!(m.slice(&[0], &key(&[1])).len(), 1);
+    }
+
+    #[test]
+    fn degenerate_index_patterns_are_ignored() {
+        let mut m = MapStorage::new(2);
+        m.register_index(vec![]);
+        m.register_index(vec![0, 1]);
+        m.register_index(vec![1, 0, 1]);
+        assert_eq!(m.index_patterns().count(), 0);
+        m.register_index(vec![1]);
+        assert_eq!(m.index_patterns().count(), 1);
+    }
+
+    #[test]
+    fn float_values_are_supported() {
+        let mut m = MapStorage::new(1);
+        m.add(key(&[1]), Number::Float(2.5));
+        m.add(key(&[1]), Number::Int(1));
+        assert_eq!(m.get(&key(&[1])), Number::Float(3.5));
+    }
+}

@@ -1,0 +1,73 @@
+//! A common interface over the three maintenance strategies, so experiments, tests and
+//! benchmarks can drive them interchangeably.
+
+use std::collections::BTreeMap;
+
+use dbring_algebra::Number;
+use dbring_relations::{Update, Value};
+
+/// A view-maintenance strategy: consumes single-tuple updates and can report the current
+/// query result (a table from group keys to aggregate values).
+pub trait MaintenanceStrategy {
+    /// A short name used in experiment output ("recursive-ivm", "classical-ivm", "naive").
+    fn strategy_name(&self) -> &'static str;
+
+    /// Applies one single-tuple update.
+    fn apply_update(&mut self, update: &Update) -> Result<(), String>;
+
+    /// The current query result as a sorted table. Groups whose aggregate is zero may be
+    /// omitted.
+    fn current_result(&self) -> BTreeMap<Vec<Value>, Number>;
+
+    /// The aggregate value for one group key (zero if the group is absent).
+    fn result_value(&self, key: &[Value]) -> Number {
+        self.current_result()
+            .get(key)
+            .copied()
+            .unwrap_or(Number::Int(0))
+    }
+}
+
+impl MaintenanceStrategy for crate::executor::Executor {
+    fn strategy_name(&self) -> &'static str {
+        "recursive-ivm"
+    }
+
+    fn apply_update(&mut self, update: &Update) -> Result<(), String> {
+        self.apply(update).map_err(|e| e.to_string())
+    }
+
+    fn current_result(&self) -> BTreeMap<Vec<Value>, Number> {
+        self.output_table()
+    }
+
+    fn result_value(&self, key: &[Value]) -> Number {
+        self.output_value(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbring_agca::parser::parse_query;
+    use dbring_compiler::compile;
+    use dbring_relations::Database;
+
+    #[test]
+    fn executor_implements_the_strategy_interface() {
+        let mut catalog = Database::new();
+        catalog.declare("R", &["A"]).unwrap();
+        let q = parse_query("q := Sum(R(x))").unwrap();
+        let mut strategy: Box<dyn MaintenanceStrategy> =
+            Box::new(crate::executor::Executor::new(compile(&catalog, &q).unwrap()));
+        assert_eq!(strategy.strategy_name(), "recursive-ivm");
+        strategy
+            .apply_update(&Update::insert("R", vec![Value::int(1)]))
+            .unwrap();
+        strategy
+            .apply_update(&Update::insert("R", vec![Value::int(2)]))
+            .unwrap();
+        assert_eq!(strategy.result_value(&[]), Number::Int(2));
+        assert_eq!(strategy.current_result().len(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Example 1.1 / Figure 1 of the paper: recursive memoization of deltas for the
+//! polynomial `f(x) = x²` with updates `U = {+1, −1}`.
+//!
+//! Seven values are memoized (`|U|⁰ + |U|¹ + |U|² = 7`); after initialization, tracking
+//! `f` under increments and decrements of `x` costs one addition per memoized value and
+//! never re-evaluates the polynomial.
+//!
+//! Run with: `cargo run --example polynomial_ring`
+
+use dbring::{Polynomial, RecursiveMemo};
+
+fn main() {
+    let f = Polynomial::monomial(1i64, 2); // x^2
+    let updates = vec![1i64, -1];
+
+    println!("f(x) = {f},  U = {{+1, -1}}\n");
+    println!(
+        "{:>4} {:>6} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "x", "f(x)", "Δf(·,+1)", "Δf(·,-1)", "Δ²f(+1,+1)", "Δ²f(+1,-1)", "Δ²f(-1,+1)", "Δ²f(-1,-1)"
+    );
+
+    // Reproduce Figure 1 row by row: start at x = −2 and walk up to x = 4 by applying the
+    // update "+1" repeatedly. Only additions of memoized values happen along the way.
+    let mut memo = RecursiveMemo::new(&f, &-2, updates.clone());
+    for step in 0..=6 {
+        let x = -2 + step;
+        print_row(x, &memo);
+        if step < 6 {
+            memo.apply(0); // apply the update +1
+        }
+    }
+
+    println!(
+        "\nmemoized values: {}   additions performed for the whole walk: {}",
+        memo.memoized_values(),
+        memo.additions()
+    );
+    println!("(the function definition was evaluated only once, at initialization)");
+}
+
+fn print_row(x: i64, memo: &RecursiveMemo<i64>) {
+    println!(
+        "{:>4} {:>6} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        x,
+        memo.current(),
+        memo.value(&[0]).unwrap(),
+        memo.value(&[1]).unwrap(),
+        memo.value(&[0, 0]).unwrap(),
+        memo.value(&[0, 1]).unwrap(),
+        memo.value(&[1, 0]).unwrap(),
+        memo.value(&[1, 1]).unwrap(),
+    );
+}

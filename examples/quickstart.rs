@@ -1,0 +1,56 @@
+//! Quick start: define a standing SQL aggregate, stream inserts and deletes, and read the
+//! incrementally maintained result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dbring::{Catalog, IncrementalView, Value};
+
+fn main() {
+    // 1. Declare the schema (a catalog is a database whose contents are ignored).
+    let mut catalog = Catalog::new();
+    catalog
+        .declare("Sales", &["cust", "price", "qty"])
+        .expect("fresh catalog");
+
+    // 2. Define the standing query. It is compiled once into a trigger program: a small
+    //    set of materialized maps plus, per relation and sign, a list of constant-work
+    //    update statements.
+    let mut revenue = IncrementalView::from_sql(
+        &catalog,
+        "SELECT cust, SUM(price * qty) AS revenue FROM Sales GROUP BY cust",
+    )
+    .expect("query compiles");
+
+    println!("compiled trigger program:\n{}", revenue.program().describe());
+
+    // 3. Stream single-tuple updates. Each one runs the matching trigger; the base table
+    //    is never stored.
+    revenue
+        .insert("Sales", vec![Value::int(1), Value::float(9.99), Value::int(3)])
+        .unwrap();
+    revenue
+        .insert("Sales", vec![Value::int(2), Value::float(5.00), Value::int(10)])
+        .unwrap();
+    revenue
+        .insert("Sales", vec![Value::int(1), Value::float(1.50), Value::int(2)])
+        .unwrap();
+    // A correction: the second sale is cancelled.
+    revenue
+        .delete("Sales", vec![Value::int(2), Value::float(5.00), Value::int(10)])
+        .unwrap();
+
+    // 4. Read the result at any time.
+    println!("revenue per customer:");
+    for (key, value) in revenue.table() {
+        println!("  customer {} -> {:.2}", key[0], value.as_f64());
+    }
+    println!(
+        "work done: {} updates, {} additions, {} multiplications",
+        revenue.stats().updates,
+        revenue.stats().additions,
+        revenue.stats().multiplications
+    );
+
+    assert!((revenue.value(&[Value::int(1)]).as_f64() - 32.97).abs() < 1e-9);
+    assert_eq!(revenue.value(&[Value::int(2)]).as_f64(), 0.0);
+}

@@ -1,0 +1,271 @@
+//! Reproduction of the paper's worked examples and figures as executable assertions:
+//! Figure 1, Example 1.2 (including the ∆Q columns of its table), Example 1.3's
+//! factorization, Example 3.2's GMR arithmetic, and the degree bookkeeping of
+//! Examples 6.2 / 6.5.
+
+use dbring::{
+    compile, delta, eval, parse_expr, parse_query, Catalog, Database, Executor, Number,
+    Polynomial, RecursiveMemo, Sign, Tuple, Update, UpdateEvent, Value,
+};
+use dbring_agca::degree::degree;
+use dbring_agca::normalize::normalize;
+use dbring_compiler::RhsFactor;
+use dbring_relations::gmr::{Gmr, GmrExt};
+use dbring_relations::tuple;
+
+// ---------------------------------------------------------------------------------------
+// Figure 1 / Example 1.1
+// ---------------------------------------------------------------------------------------
+
+#[test]
+fn figure_1_memoized_delta_table() {
+    // f(x) = x², U = {+1, −1}: the seven memoized values for x = −2 … 4.
+    let f = Polynomial::monomial(1i64, 2);
+    // Expected rows (x, f, ∆f(+1), ∆f(−1), ∆²(+1,+1), ∆²(+1,−1), ∆²(−1,+1), ∆²(−1,−1)).
+    let expected = [
+        (-2, 4, -3, 5, 2, -2, -2, 2),
+        (-1, 1, -1, 3, 2, -2, -2, 2),
+        (0, 0, 1, 1, 2, -2, -2, 2),
+        (1, 1, 3, -1, 2, -2, -2, 2),
+        (2, 4, 5, -3, 2, -2, -2, 2),
+        (3, 9, 7, -5, 2, -2, -2, 2),
+        (4, 16, 9, -7, 2, -2, -2, 2),
+    ];
+    // Check both ways: initializing fresh at each x, and walking with pure additions.
+    let mut walking = RecursiveMemo::new(&f, &-2, vec![1, -1]);
+    for (i, row) in expected.iter().enumerate() {
+        let (x, fx, d_p, d_m, dd_pp, dd_pm, dd_mp, dd_mm) = *row;
+        let fresh = RecursiveMemo::new(&f, &x, vec![1, -1]);
+        for memo in [&fresh, &walking] {
+            assert_eq!(memo.current(), fx, "f({x})");
+            assert_eq!(memo.value(&[0]), Some(d_p), "∆f({x}, +1)");
+            assert_eq!(memo.value(&[1]), Some(d_m), "∆f({x}, -1)");
+            assert_eq!(memo.value(&[0, 0]), Some(dd_pp));
+            assert_eq!(memo.value(&[0, 1]), Some(dd_pm));
+            assert_eq!(memo.value(&[1, 0]), Some(dd_mp));
+            assert_eq!(memo.value(&[1, 1]), Some(dd_mm));
+            assert_eq!(memo.memoized_values(), 7);
+        }
+        if i + 1 < expected.len() {
+            walking.apply(0);
+        }
+    }
+    // The whole walk used only additions: 3 per step (the ∆² level is constant).
+    assert_eq!(walking.additions(), 6 * 3);
+}
+
+// ---------------------------------------------------------------------------------------
+// Example 1.2: the update trace table, including the ∆Q columns
+// ---------------------------------------------------------------------------------------
+
+#[test]
+fn example_1_2_table_q_column() {
+    let mut catalog = Catalog::new();
+    catalog.declare("R", &["A"]).unwrap();
+    let q = parse_query("q := Sum(R(x) * R(y) * (x = y))").unwrap();
+    let mut exec = Executor::new(compile(&catalog, &q).unwrap());
+    let ins = |v: &str| Update::insert("R", vec![Value::str(v)]);
+    let del = |v: &str| Update::delete("R", vec![Value::str(v)]);
+    // The Q(R) column of the paper's table.
+    let steps = [
+        (ins("c"), 1),
+        (ins("c"), 4),
+        (ins("d"), 5),
+        (ins("c"), 10),
+        (del("d"), 9),
+        (ins("c"), 16),
+        (del("c"), 9),
+    ];
+    for (update, expected) in steps {
+        exec.apply(&update).unwrap();
+        assert_eq!(exec.output_value(&[]), Number::Int(expected));
+    }
+}
+
+#[test]
+fn example_1_2_table_delta_columns() {
+    // The ∆Q(R, ·) columns: ∆Q(R, ±R(a)) = 1 ± 2 * (count of a in R), evaluated
+    // symbolically with the delta transform and the reference evaluator.
+    let mut db = Database::new();
+    db.declare("R", &["A"]).unwrap();
+    let q = parse_expr("Sum(R(x) * R(y) * (x = y))").unwrap();
+    let plus = UpdateEvent::insert("R", &["a"]);
+    let minus = UpdateEvent::delete("R", &["a"]);
+    let d_plus = delta(&q, &plus);
+    let d_minus = delta(&q, &minus);
+
+    let delta_value = |db: &Database, d: &dbring::Expr, v: &str| -> i64 {
+        let binding = Tuple::singleton("a", Value::str(v));
+        eval(d, db, &binding)
+            .unwrap()
+            .get(&Tuple::empty())
+            .as_i64()
+            .unwrap()
+    };
+
+    // Rows of the paper's table: (R contents as inserts so far, +R(c), -R(c), +R(d), -R(d)).
+    let expected_rows: [(&[&str], i64, i64, i64, i64); 5] = [
+        (&[], 1, 1, 1, 1),
+        (&["c"], 3, -1, 1, 1),
+        (&["c", "c"], 5, -3, 1, 1),
+        (&["c", "c", "d"], 5, -3, 3, -1),
+        (&["c", "c", "c", "d"], 7, -5, 3, -1),
+    ];
+    for (contents, pc, mc, pd, md) in expected_rows {
+        let mut db = db.clone();
+        for v in contents {
+            db.insert("R", vec![Value::str(*v)]).unwrap();
+        }
+        assert_eq!(delta_value(&db, &d_plus, "c"), pc, "+R(c) on {contents:?}");
+        assert_eq!(delta_value(&db, &d_minus, "c"), mc, "-R(c) on {contents:?}");
+        assert_eq!(delta_value(&db, &d_plus, "d"), pd, "+R(d) on {contents:?}");
+        assert_eq!(delta_value(&db, &d_minus, "d"), md, "-R(d) on {contents:?}");
+    }
+}
+
+#[test]
+fn example_1_2_second_delta_is_constant() {
+    // ∆²Q(R, ±1 R(a1), ±2 R(a2)) = ±1 ±2 2 if a1 = a2, else 0 — independent of R.
+    let q = parse_expr("Sum(R(x) * R(y) * (x = y))").unwrap();
+    let mut db = Database::new();
+    db.declare("R", &["A"]).unwrap();
+    let mut loaded = db.clone();
+    for i in 0..5 {
+        loaded.insert("R", vec![Value::int(i)]).unwrap();
+    }
+    for (s1, s2, same, expected) in [
+        (Sign::Insert, Sign::Insert, true, 2i64),
+        (Sign::Delete, Sign::Delete, true, 2),
+        (Sign::Insert, Sign::Delete, true, -2),
+        (Sign::Delete, Sign::Insert, true, -2),
+        (Sign::Insert, Sign::Insert, false, 0),
+        (Sign::Insert, Sign::Delete, false, 0),
+    ] {
+        let e1 = UpdateEvent {
+            relation: "R".into(),
+            sign: s1,
+            params: vec!["a1".into()],
+        };
+        let e2 = UpdateEvent {
+            relation: "R".into(),
+            sign: s2,
+            params: vec!["a2".into()],
+        };
+        let dd = delta(&delta(&q, &e1), &e2);
+        let binding = Tuple::from_pairs(vec![
+            ("a1", Value::int(7)),
+            ("a2", Value::int(if same { 7 } else { 8 })),
+        ]);
+        for database in [&db, &loaded] {
+            let value = eval(&dd, database, &binding).unwrap().get(&Tuple::empty());
+            assert_eq!(value, Number::Int(expected), "{s1:?} {s2:?} same={same}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Example 1.3: factorization of the delta of the three-way join aggregate
+// ---------------------------------------------------------------------------------------
+
+#[test]
+fn example_1_3_delta_factorizes_and_matches_the_two_subaggregates() {
+    let mut db = Database::new();
+    db.declare("R", &["A", "B"]).unwrap();
+    db.declare("S", &["C", "D"]).unwrap();
+    db.declare("T", &["E", "F"]).unwrap();
+    // Load some data.
+    for (a, b) in [(1, 10), (2, 10), (3, 11), (4, 12)] {
+        db.insert("R", vec![Value::int(a), Value::int(b)]).unwrap();
+    }
+    for (e, f) in [(20, 5), (20, 6), (21, 7)] {
+        db.insert("T", vec![Value::int(e), Value::int(f)]).unwrap();
+    }
+    let q = parse_expr(
+        "Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)",
+    )
+    .unwrap();
+    // ∆Q(+S(c, d)) must equal (Σ_{R.B = c} A) * (Σ_{T.E = d} F) for any (c, d).
+    let event = UpdateEvent::insert("S", &["pc", "pd"]);
+    let d = delta(&q, &event);
+    for (c, dd, expected) in [
+        (10, 20, (1 + 2) * (5 + 6)),
+        (10, 21, (1 + 2) * 7),
+        (11, 20, 3 * 11),
+        (12, 99, 0),
+        (99, 20, 0),
+    ] {
+        let binding = Tuple::from_pairs(vec![("pc", Value::int(c)), ("pd", Value::int(dd))]);
+        let change = eval(&d, &db, &binding).unwrap().get(&Tuple::empty());
+        assert_eq!(change, Number::Int(expected), "∆Q(+S({c}, {dd}))");
+    }
+    // And the compiled program expresses exactly that as a product of two lookups.
+    let sql = dbring::parse_sql("SELECT SUM(A * F) FROM R, S, T WHERE B = C AND D = E", &db).unwrap();
+    let program = compile(&db, &sql).unwrap();
+    let stmt = program
+        .trigger("S", Sign::Insert)
+        .unwrap()
+        .statements
+        .iter()
+        .find(|s| s.target == program.output)
+        .unwrap();
+    let lookup_count = stmt
+        .factors
+        .iter()
+        .filter(|f| matches!(f, RhsFactor::MapLookup { .. }))
+        .count();
+    assert_eq!(lookup_count, 2);
+}
+
+// ---------------------------------------------------------------------------------------
+// Example 3.2: GMR addition and multiplication
+// ---------------------------------------------------------------------------------------
+
+#[test]
+fn example_3_2_gmr_arithmetic() {
+    let r: Gmr<i64> = Gmr::from_pairs(vec![
+        (tuple! { "A" => "a1" }, 2),
+        (tuple! { "A" => "a2", "B" => "b" }, 3),
+    ]);
+    let s: Gmr<i64> = Gmr::from_pairs(vec![(tuple! { "C" => "c" }, 5)]);
+    let t: Gmr<i64> = Gmr::from_pairs(vec![
+        (tuple! { "C" => "c" }, 7),
+        (tuple! { "B" => "b", "C" => "c" }, 11),
+    ]);
+    let s_plus_t = s.add(&t);
+    assert_eq!(s_plus_t.get(&tuple! { "C" => "c" }), 12);
+    assert_eq!(s_plus_t.get(&tuple! { "B" => "b", "C" => "c" }), 11);
+    let product = r.mul(&s_plus_t);
+    assert_eq!(product.get(&tuple! { "A" => "a1", "C" => "c" }), 2 * 12);
+    assert_eq!(
+        product.get(&tuple! { "A" => "a1", "B" => "b", "C" => "c" }),
+        2 * 11
+    );
+    assert_eq!(
+        product.get(&tuple! { "A" => "a2", "B" => "b", "C" => "c" }),
+        3 * 12 + 3 * 11
+    );
+    assert_eq!(product.support_size(), 3);
+    assert!(product.common_schema().is_none());
+}
+
+// ---------------------------------------------------------------------------------------
+// Examples 6.2 / 6.5: degrees along the delta chain
+// ---------------------------------------------------------------------------------------
+
+#[test]
+fn examples_6_2_and_6_5_degree_chain() {
+    let q = parse_expr("Sum(C(c, n) * C(c2, n))").unwrap();
+    assert_eq!(degree(&q), 2);
+    let e1 = UpdateEvent::insert("C", &["c1", "n1"]);
+    let d1 = delta(&q, &e1);
+    assert_eq!(degree(&d1), 1);
+    let e2 = UpdateEvent::insert("C", &["c2p", "n2p"]);
+    let d2 = delta(&d1, &e2);
+    assert_eq!(degree(&d2), 0);
+    // The normalized second delta contains exactly the two monomials of Example 6.5.
+    let p2 = normalize(&d2);
+    assert_eq!(p2.monomials.len(), 2);
+    // Any further delta vanishes.
+    let d3 = delta(&d2, &UpdateEvent::insert("C", &["x", "y"]));
+    assert!(normalize(&d3).is_zero());
+}

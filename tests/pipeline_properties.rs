@@ -1,0 +1,148 @@
+//! Property tests over the whole pipeline: for randomly generated update streams and a
+//! corpus of queries, the compiled recursive-IVM programs must agree with the reference
+//! evaluator at every prefix of the stream, and their per-update arithmetic work must not
+//! grow with the number of applied updates.
+
+use dbring::{compile, eval_all_groups, parse_query, Database, Executor, Query, Update, Value};
+use proptest::prelude::*;
+
+/// The compiled-query corpus used by the property tests (all simple-condition AGCA).
+fn corpus() -> Vec<Query> {
+    [
+        "q1[n] := Sum(C(c, n))",
+        "q2[c] := Sum(C(c, n) * C(c2, n))",
+        "q3 := Sum(C(c, n) * C(c2, n2) * (n = n2))",
+        "q4 := Sum(R(x) * R(y) * (x = y))",
+        "q5 := Sum(R(x) * S(x) * x)",
+        "q6[c] := Sum(C(c, n) * R(n))",
+        "q7 := Sum(C(c, n) * (n >= 2) * n)",
+        "q8 := Sum(C(c, n) * C(c2, n) * n)",
+    ]
+    .iter()
+    .map(|text| parse_query(text).unwrap())
+    .collect()
+}
+
+fn catalog() -> Database {
+    let mut db = Database::new();
+    db.declare("C", &["cid", "nation"]).unwrap();
+    db.declare("R", &["A"]).unwrap();
+    db.declare("S", &["A"]).unwrap();
+    db
+}
+
+/// A random single-tuple update over the fixed schema with a small value domain.
+fn arb_update() -> impl Strategy<Value = Update> {
+    prop_oneof![
+        (0i64..5, 0i64..4, any::<bool>()).prop_map(|(c, n, ins)| {
+            let values = vec![Value::int(c), Value::int(n)];
+            if ins {
+                Update::insert("C", values)
+            } else {
+                Update::delete("C", values)
+            }
+        }),
+        (0i64..4, any::<bool>(), any::<bool>()).prop_map(|(a, r, ins)| {
+            let rel = if r { "R" } else { "S" };
+            let values = vec![Value::int(a)];
+            if ins {
+                Update::insert(rel, values)
+            } else {
+                Update::delete(rel, values)
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compiled_programs_match_the_reference_evaluator(
+        stream in prop::collection::vec(arb_update(), 1..60),
+    ) {
+        let catalog = catalog();
+        for query in corpus() {
+            let program = compile(&catalog, &query).unwrap();
+            let mut exec = Executor::new(program);
+            let mut db = catalog.clone();
+            for (i, update) in stream.iter().enumerate() {
+                exec.apply(update).unwrap();
+                db.apply(update).unwrap();
+                // Check at a few prefixes and at the end (checking every step for every
+                // query would dominate the test run without adding much coverage).
+                if i % 9 == 0 || i + 1 == stream.len() {
+                    let expected: std::collections::BTreeMap<_, _> = eval_all_groups(&query, &db)
+                        .unwrap()
+                        .into_iter()
+                        .filter(|(_, v)| !dbring::Semiring::is_zero(v))
+                        .collect();
+                    prop_assert_eq!(
+                        exec.output_table(),
+                        expected,
+                        "query {} diverged after {} updates",
+                        &query.name,
+                        i + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_update_work_is_bounded_by_the_active_domain_not_the_stream_length(
+        seed_updates in prop::collection::vec(arb_update(), 50..120),
+    ) {
+        // For the scalar self-join count (whose trigger has no loop variables), the
+        // arithmetic work of the last update must not exceed the work of early updates by
+        // more than a small constant, no matter how long the stream was.
+        let catalog = catalog();
+        let query = parse_query("q := Sum(R(x) * R(y) * (x = y))").unwrap();
+        let mut exec = Executor::new(compile(&catalog, &query).unwrap());
+        let mut per_update = Vec::new();
+        for update in seed_updates.iter().filter(|u| u.relation == "R") {
+            let before = exec.stats().arithmetic_ops();
+            exec.apply(update).unwrap();
+            per_update.push(exec.stats().arithmetic_ops() - before);
+        }
+        if per_update.len() > 10 {
+            let early_max = *per_update[..5].iter().max().unwrap();
+            let late_max = *per_update[per_update.len() - 5..].iter().max().unwrap();
+            prop_assert!(late_max <= early_max.max(4) + 4);
+        }
+    }
+
+    #[test]
+    fn applying_an_update_and_its_inverse_is_a_noop(
+        stream in prop::collection::vec(arb_update(), 1..40),
+        extra in arb_update(),
+    ) {
+        let catalog = catalog();
+        let query = parse_query("q[c] := Sum(C(c, n) * C(c2, n))").unwrap();
+        let mut exec = Executor::new(compile(&catalog, &query).unwrap());
+        exec.apply_all(&stream).unwrap();
+        let before = exec.output_table();
+        exec.apply(&extra).unwrap();
+        exec.apply(&extra.inverse()).unwrap();
+        prop_assert_eq!(exec.output_table(), before);
+    }
+
+    #[test]
+    fn update_order_within_commuting_relations_does_not_matter(
+        c_updates in prop::collection::vec(
+            (0i64..4, 0i64..3).prop_map(|(c, n)| Update::insert("C", vec![Value::int(c), Value::int(n)])),
+            1..25
+        ),
+    ) {
+        // Insertions commute: applying them in reverse order yields the same result table.
+        let catalog = catalog();
+        let query = parse_query("q[c] := Sum(C(c, n) * C(c2, n))").unwrap();
+        let program = compile(&catalog, &query).unwrap();
+        let mut forward = Executor::new(program.clone());
+        let mut backward = Executor::new(program);
+        forward.apply_all(&c_updates).unwrap();
+        let reversed: Vec<_> = c_updates.iter().rev().cloned().collect();
+        backward.apply_all(&reversed).unwrap();
+        prop_assert_eq!(forward.output_table(), backward.output_table());
+    }
+}
