@@ -1,0 +1,339 @@
+//! Offline stand-in for the `criterion` crate (0.5 API surface).
+//!
+//! The build environment has no network access, so this in-tree crate provides the slice
+//! of Criterion the workspace's benches use: benchmark groups, `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `BenchmarkId`, `Throughput`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — warm up briefly, then run the routine until the
+//! measurement budget (or an iteration cap) is exhausted and report mean wall-clock time
+//! per iteration. There is no outlier analysis, no statistics, no HTML report; the point
+//! is that `cargo bench` runs and prints comparable numbers. Swap the real Criterion back
+//! in via the root `Cargo.toml` when the environment has network access; see
+//! `compat/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (the standard-library implementation).
+pub use std::hint::black_box;
+
+/// Entry point handed to every benchmark function by [`criterion_group!`].
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a plain argument. Flags that the
+        // real Criterion accepts (e.g. `--bench`) are ignored rather than treated as
+        // filters.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Runs a standalone benchmark (a group of one).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id.to_string());
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group: a function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation for a group (accepted and ignored by this stand-in).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` keeps in flight (ignored by this stand-in).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// A small per-iteration input.
+    SmallInput,
+    /// A large per-iteration input.
+    LargeInput,
+    /// One input per sample.
+    PerIteration,
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples (used to bound iteration counts).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long to warm up before measuring.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Records the group throughput (accepted and ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a routine under the given id.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = self.full_id(&id);
+        if !self.criterion.matches(&full_id) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            max_iters: (self.sample_size as u64).saturating_mul(10_000),
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        bencher.report(&full_id);
+        self
+    }
+
+    /// Benchmarks a routine that takes a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (All reporting already happened per benchmark.)
+    pub fn finish(self) {}
+
+    fn full_id(&self, id: &impl fmt::Display) -> String {
+        let suffix = id.to_string();
+        if suffix.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, suffix)
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    max_iters: u64,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records mean wall-clock time per call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run without recording.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let started = Instant::now();
+        let deadline = started + self.measurement_time;
+        while self.iters < self.max_iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Runs `routine` on fresh inputs from `setup`, timing only the routine.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(routine(setup()));
+        }
+        let started = Instant::now();
+        let deadline = started + self.measurement_time;
+        while self.iters < self.max_iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<60} (no iterations run)");
+            return;
+        }
+        let mean = self.total.as_nanos() as f64 / self.iters as f64;
+        let human = if mean < 1_000.0 {
+            format!("{mean:.1} ns")
+        } else if mean < 1_000_000.0 {
+            format!("{:.2} µs", mean / 1_000.0)
+        } else if mean < 1_000_000_000.0 {
+            format!("{:.2} ms", mean / 1_000_000.0)
+        } else {
+            format!("{:.3} s", mean / 1_000_000_000.0)
+        };
+        println!("{id:<60} {human:>12}/iter ({} iters)", self.iters);
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut criterion = Criterion { filter: None };
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut criterion = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut group = criterion.benchmark_group("smoke");
+        let mut ran = false;
+        group.bench_function("skipped", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        group.finish();
+        assert!(!ran);
+    }
+}

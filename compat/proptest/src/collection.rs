@@ -1,0 +1,77 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive size interval accepting proptest's flexible size arguments: an exact
+/// `usize`, `a..b`, or `a..=b`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    /// Draws a size from the interval, optionally clamped to `cap`.
+    pub(crate) fn draw(&self, rng: &mut TestRng, cap: Option<usize>) -> usize {
+        let hi = cap.map_or(self.hi, |c| self.hi.min(c));
+        let lo = self.lo.min(hi);
+        rng.usize_between(lo, hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            lo: exact,
+            hi: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange {
+            lo: range.start,
+            hi: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty collection size range");
+        SizeRange {
+            lo: *range.start(),
+            hi: *range.end(),
+        }
+    }
+}
+
+/// Generates `Vec`s whose length is drawn from `size` and whose elements are drawn from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The result of [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.draw(rng, None);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this in-tree crate implements the
+//! slice of proptest 1.x the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`, [`strategy::Just`], range
+//!   and tuple strategies, [`strategy::Union`] (behind [`prop_oneof!`]);
+//! * [`collection::vec`] and [`sample::subsequence`] with proptest's flexible size
+//!   arguments (exact `usize`, `a..b`, `a..=b`);
+//! * [`arbitrary::any`] for the primitive types the tests draw;
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`test_runner::TestCaseError`].
+//!
+//! Differences from the real crate, in decreasing order of importance: **no shrinking**
+//! (a failing case reports the generated inputs but does not minimize them), a fixed
+//! deterministic seed per test (derived from the test name, so runs are reproducible but
+//! never explore new seeds), and uniform rather than bias-tuned value distributions.
+//! Swap the real proptest back in via the root `Cargo.toml` when the environment has
+//! network access; see `compat/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The subset of the `proptest::prelude` re-exports the workspace uses.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced access to strategy modules, mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Asserts a condition inside a property test, failing the current case (not the whole
+/// process) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test; both sides are shown on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test; the common value is shown on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            left,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Builds a strategy choosing uniformly between several strategies with the same value
+/// type, mirroring `proptest::prop_oneof!` (unweighted form only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each `#[test] fn name(arg in strategy, ...) { body }` item expands to a test that
+/// draws inputs from the strategies for the configured number of cases and panics (with
+/// the generated inputs) on the first failing case. Inside the body, `?` and
+/// `return Ok(())` work as in the real proptest: the body runs in a closure returning
+/// `Result<(), TestCaseError>`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one `fn` item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            $crate::test_runner::run_cases(&config, stringify!($name), |__rng| {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&($strategy), __rng);
+                )+
+                let __inputs = format!(
+                    concat!($(concat!(stringify!($arg), " = {:?}\n")),+),
+                    $(&$arg),+
+                );
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                (__inputs, __result)
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -7i64..9, y in 0u32..3, z in 0usize..=4) {
+            prop_assert!((-7..9).contains(&x));
+            prop_assert!(y < 3);
+            prop_assert!(z <= 4);
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((0i64..5, any::<bool>()), 1..8),
+            s in prop::sample::subsequence(vec![1, 2, 3], 0..=3),
+            just in Just(41).prop_map(|n| n + 1),
+            one_of in prop_oneof![Just(1u8), Just(2u8), 3u8..5],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|(n, _)| (0..5).contains(n)));
+            // Subsequences preserve the original order.
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+            prop_assert_eq!(just, 42);
+            prop_assert!((1..5).contains(&one_of));
+        }
+
+        #[test]
+        fn flat_map_threads_values(pair in (1usize..5).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(0i64..10, n))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic]
+        fn failing_properties_are_reported(x in 0i64..10) {
+            // The harness must actually fail cases: x == x always "fails" here.
+            prop_assert!(x != x, "deliberate failure for x = {}", x);
+        }
+    }
+}

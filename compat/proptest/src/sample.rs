@@ -1,0 +1,38 @@
+//! Sampling strategies, mirroring the parts of `proptest::sample` the workspace uses.
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates in-order subsequences of `items` whose length is drawn from `size` (clamped
+/// to the number of items).
+pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        items,
+        size: size.into(),
+    }
+}
+
+/// The result of [`subsequence`].
+#[derive(Clone, Debug)]
+pub struct Subsequence<T> {
+    items: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let want = self.size.draw(rng, Some(self.items.len()));
+        // Partial Fisher–Yates over the index set, then restore original order.
+        let mut indices: Vec<usize> = (0..self.items.len()).collect();
+        for slot in 0..want {
+            let pick = rng.usize_between(slot, indices.len() - 1);
+            indices.swap(slot, pick);
+        }
+        let mut chosen = indices[..want].to_vec();
+        chosen.sort_unstable();
+        chosen.into_iter().map(|i| self.items[i].clone()).collect()
+    }
+}

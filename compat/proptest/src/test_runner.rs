@@ -1,0 +1,100 @@
+//! Test-case driving: configuration, the deterministic RNG, case failures.
+
+use std::fmt;
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// How many random cases to run per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Failure of a single test case (as produced by `prop_assert!` and friends).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The deterministic random source handed to strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64-bit word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `usize` in the inclusive range `[lo, hi]`.
+    pub fn usize_between(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+}
+
+/// Runs `case` for the configured number of cases with a per-test deterministic seed,
+/// panicking (with the generated inputs) on the first failure.
+///
+/// The closure returns the pretty-printed inputs alongside the case result so failures
+/// can be reported without shrinking machinery.
+pub fn run_cases<F>(config: &Config, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    // FNV-1a over the test name: stable across runs, different per test.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        seed ^= u64::from(byte);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut rng = TestRng::new(seed);
+    for case_index in 0..config.cases {
+        let (inputs, result) = case(&mut rng);
+        if let Err(error) = result {
+            panic!(
+                "proptest: test {test_name} failed at case {case_index} \
+                 (no shrinking in the offline stand-in)\n{error}\ninputs:\n{inputs}"
+            );
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The real `serde_derive` generates `Serialize`/`Deserialize` implementations; this
+//! stand-in accepts the same derive attributes and generates nothing at all. Combined
+//! with the blanket trait impls in the sibling `serde` stand-in, `#[derive(Serialize,
+//! Deserialize)]` compiles exactly as with the real crates — it just does not produce
+//! working serializers. See `compat/README.md` for the rationale (the build environment
+//! has no network access) and the swap-back instructions.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

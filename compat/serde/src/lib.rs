@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the real `serde` cannot be fetched.
+//! This crate keeps every `use serde::{Deserialize, Serialize}` import and every
+//! `#[derive(Serialize, Deserialize)]` attribute in the workspace compiling, while making
+//! no behavioral promises: the traits are markers implemented for every type, and the
+//! derives (re-exported from the in-tree `serde_derive` stand-in) generate nothing.
+//!
+//! Swapping the real serde back in is a one-line change in the root `Cargo.toml`
+//! (`serde = { version = "1", features = ["derive"] }` instead of the `path` entry); no
+//! source file needs to change. See `compat/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -96,6 +96,10 @@ pub enum Expr {
     Assign(String, Box<Expr>),
 }
 
+// `add`/`mul`/`neg` are associated smart constructors taking their operands by value
+// (`Expr::add(a, b)`), named after the ring vocabulary of the paper — not operations on
+// `self`, so they cannot actually shadow the `std::ops` methods at a call site.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// `q₁ + q₂`.
     pub fn add(a: Expr, b: Expr) -> Expr {
@@ -254,9 +258,11 @@ impl Expr {
                     .map(|v| if v == from { to.to_string() } else { v.clone() })
                     .collect(),
             ),
-            Expr::Cmp(op, a, b) => {
-                Expr::cmp(*op, a.rename_variable(from, to), b.rename_variable(from, to))
-            }
+            Expr::Cmp(op, a, b) => Expr::cmp(
+                *op,
+                a.rename_variable(from, to),
+                b.rename_variable(from, to),
+            ),
             Expr::Assign(x, t) => Expr::Assign(
                 if x == from { to.to_string() } else { x.clone() },
                 Box::new(t.rename_variable(from, to)),
@@ -284,9 +290,7 @@ impl Expr {
                 a.rename_variables(renaming),
                 b.rename_variables(renaming),
             ),
-            Expr::Assign(x, t) => {
-                Expr::Assign(lookup(x), Box::new(t.rename_variables(renaming)))
-            }
+            Expr::Assign(x, t) => Expr::Assign(lookup(x), Box::new(t.rename_variables(renaming))),
         }
     }
 
@@ -396,7 +400,13 @@ impl fmt::Display for Query {
         if self.group_by.is_empty() {
             write!(f, "{} := {}", self.name, self.expr)
         } else {
-            write!(f, "{}[{}] := {}", self.name, self.group_by.join(", "), self.expr)
+            write!(
+                f,
+                "{}[{}] := {}",
+                self.name,
+                self.group_by.join(", "),
+                self.expr
+            )
         }
     }
 }
@@ -417,21 +427,12 @@ mod tests {
     #[test]
     fn constructors_and_display() {
         let q = example_query();
-        assert_eq!(
-            q.to_string(),
-            "Sum(C(c, n) * C(c2, n2) * (n = n2))"
-        );
+        assert_eq!(q.to_string(), "Sum(C(c, n) * C(c2, n2) * (n = n2))");
         assert_eq!(Expr::int(3).to_string(), "3");
         assert_eq!(Expr::constant("FR").to_string(), "'FR'");
         assert_eq!(Expr::assign("x", Expr::int(1)).to_string(), "(x := 1)");
-        assert_eq!(
-            Expr::neg(Expr::var("x")).to_string(),
-            "-(x)"
-        );
-        assert_eq!(
-            Expr::add(Expr::int(1), Expr::int(2)).to_string(),
-            "(1 + 2)"
-        );
+        assert_eq!(Expr::neg(Expr::var("x")).to_string(), "-(x)");
+        assert_eq!(Expr::add(Expr::int(1), Expr::int(2)).to_string(), "(1 + 2)");
     }
 
     #[test]
@@ -450,10 +451,7 @@ mod tests {
         let rels: Vec<String> = q.relations().into_iter().collect();
         assert_eq!(rels, vec!["C"]);
         assert!(Expr::int(1).variables().is_empty());
-        assert_eq!(
-            Expr::assign("x", Expr::var("y")).variables().len(),
-            2
-        );
+        assert_eq!(Expr::assign("x", Expr::var("y")).variables().len(), 2);
     }
 
     #[test]
@@ -495,11 +493,7 @@ mod tests {
         let q = example_query();
         assert!(q.size() > 5);
         assert!(!q.has_nested_aggregate_condition());
-        let nested = Expr::cmp(
-            CmpOp::Gt,
-            Expr::sum(Expr::rel("R", &["x"])),
-            Expr::int(10),
-        );
+        let nested = Expr::cmp(CmpOp::Gt, Expr::sum(Expr::rel("R", &["x"])), Expr::int(10));
         assert!(nested.has_nested_aggregate_condition());
         assert!(Expr::mul(Expr::rel("S", &["y"]), nested).has_nested_aggregate_condition());
     }

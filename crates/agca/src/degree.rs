@@ -49,7 +49,10 @@ mod tests {
         let r = Expr::rel("R", &["x"]);
         let s = Expr::rel("S", &["y"]);
         assert_eq!(degree(&Expr::mul(r.clone(), s.clone())), 2);
-        assert_eq!(degree(&Expr::add(r.clone(), Expr::mul(r.clone(), s.clone()))), 2);
+        assert_eq!(
+            degree(&Expr::add(r.clone(), Expr::mul(r.clone(), s.clone()))),
+            2
+        );
         assert_eq!(degree(&Expr::add(r.clone(), Expr::int(1))), 1);
         assert_eq!(degree(&Expr::neg(Expr::mul(r.clone(), s.clone()))), 2);
         assert_eq!(degree(&Expr::sum(Expr::mul(r, s))), 2);
@@ -83,11 +86,7 @@ mod tests {
     #[test]
     fn conditions_with_nested_aggregates_inherit_the_inner_degree() {
         // deg(α θ 0) = deg(α): a nested aggregate with a relation has degree 1.
-        let cond = Expr::cmp(
-            CmpOp::Gt,
-            Expr::sum(Expr::rel("R", &["x"])),
-            Expr::int(10),
-        );
+        let cond = Expr::cmp(CmpOp::Gt, Expr::sum(Expr::rel("R", &["x"])), Expr::int(10));
         assert_eq!(degree(&cond), 1);
     }
 }

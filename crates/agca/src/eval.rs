@@ -14,9 +14,9 @@ use std::fmt;
 use dbring_algebra::{Number, Ring, Semiring};
 use dbring_relations::{Database, Gmr, Tuple, Value};
 
-use crate::ast::{Expr, Query};
 #[cfg(test)]
 use crate::ast::CmpOp;
+use crate::ast::{Expr, Query};
 
 /// Errors raised during evaluation.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -53,7 +53,10 @@ impl fmt::Display for EvalError {
                 relation,
                 expected,
                 got,
-            } => write!(f, "atom {relation} has {got} variables, relation has arity {expected}"),
+            } => write!(
+                f,
+                "atom {relation} has {got} variables, relation has arity {expected}"
+            ),
             EvalError::NonNumericValue { context, value } => {
                 write!(f, "non-numeric value {value} used in {context}")
             }
@@ -183,7 +186,10 @@ pub fn eval(expr: &Expr, db: &Database, bindings: &Tuple) -> Result<Gmr<Number>,
                     return Ok(Gmr::zero());
                 }
             }
-            Ok(Gmr::singleton(Tuple::singleton(x.clone(), v), Number::Int(1)))
+            Ok(Gmr::singleton(
+                Tuple::singleton(x.clone(), v),
+                Number::Int(1),
+            ))
         }
     }
 }
@@ -214,15 +220,17 @@ pub fn eval_scalar(expr: &Expr, db: &Database, bindings: &Tuple) -> Result<Value
             numeric(a, db, bindings, "addition")?.add(&numeric(b, db, bindings, "addition")?),
         )),
         Expr::Mul(a, b) => Ok(Value::from(
-            numeric(a, db, bindings, "multiplication")?
-                .mul(&numeric(b, db, bindings, "multiplication")?),
+            numeric(a, db, bindings, "multiplication")?.mul(&numeric(
+                b,
+                db,
+                bindings,
+                "multiplication",
+            )?),
         )),
         Expr::Neg(a) => Ok(Value::from(numeric(a, db, bindings, "negation")?.neg())),
         Expr::Sum(q) => Ok(Value::from(eval(q, db, bindings)?.total())),
         // Relational atoms, comparisons and assignments used as scalars: the value at ⟨⟩.
-        other => Ok(Value::from(
-            eval(other, db, bindings)?.get(&Tuple::empty()),
-        )),
+        other => Ok(Value::from(eval(other, db, bindings)?.get(&Tuple::empty()))),
     }
 }
 
@@ -234,13 +242,7 @@ pub fn eval_group(query: &Query, db: &Database, group: &[Value]) -> Result<Numbe
         query.group_by.len(),
         "group key arity mismatch"
     );
-    let bindings = Tuple::from_pairs(
-        query
-            .group_by
-            .iter()
-            .cloned()
-            .zip(group.iter().cloned()),
-    );
+    let bindings = Tuple::from_pairs(query.group_by.iter().cloned().zip(group.iter().cloned()));
     Ok(eval(&query.expr, db, &bindings)?.get(&Tuple::empty()))
 }
 
@@ -292,10 +294,12 @@ mod tests {
         let mut db = Database::new();
         db.declare("R", &["a", "b"]).unwrap();
         for _ in 0..2 {
-            db.insert("R", vec![Value::int(10), Value::int(20)]).unwrap();
+            db.insert("R", vec![Value::int(10), Value::int(20)])
+                .unwrap();
         }
         for _ in 0..3 {
-            db.insert("R", vec![Value::int(30), Value::int(40)]).unwrap();
+            db.insert("R", vec![Value::int(30), Value::int(40)])
+                .unwrap();
         }
         db
     }
@@ -304,12 +308,7 @@ mod tests {
     fn example_4_1_atom_with_bound_variable_selects() {
         let db = example_4_db();
         // [[R(x, y)]]({y ↦ 20}) keeps only the tuple with y = 20, renamed to (x, y).
-        let r = eval(
-            &Expr::rel("R", &["x", "y"]),
-            &db,
-            &tuple! { "y" => 20 },
-        )
-        .unwrap();
+        let r = eval(&Expr::rel("R", &["x", "y"]), &db, &tuple! { "y" => 20 }).unwrap();
         assert_eq!(r.support_size(), 1);
         assert_eq!(r.get(&tuple! { "x" => 10, "y" => 20 }), Number::Int(2));
     }
@@ -390,7 +389,11 @@ mod tests {
         );
         assert!(matches!(
             eval(&Expr::rel("R", &["x"]), &db, &Tuple::empty()).unwrap_err(),
-            EvalError::ArityMismatch { expected: 2, got: 1, .. }
+            EvalError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
         ));
     }
 
@@ -398,9 +401,12 @@ mod tests {
     fn string_values_work_in_equality_conditions() {
         let mut db = Database::new();
         db.declare("C", &["cid", "nation"]).unwrap();
-        db.insert("C", vec![Value::int(1), Value::str("FR")]).unwrap();
-        db.insert("C", vec![Value::int(2), Value::str("DE")]).unwrap();
-        db.insert("C", vec![Value::int(3), Value::str("FR")]).unwrap();
+        db.insert("C", vec![Value::int(1), Value::str("FR")])
+            .unwrap();
+        db.insert("C", vec![Value::int(2), Value::str("DE")])
+            .unwrap();
+        db.insert("C", vec![Value::int(3), Value::str("FR")])
+            .unwrap();
         // Customers from France: Sum(C(c, n) * (n = 'FR'))
         let q = Expr::sum(Expr::mul(
             Expr::rel("C", &["c", "n"]),
@@ -416,9 +422,12 @@ mod tests {
     fn example_5_2_group_by_customers_same_nation() {
         let mut db = Database::new();
         db.declare("C", &["cid", "nation"]).unwrap();
-        db.insert("C", vec![Value::int(1), Value::str("FR")]).unwrap();
-        db.insert("C", vec![Value::int(2), Value::str("FR")]).unwrap();
-        db.insert("C", vec![Value::int(3), Value::str("DE")]).unwrap();
+        db.insert("C", vec![Value::int(1), Value::str("FR")])
+            .unwrap();
+        db.insert("C", vec![Value::int(2), Value::str("FR")])
+            .unwrap();
+        db.insert("C", vec![Value::int(3), Value::str("DE")])
+            .unwrap();
         // Sum(C(c, n) * C(c2, n2) * (n = n2)) with bound variable c.
         let q = Query::new(
             "per_customer",
@@ -430,8 +439,14 @@ mod tests {
             ])),
         );
         // Per-group evaluation (the paper's [[Sum(…)]](A)({c ↦ v})).
-        assert_eq!(eval_group(&q, &db, &[Value::int(1)]).unwrap(), Number::Int(2));
-        assert_eq!(eval_group(&q, &db, &[Value::int(3)]).unwrap(), Number::Int(1));
+        assert_eq!(
+            eval_group(&q, &db, &[Value::int(1)]).unwrap(),
+            Number::Int(2)
+        );
+        assert_eq!(
+            eval_group(&q, &db, &[Value::int(3)]).unwrap(),
+            Number::Int(1)
+        );
         // All groups at once.
         let groups = eval_all_groups(&q, &db).unwrap();
         assert_eq!(groups.len(), 3);
@@ -480,12 +495,7 @@ mod tests {
         let db = Database::new();
         let b = tuple! { "x" => 3, "s" => "txt" };
         assert_eq!(
-            eval_scalar(
-                &Expr::add(Expr::var("x"), Expr::int(4)),
-                &db,
-                &b
-            )
-            .unwrap(),
+            eval_scalar(&Expr::add(Expr::var("x"), Expr::int(4)), &db, &b).unwrap(),
             Value::int(7)
         );
         assert_eq!(
@@ -545,8 +555,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(EvalError::UnboundVariable("x".into()).to_string().contains("x"));
-        assert!(EvalError::UnknownRelation("R".into()).to_string().contains("R"));
+        assert!(EvalError::UnboundVariable("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(EvalError::UnknownRelation("R".into())
+            .to_string()
+            .contains("R"));
         let e = EvalError::NonNumericValue {
             context: "test".into(),
             value: Value::str("s"),

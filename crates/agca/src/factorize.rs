@@ -236,8 +236,8 @@ mod tests {
         assert_eq!(comps.len(), 2);
         assert_eq!(comps[0], vec![0, 1, 2]); // the R-side: shares a, b
         assert_eq!(comps[1], vec![3, 4, 5]); // the T-side: shares e, f
-        // Without treating c, d as bound the two sides are still independent (they share
-        // no variable at all), so the factorization is the same.
+                                             // Without treating c, d as bound the two sides are still independent (they share
+                                             // no variable at all), so the factorization is the same.
         let comps2 = connected_components(&factors, &bound(&[]));
         assert_eq!(comps2.len(), 2);
     }
@@ -327,10 +327,7 @@ mod tests {
 
     #[test]
     fn constant_assignments_are_not_eliminated() {
-        let factors = vec![
-            Expr::assign("x", Expr::int(3)),
-            Expr::rel("R", &["x"]),
-        ];
+        let factors = vec![Expr::assign("x", Expr::int(3)), Expr::rel("R", &["x"])];
         let (remaining, renaming) = eliminate_assignments(&factors, &bound(&[]));
         assert_eq!(remaining.len(), 2);
         assert!(renaming.is_empty());

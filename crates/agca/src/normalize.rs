@@ -138,7 +138,11 @@ impl Polynomial {
     /// The degree of the polynomial: the maximum monomial degree (0 for the zero
     /// polynomial).
     pub fn degree(&self) -> usize {
-        self.monomials.iter().map(Monomial::degree).max().unwrap_or(0)
+        self.monomials
+            .iter()
+            .map(Monomial::degree)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Rebuilds an [`Expr`] (a right-leaning sum of the monomials' expressions).
@@ -214,7 +218,10 @@ mod tests {
 
     #[test]
     fn constants_fold_into_coefficients() {
-        let e = Expr::mul(Expr::int(3), Expr::mul(Expr::rel("R", &["x"]), Expr::int(-2)));
+        let e = Expr::mul(
+            Expr::int(3),
+            Expr::mul(Expr::rel("R", &["x"]), Expr::int(-2)),
+        );
         let p = normalize(&e);
         assert_eq!(p.monomials.len(), 1);
         assert_eq!(p.monomials[0].coefficient, Number::Int(-6));
@@ -273,11 +280,7 @@ mod tests {
         ));
         let p = normalize(&e);
         assert_eq!(p.monomials.len(), 2);
-        let with_sum = p
-            .monomials
-            .iter()
-            .find(|m| !m.factors.is_empty())
-            .unwrap();
+        let with_sum = p.monomials.iter().find(|m| !m.factors.is_empty()).unwrap();
         assert_eq!(with_sum.coefficient, Number::Int(2));
         assert_eq!(with_sum.factors, vec![Expr::sum(Expr::rel("R", &["x"]))]);
         let constant = p.monomials.iter().find(|m| m.factors.is_empty()).unwrap();
@@ -322,10 +325,7 @@ mod tests {
         let prod = m.multiply(&Monomial::constant(Number::Int(3)));
         assert_eq!(prod.coefficient, Number::Int(3));
         assert_eq!(prod.factors.len(), 1);
-        assert_eq!(
-            Monomial::constant(Number::Int(0)).to_expr(),
-            Expr::int(0)
-        );
+        assert_eq!(Monomial::constant(Number::Int(0)).to_expr(), Expr::int(0));
     }
 
     #[test]

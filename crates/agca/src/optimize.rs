@@ -42,8 +42,8 @@ pub fn optimize_factor_order(factors: &[Expr], initially_bound: &BTreeSet<String
     let mut bound = initially_bound.clone();
     let mut out: Vec<Expr> = Vec::with_capacity(factors.len());
     let emit_ready = |bound: &BTreeSet<String>,
-                          fillers: &mut Vec<(&Expr, BTreeSet<String>)>,
-                          out: &mut Vec<Expr>| {
+                      fillers: &mut Vec<(&Expr, BTreeSet<String>)>,
+                      out: &mut Vec<Expr>| {
         let mut remaining = Vec::with_capacity(fillers.len());
         for (factor, vars) in fillers.drain(..) {
             if vars.is_subset(bound) {
@@ -143,13 +143,8 @@ mod tests {
         assert_eq!(
             rendered,
             vec![
-                "R(a, b)",
-                "a", // bound as soon as R is evaluated
-                "S(c, d)",
-                "(b = c)",
-                "T(e, f)",
-                "(d = e)",
-                "f",
+                "R(a, b)", "a", // bound as soon as R is evaluated
+                "S(c, d)", "(b = c)", "T(e, f)", "(d = e)", "f",
             ]
         );
     }
@@ -167,10 +162,7 @@ mod tests {
 
     #[test]
     fn unsatisfiable_factors_stay_at_the_end() {
-        let factors = vec![
-            Expr::rel("R", &["a"]),
-            Expr::var("never_bound"),
-        ];
+        let factors = vec![Expr::rel("R", &["a"]), Expr::var("never_bound")];
         let ordered = optimize_factor_order(&factors, &bound(&[]));
         assert_eq!(ordered.len(), 2);
         assert_eq!(ordered[1], Expr::var("never_bound"));
@@ -191,19 +183,22 @@ mod tests {
         for (e, f) in [(20, 5), (21, 7)] {
             db.insert("T", vec![Value::int(e), Value::int(f)]).unwrap();
         }
-        let q = parse_expr(
-            "Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)",
-        )
-        .unwrap();
+        let q = parse_expr("Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)").unwrap();
         let optimized = optimize_for_evaluation(&q, &BTreeSet::new());
         let original = eval(&q, &db, &Tuple::empty()).unwrap();
         let rewritten = eval(&optimized, &db, &Tuple::empty()).unwrap();
-        assert_eq!(original.get(&Tuple::empty()), rewritten.get(&Tuple::empty()));
+        assert_eq!(
+            original.get(&Tuple::empty()),
+            rewritten.get(&Tuple::empty())
+        );
         // The equality join conditions have been folded into the atoms (shared variables),
         // so no explicit equality condition survives, the three atoms are still present,
         // and the join variables are now shared between adjacent atoms.
         let text = optimized.to_string();
-        assert!(!text.contains('='), "equalities should be eliminated: {text}");
+        assert!(
+            !text.contains('='),
+            "equalities should be eliminated: {text}"
+        );
         assert_eq!(optimized.relations().len(), 3);
         assert!(optimized.variables().len() < q.variables().len());
     }

@@ -23,7 +23,6 @@
 
 use std::fmt;
 
-
 use crate::ast::{CmpOp, Expr, Query};
 
 /// A parse error with a human-readable message and the byte offset it refers to.
@@ -469,10 +468,7 @@ mod tests {
 
     #[test]
     fn parses_example_1_3() {
-        let q = parse_expr(
-            "Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)",
-        )
-        .unwrap();
+        let q = parse_expr("Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)").unwrap();
         assert_eq!(crate::degree::degree(&q), 3);
         assert_eq!(q.relations().len(), 3);
     }
@@ -539,7 +535,10 @@ mod tests {
     #[test]
     fn relation_atoms() {
         assert_eq!(parse_expr("R(x, y)").unwrap(), Expr::rel("R", &["x", "y"]));
-        assert_eq!(parse_expr("R()").unwrap(), Expr::Rel("R".to_string(), vec![]));
+        assert_eq!(
+            parse_expr("R()").unwrap(),
+            Expr::Rel("R".to_string(), vec![])
+        );
         // `Sum` used as a relation name still works if not followed by a single argument
         // expression... it is treated as the aggregate, so use a different name.
         assert_eq!(parse_expr("Total(x)").unwrap(), Expr::rel("Total", &["x"]));

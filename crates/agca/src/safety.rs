@@ -221,17 +221,9 @@ mod tests {
 
     #[test]
     fn query_safety_requires_group_by_vars_to_be_produced() {
-        let q = crate::ast::Query::new(
-            "g",
-            &["c"],
-            Expr::sum(Expr::rel("C", &["c", "n"])),
-        );
+        let q = crate::ast::Query::new("g", &["c"], Expr::sum(Expr::rel("C", &["c", "n"])));
         assert!(check_query_safety(&q).is_ok());
-        let bad = crate::ast::Query::new(
-            "g",
-            &["missing"],
-            Expr::sum(Expr::rel("C", &["c", "n"])),
-        );
+        let bad = crate::ast::Query::new("g", &["missing"], Expr::sum(Expr::rel("C", &["c", "n"])));
         assert!(check_query_safety(&bad).is_err());
     }
 

@@ -82,7 +82,9 @@ pub fn parse_sql(input: &str, db: &Database) -> Result<Query, ParseError> {
         let relation = cursor.expect_ident()?;
         let alias = match cursor.peek() {
             Some(Token::Ident(s))
-                if !["WHERE", "GROUP", "AS"].iter().any(|k| s.eq_ignore_ascii_case(k)) =>
+                if !["WHERE", "GROUP", "AS"]
+                    .iter()
+                    .any(|k| s.eq_ignore_ascii_case(k)) =>
             {
                 let a = s.clone();
                 cursor.next();
@@ -115,8 +117,7 @@ pub fn parse_sql(input: &str, db: &Database) -> Result<Query, ParseError> {
     }
 
     let resolve = |cursor: &Cursor, column_ref: &str| -> Result<String, ParseError> {
-        resolve_column(&from_items, column_ref)
-            .map_err(|message| cursor.error(message))
+        resolve_column(&from_items, column_ref).map_err(|message| cursor.error(message))
     };
 
     // --- WHERE clause -----------------------------------------------------------------
@@ -128,7 +129,9 @@ pub fn parse_sql(input: &str, db: &Database) -> Result<Query, ParseError> {
             let op = match cursor.next() {
                 Some(Token::Cmp(op)) => op,
                 other => {
-                    return Err(cursor.error(format!("expected comparison operator, found {other:?}")))
+                    return Err(
+                        cursor.error(format!("expected comparison operator, found {other:?}"))
+                    )
                 }
             };
             let rhs = parse_value(&mut cursor)?;
@@ -196,10 +199,7 @@ pub fn parse_sql(input: &str, db: &Database) -> Result<Query, ParseError> {
     let mut factors: Vec<Expr> = Vec::new();
     for item in &from_items {
         let vars: Vec<String> = item.columns.iter().map(|c| item.variable(c)).collect();
-        factors.push(Expr::Rel(
-            item.relation.clone(),
-            vars,
-        ));
+        factors.push(Expr::Rel(item.relation.clone(), vars));
     }
     factors.extend(condition_factors);
     let term_expr = lower_value(&agg_term, &from_items, &cursor)?;
@@ -233,9 +233,9 @@ fn lower_value(
     cursor: &Cursor,
 ) -> Result<Expr, ParseError> {
     Ok(match value {
-        ValueAst::Column(c) => Expr::Var(
-            resolve_column(from_items, c).map_err(|message| cursor.error(message))?,
-        ),
+        ValueAst::Column(c) => {
+            Expr::Var(resolve_column(from_items, c).map_err(|message| cursor.error(message))?)
+        }
         ValueAst::Int(i) => Expr::int(*i),
         ValueAst::Float(f) => Expr::constant(*f),
         ValueAst::Str(s) => Expr::constant(s.as_str()),
@@ -262,10 +262,7 @@ fn resolve_column(from_items: &[FromItem], column_ref: &str) -> Result<String, S
             .find(|f| f.alias == alias)
             .ok_or_else(|| format!("unknown table alias {alias}"))?;
         if !item.columns.iter().any(|c| c == column) {
-            return Err(format!(
-                "relation {} has no column {column}",
-                item.relation
-            ));
+            return Err(format!("relation {} has no column {column}", item.relation));
         }
         Ok(item.variable(column))
     } else {
@@ -354,7 +351,8 @@ fn parse_value_factor(cursor: &mut Cursor) -> Result<ValueAst, ParseError> {
 pub fn catalog(relations: &[(&str, &[&str])]) -> Database {
     let mut db = Database::new();
     for (name, columns) in relations {
-        db.declare(*name, columns).expect("duplicate relation in catalog");
+        db.declare(*name, columns)
+            .expect("duplicate relation in catalog");
     }
     db
 }
@@ -402,11 +400,7 @@ mod tests {
     #[test]
     fn example_1_3_translates_to_agca() {
         let db = example_catalog();
-        let q = parse_sql(
-            "SELECT SUM(A * F) FROM R, S, T WHERE B = C AND D = E",
-            &db,
-        )
-        .unwrap();
+        let q = parse_sql("SELECT SUM(A * F) FROM R, S, T WHERE B = C AND D = E", &db).unwrap();
         assert!(q.group_by.is_empty());
         assert_eq!(degree(&q.expr), 3);
         assert_eq!(q.relations().len(), 3);
@@ -424,11 +418,7 @@ mod tests {
     #[test]
     fn example_1_2_count_star_self_join() {
         let db = catalog(&[("R", &["A"])]);
-        let q = parse_sql(
-            "SELECT COUNT(*) FROM R r1, R r2 WHERE r1.A = r2.A",
-            &db,
-        )
-        .unwrap();
+        let q = parse_sql("SELECT COUNT(*) FROM R r1, R r2 WHERE r1.A = r2.A", &db).unwrap();
         assert!(q.group_by.is_empty());
         assert_eq!(degree(&q.expr), 2);
         // COUNT(*) is SUM(1): the value term is dropped (multiplying by 1).
@@ -443,11 +433,7 @@ mod tests {
     #[test]
     fn aggregate_alias_names_the_query() {
         let db = example_catalog();
-        let q = parse_sql(
-            "SELECT SUM(A) AS total_a FROM R",
-            &db,
-        )
-        .unwrap();
+        let q = parse_sql("SELECT SUM(A) AS total_a FROM R", &db).unwrap();
         assert_eq!(q.name, "total_a");
         let q2 = parse_sql("SELECT SUM(A) FROM R", &db).unwrap();
         assert_eq!(q2.name, "q");
@@ -471,18 +457,10 @@ mod tests {
     #[test]
     fn unqualified_columns_resolve_when_unambiguous() {
         let db = example_catalog();
-        let q = parse_sql(
-            "SELECT cid, SUM(1) FROM C GROUP BY cid",
-            &db,
-        )
-        .unwrap();
+        let q = parse_sql("SELECT cid, SUM(1) FROM C GROUP BY cid", &db).unwrap();
         assert_eq!(q.group_by, vec!["C.cid"]);
         // Ambiguous without qualification across a self-join:
-        let err = parse_sql(
-            "SELECT cid, SUM(1) FROM C C1, C C2 GROUP BY cid",
-            &db,
-        )
-        .unwrap_err();
+        let err = parse_sql("SELECT cid, SUM(1) FROM C C1, C C2 GROUP BY cid", &db).unwrap_err();
         assert!(err.to_string().contains("ambiguous"));
     }
 
@@ -525,9 +503,12 @@ mod tests {
         use dbring_relations::Value;
         let mut db = Database::new();
         db.declare("C", &["cid", "nation"]).unwrap();
-        db.insert("C", vec![Value::int(1), Value::str("FR")]).unwrap();
-        db.insert("C", vec![Value::int(2), Value::str("FR")]).unwrap();
-        db.insert("C", vec![Value::int(3), Value::str("DE")]).unwrap();
+        db.insert("C", vec![Value::int(1), Value::str("FR")])
+            .unwrap();
+        db.insert("C", vec![Value::int(2), Value::str("FR")])
+            .unwrap();
+        db.insert("C", vec![Value::int(3), Value::str("DE")])
+            .unwrap();
         let q = parse_sql(
             "SELECT C1.cid, SUM(1) FROM C C1, C C2 \
              WHERE C1.nation = C2.nation GROUP BY C1.cid",

@@ -20,13 +20,16 @@ use crate::monoid::PartialMonoid;
 use crate::monoid_ring::MonoidRing;
 use crate::semiring::{Ring, Semiring};
 
+/// The shared function `G → A[G]` underlying an avalanche element.
+type AvalancheFn<A, G> = Rc<dyn Fn(&G) -> MonoidRing<A, G>>;
+
 /// An element of the avalanche (semi)ring `⇒A[G]`: a function `G → A[G]`.
 ///
 /// Elements are represented as shared closures; they cannot be compared for equality in
 /// general (function extensionality), so tests compare them pointwise at sample indices.
 #[derive(Clone)]
 pub struct Avalanche<A: Semiring + 'static, G: PartialMonoid + 'static> {
-    f: Rc<dyn Fn(&G) -> MonoidRing<A, G>>,
+    f: AvalancheFn<A, G>,
 }
 
 impl<A: Semiring, G: PartialMonoid> Avalanche<A, G> {

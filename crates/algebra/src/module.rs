@@ -43,13 +43,8 @@ impl<A: Ring, G: PartialMonoid> Module<A> for MonoidRing<A, G> {
 
 /// Expresses `α` in the free basis `{χ_g}`: the unique decomposition
 /// `α = Σ aᵢ χ_{gᵢ}` with non-zero coefficients (Proposition 2.15(1)).
-pub fn basis_decomposition<A: Semiring, G: PartialMonoid>(
-    alpha: &MonoidRing<A, G>,
-) -> Vec<(G, A)> {
-    alpha
-        .iter()
-        .map(|(g, a)| (g.clone(), a.clone()))
-        .collect()
+pub fn basis_decomposition<A: Semiring, G: PartialMonoid>(alpha: &MonoidRing<A, G>) -> Vec<(G, A)> {
+    alpha.iter().map(|(g, a)| (g.clone(), a.clone())).collect()
 }
 
 /// Recomputes the product `α ∗ β` *only* from distributivity, the scalar action, and the
@@ -108,11 +103,9 @@ mod tests {
         let decomposition = basis_decomposition(&m);
         assert_eq!(decomposition.len(), 3);
         // Reassemble from the basis: Σ aᵢ χ_{gᵢ}
-        let rebuilt = decomposition
-            .into_iter()
-            .fold(Poly::zero(), |acc, (g, a)| {
-                Module::add(&acc, &Poly::singleton(g, 1).scale(&a))
-            });
+        let rebuilt = decomposition.into_iter().fold(Poly::zero(), |acc, (g, a)| {
+            Module::add(&acc, &Poly::singleton(g, 1).scale(&a))
+        });
         assert_eq!(rebuilt, m);
     }
 

@@ -310,7 +310,9 @@ mod tests {
         let q = Poly::from_pairs(vec![(NatAdd(1), 5)]);
         let f = |a: &i64| (*a as f64) * 0.5;
         let lhs = p.mul(&q).map_coefficients(f);
-        let rhs = p.map_coefficients(f).mul(&q.map_coefficients(|a| *a as f64));
+        let rhs = p
+            .map_coefficients(f)
+            .mul(&q.map_coefficients(|a| *a as f64));
         // (a/2) * b  ==  (a*b)/2
         assert_eq!(lhs, rhs);
     }

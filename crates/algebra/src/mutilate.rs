@@ -43,10 +43,7 @@ pub fn restrict<A: Semiring, G: PartialMonoid>(
 /// Checks the downward-closure condition `g ∗ h ∈ G₀ ⇒ g, h ∈ G₀` on all pairs drawn from
 /// a finite sample of monoid elements. Intended for tests and documentation examples; it
 /// is *not* a proof for infinite monoids.
-pub fn is_downward_closed_on<G: Monoid>(
-    sample: &[G],
-    in_g0: impl Fn(&G) -> bool,
-) -> bool {
+pub fn is_downward_closed_on<G: Monoid>(sample: &[G], in_g0: impl Fn(&G) -> bool) -> bool {
     for g in sample {
         for h in sample {
             let prod = g.combine(h);

@@ -160,7 +160,10 @@ mod tests {
         assert_eq!(Number::Int(2), Number::Float(2.0));
         assert!(Number::Int(2) < Number::Float(2.5));
         assert!(Number::Float(-1.0) < Number::Int(0));
-        assert_eq!(Number::Int(2).compare(&Number::Int(2)), std::cmp::Ordering::Equal);
+        assert_eq!(
+            Number::Int(2).compare(&Number::Int(2)),
+            std::cmp::Ordering::Equal
+        );
     }
 
     #[test]

@@ -243,7 +243,7 @@ mod tests {
         // ∆f(x, u) = 2ux + u², here with u as a concrete value.
         assert_eq!(f.delta(&1), Polynomial::new(vec![1, 2])); // 2x + 1
         assert_eq!(f.delta(&-1), Polynomial::new(vec![1, -2])); // -2x + 1
-        // ∆²f(x, u1, u2) = 2 u1 u2, a constant.
+                                                                // ∆²f(x, u1, u2) = 2 u1 u2, a constant.
         assert_eq!(f.iterated_delta(&[1, 1]), Polynomial::constant(2));
         assert_eq!(f.iterated_delta(&[1, -1]), Polynomial::constant(-2));
         assert_eq!(f.iterated_delta(&[-1, -1]), Polynomial::constant(2));

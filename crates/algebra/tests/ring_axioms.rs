@@ -125,7 +125,7 @@ proptest! {
                 None | Some(0) => prop_assert!(f.delta(&u).is_zero()),
                 Some(d) => {
                     let dd = f.delta(&u).degree();
-                    prop_assert!(dd.is_none() || dd.unwrap() <= d - 1);
+                    prop_assert!(dd.is_none() || dd.unwrap() < d);
                 }
             }
         }
@@ -201,9 +201,9 @@ mod avalanche_axioms {
             Description::Constant(pairs) => Avalanche::lift(Poly::from_pairs(
                 pairs.into_iter().map(|(k, c)| (NatAdd(k), c)),
             )),
-            Description::ContextScaled(coefficient) => Avalanche::new(move |b: &NatAdd| {
-                Poly::singleton(*b, coefficient + b.0 as i64)
-            }),
+            Description::ContextScaled(coefficient) => {
+                Avalanche::new(move |b: &NatAdd| Poly::singleton(*b, coefficient + b.0 as i64))
+            }
             Description::Parity(pairs) => Avalanche::new(move |b: &NatAdd| {
                 if b.0 % 2 == 0 {
                     Poly::from_pairs(pairs.clone().into_iter().map(|(k, c)| (NatAdd(k), c)))

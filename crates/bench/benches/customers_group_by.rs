@@ -47,8 +47,7 @@ fn bench_customers(c: &mut Criterion) {
             );
         }
 
-        let mut loaded =
-            IncrementalView::new(&workload.catalog, workload.query.clone()).unwrap();
+        let mut loaded = IncrementalView::new(&workload.catalog, workload.query.clone()).unwrap();
         loaded.apply_all(&workload.initial).unwrap();
 
         group.bench_with_input(

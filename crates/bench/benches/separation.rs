@@ -24,44 +24,35 @@ fn bench_separation(c: &mut Criterion) {
             delete_fraction: 0.2,
         });
         let initial_db = workload.initial_database();
-        let mut loaded =
-            IncrementalView::new(&workload.catalog, workload.query.clone()).unwrap();
+        let mut loaded = IncrementalView::new(&workload.catalog, workload.query.clone()).unwrap();
         loaded.apply_all(&workload.initial).unwrap();
         let initial_result = loaded.table();
         group.throughput(Throughput::Elements(1));
 
-        group.bench_with_input(
-            BenchmarkId::new("recursive_ivm", size),
-            &size,
-            |b, _| {
-                let mut view = loaded.clone();
-                let mut i = 0usize;
-                b.iter(|| {
-                    let update = &workload.stream[i % workload.stream.len()];
-                    view.apply(black_box(update)).unwrap();
-                    i += 1;
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("recursive_ivm", size), &size, |b, _| {
+            let mut view = loaded.clone();
+            let mut i = 0usize;
+            b.iter(|| {
+                let update = &workload.stream[i % workload.stream.len()];
+                view.apply(black_box(update)).unwrap();
+                i += 1;
+            });
+        });
 
-        group.bench_with_input(
-            BenchmarkId::new("classical_ivm", size),
-            &size,
-            |b, _| {
-                let mut strategy = ClassicalIvm::with_initial_result(
-                    initial_db.clone(),
-                    workload.query.clone(),
-                    initial_result.clone(),
-                )
-                .unwrap();
-                let mut i = 0usize;
-                b.iter(|| {
-                    let update = &workload.stream[i % workload.stream.len()];
-                    strategy.apply_update(black_box(update)).unwrap();
-                    i += 1;
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("classical_ivm", size), &size, |b, _| {
+            let mut strategy = ClassicalIvm::with_initial_result(
+                initial_db.clone(),
+                workload.query.clone(),
+                initial_result.clone(),
+            )
+            .unwrap();
+            let mut i = 0usize;
+            b.iter(|| {
+                let update = &workload.stream[i % workload.stream.len()];
+                strategy.apply_update(black_box(update)).unwrap();
+                i += 1;
+            });
+        });
     }
     group.finish();
 }

@@ -22,8 +22,7 @@ fn bench_sum_join(c: &mut Criterion) {
             delete_fraction: 0.1,
         });
         let initial_db = workload.initial_database();
-        let mut loaded =
-            IncrementalView::new(&workload.catalog, workload.query.clone()).unwrap();
+        let mut loaded = IncrementalView::new(&workload.catalog, workload.query.clone()).unwrap();
         loaded.apply_all(&workload.initial).unwrap();
         let initial_result = loaded.table();
 

@@ -5,8 +5,7 @@
 //! Run with: `cargo run --release -p dbring-bench --bin exp_customers`
 
 use dbring::{
-    compile, delta, ClassicalIvm, IncrementalView, MaintenanceStrategy, NaiveReeval,
-    UpdateEvent,
+    compile, delta, ClassicalIvm, IncrementalView, MaintenanceStrategy, NaiveReeval, UpdateEvent,
 };
 use dbring_agca::degree::degree;
 use dbring_agca::normalize::normalize;
@@ -35,7 +34,11 @@ fn main() {
     let d1 = delta(&workload.query.expr, &e1);
     let d1n = normalize(&d1).to_expr();
     println!("∆q (+C(c1, n1))          : {d1n}");
-    println!("deg q = {}, deg ∆q = {}", degree(&workload.query.expr), degree(&d1n));
+    println!(
+        "deg q = {}, deg ∆q = {}",
+        degree(&workload.query.expr),
+        degree(&d1n)
+    );
     let e2 = UpdateEvent::insert("C", &["c2", "n2"]);
     let d2 = normalize(&delta(&d1, &e2)).to_expr();
     println!("∆∆q (+C(c1,n1), +C(c2,n2)): {d2}");
@@ -49,8 +52,7 @@ fn main() {
     let initial_db = workload.initial_database();
     // Bulk-load the initial customers by streaming them through the compiled triggers,
     // then measure the update stream.
-    let mut recursive =
-        IncrementalView::new(&workload.catalog, workload.query.clone()).unwrap();
+    let mut recursive = IncrementalView::new(&workload.catalog, workload.query.clone()).unwrap();
     recursive.apply_all(&workload.initial).unwrap();
     let initial_result = recursive.table();
     recursive.executor_mut().reset_stats();

@@ -64,8 +64,7 @@ fn main() {
         let started = Instant::now();
         view.apply_all(&workload.stream).unwrap();
         let per_update_ns = started.elapsed().as_nanos() as f64 / workload.stream.len() as f64;
-        let per_update_ops =
-            view.stats().arithmetic_ops() as f64 / workload.stream.len() as f64;
+        let per_update_ops = view.stats().arithmetic_ops() as f64 / workload.stream.len() as f64;
         // The unfactorized first delta wrt S is a function of the pair (c, d): its tabular
         // representation has one entry per pair of join-key values — quadratic in the
         // domain — which is exactly what factorization avoids.

@@ -27,10 +27,12 @@ fn main() {
     let mut db = Database::new();
     db.declare("R", &["a", "b"]).unwrap();
     for _ in 0..2 {
-        db.insert("R", vec![Value::int(10), Value::int(20)]).unwrap();
+        db.insert("R", vec![Value::int(10), Value::int(20)])
+            .unwrap();
     }
     for _ in 0..3 {
-        db.insert("R", vec![Value::int(30), Value::int(40)]).unwrap();
+        db.insert("R", vec![Value::int(30), Value::int(40)])
+            .unwrap();
     }
 
     header("Example 4.1: atoms rename columns and select on bound variables");

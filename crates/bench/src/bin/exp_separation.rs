@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p dbring-bench --bin exp_separation`
 //! (add `-- --quick` for a faster, smaller sweep)
 
-use dbring_bench::{fmt_ns, header, sweep_point, SweepPoint};
+use dbring_bench::{fmt_ns, header, sweep_point, sweep_results_json, SweepPoint};
 use dbring_workloads::{customers_by_nation, rst_sum_join, self_join_count, WorkloadConfig};
 
 fn main() {
@@ -24,7 +24,17 @@ fn main() {
     // re-evaluation, which materializes the full join result per update, is skipped
     // entirely beyond a few thousand base tuples and reported as "-".
     let naive_size_cap = if quick { 1_000 } else { 2_000 };
-    let naive_limit_for = |n: usize| if n <= naive_size_cap { if quick { 5 } else { 10 } } else { 0 };
+    let naive_limit_for = |n: usize| {
+        if n <= naive_size_cap {
+            if quick {
+                5
+            } else {
+                10
+            }
+        } else {
+            0
+        }
+    };
     let classical_limit = if quick { 50 } else { 100 };
 
     let mut all_results: Vec<(&str, Vec<SweepPoint>)> = Vec::new();
@@ -86,13 +96,7 @@ fn main() {
     }
 
     // Machine-readable dump for EXPERIMENTS.md bookkeeping.
-    let json = serde_json::to_string_pretty(
-        &all_results
-            .iter()
-            .map(|(name, pts)| (name.to_string(), pts.clone()))
-            .collect::<Vec<_>>(),
-    )
-    .unwrap();
+    let json = sweep_results_json(&all_results);
     let path = std::env::temp_dir().join("dbring_separation.json");
     if std::fs::write(&path, json).is_ok() {
         println!("\nraw results written to {}", path.display());

@@ -58,8 +58,8 @@ pub fn sweep_point(workload: &Workload, classical_limit: usize, naive_limit: usi
     // Recursive IVM (compiled): bulk-load the initial database by streaming it through the
     // triggers (cheap and memory-bounded even for large starting databases), then measure
     // the stream.
-    let mut recursive = IncrementalView::new(&workload.catalog, workload.query.clone())
-        .expect("workload compiles");
+    let mut recursive =
+        IncrementalView::new(&workload.catalog, workload.query.clone()).expect("workload compiles");
     recursive
         .apply_all(&workload.initial)
         .expect("bulk load succeeds");
@@ -69,8 +69,7 @@ pub fn sweep_point(workload: &Workload, classical_limit: usize, naive_limit: usi
     recursive
         .apply_all(&workload.stream)
         .expect("recursive IVM applies stream");
-    let recursive_ns =
-        started.elapsed().as_nanos() as f64 / workload.stream.len().max(1) as f64;
+    let recursive_ns = started.elapsed().as_nanos() as f64 / workload.stream.len().max(1) as f64;
     let recursive_ops =
         recursive.stats().arithmetic_ops() as f64 / workload.stream.len().max(1) as f64;
 
@@ -108,6 +107,61 @@ pub fn sweep_point(workload: &Workload, classical_limit: usize, naive_limit: usi
         },
         naive_measured,
     }
+}
+
+/// Renders sweep results as pretty-printed JSON, in the shape serde_json would produce
+/// for `Vec<(String, Vec<SweepPoint>)>`: an array of `[name, [point objects]]` pairs.
+/// Hand-rolled because the offline `serde` stand-in (see `compat/README.md`) cannot
+/// serialize; non-finite floats become `null`, as serde_json renders them.
+pub fn sweep_results_json<S: AsRef<str>>(results: &[(S, Vec<SweepPoint>)]) -> String {
+    fn json_f64(value: f64) -> String {
+        if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        }
+    }
+    fn json_str(text: &str) -> String {
+        let mut out = String::with_capacity(text.len() + 2);
+        out.push('"');
+        for c in text.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    let mut out = String::from("[\n");
+    for (i, (name, points)) in results.iter().enumerate() {
+        out.push_str("  [\n    ");
+        out.push_str(&json_str(name.as_ref()));
+        out.push_str(",\n    [\n");
+        for (j, p) in points.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\n        \"initial_size\": {},\n        \"recursive_ns\": {},\n        \
+                 \"recursive_ops\": {},\n        \"classical_ns\": {},\n        \
+                 \"naive_ns\": {},\n        \"naive_measured\": {}\n      }}{}\n",
+                p.initial_size,
+                json_f64(p.recursive_ns),
+                json_f64(p.recursive_ops),
+                json_f64(p.classical_ns),
+                json_f64(p.naive_ns),
+                p.naive_measured,
+                if j + 1 < points.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("    ]\n  ]");
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out
 }
 
 /// Formats a nanosecond figure with a readable unit (`-` for NaN, i.e. "not measured").

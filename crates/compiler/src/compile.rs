@@ -72,10 +72,15 @@ impl fmt::Display for CompileError {
                 relation,
                 expected,
                 got,
-            } => write!(f, "atom {relation} uses {got} variables but the relation has arity {expected}"),
+            } => write!(
+                f,
+                "atom {relation} uses {got} variables but the relation has arity {expected}"
+            ),
             CompileError::Unsafe(e) => write!(f, "query is not range-restricted: {e}"),
             CompileError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
-            CompileError::Internal(e) => write!(f, "internal error: generated program is ill-formed: {e}"),
+            CompileError::Internal(e) => {
+                write!(f, "internal error: generated program is ill-formed: {e}")
+            }
         }
     }
 }
@@ -234,11 +239,8 @@ impl Compiler<'_> {
         params: &[String],
         monomial: &Monomial,
     ) -> Result<Option<Statement>, CompileError> {
-        let outer_bound: BTreeSet<String> = params
-            .iter()
-            .chain(target_keys.iter())
-            .cloned()
-            .collect();
+        let outer_bound: BTreeSet<String> =
+            params.iter().chain(target_keys.iter()).cloned().collect();
         // 1. Flatten the outer Sum wrapper(s): the statement semantics already sums over
         //    all loop-variable bindings, so `Sum(f₁ * … * f_k)` contributes its factors
         //    directly (provided its variables do not collide with other factors').
@@ -271,10 +273,10 @@ impl Compiler<'_> {
             for factor in group {
                 match factor {
                     Expr::Cmp(op, lhs, rhs) => {
-                        let l = scalar_from_expr(&lhs)
-                            .ok_or(CompileError::NestedAggregateCondition)?;
-                        let r = scalar_from_expr(&rhs)
-                            .ok_or(CompileError::NestedAggregateCondition)?;
+                        let l =
+                            scalar_from_expr(&lhs).ok_or(CompileError::NestedAggregateCondition)?;
+                        let r =
+                            scalar_from_expr(&rhs).ok_or(CompileError::NestedAggregateCondition)?;
                         // Guards over syntactically identical operands are decided at
                         // compile time: reflexive comparisons are dropped (always 1) and
                         // irreflexive ones kill the whole statement (always 0).
@@ -502,7 +504,11 @@ mod tests {
             .iter()
             .filter(|f| matches!(f, RhsFactor::MapLookup { .. }))
             .collect();
-        assert_eq!(lookups.len(), 2, "delta wrt S must factorize into two views");
+        assert_eq!(
+            lookups.len(),
+            2,
+            "delta wrt S must factorize into two views"
+        );
         for lookup in &lookups {
             if let RhsFactor::MapLookup { map, keys } = lookup {
                 assert_eq!(keys.len(), 1, "each factor view is keyed by one parameter");
@@ -578,7 +584,11 @@ mod tests {
         assert_eq!(coeff_sum, 3);
         let with_lookup = q_stmts
             .iter()
-            .filter(|s| s.factors.iter().any(|f| matches!(f, RhsFactor::MapLookup { .. })))
+            .filter(|s| {
+                s.factors
+                    .iter()
+                    .any(|f| matches!(f, RhsFactor::MapLookup { .. }))
+            })
             .count();
         assert_eq!(with_lookup, 2);
     }
@@ -676,7 +686,9 @@ mod tests {
         assert!(CompileError::UnknownRelation("Z".into())
             .to_string()
             .contains("Z"));
-        assert!(CompileError::NestedAggregateCondition.to_string().contains("conditions"));
+        assert!(CompileError::NestedAggregateCondition
+            .to_string()
+            .contains("conditions"));
     }
 
     #[test]

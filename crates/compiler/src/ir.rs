@@ -221,7 +221,9 @@ pub enum IrError {
 impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IrError::DanglingMapReference(id) => write!(f, "statement references unknown map m{id}"),
+            IrError::DanglingMapReference(id) => {
+                write!(f, "statement references unknown map m{id}")
+            }
             IrError::KeyArityMismatch { map, expected, got } => {
                 write!(f, "map m{map} has {expected} keys but is used with {got}")
             }
@@ -454,7 +456,11 @@ mod tests {
         p.triggers[0].statements[2].target_keys = vec![];
         assert!(matches!(
             p.validate(),
-            Err(IrError::KeyArityMismatch { map: 1, expected: 1, got: 0 })
+            Err(IrError::KeyArityMismatch {
+                map: 1,
+                expected: 1,
+                got: 0
+            })
         ));
     }
 
@@ -474,9 +480,7 @@ mod tests {
         let p = tiny_program();
         let s = &p.triggers[0].statements[0];
         assert!(s.variables().contains("@R_A"));
-        assert!(s
-            .loop_variables(&p.triggers[0].params)
-            .is_empty());
+        assert!(s.loop_variables(&p.triggers[0].params).is_empty());
         let loopy = Statement {
             target: 0,
             target_keys: vec!["c".to_string()],
@@ -494,7 +498,10 @@ mod tests {
 
     #[test]
     fn scalar_conversion() {
-        let e = Expr::mul(Expr::var("x"), Expr::add(Expr::int(2), Expr::neg(Expr::var("y"))));
+        let e = Expr::mul(
+            Expr::var("x"),
+            Expr::add(Expr::int(2), Expr::neg(Expr::var("y"))),
+        );
         let s = scalar_from_expr(&e).unwrap();
         assert_eq!(s.variables().len(), 2);
         assert_eq!(s.to_string(), "(x * (2 + (-y)))");

@@ -59,7 +59,9 @@ pub use dbring_algebra::{Number, Polynomial, RecursiveMemo, Ring, Semiring};
 pub use dbring_compiler::{compile, generate_nc0c, CompileError, TriggerProgram};
 pub use dbring_delta::{delta, Sign, UpdateEvent};
 pub use dbring_relations::{Database, Gmr, Tuple, Update, Value};
-pub use dbring_runtime::{ClassicalIvm, ExecStats, Executor, MaintenanceStrategy, NaiveReeval, RuntimeError};
+pub use dbring_runtime::{
+    ClassicalIvm, ExecStats, Executor, MaintenanceStrategy, NaiveReeval, RuntimeError,
+};
 
 /// A schema catalog: relation names and their column lists. (Alias of [`Database`]; a
 /// catalog is simply a database whose contents are ignored.)
@@ -264,8 +266,10 @@ mod tests {
     fn initialization_from_existing_database() {
         let catalog = customer_catalog();
         let mut db = catalog.clone();
-        db.insert("C", vec![Value::int(1), Value::str("FR")]).unwrap();
-        db.insert("C", vec![Value::int(2), Value::str("FR")]).unwrap();
+        db.insert("C", vec![Value::int(1), Value::str("FR")])
+            .unwrap();
+        db.insert("C", vec![Value::int(2), Value::str("FR")])
+            .unwrap();
         let view = IncrementalView::from_agca(&catalog, "q[c] := Sum(C(c, n) * C(c2, n))")
             .unwrap()
             .with_initial_database(&db)
@@ -288,8 +292,7 @@ mod tests {
         ));
         let err = IncrementalView::from_agca(&catalog, "q := Sum(Z(x))").unwrap_err();
         assert!(err.to_string().contains("Z"));
-        let mut view =
-            IncrementalView::from_agca(&catalog, "q[c] := Sum(C(c, n))").unwrap();
+        let mut view = IncrementalView::from_agca(&catalog, "q[c] := Sum(C(c, n))").unwrap();
         assert!(matches!(
             view.insert("C", vec![Value::int(1)]),
             Err(Error::Runtime(_))
@@ -304,7 +307,8 @@ mod tests {
         assert_eq!(view.query().group_by, vec!["c"]);
         assert!(view.program().describe().contains("on +C"));
         assert!(view.nc0c_source().contains("void on_insert_C"));
-        view.insert("C", vec![Value::int(1), Value::str("FR")]).unwrap();
+        view.insert("C", vec![Value::int(1), Value::str("FR")])
+            .unwrap();
         assert_eq!(view.stats().updates, 1);
         assert!(view.executor().total_entries() > 0);
         view.executor_mut().reset_stats();

@@ -151,7 +151,9 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert!(events.iter().any(|e| e.sign == Sign::Insert));
         assert!(events.iter().any(|e| e.sign == Sign::Delete));
-        assert!(events.iter().all(|e| e.relation == "C" && e.params.len() == 2));
+        assert!(events
+            .iter()
+            .all(|e| e.relation == "C" && e.params.len() == 2));
         // Undeclared relations are skipped.
         let q2 = parse_expr("Sum(C(c, n) * Unknown(x))").unwrap();
         assert_eq!(update_events(&db, &q2, 1).len(), 2);
@@ -209,10 +211,7 @@ mod tests {
         db.declare("R", &["A", "B"]).unwrap();
         db.declare("S", &["C", "D"]).unwrap();
         db.declare("T", &["E", "F"]).unwrap();
-        let q = parse_expr(
-            "Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)",
-        )
-        .unwrap();
+        let q = parse_expr("Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)").unwrap();
         let tower = build_tower(&db, &q, 10);
         assert_eq!(tower.degrees_per_level(), vec![3, 2, 1, 0]);
         // Level 1 has one entry per (relation, sign) pair = 6.

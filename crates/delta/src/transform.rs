@@ -133,7 +133,13 @@ impl UpdateEvent {
 
 impl std::fmt::Display for UpdateEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}{}({})", self.sign, self.relation, self.params.join(", "))
+        write!(
+            f,
+            "{}{}({})",
+            self.sign,
+            self.relation,
+            self.params.join(", ")
+        )
     }
 }
 
@@ -210,10 +216,7 @@ pub fn delta(expr: &Expr, event: &UpdateEvent) -> Expr {
             let old_bar = Expr::cmp(op.complement(), (**lhs).clone(), (**rhs).clone());
             let new = Expr::cmp(*op, new_lhs.clone(), new_rhs.clone());
             let new_bar = Expr::cmp(op.complement(), new_lhs, new_rhs);
-            Expr::add(
-                Expr::mul(new, old_bar),
-                Expr::neg(Expr::mul(new_bar, old)),
-            )
+            Expr::add(Expr::mul(new, old_bar), Expr::neg(Expr::mul(new_bar, old)))
         }
         // Assignments are treated like the equality condition x = t (Section 6); their
         // delta is governed by the term's delta.
@@ -358,7 +361,10 @@ mod tests {
         assert!(!d.is_zero());
         let text = d.to_string();
         assert!(text.contains('>'));
-        assert!(text.contains("<="), "complement operator must appear: {text}");
+        assert!(
+            text.contains("<="),
+            "complement operator must appear: {text}"
+        );
     }
 
     #[test]

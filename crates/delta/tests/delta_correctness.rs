@@ -6,10 +6,10 @@
 //!   `deg(α)`-th delta is database-independent.
 
 use dbring_agca::degree::degree;
-use dbring_algebra::Semiring;
 use dbring_agca::eval::eval;
 use dbring_agca::normalize::normalize;
 use dbring_agca::parser::parse_expr;
+use dbring_algebra::Semiring;
 use dbring_delta::{delta, iterated_delta, Sign, UpdateEvent};
 use dbring_relations::{Database, Tuple, Update, Value};
 use proptest::prelude::*;
@@ -48,7 +48,8 @@ fn arb_database() -> impl Strategy<Value = Database> {
     (c_rows, r_rows, s_rows).prop_map(|(c, r, s)| {
         let mut db = schema();
         for (cid, nation) in c {
-            db.insert("C", vec![Value::int(cid), Value::int(nation)]).unwrap();
+            db.insert("C", vec![Value::int(cid), Value::int(nation)])
+                .unwrap();
         }
         for a in r {
             db.insert("R", vec![Value::int(a)]).unwrap();

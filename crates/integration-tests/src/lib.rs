@@ -26,8 +26,12 @@ pub fn run_all_strategies(workload: &Workload) -> Vec<(String, BTreeMap<Vec<Valu
         NaiveReeval::new(initial_db, workload.query.clone()).expect("naive baseline initializes");
 
     for update in &workload.stream {
-        recursive.apply(update).expect("recursive IVM applies update");
-        classical.apply_update(update).expect("classical IVM applies update");
+        recursive
+            .apply(update)
+            .expect("recursive IVM applies update");
+        classical
+            .apply_update(update)
+            .expect("classical IVM applies update");
         naive.apply_update(update).expect("naive applies update");
     }
 

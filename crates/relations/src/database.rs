@@ -264,19 +264,34 @@ mod tests {
     #[test]
     fn insert_delete_roundtrip() {
         let mut db = db_with_r();
-        db.insert("R", vec![Value::int(1), Value::str("x")]).unwrap();
-        db.insert("R", vec![Value::int(1), Value::str("x")]).unwrap();
-        db.insert("R", vec![Value::int(2), Value::str("y")]).unwrap();
+        db.insert("R", vec![Value::int(1), Value::str("x")])
+            .unwrap();
+        db.insert("R", vec![Value::int(1), Value::str("x")])
+            .unwrap();
+        db.insert("R", vec![Value::int(2), Value::str("y")])
+            .unwrap();
         let r = db.relation("R").unwrap();
         assert_eq!(r.get(&tuple! { "A" => 1, "B" => "x" }), 2);
         assert_eq!(r.get(&tuple! { "A" => 2, "B" => "y" }), 1);
         assert_eq!(db.total_support(), 2);
 
-        db.delete("R", vec![Value::int(1), Value::str("x")]).unwrap();
-        assert_eq!(db.relation("R").unwrap().get(&tuple! { "A" => 1, "B" => "x" }), 1);
+        db.delete("R", vec![Value::int(1), Value::str("x")])
+            .unwrap();
+        assert_eq!(
+            db.relation("R")
+                .unwrap()
+                .get(&tuple! { "A" => 1, "B" => "x" }),
+            1
+        );
         // Deleting a tuple that is not present leaves a negative multiplicity (Remark 5.1).
-        db.delete("R", vec![Value::int(9), Value::str("z")]).unwrap();
-        assert_eq!(db.relation("R").unwrap().get(&tuple! { "A" => 9, "B" => "z" }), -1);
+        db.delete("R", vec![Value::int(9), Value::str("z")])
+            .unwrap();
+        assert_eq!(
+            db.relation("R")
+                .unwrap()
+                .get(&tuple! { "A" => 9, "B" => "z" }),
+            -1
+        );
     }
 
     #[test]
@@ -313,7 +328,12 @@ mod tests {
         let mut db = db_with_r();
         let u = Update::insert("R", vec![Value::int(1), Value::int(2)]);
         db.apply_all(&[u.clone(), u.clone(), u.inverse()]).unwrap();
-        assert_eq!(db.relation("R").unwrap().get(&tuple! { "A" => 1, "B" => 2 }), 1);
+        assert_eq!(
+            db.relation("R")
+                .unwrap()
+                .get(&tuple! { "A" => 1, "B" => 2 }),
+            1
+        );
         db.apply(&u.inverse()).unwrap();
         assert!(db.is_empty());
     }

@@ -86,10 +86,7 @@ impl<A: Semiring> GmrExt<A> for Gmr<A> {
     }
 
     fn display_table(&self) -> String {
-        let mut rows: Vec<String> = self
-            .iter()
-            .map(|(t, m)| format!("{t} -> {m:?}"))
-            .collect();
+        let mut rows: Vec<String> = self.iter().map(|(t, m)| format!("{t} -> {m:?}")).collect();
         rows.sort();
         rows.join("\n")
     }
@@ -141,14 +138,12 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // multiplicities written out as in the paper's Example 3.2
     fn example_3_2_multiplication() {
         // R * (S + T) as displayed in the paper.
         let (r, s, t) = example_3_2();
         let prod = r.mul(&s.add(&t));
-        assert_eq!(
-            prod.get(&tuple! { "A" => "a1", "C" => "c" }),
-            1 * (3 + 4)
-        );
+        assert_eq!(prod.get(&tuple! { "A" => "a1", "C" => "c" }), 1 * (3 + 4));
         assert_eq!(
             prod.get(&tuple! { "A" => "a1", "B" => "b", "C" => "c" }),
             1 * 5
@@ -165,20 +160,14 @@ mod tests {
         let r = Gmr::<i64>::from_rows(&["A", "B"], &[vec![1, 10], vec![2, 20], vec![2, 20]]);
         let s = Gmr::<i64>::from_rows(&["B", "C"], &[vec![10, 100], vec![30, 300]]);
         let joined = r.mul(&s);
-        assert_eq!(
-            joined.get(&tuple! { "A" => 1, "B" => 10, "C" => 100 }),
-            1
-        );
+        assert_eq!(joined.get(&tuple! { "A" => 1, "B" => 10, "C" => 100 }), 1);
         // Tuples with B=20 or B=30 have no join partner.
         assert_eq!(joined.support_size(), 1);
         // Multiplicities multiply: duplicate (2,20) row contributes nothing here, but a
         // matching pair does.
         let s2 = Gmr::<i64>::from_rows(&["B", "C"], &[vec![20, 200], vec![20, 201]]);
         let joined2 = r.mul(&s2);
-        assert_eq!(
-            joined2.get(&tuple! { "A" => 2, "B" => 20, "C" => 200 }),
-            2
-        );
+        assert_eq!(joined2.get(&tuple! { "A" => 2, "B" => 20, "C" => 200 }), 2);
     }
 
     #[test]
@@ -211,12 +200,12 @@ mod tests {
     #[test]
     fn schema_helpers() {
         let r = Gmr::<i64>::from_rows(&["A", "B"], &[vec![1, 2], vec![3, 4]]);
-        assert_eq!(r.common_schema(), Some(vec!["A".to_string(), "B".to_string()]));
+        assert_eq!(
+            r.common_schema(),
+            Some(vec!["A".to_string(), "B".to_string()])
+        );
         assert_eq!(r.total_multiplicity(), 2);
-        let mixed = Gmr::from_pairs(vec![
-            (tuple! { "A" => 1 }, 1i64),
-            (tuple! { "B" => 2 }, 1),
-        ]);
+        let mixed = Gmr::from_pairs(vec![(tuple! { "A" => 1 }, 1i64), (tuple! { "B" => 2 }, 1)]);
         assert_eq!(mixed.common_schema(), None);
         assert_eq!(Gmr::<i64>::zero().common_schema(), None);
     }

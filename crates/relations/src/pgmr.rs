@@ -67,7 +67,10 @@ mod tests {
         );
         let f = constant(r);
         let lt = condition(|b: &Tuple| {
-            match (b.get("A").and_then(Value::as_int), b.get("B").and_then(Value::as_int)) {
+            match (
+                b.get("A").and_then(Value::as_int),
+                b.get("B").and_then(Value::as_int),
+            ) {
                 (Some(a), Some(bb)) => a < bb,
                 _ => false,
             }
@@ -85,7 +88,9 @@ mod tests {
         // the left factor; conditions can therefore reference columns produced upstream.
         let r: Gmr<i64> = Gmr::from_rows(&["A"], &[vec![1], vec![2], vec![3]]);
         let keep_even = condition(|b: &Tuple| {
-            b.get("A").and_then(Value::as_int).is_some_and(|a| a % 2 == 0)
+            b.get("A")
+                .and_then(Value::as_int)
+                .is_some_and(|a| a % 2 == 0)
         });
         let prod = constant(r).mul(&keep_even);
         let out = prod.at(&Tuple::empty());

@@ -32,7 +32,9 @@ impl Tuple {
     ///
     /// # Panics
     /// Panics if the same column appears twice with different values (a malformed record).
-    pub fn from_pairs(pairs: impl IntoIterator<Item = (impl Into<String>, impl Into<Value>)>) -> Self {
+    pub fn from_pairs(
+        pairs: impl IntoIterator<Item = (impl Into<String>, impl Into<Value>)>,
+    ) -> Self {
         let mut map = BTreeMap::new();
         for (k, v) in pairs {
             let k = k.into();

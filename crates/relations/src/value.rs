@@ -222,7 +222,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_across_variants() {
-        let mut values = vec![
+        let mut values = [
             Value::str("b"),
             Value::int(2),
             Value::float(1.5),

@@ -112,8 +112,7 @@ impl ClassicalIvm {
             };
             let arity = columns.len();
             for sign in [Sign::Insert, Sign::Delete] {
-                let event =
-                    UpdateEvent::with_fresh_params(relation.clone(), sign, arity, 1);
+                let event = UpdateEvent::with_fresh_params(relation.clone(), sign, arity, 1);
                 let d = delta(&query.expr, &event);
                 let body = match d {
                     Expr::Sum(inner) => *inner,
@@ -208,7 +207,13 @@ mod tests {
             .map(|i| {
                 let nation = ["FR", "DE", "IT"][(i % 3) as usize];
                 if i % 7 == 6 {
-                    Update::delete("C", vec![Value::int(i - 3), Value::str(["FR", "DE", "IT"][((i - 3) % 3) as usize])])
+                    Update::delete(
+                        "C",
+                        vec![
+                            Value::int(i - 3),
+                            Value::str(["FR", "DE", "IT"][((i - 3) % 3) as usize]),
+                        ],
+                    )
                 } else {
                     Update::insert("C", vec![Value::int(i), Value::str(nation)])
                 }
@@ -257,8 +262,10 @@ mod tests {
     #[test]
     fn classical_ivm_accepts_a_precomputed_starting_result() {
         let mut db = customer_db();
-        db.insert("C", vec![Value::int(1), Value::str("FR")]).unwrap();
-        db.insert("C", vec![Value::int(2), Value::str("FR")]).unwrap();
+        db.insert("C", vec![Value::int(1), Value::str("FR")])
+            .unwrap();
+        db.insert("C", vec![Value::int(2), Value::str("FR")])
+            .unwrap();
         let precomputed = eval_all_groups(&customer_query(), &db).unwrap();
         let mut from_result =
             ClassicalIvm::with_initial_result(db.clone(), customer_query(), precomputed).unwrap();
@@ -272,8 +279,10 @@ mod tests {
     #[test]
     fn baselines_start_from_a_nonempty_database() {
         let mut db = customer_db();
-        db.insert("C", vec![Value::int(1), Value::str("FR")]).unwrap();
-        db.insert("C", vec![Value::int(2), Value::str("FR")]).unwrap();
+        db.insert("C", vec![Value::int(1), Value::str("FR")])
+            .unwrap();
+        db.insert("C", vec![Value::int(2), Value::str("FR")])
+            .unwrap();
         let naive = NaiveReeval::new(db.clone(), customer_query()).unwrap();
         assert_eq!(naive.result_value(&[Value::int(1)]), Number::Int(2));
         let mut classical = ClassicalIvm::new(db, customer_query()).unwrap();

@@ -68,7 +68,10 @@ impl std::fmt::Display for RuntimeError {
                 relation,
                 expected,
                 got,
-            } => write!(f, "update to {relation} carries {got} values, trigger expects {expected}"),
+            } => write!(
+                f,
+                "update to {relation} carries {got} values, trigger expects {expected}"
+            ),
             RuntimeError::UnboundVariable(v) => write!(f, "unbound variable {v} at runtime"),
             RuntimeError::NonNumericValue(c) => write!(f, "non-numeric value in {c}"),
         }
@@ -153,10 +156,7 @@ impl Executor {
 
     /// The output view as a sorted table.
     pub fn output_table(&self) -> std::collections::BTreeMap<Vec<Value>, Number> {
-        self.output()
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
-            .collect()
+        self.output().iter().map(|(k, v)| (k.clone(), *v)).collect()
     }
 
     /// The output value for one group key (zero if absent).
@@ -313,9 +313,9 @@ impl Executor {
                     let mut next = Vec::with_capacity(envs.len());
                     for (env, acc) in envs {
                         let value = eval_scalar(term, &env)?;
-                        let number = value.as_number().ok_or_else(|| {
-                            RuntimeError::NonNumericValue(term.to_string())
-                        })?;
+                        let number = value
+                            .as_number()
+                            .ok_or_else(|| RuntimeError::NonNumericValue(term.to_string()))?;
                         if number.is_zero() {
                             continue;
                         }
@@ -375,9 +375,7 @@ fn eval_scalar(term: &ScalarExpr, env: &HashMap<String, Value>) -> Result<Value,
             .ok_or_else(|| RuntimeError::UnboundVariable(x.clone())),
         ScalarExpr::Add(a, b) => Ok(Value::from(numeric(a, env)?.add(&numeric(b, env)?))),
         ScalarExpr::Mul(a, b) => Ok(Value::from(numeric(a, env)?.mul(&numeric(b, env)?))),
-        ScalarExpr::Neg(a) => Ok(Value::from(
-            numeric(a, env)?.mul(&Number::Int(-1)),
-        )),
+        ScalarExpr::Neg(a) => Ok(Value::from(numeric(a, env)?.mul(&Number::Int(-1)))),
     }
 }
 
@@ -445,7 +443,11 @@ mod tests {
         ];
         for (update, expected) in trace {
             exec.apply(&update).unwrap();
-            assert_eq!(exec.output_value(&[]), Number::Int(expected), "after {update}");
+            assert_eq!(
+                exec.output_value(&[]),
+                Number::Int(expected),
+                "after {update}"
+            );
         }
     }
 
@@ -467,7 +469,10 @@ mod tests {
         let max = *per_update.iter().max().unwrap();
         let min = *per_update[10..].iter().min().unwrap();
         assert!(max <= 12, "ops per update stay bounded, got {max}");
-        assert!(max <= min + 4, "ops per update do not grow with the database");
+        assert!(
+            max <= min + 4,
+            "ops per update do not grow with the database"
+        );
     }
 
     #[test]
@@ -496,7 +501,8 @@ mod tests {
     #[test]
     fn irrelevant_updates_are_ignored_and_arity_is_checked() {
         let mut exec = Executor::new(customers_program());
-        exec.apply(&Update::insert("Other", vec![Value::int(1)])).unwrap();
+        exec.apply(&Update::insert("Other", vec![Value::int(1)]))
+            .unwrap();
         assert!(exec.output_table().is_empty());
         let err = exec
             .apply(&Update::insert("C", vec![Value::int(1)]))

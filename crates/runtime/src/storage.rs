@@ -14,15 +14,18 @@ use std::collections::{HashMap, HashSet};
 use dbring_algebra::{Number, Ring, Semiring};
 use dbring_relations::Value;
 
+/// One secondary index: the values at a pattern's key positions, mapped to the set of
+/// full keys having those values.
+type SliceIndex = HashMap<Vec<Value>, HashSet<Vec<Value>>>;
+
 /// One materialized map: key tuples of a fixed arity mapping to aggregate values, plus the
 /// slice indexes registered for it.
 #[derive(Clone, Debug, Default)]
 pub struct MapStorage {
     key_arity: usize,
     data: HashMap<Vec<Value>, Number>,
-    /// For each registered pattern (a sorted list of key positions), an index from the
-    /// values at those positions to the set of full keys having those values.
-    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, HashSet<Vec<Value>>>>,
+    /// For each registered pattern (a sorted list of key positions), the index over it.
+    indexes: HashMap<Vec<usize>, SliceIndex>,
 }
 
 impl MapStorage {
@@ -154,7 +157,6 @@ impl MapStorage {
             .collect()
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -58,8 +58,9 @@ mod tests {
         let mut catalog = Database::new();
         catalog.declare("R", &["A"]).unwrap();
         let q = parse_query("q := Sum(R(x))").unwrap();
-        let mut strategy: Box<dyn MaintenanceStrategy> =
-            Box::new(crate::executor::Executor::new(compile(&catalog, &q).unwrap()));
+        let mut strategy: Box<dyn MaintenanceStrategy> = Box::new(crate::executor::Executor::new(
+            compile(&catalog, &q).unwrap(),
+        ));
         assert_eq!(strategy.strategy_name(), "recursive-ivm");
         strategy
             .apply_update(&Update::insert("R", vec![Value::int(1)]))

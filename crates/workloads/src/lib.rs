@@ -108,7 +108,8 @@ impl Workload {
     /// The initial database obtained by applying the bulk-load updates to the catalog.
     pub fn initial_database(&self) -> Database {
         let mut db = self.catalog.clone();
-        db.apply_all(&self.initial).expect("generated updates are well-formed");
+        db.apply_all(&self.initial)
+            .expect("generated updates are well-formed");
         db
     }
 
@@ -144,8 +145,8 @@ impl StreamBuilder {
     /// Emits an insert (or, with probability `delete_fraction`, the deletion of a random
     /// previously inserted tuple instead).
     fn push(&mut self, insert: Update) {
-        let delete_now = !self.live.is_empty()
-            && self.rng.gen_bool(self.delete_fraction.clamp(0.0, 0.9));
+        let delete_now =
+            !self.live.is_empty() && self.rng.gen_bool(self.delete_fraction.clamp(0.0, 0.9));
         if delete_now {
             let idx = self.rng.gen_range(0..self.live.len());
             let victim = self.live.swap_remove(idx);
@@ -305,7 +306,9 @@ pub fn sales_revenue(config: WorkloadConfig) -> Workload {
 pub fn orders_lineitems(config: WorkloadConfig) -> Workload {
     let mut catalog = Database::new();
     catalog.declare("Orders", &["okey", "cust"]).unwrap();
-    catalog.declare("Lineitem", &["okey", "price", "qty"]).unwrap();
+    catalog
+        .declare("Lineitem", &["okey", "price", "qty"])
+        .unwrap();
     let query = parse_sql(
         "SELECT cust, SUM(price * qty) AS revenue FROM Orders, Lineitem \
          WHERE Orders.okey = Lineitem.okey GROUP BY cust",
@@ -400,10 +403,16 @@ mod tests {
         // Applying the whole workload never drives a multiplicity negative.
         for w in all_workloads(WorkloadConfig::small(3)) {
             let mut db = w.catalog.clone();
-            db.apply_all(w.initial.iter().chain(w.stream.iter())).unwrap();
+            db.apply_all(w.initial.iter().chain(w.stream.iter()))
+                .unwrap();
             for rel in db.relation_names().map(str::to_string).collect::<Vec<_>>() {
                 for (_, m) in db.relation(&rel).unwrap().iter() {
-                    assert!(*m > 0, "negative or zero multiplicity in {} of {}", rel, w.name);
+                    assert!(
+                        *m > 0,
+                        "negative or zero multiplicity in {} of {}",
+                        rel,
+                        w.name
+                    );
                 }
             }
         }
@@ -440,7 +449,11 @@ mod tests {
             ..WorkloadConfig::small(9)
         };
         let w = self_join_count(cfg);
-        assert!(w.initial.iter().chain(w.stream.iter()).all(Update::is_insert));
+        assert!(w
+            .initial
+            .iter()
+            .chain(w.stream.iter())
+            .all(Update::is_insert));
         let cfg_del = WorkloadConfig {
             delete_fraction: 0.5,
             ..WorkloadConfig::small(9)

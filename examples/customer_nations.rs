@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --example customer_nations`
 
-use dbring::{
-    Catalog, IncrementalView, MaintenanceStrategy, NaiveReeval, Update, Value,
-};
+use dbring::{Catalog, IncrementalView, MaintenanceStrategy, NaiveReeval, Update, Value};
 use dbring_workloads::{customers_by_nation, WorkloadConfig};
 
 fn main() {

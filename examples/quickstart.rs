@@ -21,22 +21,37 @@ fn main() {
     )
     .expect("query compiles");
 
-    println!("compiled trigger program:\n{}", revenue.program().describe());
+    println!(
+        "compiled trigger program:\n{}",
+        revenue.program().describe()
+    );
 
     // 3. Stream single-tuple updates. Each one runs the matching trigger; the base table
     //    is never stored.
     revenue
-        .insert("Sales", vec![Value::int(1), Value::float(9.99), Value::int(3)])
+        .insert(
+            "Sales",
+            vec![Value::int(1), Value::float(9.99), Value::int(3)],
+        )
         .unwrap();
     revenue
-        .insert("Sales", vec![Value::int(2), Value::float(5.00), Value::int(10)])
+        .insert(
+            "Sales",
+            vec![Value::int(2), Value::float(5.00), Value::int(10)],
+        )
         .unwrap();
     revenue
-        .insert("Sales", vec![Value::int(1), Value::float(1.50), Value::int(2)])
+        .insert(
+            "Sales",
+            vec![Value::int(1), Value::float(1.50), Value::int(2)],
+        )
         .unwrap();
     // A correction: the second sale is cancelled.
     revenue
-        .delete("Sales", vec![Value::int(2), Value::float(5.00), Value::int(10)])
+        .delete(
+            "Sales",
+            vec![Value::int(2), Value::float(5.00), Value::int(10)],
+        )
         .unwrap();
 
     // 4. Read the result at any time.

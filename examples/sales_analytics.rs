@@ -35,8 +35,7 @@ fn main() {
     let recursive_elapsed = started.elapsed();
 
     // Classical first-order IVM and naive re-evaluation over the same stream.
-    let mut classical =
-        ClassicalIvm::new(initial_db.clone(), workload.query.clone()).unwrap();
+    let mut classical = ClassicalIvm::new(initial_db.clone(), workload.query.clone()).unwrap();
     let started = Instant::now();
     for u in &workload.stream {
         classical.apply_update(u).unwrap();
@@ -52,10 +51,19 @@ fn main() {
     }
     let naive_elapsed = started.elapsed() * (workload.stream.len() as u32 / naive_sample as u32);
 
-    // All strategies agree on the values they maintain (check a few customers).
+    // All strategies agree on the values they maintain (check a few customers). The
+    // strategies accumulate the same sums in different orders, so floating-point results
+    // match up to the usual IEEE rounding differences, not bit-for-bit.
     for cust in 0..5 {
         let key = vec![Value::int(cust)];
-        assert_eq!(view.value(&key), classical.result_value(&key));
+        let (a, b) = (
+            view.value(&key).as_f64(),
+            classical.result_value(&key).as_f64(),
+        );
+        assert!(
+            (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0),
+            "strategies disagree for customer {cust}: {a} vs {b}"
+        );
     }
 
     println!(

@@ -73,8 +73,7 @@ fn initialization_and_streaming_commute() {
             .unwrap()
             .with_initial_database(&initial_db)
             .unwrap();
-        let mut streamed =
-            IncrementalView::new(&workload.catalog, workload.query.clone()).unwrap();
+        let mut streamed = IncrementalView::new(&workload.catalog, workload.query.clone()).unwrap();
         streamed.apply_all(workload.initial.iter()).unwrap();
         assert_tables_match(&initialized.table(), &streamed.table(), workload.name);
         initialized.apply_all(&workload.stream).unwrap();
@@ -96,7 +95,10 @@ fn inverse_streams_cancel_exactly() {
     assert!(!view.table().is_empty());
     let inverse: Vec<_> = workload.stream.iter().rev().map(|u| u.inverse()).collect();
     view.apply_all(&inverse).unwrap();
-    assert!(view.table().is_empty(), "all groups must cancel back to zero");
+    assert!(
+        view.table().is_empty(),
+        "all groups must cancel back to zero"
+    );
     assert_eq!(view.total_entries(), 0);
 }
 

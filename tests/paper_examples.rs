@@ -4,8 +4,8 @@
 //! Examples 6.2 / 6.5.
 
 use dbring::{
-    compile, delta, eval, parse_expr, parse_query, Catalog, Database, Executor, Number,
-    Polynomial, RecursiveMemo, Sign, Tuple, Update, UpdateEvent, Value,
+    compile, delta, eval, parse_expr, parse_query, Catalog, Database, Executor, Number, Polynomial,
+    RecursiveMemo, Sign, Tuple, Update, UpdateEvent, Value,
 };
 use dbring_agca::degree::degree;
 use dbring_agca::normalize::normalize;
@@ -180,10 +180,7 @@ fn example_1_3_delta_factorizes_and_matches_the_two_subaggregates() {
     for (e, f) in [(20, 5), (20, 6), (21, 7)] {
         db.insert("T", vec![Value::int(e), Value::int(f)]).unwrap();
     }
-    let q = parse_expr(
-        "Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)",
-    )
-    .unwrap();
+    let q = parse_expr("Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)").unwrap();
     // ∆Q(+S(c, d)) must equal (Σ_{R.B = c} A) * (Σ_{T.E = d} F) for any (c, d).
     let event = UpdateEvent::insert("S", &["pc", "pd"]);
     let d = delta(&q, &event);
@@ -199,7 +196,8 @@ fn example_1_3_delta_factorizes_and_matches_the_two_subaggregates() {
         assert_eq!(change, Number::Int(expected), "∆Q(+S({c}, {dd}))");
     }
     // And the compiled program expresses exactly that as a product of two lookups.
-    let sql = dbring::parse_sql("SELECT SUM(A * F) FROM R, S, T WHERE B = C AND D = E", &db).unwrap();
+    let sql =
+        dbring::parse_sql("SELECT SUM(A * F) FROM R, S, T WHERE B = C AND D = E", &db).unwrap();
     let program = compile(&db, &sql).unwrap();
     let stmt = program
         .trigger("S", Sign::Insert)
