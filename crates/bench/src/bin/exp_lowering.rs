@@ -1,0 +1,80 @@
+//! Experiment E8 — what lowering buys: per-update latency of the slot-resolved executor
+//! vs the string-named reference interpreter, swept over initial database sizes.
+//!
+//! Both paths execute the same compiled trigger program and perform identical ring
+//! operations (the sweep asserts this), so the ratio isolates pure interpreter
+//! overhead: variable-name hashing, per-binding environment clones, per-call
+//! bound-position derivation, and per-probe key allocation — everything the lowering
+//! stage (`dbring_compiler::lower`) eliminates.
+//!
+//! Run with: `cargo run --release -p dbring-bench --bin exp_lowering`
+//! (add `-- --quick` for a faster, smaller sweep)
+
+use dbring_bench::{fmt_ns, header, lowering_point, LoweringPoint};
+use dbring_workloads::{customers_by_nation, rst_sum_join, self_join_count, WorkloadConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[500, 2_000]
+    } else {
+        &[1_000, 5_000, 20_000]
+    };
+    let stream_length = if quick { 300 } else { 1_000 };
+
+    for (name, make) in [
+        (
+            "self-join count (Example 1.2)",
+            (|n: usize, stream: usize| {
+                self_join_count(WorkloadConfig {
+                    seed: 81,
+                    initial_size: n,
+                    stream_length: stream,
+                    domain_size: 100,
+                    delete_fraction: 0.2,
+                })
+            }) as fn(usize, usize) -> dbring_workloads::Workload,
+        ),
+        ("customers by nation (Example 5.2)", |n, stream| {
+            customers_by_nation(WorkloadConfig {
+                seed: 82,
+                initial_size: n,
+                stream_length: stream,
+                domain_size: 12,
+                delete_fraction: 0.2,
+            })
+        }),
+        ("three-way sum join (Example 1.3)", |n, stream| {
+            rst_sum_join(WorkloadConfig {
+                seed: 83,
+                initial_size: n,
+                stream_length: stream,
+                domain_size: (n / 20).max(50),
+                delete_fraction: 0.1,
+            })
+        }),
+    ] {
+        header(name);
+        println!(
+            "{:>10} | {:>13} | {:>14} | {:>8} | {:>8}",
+            "initial |D|", "lowered/upd", "interpret/upd", "speedup", "ops/upd"
+        );
+        let mut points: Vec<LoweringPoint> = Vec::new();
+        for &n in sizes {
+            let workload = make(n, stream_length);
+            let point = lowering_point(&workload);
+            println!(
+                "{:>10} | {:>13} | {:>14} | {:>7.2}x | {:>8.1}",
+                n,
+                fmt_ns(point.lowered_ns),
+                fmt_ns(point.interpreted_ns),
+                point.speedup(),
+                point.ops_per_update
+            );
+            points.push(point);
+        }
+        let mean_speedup =
+            points.iter().map(LoweringPoint::speedup).sum::<f64>() / points.len() as f64;
+        println!("mean speedup {mean_speedup:.2}x (identical ring work on both paths)");
+    }
+}

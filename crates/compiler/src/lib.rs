@@ -23,7 +23,9 @@
 //! which is the sequential shadow of the paper's NC⁰ claim (Theorem 7.1).
 //!
 //! Modules: [`ir`] defines the trigger-program IR and its validator; [`compile`]
-//! implements the recursive compilation algorithm.
+//! implements the recursive compilation algorithm; [`lower`] resolves a compiled program
+//! into a slot-indexed [`ExecPlan`](lower::ExecPlan) — the name-free representation the
+//! runtime's hot path executes (compile once, lower once, execute per update).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,7 +33,11 @@
 pub mod codegen;
 pub mod compile;
 pub mod ir;
+pub mod lower;
 
 pub use codegen::generate as generate_nc0c;
 pub use compile::{compile, CompileError};
 pub use ir::{MapDef, MapId, RhsFactor, ScalarExpr, Statement, Trigger, TriggerProgram};
+pub use lower::{
+    lower, ExecPlan, LowerError, PlanOp, PlanStatement, PlanTrigger, Slot, SlotExpr, UnboundKey,
+};

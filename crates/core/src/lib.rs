@@ -56,11 +56,15 @@ pub use dbring_agca::parser::{parse_expr, parse_query, ParseError};
 pub use dbring_agca::safety::SafetyError;
 pub use dbring_agca::sql::parse_sql;
 pub use dbring_algebra::{Number, Polynomial, RecursiveMemo, Ring, Semiring};
-pub use dbring_compiler::{compile, generate_nc0c, CompileError, TriggerProgram};
+pub use dbring_compiler::{
+    compile, generate_nc0c, lower, CompileError, ExecPlan, LowerError, PlanOp, PlanStatement,
+    PlanTrigger, Slot, SlotExpr, TriggerProgram, UnboundKey,
+};
 pub use dbring_delta::{delta, Sign, UpdateEvent};
 pub use dbring_relations::{Database, Gmr, Tuple, Update, Value};
 pub use dbring_runtime::{
-    ClassicalIvm, ExecStats, Executor, MaintenanceStrategy, NaiveReeval, RuntimeError,
+    ClassicalIvm, ExecStats, Executor, InterpretedExecutor, MaintenanceStrategy, NaiveReeval,
+    RuntimeError,
 };
 
 /// A schema catalog: relation names and their column lists. (Alias of [`Database`]; a

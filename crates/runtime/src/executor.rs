@@ -1,25 +1,41 @@
-//! The trigger-program executor: recursive IVM at runtime.
+//! The trigger-program executor: recursive IVM at runtime, over a lowered
+//! [`ExecPlan`].
 //!
-//! The executor owns one [`MapStorage`] per materialized view of a compiled
-//! [`TriggerProgram`]. Applying a single-tuple update locates the matching trigger, binds
-//! the trigger parameters to the update's values and runs the trigger's statements in
-//! order. A statement is one monomial; statements without loop variables cost a constant
-//! number of arithmetic operations, and statements with loop variables cost a constant
-//! number of operations *per affected map entry* — the executor counts both so the
-//! experiments can verify the paper's constant-work claim (Theorem 7.1) directly.
+//! Construction lowers the compiled [`TriggerProgram`] once (see
+//! [`dbring_compiler::lower`]): every variable becomes a fixed `u16` slot in a flat
+//! per-trigger frame, every map lookup is pre-classified as a fully-bound `Probe` or a
+//! partially-bound `Enumerate` with its slice-index pattern fixed, and every scalar and
+//! guard is rewritten over slots. Applying a single-tuple update then runs the matching
+//! plan trigger's statements over reusable frame buffers: no `HashMap` environments, no
+//! per-binding environment clones, no name resolution, and — in the steady state, when
+//! the touched map entries already exist — no heap allocation at all (lookup keys are
+//! assembled in a scratch buffer, writes go through [`MapStorage::add_ref`], candidate
+//! frames reuse the capacity of the previous statement's buffers, and the [`Value`]
+//! clones this involves never allocate: ints/floats/bools are `Copy`-sized and strings
+//! are `Arc`-interned, so a clone is a refcount bump).
+//!
+//! A statement without loop variables costs a constant number of arithmetic operations;
+//! a statement with loop variables costs a constant number of operations *per affected
+//! map entry* — the executor counts both, identically to the reference
+//! [`InterpretedExecutor`](crate::interp::InterpretedExecutor), so the experiments can
+//! verify the paper's constant-work claim (Theorem 7.1) directly and the two paths can
+//! be checked against each other operation-for-operation.
 //!
 //! The base relations are never consulted: after initialization the executor's maps are
 //! the only state.
-
-use std::collections::HashMap;
 
 use dbring_algebra::{Number, Semiring};
 use dbring_relations::{Database, Update, Value};
 
 use dbring_agca::ast::Query;
 use dbring_agca::eval::{compare_values, eval_all_groups, EvalError};
-use dbring_compiler::{RhsFactor, ScalarExpr, Statement, TriggerProgram};
+use dbring_compiler::{
+    lower, ExecPlan, LowerError, PlanOp, PlanStatement, PlanTrigger, SlotExpr, TriggerProgram,
+    UnboundKey,
+};
 use dbring_delta::Sign;
+
+use std::collections::HashMap;
 
 use crate::storage::MapStorage;
 
@@ -80,58 +96,96 @@ impl std::fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
+/// Reusable buffers for the statement inner loop. Candidate bindings live in a flat
+/// value buffer (`stride` = the trigger's frame length) with a parallel accumulator
+/// vector; enumeration fans out into the `next_*` pair and the pairs swap. Capacity is
+/// retained across statements and updates, so the steady state allocates nothing.
+#[derive(Clone, Debug, Default)]
+struct Scratch {
+    /// The param-initialized frame template for the current update.
+    base_frame: Vec<Value>,
+    /// Current candidate frames, `stride` values per candidate.
+    cur_vals: Vec<Value>,
+    /// Accumulated products, one per current candidate.
+    cur_accs: Vec<Number>,
+    /// Fan-out target for `Enumerate` ops.
+    next_vals: Vec<Value>,
+    /// Fan-out accumulators.
+    next_accs: Vec<Number>,
+    /// Key assembly buffer for probes, slices and writes.
+    key_buf: Vec<Value>,
+}
+
 /// The recursive-IVM runtime for one compiled trigger program.
 #[derive(Clone, Debug)]
 pub struct Executor {
     program: TriggerProgram,
+    plan: ExecPlan,
     maps: Vec<MapStorage>,
+    /// Relation name → plan-trigger index per sign (`[insert, delete]`); updates are
+    /// dispatched without allocating or scanning the trigger list.
+    dispatch: HashMap<String, [Option<usize>; 2]>,
     stats: ExecStats,
+    scratch: Scratch,
 }
 
 impl Executor {
     /// Creates an executor with empty views (correct when starting from the empty
     /// database; otherwise call [`Executor::initialize_from`]).
+    ///
+    /// The program is lowered to its [`ExecPlan`] here, and the slice-index patterns the
+    /// plan's enumerations need are registered on the view storage.
+    ///
+    /// # Panics
+    /// Panics if the program does not lower — impossible for programs produced by
+    /// [`dbring_compiler::compile`], which validates; use [`Executor::try_new`] for
+    /// hand-built programs that may not.
     pub fn new(program: TriggerProgram) -> Self {
-        let mut maps: Vec<MapStorage> = program
-            .maps
+        Self::try_new(program).expect("compiled trigger programs always lower")
+    }
+
+    /// Fallible construction: like [`Executor::new`] but surfaces lowering problems
+    /// (structural invalidity, read-before-bind) as a [`LowerError`] instead of
+    /// panicking.
+    pub fn try_new(program: TriggerProgram) -> Result<Self, LowerError> {
+        let plan = lower(&program)?;
+        let mut maps: Vec<MapStorage> = plan
+            .map_arities
             .iter()
-            .map(|m| MapStorage::new(m.key_vars.len()))
+            .map(|&a| MapStorage::new(a))
             .collect();
-        // Register the slice indexes each statement will need: for every lookup, the key
-        // positions that are bound (by parameters or earlier lookups) at that point.
-        for trigger in &program.triggers {
-            for stmt in &trigger.statements {
-                let mut bound: Vec<String> = trigger.params.clone();
-                for factor in &stmt.factors {
-                    if let RhsFactor::MapLookup { map, keys } = factor {
-                        let positions: Vec<usize> = keys
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, k)| bound.contains(k))
-                            .map(|(i, _)| i)
-                            .collect();
-                        if !positions.is_empty() && positions.len() < keys.len() {
-                            maps[*map].register_index(positions);
-                        }
-                        for k in keys {
-                            if !bound.contains(k) {
-                                bound.push(k.clone());
-                            }
-                        }
-                    }
-                }
+        for (map, pattern) in &plan.index_registrations {
+            maps[*map].register_index(pattern.clone());
+        }
+        let mut dispatch: HashMap<String, [Option<usize>; 2]> = HashMap::new();
+        for (i, t) in plan.triggers.iter().enumerate() {
+            let entry = dispatch.entry(t.relation.clone()).or_insert([None, None]);
+            let slot = &mut entry[sign_index(t.sign)];
+            // First match wins, matching the interpreter's linear-scan dispatch (the
+            // compiler never emits duplicate (relation, sign) triggers, but hand-built
+            // programs may).
+            if slot.is_none() {
+                *slot = Some(i);
             }
         }
-        Executor {
+        Ok(Executor {
             program,
+            plan,
             maps,
+            dispatch,
             stats: ExecStats::default(),
-        }
+            scratch: Scratch::default(),
+        })
     }
 
     /// The compiled program this executor runs.
     pub fn program(&self) -> &TriggerProgram {
         &self.program
+    }
+
+    /// The lowered execution plan the hot path runs.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
     }
 
     /// Work counters accumulated so far.
@@ -173,25 +227,10 @@ impl Executor {
     /// query with the reference evaluator (the initialization step of Section 1.1). The
     /// database is *not* retained: subsequent maintenance never touches it.
     pub fn initialize_from(&mut self, db: &Database) -> Result<(), EvalError> {
-        for def in &self.program.maps {
-            // Reorder the defining query once so that bulk initialization does not build
-            // needless cross products (the trigger statements themselves never evaluate
-            // these definitions).
-            let bound = def.key_vars.iter().cloned().collect();
-            let query = Query {
-                name: def.name.clone(),
-                group_by: def.key_vars.clone(),
-                expr: dbring_agca::optimize::optimize_for_evaluation(&def.definition, &bound),
-            };
-            let groups = eval_all_groups(&query, db)?;
-            for (key, value) in groups {
-                self.maps[def.id].set(key, value);
-            }
-        }
-        Ok(())
+        initialize_maps(&self.program, &mut self.maps, db)
     }
 
-    /// Applies a single-tuple update by running the matching trigger. Updates whose
+    /// Applies a single-tuple update by running the matching plan trigger. Updates whose
     /// relation does not affect the query are ignored. Updates with |multiplicity| > 1 are
     /// treated as that many single-tuple updates.
     pub fn apply(&mut self, update: &Update) -> Result<(), RuntimeError> {
@@ -201,32 +240,38 @@ impl Executor {
             Sign::Delete
         };
         let Some(trigger_index) = self
-            .program
-            .triggers
-            .iter()
-            .position(|t| t.relation == update.relation && t.sign == sign)
+            .dispatch
+            .get(update.relation.as_str())
+            .and_then(|per_sign| per_sign[sign_index(sign)])
         else {
             return Ok(());
         };
-        let trigger = &self.program.triggers[trigger_index];
-        if trigger.params.len() != update.values.len() {
+        let Self {
+            plan,
+            maps,
+            stats,
+            scratch,
+            ..
+        } = self;
+        let trigger = &plan.triggers[trigger_index];
+        if trigger.param_slots.len() != update.values.len() {
             return Err(RuntimeError::ArityMismatch {
                 relation: update.relation.clone(),
-                expected: trigger.params.len(),
+                expected: trigger.param_slots.len(),
                 got: update.values.len(),
             });
         }
-        let env: HashMap<String, Value> = trigger
-            .params
-            .iter()
-            .cloned()
-            .zip(update.values.iter().cloned())
-            .collect();
+        // Build the param-initialized frame template once per update. Unbound slots hold
+        // a placeholder; the plan guarantees they are written before being read.
+        scratch.base_frame.clear();
+        scratch.base_frame.resize(trigger.frame_len, Value::Int(0));
+        for (&slot, value) in trigger.param_slots.iter().zip(&update.values) {
+            scratch.base_frame[slot as usize] = value.clone();
+        }
         for _ in 0..update.multiplicity.unsigned_abs() {
-            self.stats.updates += 1;
-            for stmt_index in 0..self.program.triggers[trigger_index].statements.len() {
-                let stmt = &self.program.triggers[trigger_index].statements[stmt_index];
-                Self::execute_statement(&mut self.maps, &mut self.stats, stmt, &env)?;
+            stats.updates += 1;
+            for stmt in &trigger.statements {
+                run_statement(maps, stats, scratch, trigger, stmt)?;
             }
         }
         Ok(())
@@ -242,140 +287,217 @@ impl Executor {
         }
         Ok(())
     }
+}
 
-    fn execute_statement(
-        maps: &mut [MapStorage],
-        stats: &mut ExecStats,
-        stmt: &Statement,
-        base_env: &HashMap<String, Value>,
-    ) -> Result<(), RuntimeError> {
-        // The set of candidate bindings, each with the product accumulated so far.
-        let mut envs: Vec<(HashMap<String, Value>, Number)> =
-            vec![(base_env.clone(), Number::Int(1))];
-        for factor in &stmt.factors {
-            if envs.is_empty() {
-                break;
-            }
-            match factor {
-                RhsFactor::MapLookup { map, keys } => {
-                    let storage = &maps[*map];
-                    let mut next = Vec::new();
-                    for (env, acc) in envs {
-                        let mut bound_positions = Vec::new();
-                        let mut bound_values = Vec::new();
-                        let mut unbound_positions = Vec::new();
-                        for (i, key_var) in keys.iter().enumerate() {
-                            match env.get(key_var) {
-                                Some(v) => {
-                                    bound_positions.push(i);
-                                    bound_values.push(v.clone());
-                                }
-                                None => unbound_positions.push(i),
-                            }
-                        }
-                        if unbound_positions.is_empty() {
-                            let value = storage.get(&bound_values);
-                            if value.is_zero() {
-                                continue;
-                            }
-                            stats.multiplications += 1;
-                            next.push((env, acc.mul(&value)));
-                        } else {
-                            for (full_key, value) in storage.slice(&bound_positions, &bound_values)
-                            {
-                                let mut extended = env.clone();
-                                let mut consistent = true;
-                                for &i in &unbound_positions {
-                                    let var = &keys[i];
-                                    let val = full_key[i].clone();
-                                    match extended.get(var) {
-                                        Some(existing) if *existing != val => {
-                                            consistent = false;
-                                            break;
-                                        }
-                                        _ => {
-                                            extended.insert(var.clone(), val);
-                                        }
-                                    }
-                                }
-                                if !consistent {
-                                    continue;
-                                }
-                                stats.multiplications += 1;
-                                stats.bindings_enumerated += 1;
-                                next.push((extended, acc.mul(&value)));
-                            }
-                        }
-                    }
-                    envs = next;
-                }
-                RhsFactor::Scalar(term) => {
-                    let mut next = Vec::with_capacity(envs.len());
-                    for (env, acc) in envs {
-                        let value = eval_scalar(term, &env)?;
-                        let number = value
-                            .as_number()
-                            .ok_or_else(|| RuntimeError::NonNumericValue(term.to_string()))?;
-                        if number.is_zero() {
-                            continue;
-                        }
-                        stats.multiplications += 1;
-                        next.push((env, acc.mul(&number)));
-                    }
-                    envs = next;
-                }
-                RhsFactor::Guard(op, lhs, rhs) => {
-                    let mut next = Vec::with_capacity(envs.len());
-                    for (env, acc) in envs {
-                        let l = eval_scalar(lhs, &env)?;
-                        let r = eval_scalar(rhs, &env)?;
-                        if op.test(compare_values(&l, &r)) {
-                            next.push((env, acc));
-                        }
-                    }
-                    envs = next;
-                }
-            }
-        }
-        // Collect all writes first, then apply (a statement never reads its own writes).
-        let mut writes: Vec<(Vec<Value>, Number)> = Vec::with_capacity(envs.len());
-        for (env, acc) in envs {
-            if acc.is_zero() {
-                continue;
-            }
-            let mut key = Vec::with_capacity(stmt.target_keys.len());
-            for var in &stmt.target_keys {
-                key.push(
-                    env.get(var)
-                        .cloned()
-                        .ok_or_else(|| RuntimeError::UnboundVariable(var.clone()))?,
-                );
-            }
-            writes.push((key, stmt.coefficient.mul(&acc)));
-        }
-        for (key, delta) in writes {
-            stats.additions += 1;
-            maps[stmt.target].add(key, delta);
-        }
-        Ok(())
+fn sign_index(sign: Sign) -> usize {
+    match sign {
+        Sign::Insert => 0,
+        Sign::Delete => 1,
     }
 }
 
-fn eval_scalar(term: &ScalarExpr, env: &HashMap<String, Value>) -> Result<Value, RuntimeError> {
-    fn numeric(term: &ScalarExpr, env: &HashMap<String, Value>) -> Result<Number, RuntimeError> {
-        let v = eval_scalar(term, env)?;
-        v.as_number()
-            .ok_or_else(|| RuntimeError::NonNumericValue(term.to_string()))
+/// Bulk-loads every view of a program from a non-empty starting database by evaluating
+/// the view definitions with the reference evaluator (the initialization step of
+/// Section 1.1). Shared by the lowered executor and the reference interpreter so both
+/// paths initialize identically.
+pub(crate) fn initialize_maps(
+    program: &TriggerProgram,
+    maps: &mut [MapStorage],
+    db: &Database,
+) -> Result<(), EvalError> {
+    for def in &program.maps {
+        // Reorder the defining query once so that bulk initialization does not build
+        // needless cross products (the trigger statements themselves never evaluate
+        // these definitions).
+        let bound = def.key_vars.iter().cloned().collect();
+        let query = Query {
+            name: def.name.clone(),
+            group_by: def.key_vars.clone(),
+            expr: dbring_agca::optimize::optimize_for_evaluation(&def.definition, &bound),
+        };
+        let groups = eval_all_groups(&query, db)?;
+        for (key, value) in groups {
+            maps[def.id].set(key, value);
+        }
     }
-    match term {
-        ScalarExpr::Const(v) => Ok(v.clone()),
-        ScalarExpr::Var(x) => env
-            .get(x)
-            .cloned()
-            .ok_or_else(|| RuntimeError::UnboundVariable(x.clone())),
-        ScalarExpr::Add(a, b) => Ok(Value::from(numeric(a, env)?.add(&numeric(b, env)?))),
-        ScalarExpr::Mul(a, b) => Ok(Value::from(numeric(a, env)?.mul(&numeric(b, env)?))),
-        ScalarExpr::Neg(a) => Ok(Value::from(numeric(a, env)?.mul(&Number::Int(-1)))),
+    Ok(())
+}
+
+/// Runs one lowered statement over the scratch frames and applies its writes.
+fn run_statement(
+    maps: &mut [MapStorage],
+    stats: &mut ExecStats,
+    scratch: &mut Scratch,
+    trigger: &PlanTrigger,
+    stmt: &PlanStatement,
+) -> Result<(), RuntimeError> {
+    let stride = trigger.frame_len.max(1);
+    let Scratch {
+        base_frame,
+        cur_vals,
+        cur_accs,
+        next_vals,
+        next_accs,
+        key_buf,
+    } = scratch;
+    // One initial candidate: the parameters, with accumulator 1.
+    cur_vals.clear();
+    cur_vals.extend_from_slice(base_frame);
+    cur_vals.resize(stride, Value::Int(0));
+    cur_accs.clear();
+    cur_accs.push(Number::Int(1));
+
+    for op in &stmt.ops {
+        let rows = cur_accs.len();
+        if rows == 0 {
+            break;
+        }
+        match op {
+            PlanOp::Probe { map, key_slots } => {
+                let storage = &maps[*map];
+                let mut kept = 0usize;
+                for row in 0..rows {
+                    let base = row * stride;
+                    key_buf.clear();
+                    for &s in key_slots {
+                        key_buf.push(cur_vals[base + s as usize].clone());
+                    }
+                    let value = storage.get(key_buf);
+                    if value.is_zero() {
+                        continue;
+                    }
+                    stats.multiplications += 1;
+                    let acc = cur_accs[row].mul(&value);
+                    if kept != row {
+                        for i in 0..stride {
+                            cur_vals.swap(kept * stride + i, base + i);
+                        }
+                    }
+                    cur_accs[kept] = acc;
+                    kept += 1;
+                }
+                cur_vals.truncate(kept * stride);
+                cur_accs.truncate(kept);
+            }
+            PlanOp::Enumerate {
+                map,
+                bound_positions,
+                bound_slots,
+                unbound,
+            } => {
+                let storage = &maps[*map];
+                next_vals.clear();
+                next_accs.clear();
+                for (row, acc) in cur_accs.iter().copied().enumerate() {
+                    let base = row * stride;
+                    key_buf.clear();
+                    for &s in bound_slots {
+                        key_buf.push(cur_vals[base + s as usize].clone());
+                    }
+                    storage.for_each_slice(bound_positions, key_buf, |full_key, value| {
+                        let new_base = next_vals.len();
+                        next_vals.extend_from_slice(&cur_vals[base..base + stride]);
+                        for u in unbound {
+                            match *u {
+                                UnboundKey::Bind { position, slot } => {
+                                    next_vals[new_base + slot as usize] =
+                                        full_key[position].clone();
+                                }
+                                UnboundKey::Check { position, slot } => {
+                                    if next_vals[new_base + slot as usize] != full_key[position] {
+                                        next_vals.truncate(new_base);
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                        stats.multiplications += 1;
+                        stats.bindings_enumerated += 1;
+                        next_accs.push(acc.mul(&value));
+                    });
+                }
+                std::mem::swap(cur_vals, next_vals);
+                std::mem::swap(cur_accs, next_accs);
+            }
+            PlanOp::Scalar(expr) => {
+                let mut kept = 0usize;
+                for row in 0..rows {
+                    let base = row * stride;
+                    let value = eval_slots(expr, &cur_vals[base..base + stride])?;
+                    let number = value
+                        .as_number()
+                        .ok_or_else(|| RuntimeError::NonNumericValue(expr.to_string()))?;
+                    if number.is_zero() {
+                        continue;
+                    }
+                    stats.multiplications += 1;
+                    let acc = cur_accs[row].mul(&number);
+                    if kept != row {
+                        for i in 0..stride {
+                            cur_vals.swap(kept * stride + i, base + i);
+                        }
+                    }
+                    cur_accs[kept] = acc;
+                    kept += 1;
+                }
+                cur_vals.truncate(kept * stride);
+                cur_accs.truncate(kept);
+            }
+            PlanOp::Guard(op, lhs, rhs) => {
+                let mut kept = 0usize;
+                for row in 0..rows {
+                    let base = row * stride;
+                    let frame = &cur_vals[base..base + stride];
+                    let l = eval_slots(lhs, frame)?;
+                    let r = eval_slots(rhs, frame)?;
+                    if !op.test(compare_values(&l, &r)) {
+                        continue;
+                    }
+                    if kept != row {
+                        for i in 0..stride {
+                            cur_vals.swap(kept * stride + i, base + i);
+                        }
+                        cur_accs[kept] = cur_accs[row];
+                    }
+                    kept += 1;
+                }
+                cur_vals.truncate(kept * stride);
+                cur_accs.truncate(kept);
+            }
+        }
+    }
+
+    // Apply the writes. All reads of this statement are complete (a statement never
+    // reads its own writes), so writing directly from the surviving frames is safe.
+    let target = &mut maps[stmt.target];
+    for row in 0..cur_accs.len() {
+        let acc = cur_accs[row];
+        if acc.is_zero() {
+            continue;
+        }
+        stats.additions += 1;
+        key_buf.clear();
+        for &s in &stmt.target_slots {
+            key_buf.push(cur_vals[row * stride + s as usize].clone());
+        }
+        target.add_ref(key_buf, stmt.coefficient.mul(&acc));
+    }
+    Ok(())
+}
+
+/// Evaluates a slot-resolved scalar expression against one candidate frame.
+fn eval_slots(expr: &SlotExpr, frame: &[Value]) -> Result<Value, RuntimeError> {
+    fn numeric(expr: &SlotExpr, frame: &[Value]) -> Result<Number, RuntimeError> {
+        let v = eval_slots(expr, frame)?;
+        v.as_number()
+            .ok_or_else(|| RuntimeError::NonNumericValue(expr.to_string()))
+    }
+    match expr {
+        SlotExpr::Const(v) => Ok(v.clone()),
+        SlotExpr::Slot(s) => Ok(frame[*s as usize].clone()),
+        SlotExpr::Add(a, b) => Ok(Value::from(numeric(a, frame)?.add(&numeric(b, frame)?))),
+        SlotExpr::Mul(a, b) => Ok(Value::from(numeric(a, frame)?.mul(&numeric(b, frame)?))),
+        SlotExpr::Neg(a) => Ok(Value::from(numeric(a, frame)?.mul(&Number::Int(-1)))),
     }
 }
 
@@ -563,5 +685,63 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(exec.output_value(&[Value::int(7)]), Number::Float(10.0));
+    }
+
+    #[test]
+    fn duplicate_triggers_dispatch_to_the_first_match_like_the_interpreter() {
+        use dbring_compiler::{MapDef, Statement, Trigger};
+        // Two triggers on (R, Insert): the first bumps q by 1, the second by 100. Both
+        // executors must run the *first* (linear-scan semantics); the compiler never
+        // emits duplicates, but hand-built programs may.
+        let make_trigger = |coefficient: i64| Trigger {
+            relation: "R".to_string(),
+            sign: dbring_delta::Sign::Insert,
+            params: vec!["@R_A".to_string()],
+            statements: vec![Statement {
+                target: 0,
+                target_keys: vec![],
+                coefficient: Number::Int(coefficient),
+                factors: vec![],
+            }],
+        };
+        let program = TriggerProgram {
+            maps: vec![MapDef {
+                id: 0,
+                name: "q".to_string(),
+                key_vars: vec![],
+                definition: dbring_agca::ast::Expr::int(0),
+                degree: 0,
+            }],
+            triggers: vec![make_trigger(1), make_trigger(100)],
+            output: 0,
+        };
+        let mut lowered = Executor::new(program.clone());
+        let mut interpreted = crate::interp::InterpretedExecutor::new(program);
+        let update = Update::insert("R", vec![Value::int(7)]);
+        lowered.apply(&update).unwrap();
+        interpreted.apply(&update).unwrap();
+        assert_eq!(lowered.output_value(&[]), Number::Int(1));
+        assert_eq!(lowered.output_table(), interpreted.output_table());
+    }
+
+    #[test]
+    fn plan_is_exposed_and_matches_the_program_shape() {
+        let exec = Executor::new(customers_program());
+        let plan = exec.plan();
+        assert_eq!(plan.triggers.len(), exec.program().triggers.len());
+        assert_eq!(plan.map_arities.len(), exec.program().maps.len());
+        assert!(plan.op_count() > 0);
+    }
+
+    #[test]
+    fn try_new_surfaces_lowering_errors_instead_of_panicking() {
+        let mut program = customers_program();
+        // Break the program after compilation: a statement targeting a missing map.
+        program.triggers[0].statements[0].target = 99;
+        assert!(matches!(
+            Executor::try_new(program),
+            Err(LowerError::Invalid(_))
+        ));
+        assert!(Executor::try_new(customers_program()).is_ok());
     }
 }

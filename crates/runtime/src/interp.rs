@@ -1,0 +1,367 @@
+//! The reference interpreter: trigger programs executed directly over the string-named
+//! IR, with one `HashMap<String, Value>` environment per candidate binding.
+//!
+//! This was the executor's original inner loop. It remains as the *semantic reference*
+//! for the slot-resolved [`Executor`](crate::executor::Executor): slower (per-factor name
+//! hashing, per-binding environment clones, per-call bound-position derivation) but
+//! simple enough to audit at a glance. The equivalence tests and the
+//! `per_update_latency` bench run both paths against each other; work counters
+//! ([`ExecStats`]) are maintained identically so the comparison is exact, not just
+//! end-state equal.
+
+use std::collections::{HashMap, HashSet};
+
+use dbring_algebra::{Number, Semiring};
+use dbring_relations::{Database, Update, Value};
+
+use dbring_agca::eval::{compare_values, EvalError};
+use dbring_compiler::{RhsFactor, ScalarExpr, Statement, TriggerProgram};
+use dbring_delta::Sign;
+
+use crate::executor::{ExecStats, RuntimeError};
+use crate::storage::MapStorage;
+
+/// The name-resolving reference executor for one compiled trigger program.
+#[derive(Clone, Debug)]
+pub struct InterpretedExecutor {
+    program: TriggerProgram,
+    maps: Vec<MapStorage>,
+    stats: ExecStats,
+}
+
+impl InterpretedExecutor {
+    /// Creates an interpreter with empty views (correct when starting from the empty
+    /// database; otherwise call [`InterpretedExecutor::initialize_from`]).
+    pub fn new(program: TriggerProgram) -> Self {
+        let mut maps: Vec<MapStorage> = program
+            .maps
+            .iter()
+            .map(|m| MapStorage::new(m.key_vars.len()))
+            .collect();
+        // Register the slice indexes each statement will need: for every lookup, the key
+        // positions that are bound (by parameters or earlier lookups) at that point.
+        for trigger in &program.triggers {
+            for stmt in &trigger.statements {
+                let mut bound: HashSet<&str> = trigger.params.iter().map(String::as_str).collect();
+                for factor in &stmt.factors {
+                    if let RhsFactor::MapLookup { map, keys } = factor {
+                        let positions: Vec<usize> = keys
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, k)| bound.contains(k.as_str()))
+                            .map(|(i, _)| i)
+                            .collect();
+                        if !positions.is_empty() && positions.len() < keys.len() {
+                            maps[*map].register_index(positions);
+                        }
+                        bound.extend(keys.iter().map(String::as_str));
+                    }
+                }
+            }
+        }
+        InterpretedExecutor {
+            program,
+            maps,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// The compiled program this interpreter runs.
+    pub fn program(&self) -> &TriggerProgram {
+        &self.program
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Resets the work counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = ExecStats::default();
+    }
+
+    /// The storage of one materialized view.
+    pub fn map(&self, id: usize) -> &MapStorage {
+        &self.maps[id]
+    }
+
+    /// The output view's storage.
+    pub fn output(&self) -> &MapStorage {
+        &self.maps[self.program.output]
+    }
+
+    /// The output view as a sorted table.
+    pub fn output_table(&self) -> std::collections::BTreeMap<Vec<Value>, Number> {
+        self.output().iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// The output value for one group key (zero if absent).
+    pub fn output_value(&self, key: &[Value]) -> Number {
+        self.output().get(key)
+    }
+
+    /// Total number of entries across all views.
+    pub fn total_entries(&self) -> usize {
+        self.maps.iter().map(MapStorage::len).sum()
+    }
+
+    /// Loads every view from a non-empty starting database (the same bulk-load routine
+    /// the lowered [`Executor`](crate::executor::Executor) uses, so both paths
+    /// initialize identically).
+    pub fn initialize_from(&mut self, db: &Database) -> Result<(), EvalError> {
+        crate::executor::initialize_maps(&self.program, &mut self.maps, db)
+    }
+
+    /// Applies a single-tuple update by interpreting the matching trigger.
+    pub fn apply(&mut self, update: &Update) -> Result<(), RuntimeError> {
+        let sign = if update.multiplicity >= 0 {
+            Sign::Insert
+        } else {
+            Sign::Delete
+        };
+        let Some(trigger_index) = self
+            .program
+            .triggers
+            .iter()
+            .position(|t| t.relation == update.relation && t.sign == sign)
+        else {
+            return Ok(());
+        };
+        let trigger = &self.program.triggers[trigger_index];
+        if trigger.params.len() != update.values.len() {
+            return Err(RuntimeError::ArityMismatch {
+                relation: update.relation.clone(),
+                expected: trigger.params.len(),
+                got: update.values.len(),
+            });
+        }
+        let env: HashMap<String, Value> = trigger
+            .params
+            .iter()
+            .cloned()
+            .zip(update.values.iter().cloned())
+            .collect();
+        for _ in 0..update.multiplicity.unsigned_abs() {
+            self.stats.updates += 1;
+            for stmt_index in 0..self.program.triggers[trigger_index].statements.len() {
+                let stmt = &self.program.triggers[trigger_index].statements[stmt_index];
+                Self::execute_statement(&mut self.maps, &mut self.stats, stmt, &env)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a sequence of updates.
+    pub fn apply_all<'a>(
+        &mut self,
+        updates: impl IntoIterator<Item = &'a Update>,
+    ) -> Result<(), RuntimeError> {
+        for u in updates {
+            self.apply(u)?;
+        }
+        Ok(())
+    }
+
+    fn execute_statement(
+        maps: &mut [MapStorage],
+        stats: &mut ExecStats,
+        stmt: &Statement,
+        base_env: &HashMap<String, Value>,
+    ) -> Result<(), RuntimeError> {
+        // The set of candidate bindings, each with the product accumulated so far.
+        let mut envs: Vec<(HashMap<String, Value>, Number)> =
+            vec![(base_env.clone(), Number::Int(1))];
+        for factor in &stmt.factors {
+            if envs.is_empty() {
+                break;
+            }
+            match factor {
+                RhsFactor::MapLookup { map, keys } => {
+                    let storage = &maps[*map];
+                    let mut next = Vec::new();
+                    for (env, acc) in envs {
+                        let mut bound_positions = Vec::new();
+                        let mut bound_values = Vec::new();
+                        let mut unbound_positions = Vec::new();
+                        for (i, key_var) in keys.iter().enumerate() {
+                            match env.get(key_var) {
+                                Some(v) => {
+                                    bound_positions.push(i);
+                                    bound_values.push(v.clone());
+                                }
+                                None => unbound_positions.push(i),
+                            }
+                        }
+                        if unbound_positions.is_empty() {
+                            let value = storage.get(&bound_values);
+                            if value.is_zero() {
+                                continue;
+                            }
+                            stats.multiplications += 1;
+                            next.push((env, acc.mul(&value)));
+                        } else {
+                            for (full_key, value) in storage.slice(&bound_positions, &bound_values)
+                            {
+                                let mut extended = env.clone();
+                                let mut consistent = true;
+                                for &i in &unbound_positions {
+                                    let var = &keys[i];
+                                    let val = full_key[i].clone();
+                                    match extended.get(var) {
+                                        Some(existing) if *existing != val => {
+                                            consistent = false;
+                                            break;
+                                        }
+                                        _ => {
+                                            extended.insert(var.clone(), val);
+                                        }
+                                    }
+                                }
+                                if !consistent {
+                                    continue;
+                                }
+                                stats.multiplications += 1;
+                                stats.bindings_enumerated += 1;
+                                next.push((extended, acc.mul(&value)));
+                            }
+                        }
+                    }
+                    envs = next;
+                }
+                RhsFactor::Scalar(term) => {
+                    let mut next = Vec::with_capacity(envs.len());
+                    for (env, acc) in envs {
+                        let value = eval_scalar(term, &env)?;
+                        let number = value
+                            .as_number()
+                            .ok_or_else(|| RuntimeError::NonNumericValue(term.to_string()))?;
+                        if number.is_zero() {
+                            continue;
+                        }
+                        stats.multiplications += 1;
+                        next.push((env, acc.mul(&number)));
+                    }
+                    envs = next;
+                }
+                RhsFactor::Guard(op, lhs, rhs) => {
+                    let mut next = Vec::with_capacity(envs.len());
+                    for (env, acc) in envs {
+                        let l = eval_scalar(lhs, &env)?;
+                        let r = eval_scalar(rhs, &env)?;
+                        if op.test(compare_values(&l, &r)) {
+                            next.push((env, acc));
+                        }
+                    }
+                    envs = next;
+                }
+            }
+        }
+        // Collect all writes first, then apply (a statement never reads its own writes).
+        let mut writes: Vec<(Vec<Value>, Number)> = Vec::with_capacity(envs.len());
+        for (env, acc) in envs {
+            if acc.is_zero() {
+                continue;
+            }
+            let mut key = Vec::with_capacity(stmt.target_keys.len());
+            for var in &stmt.target_keys {
+                key.push(
+                    env.get(var)
+                        .cloned()
+                        .ok_or_else(|| RuntimeError::UnboundVariable(var.clone()))?,
+                );
+            }
+            writes.push((key, stmt.coefficient.mul(&acc)));
+        }
+        for (key, delta) in writes {
+            stats.additions += 1;
+            maps[stmt.target].add(key, delta);
+        }
+        Ok(())
+    }
+}
+
+fn eval_scalar(term: &ScalarExpr, env: &HashMap<String, Value>) -> Result<Value, RuntimeError> {
+    fn numeric(term: &ScalarExpr, env: &HashMap<String, Value>) -> Result<Number, RuntimeError> {
+        let v = eval_scalar(term, env)?;
+        v.as_number()
+            .ok_or_else(|| RuntimeError::NonNumericValue(term.to_string()))
+    }
+    match term {
+        ScalarExpr::Const(v) => Ok(v.clone()),
+        ScalarExpr::Var(x) => env
+            .get(x)
+            .cloned()
+            .ok_or_else(|| RuntimeError::UnboundVariable(x.clone())),
+        ScalarExpr::Add(a, b) => Ok(Value::from(numeric(a, env)?.add(&numeric(b, env)?))),
+        ScalarExpr::Mul(a, b) => Ok(Value::from(numeric(a, env)?.mul(&numeric(b, env)?))),
+        ScalarExpr::Neg(a) => Ok(Value::from(numeric(a, env)?.mul(&Number::Int(-1)))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbring_agca::parser::parse_query;
+    use dbring_compiler::compile;
+
+    #[test]
+    fn interpreter_maintains_the_example_1_2_trace() {
+        let mut catalog = Database::new();
+        catalog.declare("R", &["A"]).unwrap();
+        let q = parse_query("q := Sum(R(x) * R(y) * (x = y))").unwrap();
+        let mut exec = InterpretedExecutor::new(compile(&catalog, &q).unwrap());
+        let ins = |v: &str| Update::insert("R", vec![Value::str(v)]);
+        let del = |v: &str| Update::delete("R", vec![Value::str(v)]);
+        let trace = [
+            (ins("c"), 1),
+            (ins("c"), 4),
+            (ins("d"), 5),
+            (ins("c"), 10),
+            (del("d"), 9),
+            (ins("c"), 16),
+            (del("c"), 9),
+        ];
+        for (update, expected) in trace {
+            exec.apply(&update).unwrap();
+            assert_eq!(exec.output_value(&[]), Number::Int(expected));
+        }
+        assert_eq!(exec.stats().updates, 7);
+        exec.reset_stats();
+        assert_eq!(exec.stats(), ExecStats::default());
+        assert!(exec.total_entries() > 0);
+        assert!(exec.program().statement_count() > 0);
+        assert_eq!(exec.map(exec.program().output).len(), exec.output().len());
+    }
+
+    #[test]
+    fn interpreter_initializes_from_a_database_and_checks_arity() {
+        let mut catalog = Database::new();
+        catalog.declare("C", &["cid", "nation"]).unwrap();
+        let q = parse_query("q[c] := Sum(C(c, n) * C(c2, n))").unwrap();
+        let program = compile(&catalog, &q).unwrap();
+        let mut db = catalog.clone();
+        let updates: Vec<Update> = (0..10)
+            .map(|i| {
+                Update::insert(
+                    "C",
+                    vec![Value::int(i), Value::str(["FR", "DE"][(i % 2) as usize])],
+                )
+            })
+            .collect();
+        db.apply_all(&updates).unwrap();
+        let mut streamed = InterpretedExecutor::new(program.clone());
+        streamed.apply_all(&updates).unwrap();
+        let mut initialized = InterpretedExecutor::new(program);
+        initialized.initialize_from(&db).unwrap();
+        assert_eq!(streamed.output_table(), initialized.output_table());
+        // Irrelevant updates are ignored; wrong arity errors.
+        streamed
+            .apply(&Update::insert("Other", vec![Value::int(1)]))
+            .unwrap();
+        assert!(matches!(
+            streamed.apply(&Update::insert("C", vec![Value::int(1)])),
+            Err(RuntimeError::ArityMismatch { .. })
+        ));
+    }
+}

@@ -1,17 +1,41 @@
 //! Runtime for the compiled trigger programs of `dbring-compiler`, plus the maintenance
 //! baselines the paper's complexity argument compares against.
 //!
-//! Three maintenance strategies are provided behind the common
+//! ## The two-stage pipeline: compile → lower → execute
+//!
+//! A standing query goes through two representations before it runs:
+//!
+//! 1. **`TriggerProgram`** (from [`dbring_compiler::compile`]) — the string-named NC0C
+//!    IR: readable, serializable, validatable, and the right entry point for anything
+//!    that *inspects* a program (code generation, `describe()`, tests over statement
+//!    structure).
+//! 2. **`ExecPlan`** (from [`dbring_compiler::lower`]) — the slot-resolved execution
+//!    plan: every variable is a fixed `u16` frame slot, every lookup is pre-classified
+//!    as a fully-bound `Probe` or a partially-bound `Enumerate` with its slice-index
+//!    pattern chosen once. This is the right entry point for anything that *runs* a
+//!    program; [`Executor::new`](executor::Executor::new) lowers internally, so most
+//!    callers never touch the plan directly.
+//!
+//! Four maintenance strategies are provided behind the common
 //! [`MaintenanceStrategy`](strategy::MaintenanceStrategy) interface:
 //!
-//! * [`Executor`](executor::Executor) — **recursive IVM** (the paper's contribution): runs
-//!   a compiled NC0C trigger program over flat hash maps; per update it performs a
-//!   constant number of arithmetic operations per maintained value and never touches the
-//!   base relations. Arithmetic operations and map writes are counted so the experiments
-//!   can verify the constant-work claim directly rather than only through wall-clock time.
+//! * [`Executor`](executor::Executor) — **recursive IVM** (the paper's contribution),
+//!   running the lowered plan over flat reusable frames: per update it performs a
+//!   constant number of arithmetic operations per maintained value, never touches the
+//!   base relations, and in the steady state allocates nothing on the heap (keys are
+//!   assembled in scratch buffers; writes go through
+//!   [`MapStorage::add_ref`](storage::MapStorage::add_ref), which only clones a key on
+//!   first insertion). Arithmetic operations and map writes are counted so the
+//!   experiments can verify the constant-work claim (Theorem 7.1) directly rather than
+//!   only through wall-clock time.
+//! * [`InterpretedExecutor`](interp::InterpretedExecutor) — the same trigger semantics
+//!   interpreted directly over the string-named IR with per-candidate `HashMap`
+//!   environments. Slower by design; it is the auditable reference the lowered path is
+//!   tested (and benchmarked) against, with identical
+//!   [`ExecStats`](executor::ExecStats) accounting.
 //! * [`ClassicalIvm`](baseline::ClassicalIvm) — classical first-order incremental view
-//!   maintenance: only the query result is materialized; on every update the *first* delta
-//!   query is evaluated against the stored database with the reference evaluator.
+//!   maintenance: only the query result is materialized; on every update the *first*
+//!   delta query is evaluated against the stored database with the reference evaluator.
 //! * [`NaiveReeval`](baseline::NaiveReeval) — non-incremental evaluation: the query is
 //!   recomputed from scratch after every update.
 //!
@@ -24,10 +48,12 @@
 
 pub mod baseline;
 pub mod executor;
+pub mod interp;
 pub mod storage;
 pub mod strategy;
 
 pub use baseline::{ClassicalIvm, NaiveReeval};
 pub use executor::{ExecStats, Executor, RuntimeError};
+pub use interp::InterpretedExecutor;
 pub use storage::MapStorage;
 pub use strategy::MaintenanceStrategy;

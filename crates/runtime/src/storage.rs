@@ -82,6 +82,9 @@ impl MapStorage {
 
     /// Adds `delta` to the value under `key`, maintaining indexes and pruning zeros.
     ///
+    /// The key is consumed; it is cloned only for index maintenance on first insertion
+    /// (an update of an existing entry, or any write to an unindexed map, never clones).
+    ///
     /// # Panics
     /// Panics if the key arity does not match.
     pub fn add(&mut self, key: Vec<Value>, delta: Number) {
@@ -89,27 +92,69 @@ impl MapStorage {
         if delta.is_zero() {
             return;
         }
-        let entry = self.data.entry(key.clone()).or_insert(Number::Int(0));
-        let was_absent = entry.is_zero();
-        *entry = entry.add(&delta);
-        let now_zero = entry.is_zero();
-        if now_zero {
-            self.data.remove(&key);
+        if self.accumulate_existing(&key, delta) {
+            return;
         }
-        // Index maintenance: insert on first appearance, remove when pruned.
-        if was_absent && !now_zero {
-            for (pattern, index) in self.indexes.iter_mut() {
-                let slice_key: Vec<Value> = pattern.iter().map(|&i| key[i].clone()).collect();
-                index.entry(slice_key).or_default().insert(key.clone());
-            }
-        } else if !was_absent && now_zero {
-            for (pattern, index) in self.indexes.iter_mut() {
-                let slice_key: Vec<Value> = pattern.iter().map(|&i| key[i].clone()).collect();
-                if let Some(set) = index.get_mut(&slice_key) {
-                    set.remove(&key);
-                    if set.is_empty() {
-                        index.remove(&slice_key);
-                    }
+        Self::index_insert(&mut self.indexes, &key);
+        self.data.insert(key, delta);
+    }
+
+    /// Adds `delta` to the value under `key`, cloning the key *only* when the entry does
+    /// not already exist — the steady-state write path of the executor performs no heap
+    /// allocation at all.
+    ///
+    /// # Panics
+    /// Panics if the key arity does not match.
+    pub fn add_ref(&mut self, key: &[Value], delta: Number) {
+        assert_eq!(key.len(), self.key_arity, "key arity mismatch");
+        if delta.is_zero() {
+            return;
+        }
+        if self.accumulate_existing(key, delta) {
+            return;
+        }
+        let owned: Vec<Value> = key.to_vec();
+        Self::index_insert(&mut self.indexes, &owned);
+        self.data.insert(owned, delta);
+    }
+
+    /// Adds `delta` to an *existing* entry, pruning it (with index removal) when the sum
+    /// reaches zero; returns `false` without touching anything if the entry is absent.
+    /// Shared by [`MapStorage::add`] and [`MapStorage::add_ref`] so the accumulate /
+    /// prune / index-maintenance invariants live in one place.
+    fn accumulate_existing(&mut self, key: &[Value], delta: Number) -> bool {
+        let Some(value) = self.data.get_mut(key) else {
+            return false;
+        };
+        let sum = value.add(&delta);
+        if sum.is_zero() {
+            let (owned, _) = self
+                .data
+                .remove_entry(key)
+                .expect("entry present: just read");
+            Self::index_remove(&mut self.indexes, &owned);
+        } else {
+            *value = sum;
+        }
+        true
+    }
+
+    /// Records a newly inserted key in every index.
+    fn index_insert(indexes: &mut HashMap<Vec<usize>, SliceIndex>, key: &[Value]) {
+        for (pattern, index) in indexes.iter_mut() {
+            let slice_key: Vec<Value> = pattern.iter().map(|&i| key[i].clone()).collect();
+            index.entry(slice_key).or_default().insert(key.to_vec());
+        }
+    }
+
+    /// Removes a pruned key from every index.
+    fn index_remove(indexes: &mut HashMap<Vec<usize>, SliceIndex>, key: &[Value]) {
+        for (pattern, index) in indexes.iter_mut() {
+            let slice_key: Vec<Value> = pattern.iter().map(|&i| key[i].clone()).collect();
+            if let Some(set) = index.get_mut(&slice_key) {
+                set.remove(key);
+                if set.is_empty() {
+                    index.remove(&slice_key);
                 }
             }
         }
@@ -131,30 +176,49 @@ impl MapStorage {
         positions: &[usize],
         values: &[Value],
     ) -> Vec<(&'a Vec<Value>, Number)> {
+        let mut out = Vec::new();
+        self.for_each_slice(positions, values, |k, v| out.push((k, v)));
+        out
+    }
+
+    /// Visits every entry whose key matches `values` at the given positions, without
+    /// materializing the matches (the executor's allocation-free enumeration path).
+    ///
+    /// Resolution order matches [`MapStorage::slice`]: empty pattern → all entries,
+    /// registered index → index probe, otherwise a full scan. Positions must be sorted.
+    pub fn for_each_slice<'a>(
+        &'a self,
+        positions: &[usize],
+        values: &[Value],
+        mut visit: impl FnMut(&'a Vec<Value>, Number),
+    ) {
         assert_eq!(positions.len(), values.len());
         if positions.is_empty() {
-            return self.data.iter().map(|(k, v)| (k, *v)).collect();
+            for (k, v) in &self.data {
+                visit(k, *v);
+            }
+            return;
         }
         if let Some(index) = self.indexes.get(positions) {
-            let Some(keys) = index.get(values) else {
-                return Vec::new();
-            };
-            return keys
-                .iter()
-                .filter_map(|k| self.data.get_key_value(k).map(|(k, v)| (k, *v)))
-                .collect();
+            if let Some(keys) = index.get(values) {
+                for k in keys {
+                    if let Some((k, v)) = self.data.get_key_value(k) {
+                        visit(k, *v);
+                    }
+                }
+            }
+            return;
         }
         // Fallback: full scan.
-        self.data
-            .iter()
-            .filter(|(k, _)| {
-                positions
-                    .iter()
-                    .zip(values.iter())
-                    .all(|(&i, v)| &k[i] == v)
-            })
-            .map(|(k, v)| (k, *v))
-            .collect()
+        for (k, v) in &self.data {
+            if positions
+                .iter()
+                .zip(values.iter())
+                .all(|(&i, v)| &k[i] == v)
+            {
+                visit(k, *v);
+            }
+        }
     }
 }
 
@@ -251,6 +315,67 @@ mod tests {
         assert_eq!(m.index_patterns().count(), 0);
         m.register_index(vec![1]);
         assert_eq!(m.index_patterns().count(), 1);
+    }
+
+    #[test]
+    fn add_ref_matches_add_including_index_maintenance() {
+        let mut by_ref = MapStorage::new(2);
+        let mut by_value = MapStorage::new(2);
+        for m in [&mut by_ref, &mut by_value] {
+            m.register_index(vec![0]);
+        }
+        let trace: &[(&[i64], i64)] = &[
+            (&[1, 10], 2),
+            (&[1, 11], 3),
+            (&[1, 10], -2), // prunes
+            (&[2, 10], 4),
+            (&[1, 10], 7), // re-inserts after pruning
+            (&[2, 10], -4),
+        ];
+        for (k, d) in trace {
+            by_ref.add_ref(&key(k), Number::Int(*d));
+            by_value.add(key(k), Number::Int(*d));
+        }
+        assert_eq!(by_ref.len(), by_value.len());
+        for (k, v) in by_value.iter() {
+            assert_eq!(by_ref.get(k), *v);
+        }
+        assert_eq!(by_ref.slice(&[0], &key(&[1])).len(), 2);
+        assert_eq!(by_ref.slice(&[0], &key(&[2])).len(), 0);
+        // Zero deltas are ignored on both paths.
+        by_ref.add_ref(&key(&[5, 5]), Number::Int(0));
+        assert_eq!(by_ref.get(&key(&[5, 5])), Number::Int(0));
+    }
+
+    #[test]
+    fn for_each_slice_agrees_with_slice() {
+        let mut m = MapStorage::new(2);
+        m.register_index(vec![0]);
+        for (a, b, v) in [(1, 10, 2), (1, 11, 3), (2, 10, 4)] {
+            m.add(key(&[a, b]), Number::Int(v));
+        }
+        for (positions, values) in [
+            (vec![0], key(&[1])),
+            (vec![1], key(&[10])), // scan fallback
+            (vec![], vec![]),      // all entries
+            (vec![0], key(&[9])),  // no matches
+        ] {
+            let mut visited = 0usize;
+            let mut sum = 0i64;
+            m.for_each_slice(&positions, &values, |_, v| {
+                visited += 1;
+                sum += v.as_i64().unwrap();
+            });
+            let expected = m.slice(&positions, &values);
+            assert_eq!(visited, expected.len());
+            assert_eq!(
+                sum,
+                expected
+                    .iter()
+                    .map(|(_, v)| v.as_i64().unwrap())
+                    .sum::<i64>()
+            );
+        }
     }
 
     #[test]

@@ -46,6 +46,24 @@ impl MaintenanceStrategy for crate::executor::Executor {
     }
 }
 
+impl MaintenanceStrategy for crate::interp::InterpretedExecutor {
+    fn strategy_name(&self) -> &'static str {
+        "recursive-ivm-interpreted"
+    }
+
+    fn apply_update(&mut self, update: &Update) -> Result<(), String> {
+        self.apply(update).map_err(|e| e.to_string())
+    }
+
+    fn current_result(&self) -> BTreeMap<Vec<Value>, Number> {
+        self.output_table()
+    }
+
+    fn result_value(&self, key: &[Value]) -> Number {
+        self.output_value(key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
