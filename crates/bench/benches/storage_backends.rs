@@ -1,0 +1,101 @@
+//! Criterion bench: per-update maintenance latency of the lowered executor across
+//! [`ViewStorage`](dbring::ViewStorage) backends — the default hash backend against the
+//! ordered (`BTreeMap` + range-scan) backend.
+//!
+//! Both backends run the same lowered plan and perform identical ring operations (the
+//! `dbring-runtime` storage-equivalence tests assert this operation-for-operation); any
+//! gap is the physical trade-off: O(1) hash probes vs O(log n) ordered probes, hash
+//! slice-index maintenance vs sorted-prefix range scans. Reference numbers live in
+//! `EXPERIMENTS.md`.
+//!
+//! Run with: `cargo bench -p dbring-bench --bench storage_backends`
+//! (append `-- hash` or `-- ordered` to smoke one backend only, as CI does).
+
+use criterion::{criterion_group, criterion_main, BenchmarkGroup, BenchmarkId, Criterion};
+use dbring::{compile, Executor, HashViewStorage, OrderedViewStorage, TriggerProgram, ViewStorage};
+use dbring_workloads::{customers_by_nation, orders_lineitems, self_join_count, WorkloadConfig};
+use std::hint::black_box;
+
+type WorkloadMaker = fn(usize) -> dbring_workloads::Workload;
+
+/// One backend's measurement: identical iteration scheme for every backend, so the
+/// hash-vs-ordered comparison cannot drift.
+fn bench_backend<S: ViewStorage>(
+    group: &mut BenchmarkGroup<'_>,
+    id: BenchmarkId,
+    program: &TriggerProgram,
+    workload: &dbring_workloads::Workload,
+) {
+    group.bench_function(id, |b| {
+        let mut exec = Executor::<S>::with_backend(program.clone());
+        exec.apply_all(&workload.initial).unwrap();
+        let mut i = 0usize;
+        b.iter(|| {
+            let update = &workload.stream[i % workload.stream.len()];
+            exec.apply(black_box(update)).unwrap();
+            i += 1;
+        });
+    });
+}
+
+fn bench_storage_backends(c: &mut Criterion) {
+    let cases: Vec<(&str, WorkloadMaker)> = vec![
+        ("self_join_count", |n| {
+            self_join_count(WorkloadConfig {
+                seed: 17,
+                initial_size: n,
+                stream_length: 512,
+                domain_size: 100,
+                delete_fraction: 0.2,
+            })
+        }),
+        ("customers_by_nation", |n| {
+            customers_by_nation(WorkloadConfig {
+                seed: 18,
+                initial_size: n,
+                stream_length: 512,
+                domain_size: 12,
+                delete_fraction: 0.2,
+            })
+        }),
+        ("orders_lineitems", |n| {
+            orders_lineitems(WorkloadConfig {
+                seed: 19,
+                initial_size: n,
+                stream_length: 512,
+                domain_size: (n / 10).max(20),
+                delete_fraction: 0.1,
+            })
+        }),
+    ];
+
+    let mut group = c.benchmark_group("storage_backends");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for (name, make) in cases {
+        for size in [1_000usize, 10_000] {
+            let workload = make(size);
+            let program = compile(&workload.catalog, &workload.query).unwrap();
+
+            bench_backend::<HashViewStorage>(
+                &mut group,
+                BenchmarkId::new(format!("{name}/hash"), size),
+                &program,
+                &workload,
+            );
+            bench_backend::<OrderedViewStorage>(
+                &mut group,
+                BenchmarkId::new(format!("{name}/ordered"), size),
+                &program,
+                &workload,
+            );
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage_backends);
+criterion_main!(benches);

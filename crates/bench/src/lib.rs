@@ -9,8 +9,8 @@
 use std::time::{Duration, Instant};
 
 use dbring::{
-    compile, ClassicalIvm, Executor, IncrementalView, InterpretedExecutor, MaintenanceStrategy,
-    NaiveReeval,
+    compile, ClassicalIvm, Executor, HashViewStorage, IncrementalView, InterpretedExecutor,
+    MaintenanceStrategy, NaiveReeval, OrderedViewStorage, StorageFootprint,
 };
 use dbring_workloads::Workload;
 use serde::Serialize;
@@ -239,6 +239,84 @@ pub fn lowering_point(workload: &Workload) -> LoweringPoint {
     }
 }
 
+/// One row of the storage-backend sweep: per-update cost and memory proxy of the lowered
+/// executor on the hash backend vs the ordered backend (same compiled program, same
+/// update stream — the difference is purely the [`dbring::ViewStorage`] backend under
+/// the plan's probe/enumerate/write ops).
+#[derive(Clone, Copy, Debug)]
+pub struct StoragePoint {
+    /// Initial database size (number of bulk-loaded updates).
+    pub initial_size: usize,
+    /// Mean per-update latency on the hash backend, in nanoseconds.
+    pub hash_ns: f64,
+    /// Mean per-update latency on the ordered backend, in nanoseconds.
+    pub ordered_ns: f64,
+    /// Mean arithmetic operations per update (identical on both backends by
+    /// construction — asserted here, property-tested in `dbring-runtime`).
+    pub ops_per_update: f64,
+    /// Entry/index-entry counts of the hash-backed view hierarchy after the stream.
+    pub hash_footprint: StorageFootprint,
+    /// Entry/index-entry counts of the ordered-backed view hierarchy after the stream.
+    pub ordered_footprint: StorageFootprint,
+}
+
+impl StoragePoint {
+    /// Ordered time over hash time (> 1 means the hash backend is faster).
+    pub fn ordered_over_hash(&self) -> f64 {
+        if self.hash_ns > 0.0 {
+            self.ordered_ns / self.hash_ns
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Runs one workload through the lowered executor on both storage backends and reports
+/// per-update cost plus the memory proxy (the shared setup of `exp_storage` and the
+/// `storage_backends` bench). Asserts that the two backends perform identical ring work
+/// and reach identical output tables.
+pub fn storage_point(workload: &Workload) -> StoragePoint {
+    let program = compile(&workload.catalog, &workload.query).expect("workload compiles");
+    let streamed = workload.stream.len().max(1) as f64;
+
+    let mut hash = Executor::<HashViewStorage>::with_backend(program.clone());
+    hash.apply_all(&workload.initial)
+        .expect("bulk load succeeds");
+    hash.reset_stats();
+    let started = Instant::now();
+    hash.apply_all(&workload.stream)
+        .expect("hash backend applies stream");
+    let hash_ns = started.elapsed().as_nanos() as f64 / streamed;
+    let hash_stats = hash.stats();
+
+    let mut ordered = Executor::<OrderedViewStorage>::with_backend(program);
+    ordered
+        .apply_all(&workload.initial)
+        .expect("bulk load succeeds");
+    ordered.reset_stats();
+    let started = Instant::now();
+    ordered
+        .apply_all(&workload.stream)
+        .expect("ordered backend applies stream");
+    let ordered_ns = started.elapsed().as_nanos() as f64 / streamed;
+
+    assert_eq!(
+        hash_stats,
+        ordered.stats(),
+        "storage backends must perform identical ring work"
+    );
+    assert_eq!(hash.output_table(), ordered.output_table());
+
+    StoragePoint {
+        initial_size: workload.initial.len(),
+        hash_ns,
+        ordered_ns,
+        ops_per_update: hash_stats.arithmetic_ops() as f64 / streamed,
+        hash_footprint: hash.storage_footprint(),
+        ordered_footprint: ordered.storage_footprint(),
+    }
+}
+
 /// Formats a nanosecond figure with a readable unit (`-` for NaN, i.e. "not measured").
 pub fn fmt_ns(ns: f64) -> String {
     if ns.is_nan() {
@@ -260,7 +338,7 @@ pub fn header(title: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbring_workloads::{self_join_count, WorkloadConfig};
+    use dbring_workloads::{customers_by_nation, self_join_count, WorkloadConfig};
 
     #[test]
     fn sweep_point_produces_sane_numbers() {
@@ -295,6 +373,28 @@ mod tests {
         assert!(point.interpreted_ns > 0.0);
         assert!(point.ops_per_update > 0.0);
         assert!(point.speedup() > 0.0);
+    }
+
+    #[test]
+    fn storage_point_produces_sane_numbers() {
+        let workload = customers_by_nation(WorkloadConfig {
+            seed: 3,
+            initial_size: 80,
+            stream_length: 80,
+            domain_size: 8,
+            delete_fraction: 0.2,
+        });
+        let point = storage_point(&workload);
+        assert_eq!(point.initial_size, 80);
+        assert!(point.hash_ns > 0.0);
+        assert!(point.ordered_ns > 0.0);
+        assert!(point.ops_per_update > 0.0);
+        assert!(point.ordered_over_hash() > 0.0);
+        assert_eq!(
+            point.hash_footprint.entries,
+            point.ordered_footprint.entries
+        );
+        assert!(point.ordered_footprint.index_entries <= point.hash_footprint.index_entries);
     }
 
     #[test]

@@ -63,8 +63,9 @@ pub use dbring_compiler::{
 pub use dbring_delta::{delta, Sign, UpdateEvent};
 pub use dbring_relations::{Database, Gmr, Tuple, Update, Value};
 pub use dbring_runtime::{
-    ClassicalIvm, ExecStats, Executor, InterpretedExecutor, MaintenanceStrategy, NaiveReeval,
-    RuntimeError,
+    interpreted_ivm, recursive_ivm, strategy_by_name, ClassicalIvm, ExecStats, Executor,
+    HashViewStorage, InterpretedExecutor, MaintenanceStrategy, NaiveReeval, OrderedViewStorage,
+    RuntimeError, StorageBackend, StorageFootprint, ViewStorage,
 };
 
 /// A schema catalog: relation names and their column lists. (Alias of [`Database`]; a
@@ -123,33 +124,56 @@ impl From<RuntimeError> for Error {
 /// Construction parses (if needed), range-checks, compiles and validates the query; after
 /// that, every [`IncrementalView::apply`] performs only the constant-work trigger
 /// statements of the compiled program — the base relations are not stored.
+///
+/// The view is generic over the [`ViewStorage`] backend its materialized maps live in,
+/// defaulting to [`HashViewStorage`]; pick another backend by naming it —
+/// `IncrementalView::<OrderedViewStorage>::with_backend(&catalog, query)` — or go
+/// through the runtime-selected strategy registry ([`strategy_by_name`]).
 #[derive(Clone, Debug)]
-pub struct IncrementalView {
+pub struct IncrementalView<S: ViewStorage = HashViewStorage> {
     query: Query,
-    executor: Executor,
+    executor: Executor<S>,
 }
 
-impl IncrementalView {
-    /// Builds a view from an already-parsed AGCA [`Query`].
+impl IncrementalView<HashViewStorage> {
+    /// Builds a view from an already-parsed AGCA [`Query`] on the default hash backend.
     pub fn new(catalog: &Catalog, query: Query) -> Result<Self, Error> {
-        let program = compile(catalog, &query)?;
-        Ok(IncrementalView {
-            query,
-            executor: Executor::new(program),
-        })
+        Self::with_backend(catalog, query)
     }
 
     /// Builds a view from a SQL aggregate query (the Section 5 SQL subset).
     pub fn from_sql(catalog: &Catalog, sql: &str) -> Result<Self, Error> {
-        let query = parse_sql(sql, catalog)?;
-        Self::new(catalog, query)
+        Self::from_sql_with_backend(catalog, sql)
     }
 
     /// Builds a view from the AGCA text syntax, e.g.
     /// `"q[c] := Sum(C(c, n) * C(c2, n))"`.
     pub fn from_agca(catalog: &Catalog, text: &str) -> Result<Self, Error> {
+        Self::from_agca_with_backend(catalog, text)
+    }
+}
+
+impl<S: ViewStorage> IncrementalView<S> {
+    /// Builds a view from an already-parsed AGCA [`Query`] on the storage backend named
+    /// by the type parameter, e.g. `IncrementalView::<OrderedViewStorage>::with_backend`.
+    pub fn with_backend(catalog: &Catalog, query: Query) -> Result<Self, Error> {
+        let program = compile(catalog, &query)?;
+        Ok(IncrementalView {
+            query,
+            executor: Executor::with_backend(program),
+        })
+    }
+
+    /// Builds a view from a SQL aggregate query on an explicitly named storage backend.
+    pub fn from_sql_with_backend(catalog: &Catalog, sql: &str) -> Result<Self, Error> {
+        let query = parse_sql(sql, catalog)?;
+        Self::with_backend(catalog, query)
+    }
+
+    /// Builds a view from the AGCA text syntax on an explicitly named storage backend.
+    pub fn from_agca_with_backend(catalog: &Catalog, text: &str) -> Result<Self, Error> {
         let query = parse_query(text)?;
-        Self::new(catalog, query)
+        Self::with_backend(catalog, query)
     }
 
     /// Initializes all materialized views from an existing (non-empty) database. Call this
@@ -223,13 +247,19 @@ impl IncrementalView {
         self.executor.total_entries()
     }
 
+    /// The storage-level memory proxy of the whole view hierarchy: entry and
+    /// secondary-index-entry counts (comparable across storage backends).
+    pub fn storage_footprint(&self) -> StorageFootprint {
+        self.executor.storage_footprint()
+    }
+
     /// Borrows the underlying executor (for experiments needing map-level access).
-    pub fn executor(&self) -> &Executor {
+    pub fn executor(&self) -> &Executor<S> {
         &self.executor
     }
 
     /// Mutably borrows the underlying executor.
-    pub fn executor_mut(&mut self) -> &mut Executor {
+    pub fn executor_mut(&mut self) -> &mut Executor<S> {
         &mut self.executor
     }
 }
@@ -301,6 +331,41 @@ mod tests {
             view.insert("C", vec![Value::int(1)]),
             Err(Error::Runtime(_))
         ));
+    }
+
+    #[test]
+    fn ordered_backend_views_agree_with_the_default() {
+        let catalog = customer_catalog();
+        let text = "q[c] := Sum(C(c, n) * C(c2, n))";
+        let mut hash = IncrementalView::from_agca(&catalog, text).unwrap();
+        let mut ordered =
+            IncrementalView::<OrderedViewStorage>::from_agca_with_backend(&catalog, text).unwrap();
+        for i in 0..24 {
+            let u = Update::insert(
+                "C",
+                vec![
+                    Value::int(i),
+                    Value::str(["FR", "DE", "IT"][(i % 3) as usize]),
+                ],
+            );
+            hash.apply(&u).unwrap();
+            ordered.apply(&u).unwrap();
+        }
+        assert_eq!(hash.table(), ordered.table());
+        assert_eq!(hash.stats(), ordered.stats());
+        assert_eq!(
+            hash.storage_footprint().entries,
+            ordered.storage_footprint().entries
+        );
+        // The ordered backend serves prefix patterns from its primary sort order, so it
+        // never carries more index entries than the hash backend.
+        assert!(
+            ordered.storage_footprint().index_entries <= hash.storage_footprint().index_entries
+        );
+        // Runtime-selected spelling of the same pair.
+        let program = compile(&catalog, &parse_query(text).unwrap()).unwrap();
+        let strategy = strategy_by_name("recursive-ivm@ordered", program).unwrap();
+        assert_eq!(strategy.strategy_name(), "recursive-ivm@ordered");
     }
 
     #[test]

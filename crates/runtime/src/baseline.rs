@@ -76,6 +76,11 @@ impl MaintenanceStrategy for NaiveReeval {
             .map(|(k, v)| (k.clone(), *v))
             .collect()
     }
+    // Probe the stored result directly instead of paying the default impl's full-table
+    // materialization for a single key.
+    fn result_value(&self, key: &[Value]) -> Number {
+        self.result.get(key).copied().unwrap_or(Number::Int(0))
+    }
 }
 
 /// Classical first-order IVM baseline: materialize the result, evaluate `∆Q` per update.
@@ -184,6 +189,11 @@ impl MaintenanceStrategy for ClassicalIvm {
             .filter(|(_, v)| !v.is_zero())
             .map(|(k, v)| (k.clone(), *v))
             .collect()
+    }
+    // Probe the stored result directly instead of paying the default impl's full-table
+    // materialization for a single key.
+    fn result_value(&self, key: &[Value]) -> Number {
+        self.result.get(key).copied().unwrap_or(Number::Int(0))
     }
 }
 

@@ -9,10 +9,17 @@
 //! plan trigger's statements over reusable frame buffers: no `HashMap` environments, no
 //! per-binding environment clones, no name resolution, and — in the steady state, when
 //! the touched map entries already exist — no heap allocation at all (lookup keys are
-//! assembled in a scratch buffer, writes go through [`MapStorage::add_ref`], candidate
+//! assembled in a scratch buffer, writes go through
+//! [`ViewStorage::add_ref`](crate::storage::ViewStorage::add_ref), candidate
 //! frames reuse the capacity of the previous statement's buffers, and the [`Value`]
 //! clones this involves never allocate: ints/floats/bools are `Copy`-sized and strings
 //! are `Arc`-interned, so a clone is a refcount bump).
+//!
+//! The executor is generic over the [`ViewStorage`] backend holding its materialized
+//! views, defaulting to [`HashViewStorage`] (the backend the zero-allocation steady
+//! state was tuned on); `Executor::<OrderedViewStorage>::with_backend` runs the same
+//! plans over ordered storage. The plan's Probe/Enumerate ops call the trait's
+//! monomorphized methods, so backend dispatch costs nothing at runtime.
 //!
 //! A statement without loop variables costs a constant number of arithmetic operations;
 //! a statement with loop variables costs a constant number of operations *per affected
@@ -37,7 +44,7 @@ use dbring_delta::Sign;
 
 use std::collections::HashMap;
 
-use crate::storage::MapStorage;
+use crate::storage::{HashViewStorage, StorageFootprint, ViewStorage};
 
 /// Counters describing the work performed by the executor.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -116,12 +123,13 @@ struct Scratch {
     key_buf: Vec<Value>,
 }
 
-/// The recursive-IVM runtime for one compiled trigger program.
+/// The recursive-IVM runtime for one compiled trigger program, generic over the
+/// [`ViewStorage`] backend its materialized views live in (default: the hash backend).
 #[derive(Clone, Debug)]
-pub struct Executor {
+pub struct Executor<S: ViewStorage = HashViewStorage> {
     program: TriggerProgram,
     plan: ExecPlan,
-    maps: Vec<MapStorage>,
+    maps: Vec<S>,
     /// Relation name → plan-trigger index per sign (`[insert, delete]`); updates are
     /// dispatched without allocating or scanning the trigger list.
     dispatch: HashMap<String, [Option<usize>; 2]>,
@@ -129,9 +137,10 @@ pub struct Executor {
     scratch: Scratch,
 }
 
-impl Executor {
-    /// Creates an executor with empty views (correct when starting from the empty
-    /// database; otherwise call [`Executor::initialize_from`]).
+impl Executor<HashViewStorage> {
+    /// Creates an executor with empty views on the default hash backend (correct when
+    /// starting from the empty database; otherwise call [`Executor::initialize_from`]).
+    /// For another backend, name it: `Executor::<OrderedViewStorage>::with_backend`.
     ///
     /// The program is lowered to its [`ExecPlan`] here, and the slice-index patterns the
     /// plan's enumerations need are registered on the view storage.
@@ -141,19 +150,34 @@ impl Executor {
     /// [`dbring_compiler::compile`], which validates; use [`Executor::try_new`] for
     /// hand-built programs that may not.
     pub fn new(program: TriggerProgram) -> Self {
-        Self::try_new(program).expect("compiled trigger programs always lower")
+        Self::with_backend(program)
     }
 
     /// Fallible construction: like [`Executor::new`] but surfaces lowering problems
     /// (structural invalidity, read-before-bind) as a [`LowerError`] instead of
     /// panicking.
     pub fn try_new(program: TriggerProgram) -> Result<Self, LowerError> {
+        Self::try_with_backend(program)
+    }
+}
+
+impl<S: ViewStorage> Executor<S> {
+    /// Creates an executor with empty views on the backend named by the type parameter,
+    /// e.g. `Executor::<OrderedViewStorage>::with_backend(program)`.
+    ///
+    /// # Panics
+    /// Panics if the program does not lower; use [`Executor::try_with_backend`] for
+    /// hand-built programs that may not.
+    pub fn with_backend(program: TriggerProgram) -> Self {
+        Self::try_with_backend(program).expect("compiled trigger programs always lower")
+    }
+
+    /// Fallible construction on an explicit backend: surfaces lowering problems
+    /// (structural invalidity, read-before-bind) as a [`LowerError`] instead of
+    /// panicking.
+    pub fn try_with_backend(program: TriggerProgram) -> Result<Self, LowerError> {
         let plan = lower(&program)?;
-        let mut maps: Vec<MapStorage> = plan
-            .map_arities
-            .iter()
-            .map(|&a| MapStorage::new(a))
-            .collect();
+        let mut maps: Vec<S> = plan.map_arities.iter().map(|&a| S::new(a)).collect();
         for (map, pattern) in &plan.index_registrations {
             maps[*map].register_index(pattern.clone());
         }
@@ -199,18 +223,18 @@ impl Executor {
     }
 
     /// The storage of one materialized view.
-    pub fn map(&self, id: usize) -> &MapStorage {
+    pub fn map(&self, id: usize) -> &S {
         &self.maps[id]
     }
 
     /// The output view's storage.
-    pub fn output(&self) -> &MapStorage {
+    pub fn output(&self) -> &S {
         &self.maps[self.program.output]
     }
 
     /// The output view as a sorted table.
     pub fn output_table(&self) -> std::collections::BTreeMap<Vec<Value>, Number> {
-        self.output().iter().map(|(k, v)| (k.clone(), *v)).collect()
+        self.output().to_table()
     }
 
     /// The output value for one group key (zero if absent).
@@ -220,7 +244,16 @@ impl Executor {
 
     /// Total number of entries across all views (the memory footprint of the hierarchy).
     pub fn total_entries(&self) -> usize {
-        self.maps.iter().map(MapStorage::len).sum()
+        self.maps.iter().map(S::len).sum()
+    }
+
+    /// The aggregate memory proxy of the whole view hierarchy: entries plus the
+    /// secondary-index structure the backend maintains next to them.
+    pub fn storage_footprint(&self) -> StorageFootprint {
+        self.maps
+            .iter()
+            .map(S::footprint)
+            .fold(StorageFootprint::default(), StorageFootprint::merge)
     }
 
     /// Loads every view from a non-empty starting database by evaluating its defining
@@ -300,9 +333,9 @@ fn sign_index(sign: Sign) -> usize {
 /// the view definitions with the reference evaluator (the initialization step of
 /// Section 1.1). Shared by the lowered executor and the reference interpreter so both
 /// paths initialize identically.
-pub(crate) fn initialize_maps(
+pub(crate) fn initialize_maps<S: ViewStorage>(
     program: &TriggerProgram,
-    maps: &mut [MapStorage],
+    maps: &mut [S],
     db: &Database,
 ) -> Result<(), EvalError> {
     for def in &program.maps {
@@ -324,8 +357,8 @@ pub(crate) fn initialize_maps(
 }
 
 /// Runs one lowered statement over the scratch frames and applies its writes.
-fn run_statement(
-    maps: &mut [MapStorage],
+fn run_statement<S: ViewStorage>(
+    maps: &mut [S],
     stats: &mut ExecStats,
     scratch: &mut Scratch,
     trigger: &PlanTrigger,

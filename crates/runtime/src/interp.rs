@@ -19,24 +19,36 @@ use dbring_compiler::{RhsFactor, ScalarExpr, Statement, TriggerProgram};
 use dbring_delta::Sign;
 
 use crate::executor::{ExecStats, RuntimeError};
-use crate::storage::MapStorage;
+use crate::storage::{HashViewStorage, ViewStorage};
 
-/// The name-resolving reference executor for one compiled trigger program.
+/// The name-resolving reference executor for one compiled trigger program, generic over
+/// the [`ViewStorage`] backend like the lowered [`Executor`](crate::executor::Executor)
+/// (default: the hash backend).
 #[derive(Clone, Debug)]
-pub struct InterpretedExecutor {
+pub struct InterpretedExecutor<S: ViewStorage = HashViewStorage> {
     program: TriggerProgram,
-    maps: Vec<MapStorage>,
+    maps: Vec<S>,
     stats: ExecStats,
 }
 
-impl InterpretedExecutor {
-    /// Creates an interpreter with empty views (correct when starting from the empty
-    /// database; otherwise call [`InterpretedExecutor::initialize_from`]).
+impl InterpretedExecutor<HashViewStorage> {
+    /// Creates an interpreter with empty views on the default hash backend (correct when
+    /// starting from the empty database; otherwise call
+    /// [`InterpretedExecutor::initialize_from`]). For another backend, name it:
+    /// `InterpretedExecutor::<OrderedViewStorage>::with_backend`.
     pub fn new(program: TriggerProgram) -> Self {
-        let mut maps: Vec<MapStorage> = program
+        Self::with_backend(program)
+    }
+}
+
+impl<S: ViewStorage> InterpretedExecutor<S> {
+    /// Creates an interpreter with empty views on the backend named by the type
+    /// parameter, e.g. `InterpretedExecutor::<OrderedViewStorage>::with_backend(p)`.
+    pub fn with_backend(program: TriggerProgram) -> Self {
+        let mut maps: Vec<S> = program
             .maps
             .iter()
-            .map(|m| MapStorage::new(m.key_vars.len()))
+            .map(|m| S::new(m.key_vars.len()))
             .collect();
         // Register the slice indexes each statement will need: for every lookup, the key
         // positions that are bound (by parameters or earlier lookups) at that point.
@@ -82,18 +94,18 @@ impl InterpretedExecutor {
     }
 
     /// The storage of one materialized view.
-    pub fn map(&self, id: usize) -> &MapStorage {
+    pub fn map(&self, id: usize) -> &S {
         &self.maps[id]
     }
 
     /// The output view's storage.
-    pub fn output(&self) -> &MapStorage {
+    pub fn output(&self) -> &S {
         &self.maps[self.program.output]
     }
 
     /// The output view as a sorted table.
     pub fn output_table(&self) -> std::collections::BTreeMap<Vec<Value>, Number> {
-        self.output().iter().map(|(k, v)| (k.clone(), *v)).collect()
+        self.output().to_table()
     }
 
     /// The output value for one group key (zero if absent).
@@ -103,7 +115,7 @@ impl InterpretedExecutor {
 
     /// Total number of entries across all views.
     pub fn total_entries(&self) -> usize {
-        self.maps.iter().map(MapStorage::len).sum()
+        self.maps.iter().map(S::len).sum()
     }
 
     /// Loads every view from a non-empty starting database (the same bulk-load routine
@@ -164,7 +176,7 @@ impl InterpretedExecutor {
     }
 
     fn execute_statement(
-        maps: &mut [MapStorage],
+        maps: &mut [S],
         stats: &mut ExecStats,
         stmt: &Statement,
         base_env: &HashMap<String, Value>,
@@ -201,30 +213,28 @@ impl InterpretedExecutor {
                             stats.multiplications += 1;
                             next.push((env, acc.mul(&value)));
                         } else {
-                            for (full_key, value) in storage.slice(&bound_positions, &bound_values)
-                            {
-                                let mut extended = env.clone();
-                                let mut consistent = true;
-                                for &i in &unbound_positions {
-                                    let var = &keys[i];
-                                    let val = full_key[i].clone();
-                                    match extended.get(var) {
-                                        Some(existing) if *existing != val => {
-                                            consistent = false;
-                                            break;
-                                        }
-                                        _ => {
-                                            extended.insert(var.clone(), val);
+                            // Enumerate matches through the backend's visitor API (no
+                            // materialized match list; see `ViewStorage::for_each_slice`).
+                            storage.for_each_slice(
+                                &bound_positions,
+                                &bound_values,
+                                |full_key, value| {
+                                    let mut extended = env.clone();
+                                    for &i in &unbound_positions {
+                                        let var = &keys[i];
+                                        let val = full_key[i].clone();
+                                        match extended.get(var) {
+                                            Some(existing) if *existing != val => return,
+                                            _ => {
+                                                extended.insert(var.clone(), val);
+                                            }
                                         }
                                     }
-                                }
-                                if !consistent {
-                                    continue;
-                                }
-                                stats.multiplications += 1;
-                                stats.bindings_enumerated += 1;
-                                next.push((extended, acc.mul(&value)));
-                            }
+                                    stats.multiplications += 1;
+                                    stats.bindings_enumerated += 1;
+                                    next.push((extended, acc.mul(&value)));
+                                },
+                            );
                         }
                     }
                     envs = next;

@@ -16,6 +16,21 @@
 //!    program; [`Executor::new`](executor::Executor::new) lowers internally, so most
 //!    callers never touch the plan directly.
 //!
+//! ## Pluggable view storage
+//!
+//! Both executors are generic over the [`ViewStorage`](storage::ViewStorage) backend
+//! holding their materialized views — the paper's guarantee only needs point probes,
+//! ring accumulation with zero-pruning, and partial-key enumeration, so backends with
+//! different physical trade-offs plug in under the unchanged execution layer:
+//! [`HashViewStorage`](storage::HashViewStorage) (the default: hash map + hash slice
+//! indexes, O(1) probes) and [`OrderedViewStorage`](storage::OrderedViewStorage)
+//! (`BTreeMap` + sorted range scans, O(log n) probes but prefix enumerations need no
+//! secondary index at all). Select at compile time by naming the type
+//! (`Executor::<OrderedViewStorage>::with_backend`) or at runtime through
+//! [`StorageBackend`](storage::StorageBackend) and the strategy registry
+//! ([`strategy_by_name`](strategy::strategy_by_name), names like
+//! `"recursive-ivm@ordered"`).
+//!
 //! Four maintenance strategies are provided behind the common
 //! [`MaintenanceStrategy`](strategy::MaintenanceStrategy) interface:
 //!
@@ -24,8 +39,8 @@
 //!   constant number of arithmetic operations per maintained value, never touches the
 //!   base relations, and in the steady state allocates nothing on the heap (keys are
 //!   assembled in scratch buffers; writes go through
-//!   [`MapStorage::add_ref`](storage::MapStorage::add_ref), which only clones a key on
-//!   first insertion). Arithmetic operations and map writes are counted so the
+//!   [`ViewStorage::add_ref`](storage::ViewStorage::add_ref), which only clones a key
+//!   on first insertion). Arithmetic operations and map writes are counted so the
 //!   experiments can verify the constant-work claim (Theorem 7.1) directly rather than
 //!   only through wall-clock time.
 //! * [`InterpretedExecutor`](interp::InterpretedExecutor) — the same trigger semantics
@@ -55,5 +70,7 @@ pub mod strategy;
 pub use baseline::{ClassicalIvm, NaiveReeval};
 pub use executor::{ExecStats, Executor, RuntimeError};
 pub use interp::InterpretedExecutor;
-pub use storage::MapStorage;
-pub use strategy::MaintenanceStrategy;
+pub use storage::{
+    HashViewStorage, MapStorage, OrderedViewStorage, StorageBackend, StorageFootprint, ViewStorage,
+};
+pub use strategy::{interpreted_ivm, recursive_ivm, strategy_by_name, MaintenanceStrategy};

@@ -1,4 +1,4 @@
-//! Flat map storage for materialized views, with slice indexes.
+//! The hash backend: a flat hash map with hash-based slice indexes.
 //!
 //! A view is a hash map from key tuples (`Vec<Value>`) to aggregate values ([`Number`]).
 //! Trigger statements with loop variables need to enumerate the entries of a map that
@@ -8,11 +8,19 @@
 //! size — the storage maintains secondary indexes for exactly the key-position patterns
 //! the compiled program needs. Index maintenance is a constant amount of extra work per
 //! write.
+//!
+//! This is the default [`ViewStorage`](crate::storage::ViewStorage) backend: O(1) probes
+//! and writes, and the backend the lowered executor's zero-allocation steady state was
+//! tuned on. Its limitation is structural: hash indexes serve exactly the patterns
+//! registered for them, so every additional pattern costs a full parallel index — the
+//! trade-off the ordered backend inverts.
 
 use std::collections::{HashMap, HashSet};
 
-use dbring_algebra::{Number, Ring, Semiring};
+use dbring_algebra::{Number, Semiring};
 use dbring_relations::Value;
+
+use super::{StorageFootprint, ViewStorage};
 
 /// One secondary index: the values at a pattern's key positions, mapped to the set of
 /// full keys having those values.
@@ -21,58 +29,17 @@ type SliceIndex = HashMap<Vec<Value>, HashSet<Vec<Value>>>;
 /// One materialized map: key tuples of a fixed arity mapping to aggregate values, plus the
 /// slice indexes registered for it.
 #[derive(Clone, Debug, Default)]
-pub struct MapStorage {
+pub struct HashViewStorage {
     key_arity: usize,
     data: HashMap<Vec<Value>, Number>,
     /// For each registered pattern (a sorted list of key positions), the index over it.
     indexes: HashMap<Vec<usize>, SliceIndex>,
 }
 
-impl MapStorage {
-    /// Creates an empty map with the given key arity.
-    pub fn new(key_arity: usize) -> Self {
-        MapStorage {
-            key_arity,
-            data: HashMap::new(),
-            indexes: HashMap::new(),
-        }
-    }
-
-    /// The key arity.
-    pub fn key_arity(&self) -> usize {
-        self.key_arity
-    }
-
-    /// Number of entries with a non-zero value.
-    pub fn len(&self) -> usize {
-        self.data.len()
-    }
-
-    /// Whether the map has no non-zero entries.
-    pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
-    }
-
-    /// The value stored under `key` (zero if absent).
-    pub fn get(&self, key: &[Value]) -> Number {
-        self.data.get(key).copied().unwrap_or(Number::Int(0))
-    }
-
+impl HashViewStorage {
     /// Iterates over all `(key, value)` entries in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &Number)> {
         self.data.iter()
-    }
-
-    /// Registers a slice index over the given key positions (deduplicated, ignored if the
-    /// pattern covers all positions or none). Must be called before entries are inserted
-    /// (the executor registers indexes at construction time).
-    pub fn register_index(&mut self, mut positions: Vec<usize>) {
-        positions.sort_unstable();
-        positions.dedup();
-        if positions.is_empty() || positions.len() >= self.key_arity {
-            return;
-        }
-        self.indexes.entry(positions).or_default();
     }
 
     /// The registered index patterns (sorted position lists).
@@ -80,48 +47,10 @@ impl MapStorage {
         self.indexes.keys()
     }
 
-    /// Adds `delta` to the value under `key`, maintaining indexes and pruning zeros.
-    ///
-    /// The key is consumed; it is cloned only for index maintenance on first insertion
-    /// (an update of an existing entry, or any write to an unindexed map, never clones).
-    ///
-    /// # Panics
-    /// Panics if the key arity does not match.
-    pub fn add(&mut self, key: Vec<Value>, delta: Number) {
-        assert_eq!(key.len(), self.key_arity, "key arity mismatch");
-        if delta.is_zero() {
-            return;
-        }
-        if self.accumulate_existing(&key, delta) {
-            return;
-        }
-        Self::index_insert(&mut self.indexes, &key);
-        self.data.insert(key, delta);
-    }
-
-    /// Adds `delta` to the value under `key`, cloning the key *only* when the entry does
-    /// not already exist — the steady-state write path of the executor performs no heap
-    /// allocation at all.
-    ///
-    /// # Panics
-    /// Panics if the key arity does not match.
-    pub fn add_ref(&mut self, key: &[Value], delta: Number) {
-        assert_eq!(key.len(), self.key_arity, "key arity mismatch");
-        if delta.is_zero() {
-            return;
-        }
-        if self.accumulate_existing(key, delta) {
-            return;
-        }
-        let owned: Vec<Value> = key.to_vec();
-        Self::index_insert(&mut self.indexes, &owned);
-        self.data.insert(owned, delta);
-    }
-
     /// Adds `delta` to an *existing* entry, pruning it (with index removal) when the sum
     /// reaches zero; returns `false` without touching anything if the entry is absent.
-    /// Shared by [`MapStorage::add`] and [`MapStorage::add_ref`] so the accumulate /
-    /// prune / index-maintenance invariants live in one place.
+    /// Shared by `add` and `add_ref` so the accumulate / prune / index-maintenance
+    /// invariants live in one place.
     fn accumulate_existing(&mut self, key: &[Value], delta: Number) -> bool {
         let Some(value) = self.data.get_mut(key) else {
             return false;
@@ -159,38 +88,98 @@ impl MapStorage {
             }
         }
     }
+}
 
-    /// Overwrites the value under `key` (used by initialization).
-    pub fn set(&mut self, key: Vec<Value>, value: Number) {
-        let current = self.get(&key);
-        let delta = value.add(&current.neg());
-        self.add(key, delta);
+impl ViewStorage for HashViewStorage {
+    fn new(key_arity: usize) -> Self {
+        HashViewStorage {
+            key_arity,
+            data: HashMap::new(),
+            indexes: HashMap::new(),
+        }
     }
 
-    /// Enumerates the entries whose key matches `values` at the given positions.
+    fn key_arity(&self) -> usize {
+        self.key_arity
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn get(&self, key: &[Value]) -> Number {
+        self.data.get(key).copied().unwrap_or(Number::Int(0))
+    }
+
+    /// Adds `delta` to the value under `key`, maintaining indexes and pruning zeros.
     ///
-    /// If an index is registered for exactly these positions it is used (cost proportional
-    /// to the number of matches); otherwise the map is scanned. Positions must be sorted.
-    pub fn slice<'a>(
-        &'a self,
-        positions: &[usize],
-        values: &[Value],
-    ) -> Vec<(&'a Vec<Value>, Number)> {
-        let mut out = Vec::new();
-        self.for_each_slice(positions, values, |k, v| out.push((k, v)));
-        out
+    /// The key is consumed; it is cloned only for index maintenance on first insertion
+    /// (an update of an existing entry, or any write to an unindexed map, never clones).
+    fn add(&mut self, key: Vec<Value>, delta: Number) {
+        assert_eq!(key.len(), self.key_arity, "key arity mismatch");
+        if delta.is_zero() {
+            return;
+        }
+        if self.accumulate_existing(&key, delta) {
+            return;
+        }
+        Self::index_insert(&mut self.indexes, &key);
+        self.data.insert(key, delta);
+    }
+
+    /// Adds `delta` to the value under `key`, cloning the key *only* when the entry does
+    /// not already exist — the steady-state write path of the executor performs no heap
+    /// allocation at all.
+    fn add_ref(&mut self, key: &[Value], delta: Number) {
+        assert_eq!(key.len(), self.key_arity, "key arity mismatch");
+        if delta.is_zero() {
+            return;
+        }
+        if self.accumulate_existing(key, delta) {
+            return;
+        }
+        let owned: Vec<Value> = key.to_vec();
+        Self::index_insert(&mut self.indexes, &owned);
+        self.data.insert(owned, delta);
+    }
+
+    /// Registers a slice index over the given key positions (deduplicated, ignored if the
+    /// pattern covers all positions or none). Entries already present are backfilled, so
+    /// an index registered after writes serves exactly the same matches as one registered
+    /// up front.
+    fn register_index(&mut self, mut positions: Vec<usize>) {
+        positions.sort_unstable();
+        positions.dedup();
+        if positions.is_empty() || positions.len() >= self.key_arity {
+            return;
+        }
+        if self.indexes.contains_key(&positions) {
+            return;
+        }
+        let mut index = SliceIndex::new();
+        for key in self.data.keys() {
+            let slice_key: Vec<Value> = positions.iter().map(|&i| key[i].clone()).collect();
+            index.entry(slice_key).or_default().insert(key.clone());
+        }
+        self.indexes.insert(positions, index);
+    }
+
+    fn for_each(&self, mut visit: impl FnMut(&[Value], Number)) {
+        for (k, v) in &self.data {
+            visit(k, *v);
+        }
     }
 
     /// Visits every entry whose key matches `values` at the given positions, without
     /// materializing the matches (the executor's allocation-free enumeration path).
     ///
-    /// Resolution order matches [`MapStorage::slice`]: empty pattern → all entries,
-    /// registered index → index probe, otherwise a full scan. Positions must be sorted.
-    pub fn for_each_slice<'a>(
-        &'a self,
+    /// Resolution order: empty pattern → all entries, registered index → index probe,
+    /// otherwise a full scan. Positions must be sorted.
+    fn for_each_slice(
+        &self,
         positions: &[usize],
         values: &[Value],
-        mut visit: impl FnMut(&'a Vec<Value>, Number),
+        mut visit: impl FnMut(&[Value], Number),
     ) {
         assert_eq!(positions.len(), values.len());
         if positions.is_empty() {
@@ -202,37 +191,51 @@ impl MapStorage {
         if let Some(index) = self.indexes.get(positions) {
             if let Some(keys) = index.get(values) {
                 for k in keys {
-                    if let Some((k, v)) = self.data.get_key_value(k) {
-                        visit(k, *v);
-                    }
+                    let (k, v) = self
+                        .data
+                        .get_key_value(k)
+                        .expect("index entry without a primary entry");
+                    visit(k, *v);
                 }
             }
             return;
         }
-        // Fallback: full scan.
-        for (k, v) in &self.data {
-            if positions
-                .iter()
-                .zip(values.iter())
-                .all(|(&i, v)| &k[i] == v)
-            {
-                visit(k, *v);
-            }
+        self.for_each_slice_scan(positions, values, visit);
+    }
+
+    fn footprint(&self) -> StorageFootprint {
+        StorageFootprint {
+            entries: self.data.len(),
+            indexes: self.indexes.len(),
+            index_entries: self
+                .indexes
+                .values()
+                .map(|index| index.values().map(HashSet::len).sum::<usize>())
+                .sum(),
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::slice_entries;
     use super::*;
 
     fn key(vals: &[i64]) -> Vec<Value> {
         vals.iter().map(|&v| Value::int(v)).collect()
     }
 
+    fn slice(
+        m: &HashViewStorage,
+        positions: &[usize],
+        values: &[Value],
+    ) -> Vec<(Vec<Value>, Number)> {
+        slice_entries(m, positions, values)
+    }
+
     #[test]
     fn get_add_and_prune() {
-        let mut m = MapStorage::new(2);
+        let mut m = HashViewStorage::new(2);
         assert_eq!(m.get(&key(&[1, 2])), Number::Int(0));
         m.add(key(&[1, 2]), Number::Int(5));
         m.add(key(&[1, 3]), Number::Int(7));
@@ -249,7 +252,7 @@ mod tests {
 
     #[test]
     fn set_overwrites() {
-        let mut m = MapStorage::new(1);
+        let mut m = HashViewStorage::new(1);
         m.set(key(&[1]), Number::Int(10));
         assert_eq!(m.get(&key(&[1])), Number::Int(10));
         m.set(key(&[1]), Number::Int(3));
@@ -261,54 +264,53 @@ mod tests {
     #[test]
     #[should_panic]
     fn arity_mismatch_panics() {
-        let mut m = MapStorage::new(2);
+        let mut m = HashViewStorage::new(2);
         m.add(key(&[1]), Number::Int(1));
     }
 
     #[test]
     fn slices_with_and_without_index() {
-        let mut indexed = MapStorage::new(2);
+        let mut indexed = HashViewStorage::new(2);
         indexed.register_index(vec![0]);
-        let mut scanned = MapStorage::new(2);
+        let mut scanned = HashViewStorage::new(2);
         for (a, b, v) in [(1, 10, 2), (1, 11, 3), (2, 10, 4), (2, 12, 5)] {
             indexed.add(key(&[a, b]), Number::Int(v));
             scanned.add(key(&[a, b]), Number::Int(v));
         }
         for store in [&indexed, &scanned] {
-            let mut hits: Vec<i64> = store
-                .slice(&[0], &key(&[1]))
+            let mut hits: Vec<i64> = slice(store, &[0], &key(&[1]))
                 .iter()
                 .map(|(_, v)| v.as_i64().unwrap())
                 .collect();
             hits.sort_unstable();
             assert_eq!(hits, vec![2, 3]);
-            assert!(store.slice(&[0], &key(&[9])).is_empty());
+            assert!(slice(store, &[0], &key(&[9])).is_empty());
             // Slicing on the second position works too (scan fallback for `indexed`).
-            assert_eq!(store.slice(&[1], &key(&[10])).len(), 2);
+            assert_eq!(slice(store, &[1], &key(&[10])).len(), 2);
             // Empty pattern = all entries.
-            assert_eq!(store.slice(&[], &[]).len(), 4);
+            assert_eq!(slice(store, &[], &[]).len(), 4);
         }
     }
 
     #[test]
     fn index_tracks_removals() {
-        let mut m = MapStorage::new(2);
+        let mut m = HashViewStorage::new(2);
         m.register_index(vec![0]);
         m.add(key(&[1, 10]), Number::Int(2));
         m.add(key(&[1, 11]), Number::Int(3));
-        assert_eq!(m.slice(&[0], &key(&[1])).len(), 2);
+        assert_eq!(slice(&m, &[0], &key(&[1])).len(), 2);
         m.add(key(&[1, 10]), Number::Int(-2));
-        assert_eq!(m.slice(&[0], &key(&[1])).len(), 1);
+        assert_eq!(slice(&m, &[0], &key(&[1])).len(), 1);
         m.add(key(&[1, 11]), Number::Int(-3));
-        assert!(m.slice(&[0], &key(&[1])).is_empty());
+        assert!(slice(&m, &[0], &key(&[1])).is_empty());
         // Re-inserting after pruning works.
         m.add(key(&[1, 10]), Number::Int(9));
-        assert_eq!(m.slice(&[0], &key(&[1])).len(), 1);
+        assert_eq!(slice(&m, &[0], &key(&[1])).len(), 1);
     }
 
     #[test]
     fn degenerate_index_patterns_are_ignored() {
-        let mut m = MapStorage::new(2);
+        let mut m = HashViewStorage::new(2);
         m.register_index(vec![]);
         m.register_index(vec![0, 1]);
         m.register_index(vec![1, 0, 1]);
@@ -317,10 +319,34 @@ mod tests {
         assert_eq!(m.index_patterns().count(), 1);
     }
 
+    /// Regression: registering an index *after* entries exist used to leave the index
+    /// empty, silently dropping every pre-existing entry from subsequent enumerations.
+    /// Registration must backfill.
+    #[test]
+    fn late_index_registration_backfills_existing_entries() {
+        let mut m = HashViewStorage::new(2);
+        m.add(key(&[1, 10]), Number::Int(2));
+        m.add(key(&[1, 11]), Number::Int(3));
+        m.add(key(&[2, 10]), Number::Int(4));
+        m.register_index(vec![0]);
+        assert_eq!(slice(&m, &[0], &key(&[1])).len(), 2);
+        assert_eq!(slice(&m, &[0], &key(&[2])).len(), 1);
+        // The backfilled index keeps tracking later writes and prunes.
+        m.add(key(&[1, 12]), Number::Int(1));
+        assert_eq!(slice(&m, &[0], &key(&[1])).len(), 3);
+        m.add(key(&[1, 10]), Number::Int(-2));
+        assert_eq!(slice(&m, &[0], &key(&[1])).len(), 2);
+        // Re-registering the same pattern is a no-op (the live index survives).
+        m.register_index(vec![0]);
+        assert_eq!(slice(&m, &[0], &key(&[1])).len(), 2);
+        assert_eq!(m.footprint().indexes, 1);
+        assert_eq!(m.footprint().index_entries, m.len());
+    }
+
     #[test]
     fn add_ref_matches_add_including_index_maintenance() {
-        let mut by_ref = MapStorage::new(2);
-        let mut by_value = MapStorage::new(2);
+        let mut by_ref = HashViewStorage::new(2);
+        let mut by_value = HashViewStorage::new(2);
         for m in [&mut by_ref, &mut by_value] {
             m.register_index(vec![0]);
         }
@@ -340,16 +366,16 @@ mod tests {
         for (k, v) in by_value.iter() {
             assert_eq!(by_ref.get(k), *v);
         }
-        assert_eq!(by_ref.slice(&[0], &key(&[1])).len(), 2);
-        assert_eq!(by_ref.slice(&[0], &key(&[2])).len(), 0);
+        assert_eq!(slice(&by_ref, &[0], &key(&[1])).len(), 2);
+        assert_eq!(slice(&by_ref, &[0], &key(&[2])).len(), 0);
         // Zero deltas are ignored on both paths.
         by_ref.add_ref(&key(&[5, 5]), Number::Int(0));
         assert_eq!(by_ref.get(&key(&[5, 5])), Number::Int(0));
     }
 
     #[test]
-    fn for_each_slice_agrees_with_slice() {
-        let mut m = MapStorage::new(2);
+    fn for_each_slice_agrees_with_materialized_slices() {
+        let mut m = HashViewStorage::new(2);
         m.register_index(vec![0]);
         for (a, b, v) in [(1, 10, 2), (1, 11, 3), (2, 10, 4)] {
             m.add(key(&[a, b]), Number::Int(v));
@@ -366,7 +392,7 @@ mod tests {
                 visited += 1;
                 sum += v.as_i64().unwrap();
             });
-            let expected = m.slice(&positions, &values);
+            let expected = slice(&m, &positions, &values);
             assert_eq!(visited, expected.len());
             assert_eq!(
                 sum,
@@ -380,9 +406,23 @@ mod tests {
 
     #[test]
     fn float_values_are_supported() {
-        let mut m = MapStorage::new(1);
+        let mut m = HashViewStorage::new(1);
         m.add(key(&[1]), Number::Float(2.5));
         m.add(key(&[1]), Number::Int(1));
         assert_eq!(m.get(&key(&[1])), Number::Float(3.5));
+    }
+
+    #[test]
+    fn footprint_counts_entries_and_index_entries() {
+        let mut m = HashViewStorage::new(2);
+        m.register_index(vec![0]);
+        m.register_index(vec![1]);
+        for (a, b) in [(1, 10), (1, 11), (2, 10)] {
+            m.add(key(&[a, b]), Number::Int(1));
+        }
+        let fp = m.footprint();
+        assert_eq!(fp.entries, 3);
+        assert_eq!(fp.indexes, 2);
+        assert_eq!(fp.index_entries, 6); // every entry appears once per index
     }
 }

@@ -1,0 +1,295 @@
+//! Pluggable view storage: the [`ViewStorage`] trait and its backends.
+//!
+//! The paper's constant-ops-per-update guarantee (Theorem 7.1) asks very little of the
+//! structure holding a materialized view: point probes by fully bound key, accumulation
+//! of ring deltas with zero-pruning, and enumeration of the entries matching a
+//! *partially* bound key in time proportional to the number of matches. Anything
+//! offering those operations can sit under the executor — which is exactly what
+//! [`ViewStorage`] captures, so that backends with different physical trade-offs can be
+//! swapped in and compared without touching the execution layer:
+//!
+//! * [`HashViewStorage`] — a hash map with hash-based slice indexes for the registered
+//!   key-position patterns. O(1) probes and writes; the default, and the backend the
+//!   zero-allocation steady state of the lowered executor was tuned on.
+//! * [`OrderedViewStorage`] — a `BTreeMap` keyed on the full tuple. O(log n) probes and
+//!   writes, but partial-key enumeration over *prefix* patterns needs no secondary
+//!   structure at all (a sorted range scan), and non-prefix patterns are served by
+//!   ordered permuted-key indexes whose range scans keep matching entries physically
+//!   adjacent — the index shape that sort-merge-style batched maintenance and
+//!   leapfrog-triejoin-style multiway joins build on.
+//!
+//! Both executors ([`Executor`](crate::executor::Executor) and
+//! [`InterpretedExecutor`](crate::interp::InterpretedExecutor)) are generic over the
+//! backend with `HashViewStorage` as the default, so existing code is unaffected;
+//! [`StorageBackend`] names the backends for runtime selection (strategy registry,
+//! experiment CLIs), and [`StorageFootprint`] is the common memory proxy the
+//! `exp_storage` experiment compares.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dbring_algebra::{Number, Ring, Semiring};
+use dbring_relations::Value;
+
+mod hash;
+mod ordered;
+
+pub use hash::HashViewStorage;
+pub use ordered::OrderedViewStorage;
+
+/// The default backend's former name, kept so type names in downstream signatures keep
+/// resolving. (Operations moved from inherent methods to the [`ViewStorage`] trait, so
+/// calling them requires the trait in scope; the allocating `slice` helper is gone —
+/// use [`ViewStorage::for_each_slice`].)
+pub type MapStorage = HashViewStorage;
+
+/// The storage contract a materialized view must satisfy for the executors to run
+/// trigger programs over it.
+///
+/// All keys of one map share a fixed arity; values live in the [`Number`] ring and
+/// entries whose value reaches zero are pruned (a map never stores explicit zeros, so
+/// `len` is the number of non-zero groups). Enumeration callbacks receive the full key
+/// in *original position order* regardless of how the backend physically arranges it.
+///
+/// The trait is deliberately generic (not object-safe): the executors monomorphize over
+/// the backend, so going through the trait costs nothing on the hot path.
+pub trait ViewStorage: Clone + fmt::Debug {
+    /// Creates an empty map whose keys have the given arity.
+    fn new(key_arity: usize) -> Self;
+
+    /// The key arity.
+    fn key_arity(&self) -> usize;
+
+    /// Number of entries with a non-zero value.
+    fn len(&self) -> usize;
+
+    /// Whether the map has no non-zero entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value stored under `key` (zero if absent).
+    fn get(&self, key: &[Value]) -> Number;
+
+    /// Adds `delta` to the value under `key`, maintaining indexes and pruning zeros.
+    /// The key is consumed (backends may reuse the allocation on first insertion).
+    ///
+    /// # Panics
+    /// Panics if the key arity does not match.
+    fn add(&mut self, key: Vec<Value>, delta: Number);
+
+    /// Adds `delta` to the value under `key`, cloning the key *only* when the entry
+    /// does not already exist — the executor's steady-state write path.
+    ///
+    /// # Panics
+    /// Panics if the key arity does not match.
+    fn add_ref(&mut self, key: &[Value], delta: Number);
+
+    /// Overwrites the value under `key` (used by initialization).
+    fn set(&mut self, key: Vec<Value>, value: Number) {
+        let delta = value.add(&self.get(&key).neg());
+        self.add(key, delta);
+    }
+
+    /// Registers a slice index over the given key positions (deduplicated; degenerate
+    /// patterns covering no or all positions are ignored). Entries already present are
+    /// backfilled, so registration order and insertion order may be interleaved freely.
+    fn register_index(&mut self, positions: Vec<usize>);
+
+    /// Visits every `(key, value)` entry, in backend-defined order.
+    fn for_each(&self, visit: impl FnMut(&[Value], Number));
+
+    /// Visits every entry whose key matches `values` at the given positions, without
+    /// materializing the matches. Positions must be sorted and distinct.
+    ///
+    /// With a registered index for the pattern (or, for ordered backends, a pattern the
+    /// physical layout already serves) the cost is proportional to the number of
+    /// matches — times at most a per-match probe of the primary structure (O(1) hash /
+    /// O(log n) ordered), never to the size of the map; otherwise the backend falls
+    /// back to a full scan. An empty pattern visits every entry.
+    fn for_each_slice(
+        &self,
+        positions: &[usize],
+        values: &[Value],
+        visit: impl FnMut(&[Value], Number),
+    );
+
+    /// The index-free fallback for [`for_each_slice`]: visits matching entries by
+    /// scanning every entry and filtering on the bound positions. Backends call this
+    /// when no physical structure serves the pattern, so the match semantics live in
+    /// exactly one place.
+    ///
+    /// [`for_each_slice`]: ViewStorage::for_each_slice
+    fn for_each_slice_scan(
+        &self,
+        positions: &[usize],
+        values: &[Value],
+        mut visit: impl FnMut(&[Value], Number),
+    ) {
+        self.for_each(|k, v| {
+            if positions
+                .iter()
+                .zip(values.iter())
+                .all(|(&i, v)| &k[i] == v)
+            {
+                visit(k, v);
+            }
+        });
+    }
+
+    /// The memory proxy for this map: entry and index-entry counts.
+    fn footprint(&self) -> StorageFootprint;
+
+    /// The entries as a sorted table (a convenience for result reporting and tests).
+    fn to_table(&self) -> BTreeMap<Vec<Value>, Number> {
+        let mut out = BTreeMap::new();
+        self.for_each(|k, v| {
+            out.insert(k.to_vec(), v);
+        });
+        out
+    }
+}
+
+/// The storage backends a view can run on, for runtime selection (strategy names,
+/// experiment CLIs). Compile-time selection just names the backend type directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StorageBackend {
+    /// [`HashViewStorage`]: hash map + hash slice indexes (the default).
+    Hash,
+    /// [`OrderedViewStorage`]: `BTreeMap` + sorted range scans / permuted-key indexes.
+    Ordered,
+}
+
+impl StorageBackend {
+    /// Every backend, in registry order.
+    pub const ALL: [StorageBackend; 2] = [StorageBackend::Hash, StorageBackend::Ordered];
+
+    /// The backend's short name ("hash", "ordered") as used in strategy names
+    /// (`recursive-ivm@ordered`) and experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageBackend::Hash => "hash",
+            StorageBackend::Ordered => "ordered",
+        }
+    }
+
+    /// Parses a backend name as produced by [`StorageBackend::name`].
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "hash" => Some(StorageBackend::Hash),
+            "ordered" => Some(StorageBackend::Ordered),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StorageBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for StorageBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        StorageBackend::parse(s).ok_or_else(|| format!("unknown storage backend {s:?}"))
+    }
+}
+
+/// A backend-independent memory proxy: how many entries a map (or a whole view
+/// hierarchy) holds, and how much secondary-index structure sits next to them. Wall
+/// clock varies per machine; these counts are exact and comparable across backends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageFootprint {
+    /// Non-zero entries in the primary structure.
+    pub entries: usize,
+    /// Secondary index structures maintained (one per registered non-degenerate
+    /// pattern the backend cannot serve from its physical layout).
+    pub indexes: usize,
+    /// Total entries across all secondary index structures.
+    pub index_entries: usize,
+}
+
+impl StorageFootprint {
+    /// Component-wise sum (for aggregating over a view hierarchy).
+    pub fn merge(self, other: StorageFootprint) -> StorageFootprint {
+        StorageFootprint {
+            entries: self.entries + other.entries,
+            indexes: self.indexes + other.indexes,
+            index_entries: self.index_entries + other.index_entries,
+        }
+    }
+}
+
+/// Test helper: materializes a slice enumeration as an owned vector, so backend tests
+/// can assert on match sets without closure plumbing.
+#[cfg(test)]
+pub(crate) fn slice_entries<S: ViewStorage>(
+    storage: &S,
+    positions: &[usize],
+    values: &[Value],
+) -> Vec<(Vec<Value>, Number)> {
+    let mut out = Vec::new();
+    storage.for_each_slice(positions, values, |k, v| out.push((k.to_vec(), v)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::int(v)).collect()
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for backend in StorageBackend::ALL {
+            assert_eq!(StorageBackend::parse(backend.name()), Some(backend));
+            assert_eq!(backend.to_string(), backend.name());
+            assert_eq!(backend.name().parse::<StorageBackend>(), Ok(backend));
+        }
+        assert_eq!(StorageBackend::parse("mmap"), None);
+        assert!("mmap".parse::<StorageBackend>().is_err());
+    }
+
+    #[test]
+    fn footprints_merge_componentwise() {
+        let a = StorageFootprint {
+            entries: 3,
+            indexes: 1,
+            index_entries: 3,
+        };
+        let b = StorageFootprint {
+            entries: 2,
+            indexes: 0,
+            index_entries: 0,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.entries, 5);
+        assert_eq!(m.indexes, 1);
+        assert_eq!(m.index_entries, 3);
+        assert_eq!(StorageFootprint::default().entries, 0);
+    }
+
+    /// The trait's provided `set` and `to_table` behave identically on both backends.
+    #[test]
+    fn provided_methods_work_on_both_backends() {
+        fn check<S: ViewStorage>() {
+            let mut m = S::new(2);
+            m.set(key(&[1, 2]), Number::Int(5));
+            m.set(key(&[1, 3]), Number::Int(7));
+            m.set(key(&[1, 2]), Number::Int(2));
+            assert_eq!(m.get(&key(&[1, 2])), Number::Int(2));
+            m.set(key(&[1, 3]), Number::Int(0));
+            assert_eq!(m.len(), 1);
+            assert!(!m.is_empty());
+            let table = m.to_table();
+            assert_eq!(table.len(), 1);
+            assert_eq!(table[&key(&[1, 2])], Number::Int(2));
+        }
+        check::<HashViewStorage>();
+        check::<OrderedViewStorage>();
+    }
+}

@@ -1,15 +1,24 @@
-//! A common interface over the three maintenance strategies, so experiments, tests and
-//! benchmarks can drive them interchangeably.
+//! A common interface over the maintenance strategies, so experiments, tests and
+//! benchmarks can drive them interchangeably — including the same strategy over
+//! different [`StorageBackend`]s, selected by name (`"recursive-ivm@ordered"`).
 
 use std::collections::BTreeMap;
 
 use dbring_algebra::Number;
+use dbring_compiler::TriggerProgram;
 use dbring_relations::{Update, Value};
+
+use crate::executor::Executor;
+use crate::interp::InterpretedExecutor;
+use crate::storage::{HashViewStorage, OrderedViewStorage, StorageBackend};
 
 /// A view-maintenance strategy: consumes single-tuple updates and can report the current
 /// query result (a table from group keys to aggregate values).
 pub trait MaintenanceStrategy {
-    /// A short name used in experiment output ("recursive-ivm", "classical-ivm", "naive").
+    /// A short name used in experiment output: the strategy family
+    /// ("recursive-ivm", "recursive-ivm-interpreted", "classical-ivm", "naive"),
+    /// suffixed with `@<backend>` when it runs on a non-default storage backend
+    /// ("recursive-ivm@ordered").
     fn strategy_name(&self) -> &'static str;
 
     /// Applies one single-tuple update.
@@ -20,6 +29,15 @@ pub trait MaintenanceStrategy {
     fn current_result(&self) -> BTreeMap<Vec<Value>, Number>;
 
     /// The aggregate value for one group key (zero if the group is absent).
+    ///
+    /// **Cost of the default impl:** it calls [`current_result`], materializing the
+    /// *entire* result table (one allocation per group) to answer a single-key lookup.
+    /// That is fine for the baselines' occasional oracle checks, but any strategy that
+    /// can probe its result directly must override this — all four in-tree strategy
+    /// families do — and callers probing in a loop should prefer a strategy-specific
+    /// accessor over a `dyn MaintenanceStrategy` default.
+    ///
+    /// [`current_result`]: MaintenanceStrategy::current_result
     fn result_value(&self, key: &[Value]) -> Number {
         self.current_result()
             .get(key)
@@ -28,39 +46,91 @@ pub trait MaintenanceStrategy {
     }
 }
 
-impl MaintenanceStrategy for crate::executor::Executor {
-    fn strategy_name(&self) -> &'static str {
-        "recursive-ivm"
-    }
+/// Implements [`MaintenanceStrategy`] for one concrete executor type, with a literal
+/// strategy name (names must be `&'static str`, so each backend combination gets its
+/// own impl rather than a formatted string).
+macro_rules! impl_executor_strategy {
+    ($ty:ty, $name:literal) => {
+        impl MaintenanceStrategy for $ty {
+            fn strategy_name(&self) -> &'static str {
+                $name
+            }
 
-    fn apply_update(&mut self, update: &Update) -> Result<(), String> {
-        self.apply(update).map_err(|e| e.to_string())
-    }
+            fn apply_update(&mut self, update: &Update) -> Result<(), String> {
+                self.apply(update).map_err(|e| e.to_string())
+            }
 
-    fn current_result(&self) -> BTreeMap<Vec<Value>, Number> {
-        self.output_table()
-    }
+            fn current_result(&self) -> BTreeMap<Vec<Value>, Number> {
+                self.output_table()
+            }
 
-    fn result_value(&self, key: &[Value]) -> Number {
-        self.output_value(key)
+            // Direct probe of the output map: no table materialization.
+            fn result_value(&self, key: &[Value]) -> Number {
+                self.output_value(key)
+            }
+        }
+    };
+}
+
+impl_executor_strategy!(Executor<HashViewStorage>, "recursive-ivm");
+impl_executor_strategy!(Executor<OrderedViewStorage>, "recursive-ivm@ordered");
+impl_executor_strategy!(
+    InterpretedExecutor<HashViewStorage>,
+    "recursive-ivm-interpreted"
+);
+impl_executor_strategy!(
+    InterpretedExecutor<OrderedViewStorage>,
+    "recursive-ivm-interpreted@ordered"
+);
+
+/// Builds the lowered recursive-IVM strategy for a compiled program on the given
+/// storage backend, behind the dynamic strategy interface.
+///
+/// # Panics
+/// Panics if the program does not lower (impossible for compiler-produced programs).
+pub fn recursive_ivm(
+    program: TriggerProgram,
+    backend: StorageBackend,
+) -> Box<dyn MaintenanceStrategy> {
+    match backend {
+        StorageBackend::Hash => Box::new(Executor::<HashViewStorage>::with_backend(program)),
+        StorageBackend::Ordered => Box::new(Executor::<OrderedViewStorage>::with_backend(program)),
     }
 }
 
-impl MaintenanceStrategy for crate::interp::InterpretedExecutor {
-    fn strategy_name(&self) -> &'static str {
-        "recursive-ivm-interpreted"
+/// Builds the interpreted recursive-IVM reference strategy on the given storage backend.
+pub fn interpreted_ivm(
+    program: TriggerProgram,
+    backend: StorageBackend,
+) -> Box<dyn MaintenanceStrategy> {
+    match backend {
+        StorageBackend::Hash => Box::new(InterpretedExecutor::<HashViewStorage>::with_backend(
+            program,
+        )),
+        StorageBackend::Ordered => Box::new(
+            InterpretedExecutor::<OrderedViewStorage>::with_backend(program),
+        ),
     }
+}
 
-    fn apply_update(&mut self, update: &Update) -> Result<(), String> {
-        self.apply(update).map_err(|e| e.to_string())
-    }
-
-    fn current_result(&self) -> BTreeMap<Vec<Value>, Number> {
-        self.output_table()
-    }
-
-    fn result_value(&self, key: &[Value]) -> Number {
-        self.output_value(key)
+/// Resolves a trigger-program strategy by its registry name: a family name
+/// (`"recursive-ivm"`, `"recursive-ivm-interpreted"`), optionally suffixed with
+/// `@<backend>` (`"recursive-ivm@ordered"`). No suffix means the hash backend.
+/// Returns `None` for unknown families or backends. (The database-retaining baselines
+/// `classical-ivm` / `naive` are constructed from a database + query, not a compiled
+/// program, so they are not served here.)
+pub fn strategy_by_name(
+    name: &str,
+    program: TriggerProgram,
+) -> Option<Box<dyn MaintenanceStrategy>> {
+    let (family, backend) = match name.split_once('@') {
+        Some((family, backend)) => (family, StorageBackend::parse(backend)?),
+        None => (name, StorageBackend::Hash),
+    };
+    match family {
+        "recursive-ivm" => Some(recursive_ivm(program, backend)),
+        "recursive-ivm-interpreted" => Some(interpreted_ivm(program, backend)),
+        _ => None,
     }
 }
 
@@ -71,14 +141,17 @@ mod tests {
     use dbring_compiler::compile;
     use dbring_relations::Database;
 
-    #[test]
-    fn executor_implements_the_strategy_interface() {
+    fn sum_program() -> TriggerProgram {
         let mut catalog = Database::new();
         catalog.declare("R", &["A"]).unwrap();
         let q = parse_query("q := Sum(R(x))").unwrap();
-        let mut strategy: Box<dyn MaintenanceStrategy> = Box::new(crate::executor::Executor::new(
-            compile(&catalog, &q).unwrap(),
-        ));
+        compile(&catalog, &q).unwrap()
+    }
+
+    #[test]
+    fn executor_implements_the_strategy_interface() {
+        let mut strategy: Box<dyn MaintenanceStrategy> =
+            Box::new(crate::executor::Executor::new(sum_program()));
         assert_eq!(strategy.strategy_name(), "recursive-ivm");
         strategy
             .apply_update(&Update::insert("R", vec![Value::int(1)]))
@@ -88,5 +161,70 @@ mod tests {
             .unwrap();
         assert_eq!(strategy.result_value(&[]), Number::Int(2));
         assert_eq!(strategy.current_result().len(), 1);
+    }
+
+    #[test]
+    fn backend_factories_yield_equivalent_strategies_with_distinct_names() {
+        let mut strategies = vec![
+            recursive_ivm(sum_program(), StorageBackend::Hash),
+            recursive_ivm(sum_program(), StorageBackend::Ordered),
+            interpreted_ivm(sum_program(), StorageBackend::Hash),
+            interpreted_ivm(sum_program(), StorageBackend::Ordered),
+        ];
+        let names: Vec<&str> = strategies.iter().map(|s| s.strategy_name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "recursive-ivm",
+                "recursive-ivm@ordered",
+                "recursive-ivm-interpreted",
+                "recursive-ivm-interpreted@ordered",
+            ]
+        );
+        for s in &mut strategies {
+            s.apply_update(&Update::insert("R", vec![Value::int(5)]))
+                .unwrap();
+            s.apply_update(&Update::insert("R", vec![Value::int(6)]))
+                .unwrap();
+            s.apply_update(&Update::delete("R", vec![Value::int(6)]))
+                .unwrap();
+            assert_eq!(s.result_value(&[]), Number::Int(1), "{}", s.strategy_name());
+            assert_eq!(
+                s.current_result(),
+                strategies_result(),
+                "{}",
+                s.strategy_name()
+            );
+        }
+    }
+
+    fn strategies_result() -> BTreeMap<Vec<Value>, Number> {
+        let mut expected = BTreeMap::new();
+        expected.insert(vec![], Number::Int(1));
+        expected
+    }
+
+    #[test]
+    fn strategy_names_resolve_through_the_registry() {
+        for name in [
+            "recursive-ivm",
+            "recursive-ivm@hash",
+            "recursive-ivm@ordered",
+            "recursive-ivm-interpreted",
+            "recursive-ivm-interpreted@ordered",
+        ] {
+            let mut s =
+                strategy_by_name(name, sum_program()).unwrap_or_else(|| panic!("{name} resolves"));
+            s.apply_update(&Update::insert("R", vec![Value::int(1)]))
+                .unwrap();
+            assert_eq!(s.result_value(&[]), Number::Int(1), "{name}");
+            // `@hash` is the explicit spelling of the default.
+            if name == "recursive-ivm@hash" {
+                assert_eq!(s.strategy_name(), "recursive-ivm");
+            }
+        }
+        assert!(strategy_by_name("recursive-ivm@mmap", sum_program()).is_none());
+        assert!(strategy_by_name("bogus", sum_program()).is_none());
+        assert!(strategy_by_name("naive", sum_program()).is_none());
     }
 }
