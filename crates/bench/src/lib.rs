@@ -317,6 +317,93 @@ pub fn storage_point(workload: &Workload) -> StoragePoint {
     }
 }
 
+/// One row of the batch-crossover sweep: per-update cost of the per-tuple path against
+/// the batch path at one batch size, on one storage backend (same compiled program,
+/// same update stream — the difference is purely `apply_all` vs `apply_batch`, with
+/// the batch figure *including* `DeltaBatch` normalization).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPoint {
+    /// Number of stream updates per batch.
+    pub batch_size: usize,
+    /// Mean per-update latency of per-tuple `apply_all`, in nanoseconds.
+    pub per_tuple_ns: f64,
+    /// Mean per-update latency of chunked `apply_batch` (consolidation included), in
+    /// nanoseconds.
+    pub batch_ns: f64,
+    /// Mean arithmetic operations per update on the per-tuple path.
+    pub per_tuple_ops: f64,
+    /// Mean arithmetic operations per update on the batch path (lower on weighted,
+    /// degree-1 triggers — consolidation and weighted firing are where batching wins
+    /// work, not just constants).
+    pub batch_ops: f64,
+}
+
+impl BatchPoint {
+    /// Per-tuple time over batch time (> 1 means the batch path wins).
+    pub fn speedup(&self) -> f64 {
+        if self.batch_ns > 0.0 {
+            self.per_tuple_ns / self.batch_ns
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Runs one workload's stream through per-tuple `apply_all` and through `apply_batch`
+/// in chunks of `batch_size`, on the storage backend named by the type parameter (the
+/// shared setup of `exp_batch` and the `batch_crossover` bench). Asserts that both
+/// paths reach identical output tables and view hierarchies — so pass an
+/// integer-valued workload (e.g. `sales_revenue_int`, not `sales_revenue`): float
+/// aggregates may legitimately differ by rounding, since the batch path reorders the
+/// accumulation.
+pub fn batch_point<S: dbring::ViewStorage>(workload: &Workload, batch_size: usize) -> BatchPoint {
+    use dbring::DeltaBatch;
+    let program = compile(&workload.catalog, &workload.query).expect("workload compiles");
+    let streamed = workload.stream.len().max(1) as f64;
+
+    let mut per_tuple = Executor::<S>::with_backend(program.clone());
+    per_tuple
+        .apply_all(&workload.initial)
+        .expect("bulk load succeeds");
+    per_tuple.reset_stats();
+    let started = Instant::now();
+    per_tuple
+        .apply_all(&workload.stream)
+        .expect("per-tuple path applies stream");
+    let per_tuple_ns = started.elapsed().as_nanos() as f64 / streamed;
+
+    let mut batched = Executor::<S>::with_backend(program);
+    batched
+        .apply_all(&workload.initial)
+        .expect("bulk load succeeds");
+    batched.reset_stats();
+    let started = Instant::now();
+    for chunk in workload.stream.chunks(batch_size.max(1)) {
+        // Normalization is part of the measured batch cost: it is work the per-tuple
+        // path does not do.
+        let batch = DeltaBatch::from_updates(chunk);
+        batched
+            .apply_batch(&batch)
+            .expect("batch path applies stream");
+    }
+    let batch_ns = started.elapsed().as_nanos() as f64 / streamed;
+
+    assert_eq!(
+        per_tuple.output_table(),
+        batched.output_table(),
+        "batch path must reach the per-tuple table"
+    );
+    assert_eq!(per_tuple.total_entries(), batched.total_entries());
+
+    BatchPoint {
+        batch_size,
+        per_tuple_ns,
+        batch_ns,
+        per_tuple_ops: per_tuple.stats().arithmetic_ops() as f64 / streamed,
+        batch_ops: batched.stats().arithmetic_ops() as f64 / streamed,
+    }
+}
+
 /// Formats a nanosecond figure with a readable unit (`-` for NaN, i.e. "not measured").
 pub fn fmt_ns(ns: f64) -> String {
     if ns.is_nan() {
@@ -395,6 +482,32 @@ mod tests {
             point.ordered_footprint.entries
         );
         assert!(point.ordered_footprint.index_entries <= point.hash_footprint.index_entries);
+    }
+
+    #[test]
+    fn batch_point_produces_sane_numbers_on_both_backends() {
+        use dbring_workloads::sales_revenue_int;
+        let workload = sales_revenue_int(WorkloadConfig {
+            seed: 4,
+            initial_size: 80,
+            stream_length: 96,
+            domain_size: 8,
+            delete_fraction: 0.2,
+        });
+        for point in [
+            batch_point::<dbring::HashViewStorage>(&workload, 32),
+            batch_point::<dbring::OrderedViewStorage>(&workload, 32),
+        ] {
+            assert_eq!(point.batch_size, 32);
+            assert!(point.per_tuple_ns > 0.0);
+            assert!(point.batch_ns > 0.0);
+            assert!(point.speedup() > 0.0);
+            assert!(point.per_tuple_ops > 0.0);
+            // Revenue per customer is degree-1: the batch path strictly saves ring work
+            // whenever consolidation or weighted firing collapses anything (and never
+            // does more).
+            assert!(point.batch_ops <= point.per_tuple_ops);
+        }
     }
 
     #[test]

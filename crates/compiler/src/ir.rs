@@ -182,6 +182,29 @@ pub struct Trigger {
     pub statements: Vec<Statement>,
 }
 
+impl Trigger {
+    /// Whether a batch of `k` identical updates may fire this trigger **once** with its
+    /// writes scaled by `k`, instead of `k` unit firings.
+    ///
+    /// That is sound exactly when no statement of the trigger *reads* (via a map lookup)
+    /// a map that any statement of the trigger *writes*: the candidate bindings and
+    /// accumulated products of every firing are then independent of the firings before
+    /// it, so `k` firings write `k ×` the writes of one. This is the map-level shadow of
+    /// the delta being degree ≤ 1 in the updated relation — a self-join's trigger reads
+    /// the views it maintains (`q += 2·cnt[x] + 1` reads `cnt`, which the same trigger
+    /// bumps) and must replay unit by unit, while a degree-1 trigger's delta never
+    /// consults its own targets.
+    pub fn supports_weighted_firing(&self) -> bool {
+        let writes: BTreeSet<MapId> = self.statements.iter().map(|s| s.target).collect();
+        self.statements.iter().all(|stmt| {
+            stmt.factors.iter().all(|factor| match factor {
+                RhsFactor::MapLookup { map, .. } => !writes.contains(map),
+                RhsFactor::Scalar(_) | RhsFactor::Guard(..) => true,
+            })
+        })
+    }
+}
+
 /// A compiled trigger program: the materialized maps, the triggers that maintain them, and
 /// which map holds the query result.
 #[derive(Clone, Debug, Serialize, Deserialize)]

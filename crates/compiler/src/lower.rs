@@ -144,6 +144,13 @@ pub struct PlanTrigger {
     pub param_slots: Vec<Slot>,
     /// Total frame length: parameters plus every loop variable of every statement.
     pub frame_len: usize,
+    /// Whether a batch of `k` identical updates may fire this trigger once with its
+    /// writes scaled by `k` (true iff no statement reads a map any statement writes —
+    /// the delta is degree ≤ 1 in the updated relation; see
+    /// [`Trigger::supports_weighted_firing`](crate::ir::Trigger::supports_weighted_firing)).
+    /// When false, batch execution must replay unit updates to preserve self-join
+    /// semantics.
+    pub weighted_firing: bool,
     /// The lowered statements, in the IR's (degree-ordered) statement order.
     pub statements: Vec<PlanStatement>,
 }
@@ -183,6 +190,17 @@ pub enum LowerError {
         /// The relation of the oversized trigger.
         relation: String,
     },
+    /// A plan op reads a frame slot before any parameter or enumeration binds it, or
+    /// names a slot beyond the trigger's frame — a lowering-invariant violation caught
+    /// by [`ExecPlan::verify_slot_liveness`]. Without this audit the executor would
+    /// read the placeholder value the frame is initialized with and silently compute
+    /// with garbage.
+    UnboundSlot {
+        /// The offending slot.
+        slot: Slot,
+        /// The relation of the trigger containing the offending op.
+        relation: String,
+    },
 }
 
 impl fmt::Display for LowerError {
@@ -197,6 +215,13 @@ impl fmt::Display for LowerError {
             }
             LowerError::TooManyVariables { relation } => {
                 write!(f, "trigger on {relation} exceeds the u16 slot space")
+            }
+            LowerError::UnboundSlot { slot, relation } => {
+                write!(
+                    f,
+                    "plan reads slot ${slot} before it is bound in a trigger on {relation} \
+                     (lowering bug)"
+                )
             }
         }
     }
@@ -227,6 +252,100 @@ impl ExecPlan {
             .map(|s| s.ops.len())
             .sum()
     }
+
+    /// Audits the plan's slot dataflow: every slot a probe key, enumeration binding,
+    /// scalar, guard or target key *reads* must have been *written* first (by a trigger
+    /// parameter or an earlier `Enumerate` bind of the same statement), and every slot
+    /// must fit within the trigger's frame.
+    ///
+    /// The executor initializes unbound frame slots with a placeholder value, so a plan
+    /// that violates this invariant would not crash — it would silently compute with
+    /// garbage. [`lower`] runs this audit on every plan it produces (it is O(plan) and
+    /// paid once per program, not per update), turning any such lowering bug into a loud
+    /// [`LowerError::UnboundSlot`] at construction time.
+    pub fn verify_slot_liveness(&self) -> Result<(), LowerError> {
+        for trigger in &self.triggers {
+            let err = |slot: Slot| LowerError::UnboundSlot {
+                slot,
+                relation: trigger.relation.clone(),
+            };
+            let in_frame = |slot: Slot| (slot as usize) < trigger.frame_len;
+            for &p in &trigger.param_slots {
+                if !in_frame(p) {
+                    return Err(err(p));
+                }
+            }
+            for stmt in &trigger.statements {
+                // The bound set is per statement: parameters plus earlier binds.
+                let mut bound: HashSet<Slot> = trigger.param_slots.iter().copied().collect();
+                let read = |slot: Slot, bound: &HashSet<Slot>| {
+                    if in_frame(slot) && bound.contains(&slot) {
+                        Ok(())
+                    } else {
+                        Err(err(slot))
+                    }
+                };
+                for op in &stmt.ops {
+                    match op {
+                        PlanOp::Probe { key_slots, .. } => {
+                            for &s in key_slots {
+                                read(s, &bound)?;
+                            }
+                        }
+                        PlanOp::Enumerate {
+                            bound_slots,
+                            unbound,
+                            ..
+                        } => {
+                            for &s in bound_slots {
+                                read(s, &bound)?;
+                            }
+                            for u in unbound {
+                                match *u {
+                                    UnboundKey::Bind { slot, .. } => {
+                                        if !in_frame(slot) {
+                                            return Err(err(slot));
+                                        }
+                                        bound.insert(slot);
+                                    }
+                                    // A Check compares against a slot bound earlier —
+                                    // by a parameter, a previous lookup, or a Bind
+                                    // earlier in this same enumeration.
+                                    UnboundKey::Check { slot, .. } => read(slot, &bound)?,
+                                }
+                            }
+                        }
+                        PlanOp::Scalar(expr) => check_expr_slots(expr, &bound, &read)?,
+                        PlanOp::Guard(_, lhs, rhs) => {
+                            check_expr_slots(lhs, &bound, &read)?;
+                            check_expr_slots(rhs, &bound, &read)?;
+                        }
+                    }
+                }
+                for &s in &stmt.target_slots {
+                    read(s, &bound)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Walks a slot expression and applies the liveness check to every slot it reads.
+fn check_expr_slots(
+    expr: &SlotExpr,
+    bound: &HashSet<Slot>,
+    read: &impl Fn(Slot, &HashSet<Slot>) -> Result<(), LowerError>,
+) -> Result<(), LowerError> {
+    match expr {
+        SlotExpr::Const(_) => Ok(()),
+        SlotExpr::Slot(s) => read(*s, bound),
+        SlotExpr::Add(a, b) | SlotExpr::Mul(a, b) => {
+            check_expr_slots(a, bound, read)?;
+            check_expr_slots(b, bound, read)
+        }
+        SlotExpr::Neg(a) => check_expr_slots(a, bound, read),
+    }
 }
 
 /// Lowers a validated trigger program to its slot-resolved execution plan.
@@ -242,11 +361,16 @@ pub fn lower(program: &TriggerProgram) -> Result<ExecPlan, LowerError> {
             &mut seen_patterns,
         )?);
     }
-    Ok(ExecPlan {
+    let plan = ExecPlan {
         triggers,
         map_arities: program.maps.iter().map(|m| m.key_vars.len()).collect(),
         index_registrations: registrations,
-    })
+    };
+    // Belt-and-braces: lowering tracks bound-ness while it builds the plan, but a bug
+    // there would make the executor read placeholder frame slots and return wrong
+    // numbers silently. Audit the finished plan so that failure mode is impossible.
+    plan.verify_slot_liveness()?;
+    Ok(plan)
 }
 
 /// Assigns `name` a slot, reusing an existing assignment.
@@ -372,6 +496,7 @@ fn lower_trigger(
         sign: trigger.sign,
         param_slots,
         frame_len: slots.len(),
+        weighted_firing: trigger.supports_weighted_firing(),
         statements,
     })
 }
@@ -613,6 +738,102 @@ mod tests {
         let err = lower(&program).unwrap_err();
         assert!(matches!(err, LowerError::UnboundVariable { ref var, .. } if var == "x"));
         assert!(err.to_string().contains("read before bound"));
+    }
+
+    /// Regression (silent-failure edge): a plan op reading a frame slot nothing bound
+    /// would make the executor compute with the placeholder value the frame is
+    /// initialized with. The liveness audit must reject such a plan loudly.
+    #[test]
+    fn slot_liveness_audit_rejects_read_before_bind_plans() {
+        let mut catalog = Database::new();
+        catalog.declare("C", &["cid", "nation"]).unwrap();
+        let (_, plan) = lowered(&catalog, "q[c] := Sum(C(c, n) * C(c2, n))");
+        // Every plan lower() produces passes its own audit.
+        plan.verify_slot_liveness().unwrap();
+
+        // Corrupt the plan the way a lowering bug would: make a probe read a slot no
+        // parameter and no enumeration ever writes.
+        let mut broken = plan.clone();
+        let bogus = broken.triggers[0].frame_len as Slot; // one past the frame
+        let stmt = &mut broken.triggers[0].statements[0];
+        match stmt
+            .ops
+            .iter_mut()
+            .find(|op| matches!(op, PlanOp::Probe { .. }))
+        {
+            Some(PlanOp::Probe { key_slots, .. }) => key_slots.push(bogus),
+            _ => {
+                // No probe in the first statement: corrupt a target slot instead.
+                stmt.target_slots.push(bogus);
+            }
+        }
+        let err = broken.verify_slot_liveness().unwrap_err();
+        assert!(
+            matches!(err, LowerError::UnboundSlot { slot, .. } if slot == bogus),
+            "expected UnboundSlot, got {err:?}"
+        );
+        assert!(err.to_string().contains("before it is bound"));
+
+        // An in-frame slot that is simply never bound is equally rejected: an Enumerate
+        // bound_slot pointing at a loop variable's slot before its Bind runs.
+        let mut unbound_read = plan;
+        for trigger in &mut unbound_read.triggers {
+            for stmt in &mut trigger.statements {
+                if let Some(PlanOp::Enumerate {
+                    unbound,
+                    bound_positions,
+                    bound_slots,
+                    ..
+                }) = stmt
+                    .ops
+                    .iter_mut()
+                    .find(|op| matches!(op, PlanOp::Enumerate { .. }))
+                {
+                    if let Some(UnboundKey::Bind { position, slot }) = unbound.first().copied() {
+                        // Pretend the position was already bound: reads the slot early.
+                        unbound.remove(0);
+                        bound_positions.insert(0, position);
+                        bound_slots.insert(0, slot);
+                        let err = unbound_read.verify_slot_liveness().unwrap_err();
+                        assert!(matches!(err, LowerError::UnboundSlot { .. }));
+                        return;
+                    }
+                }
+            }
+        }
+        panic!("corpus query must contain an enumerate with a Bind");
+    }
+
+    #[test]
+    fn weighted_firing_marks_degree_one_triggers_only() {
+        let mut catalog = Database::new();
+        catalog.declare("R", &["A"]).unwrap();
+        catalog.declare("C", &["cid", "nation"]).unwrap();
+        catalog.declare("Sales", &["cust", "price", "qty"]).unwrap();
+
+        // Self-join: the trigger reads the count view it maintains — unit replay only.
+        let (program, plan) = lowered(&catalog, "q := Sum(R(x) * R(y) * (x = y))");
+        for (t, pt) in program.triggers.iter().zip(&plan.triggers) {
+            assert!(!pt.weighted_firing, "self-join trigger on {}", pt.relation);
+            assert_eq!(pt.weighted_firing, t.supports_weighted_firing());
+        }
+
+        // Group-by self-join: same story.
+        let (_, plan) = lowered(&catalog, "q[c] := Sum(C(c, n) * C(c2, n))");
+        assert!(plan.triggers.iter().all(|t| !t.weighted_firing));
+
+        // A pure per-group aggregation reads no maps at all — weighted firing is sound.
+        let query = dbring_agca::sql::parse_sql(
+            "SELECT cust, SUM(price * qty) AS revenue FROM Sales GROUP BY cust",
+            &catalog,
+        )
+        .unwrap();
+        let program = compile(&catalog, &query).unwrap();
+        let plan = lower(&program).unwrap();
+        assert!(
+            plan.triggers.iter().all(|t| t.weighted_firing),
+            "degree-1 aggregation triggers must allow weighted firing"
+        );
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use dbring_compiler::{
     PlanTrigger, Slot, SlotExpr, TriggerProgram, UnboundKey,
 };
 pub use dbring_delta::{delta, Sign, UpdateEvent};
-pub use dbring_relations::{Database, Gmr, Tuple, Update, Value};
+pub use dbring_relations::{Database, DeltaBatch, DeltaGroup, Gmr, Tuple, Update, Value};
 pub use dbring_runtime::{
     interpreted_ivm, recursive_ivm, strategy_by_name, ClassicalIvm, ExecStats, Executor,
     HashViewStorage, InterpretedExecutor, MaintenanceStrategy, NaiveReeval, OrderedViewStorage,
@@ -205,14 +205,39 @@ impl<S: ViewStorage> IncrementalView<S> {
         Ok(())
     }
 
-    /// Applies a sequence of updates.
+    /// Applies a sequence of updates, one trigger firing per single-tuple update.
+    ///
+    /// **Not atomic:** a failure leaves every update *before* the failing one applied;
+    /// the wrapped [`RuntimeError::AtUpdate`] carries the failing update's index so
+    /// callers know how many landed.
     pub fn apply_all<'a>(
         &mut self,
         updates: impl IntoIterator<Item = &'a Update>,
     ) -> Result<(), Error> {
-        for u in updates {
-            self.apply(u)?;
-        }
+        self.executor.apply_all(updates)?;
+        Ok(())
+    }
+
+    /// Applies a batch of updates as one consolidated [`DeltaBatch`]: multiplicities of
+    /// identical tuples are netted out (cancelling pairs never fire), and each
+    /// `(relation, sign)` group drives its trigger with one dispatch and — where the
+    /// delta is degree ≤ 1 in the updated relation — one weighted firing per distinct
+    /// tuple, with the writes applied to each affected map in one sorted pass.
+    ///
+    /// The result is identical to [`IncrementalView::apply_all`] over the same updates
+    /// (in any order); for batches of more than a handful of updates it is faster —
+    /// see the `batch_crossover` bench and `EXPERIMENTS.md` for the crossover point.
+    /// Like `apply_all`, not atomic on error.
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<(), Error> {
+        self.executor
+            .apply_batch(&DeltaBatch::from_updates(updates))?;
+        Ok(())
+    }
+
+    /// Applies an already-normalized delta batch (the allocation of
+    /// [`DeltaBatch::from_updates`] can then be reused or amortized by the caller).
+    pub fn apply_delta_batch(&mut self, batch: &DeltaBatch) -> Result<(), Error> {
+        self.executor.apply_batch(batch)?;
         Ok(())
     }
 
@@ -366,6 +391,46 @@ mod tests {
         let program = compile(&catalog, &parse_query(text).unwrap()).unwrap();
         let strategy = strategy_by_name("recursive-ivm@ordered", program).unwrap();
         assert_eq!(strategy.strategy_name(), "recursive-ivm@ordered");
+    }
+
+    #[test]
+    fn apply_batch_matches_apply_all_and_apply_all_reports_the_failing_index() {
+        let catalog = customer_catalog();
+        let text = "q[c] := Sum(C(c, n) * C(c2, n))";
+        let updates: Vec<Update> = (0..18)
+            .map(|i| {
+                Update::insert(
+                    "C",
+                    vec![
+                        Value::int(i % 6),
+                        Value::str(["FR", "DE", "IT"][(i % 3) as usize]),
+                    ],
+                )
+            })
+            .collect();
+        let mut per_tuple = IncrementalView::from_agca(&catalog, text).unwrap();
+        per_tuple.apply_all(&updates).unwrap();
+        let mut batched = IncrementalView::from_agca(&catalog, text).unwrap();
+        batched.apply_batch(&updates).unwrap();
+        assert_eq!(per_tuple.table(), batched.table());
+        // The pre-normalized entry point behaves identically.
+        let mut prebuilt = IncrementalView::from_agca(&catalog, text).unwrap();
+        prebuilt
+            .apply_delta_batch(&DeltaBatch::from_updates(&updates))
+            .unwrap();
+        assert_eq!(per_tuple.table(), prebuilt.table());
+        // apply_all is not atomic; the error pinpoints the failing update.
+        let mut view = IncrementalView::from_agca(&catalog, text).unwrap();
+        let bad = vec![
+            Update::insert("C", vec![Value::int(1), Value::str("FR")]),
+            Update::insert("C", vec![Value::int(2)]),
+        ];
+        let err = view.apply_all(&bad).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Runtime(RuntimeError::AtUpdate { index: 1, .. })
+        ));
+        assert_eq!(view.stats().updates, 1);
     }
 
     #[test]

@@ -20,17 +20,22 @@
 //!   algebraizes sideways binding passing;
 //! * [`database`] — named relations with declared column orders, plus single-tuple
 //!   [`Update`](database::Update)s (`±R(t⃗)`), the update streams consumed by every
-//!   maintenance strategy in the workspace.
+//!   maintenance strategy in the workspace;
+//! * [`batch`] — [`DeltaBatch`](batch::DeltaBatch): a sequence of updates normalized
+//!   into consolidated, sorted per-(relation, sign) delta groups, the input of the
+//!   executors' batch paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod database;
 pub mod gmr;
 pub mod pgmr;
 pub mod tuple;
 pub mod value;
 
+pub use batch::{DeltaBatch, DeltaGroup};
 pub use database::{Database, Update};
 pub use gmr::{Gmr, GmrExt};
 pub use pgmr::Pgmr;

@@ -32,7 +32,7 @@
 //! the only state.
 
 use dbring_algebra::{Number, Semiring};
-use dbring_relations::{Database, Update, Value};
+use dbring_relations::{Database, DeltaBatch, Update, Value};
 
 use dbring_agca::ast::Query;
 use dbring_agca::eval::{compare_values, eval_all_groups, EvalError};
@@ -82,6 +82,14 @@ pub enum RuntimeError {
     UnboundVariable(String),
     /// A non-numeric value reached an arithmetic position.
     NonNumericValue(String),
+    /// A multi-update application failed at the update with the given index; every
+    /// update *before* it was already applied ([`Executor::apply_all`] is not atomic).
+    AtUpdate {
+        /// Zero-based position of the failing update in the applied sequence.
+        index: usize,
+        /// The underlying failure.
+        source: Box<RuntimeError>,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -97,11 +105,22 @@ impl std::fmt::Display for RuntimeError {
             ),
             RuntimeError::UnboundVariable(v) => write!(f, "unbound variable {v} at runtime"),
             RuntimeError::NonNumericValue(c) => write!(f, "non-numeric value in {c}"),
+            RuntimeError::AtUpdate { index, source } => write!(
+                f,
+                "update #{index} failed: {source} (updates 0..{index} were already applied)"
+            ),
         }
     }
 }
 
-impl std::error::Error for RuntimeError {}
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::AtUpdate { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Reusable buffers for the statement inner loop. Candidate bindings live in a flat
 /// value buffer (`stride` = the trigger's frame length) with a parallel accumulator
@@ -121,6 +140,19 @@ struct Scratch {
     next_accs: Vec<Number>,
     /// Key assembly buffer for probes, slices and writes.
     key_buf: Vec<Value>,
+    /// Per-map write buffers for the batch path's weighted (deferred-write) triggers,
+    /// indexed by map id. Capacity is retained across groups and batches.
+    write_bufs: Vec<WriteBuf>,
+}
+
+/// A flat write buffer for one map: `accs.len()` buffered deltas whose keys live
+/// contiguously in `keys` (stride = the map's key arity). Flat storage means buffering
+/// a write costs no allocation once the capacity is warm — the batch path stays as
+/// allocation-lean as the per-tuple path.
+#[derive(Clone, Debug, Default)]
+struct WriteBuf {
+    keys: Vec<Value>,
+    accs: Vec<Number>,
 }
 
 /// The recursive-IVM runtime for one compiled trigger program, generic over the
@@ -265,8 +297,13 @@ impl<S: ViewStorage> Executor<S> {
 
     /// Applies a single-tuple update by running the matching plan trigger. Updates whose
     /// relation does not affect the query are ignored. Updates with |multiplicity| > 1 are
-    /// treated as that many single-tuple updates.
+    /// treated as that many single-tuple updates, and an update with multiplicity 0 is an
+    /// explicit no-op: it fires nothing, checks nothing (not even arity) and leaves the
+    /// work counters untouched.
     pub fn apply(&mut self, update: &Update) -> Result<(), RuntimeError> {
+        if update.multiplicity == 0 {
+            return Ok(());
+        }
         let sign = if update.multiplicity >= 0 {
             Sign::Insert
         } else {
@@ -295,7 +332,8 @@ impl<S: ViewStorage> Executor<S> {
             });
         }
         // Build the param-initialized frame template once per update. Unbound slots hold
-        // a placeholder; the plan guarantees they are written before being read.
+        // a placeholder; `ExecPlan::verify_slot_liveness` (run at lowering) guarantees
+        // every slot is written before it is read, so the placeholder is unreachable.
         scratch.base_frame.clear();
         scratch.base_frame.resize(trigger.frame_len, Value::Int(0));
         for (&slot, value) in trigger.param_slots.iter().zip(&update.values) {
@@ -310,16 +348,160 @@ impl<S: ViewStorage> Executor<S> {
         Ok(())
     }
 
-    /// Applies a sequence of updates.
+    /// Applies a sequence of updates, one trigger firing per single-tuple update.
+    ///
+    /// **Not atomic:** updates are applied in order, and a failure leaves every update
+    /// *before* the failing one applied. The error is wrapped in
+    /// [`RuntimeError::AtUpdate`] carrying the failing update's index, so callers know
+    /// exactly how many updates landed.
     pub fn apply_all<'a>(
         &mut self,
         updates: impl IntoIterator<Item = &'a Update>,
     ) -> Result<(), RuntimeError> {
-        for u in updates {
-            self.apply(u)?;
+        for (index, u) in updates.into_iter().enumerate() {
+            self.apply(u).map_err(|e| RuntimeError::AtUpdate {
+                index,
+                source: Box::new(e),
+            })?;
         }
         Ok(())
     }
+
+    /// Applies a normalized [`DeltaBatch`] — the batch counterpart of
+    /// [`Executor::apply_all`], equivalent to applying the batch's source updates one by
+    /// one (in any order: the maintained views depend only on the net delta) but doing
+    /// per-group work once instead of per tuple:
+    ///
+    /// * one trigger dispatch and one frame-template setup per `(relation, sign)` group
+    ///   rather than per update;
+    /// * for triggers whose delta is degree ≤ 1 in the updated relation
+    ///   ([`PlanTrigger::weighted_firing`]), one firing per *distinct* tuple with the
+    ///   writes scaled by the tuple's consolidated weight — writes are buffered, sorted,
+    ///   consolidated and handed to [`ViewStorage::apply_sorted`] in one sequential pass
+    ///   per map (on ordered backends, a merge);
+    /// * for self-join-style triggers that read their own targets, a unit-replay
+    ///   fallback preserving the exact per-tuple semantics.
+    ///
+    /// Consolidation means cancelled `+t`/`-t` pairs never fire at all, and the work
+    /// counters reflect the work actually done — fewer operations than the per-tuple
+    /// path on weighted triggers is exactly the measured win.
+    ///
+    /// Integer-valued aggregates end bit-identical to the per-tuple path. Float-valued
+    /// aggregates may differ by rounding: consolidation reorders and scales the
+    /// accumulation, and IEEE-754 addition is order-sensitive.
+    ///
+    /// **Not atomic:** a failing group (e.g. an arity mismatch) leaves all previously
+    /// processed groups applied. The failing group itself is discarded wholesale on the
+    /// weighted path (its writes were still buffered, and a later call never sees them)
+    /// but may be partially applied on the unit-replay path — exactly like a failure
+    /// partway through `apply_all`.
+    pub fn apply_batch(&mut self, batch: &DeltaBatch) -> Result<(), RuntimeError> {
+        let Self {
+            plan,
+            maps,
+            dispatch,
+            stats,
+            scratch,
+            ..
+        } = self;
+        if scratch.write_bufs.len() < maps.len() {
+            scratch
+                .write_bufs
+                .resize_with(maps.len(), WriteBuf::default);
+        }
+        // A previous call that errored mid-group may have left buffered writes behind;
+        // drop them so a failed batch cannot leak into this one's flush.
+        for buf in &mut scratch.write_bufs {
+            buf.keys.clear();
+            buf.accs.clear();
+        }
+        for group in batch.groups() {
+            let sign = if group.is_insert() {
+                Sign::Insert
+            } else {
+                Sign::Delete
+            };
+            let Some(trigger_index) = dispatch
+                .get(group.relation())
+                .and_then(|per_sign| per_sign[sign_index(sign)])
+            else {
+                continue;
+            };
+            let trigger = &plan.triggers[trigger_index];
+            // One frame template per group; each delta only rewrites the param slots.
+            scratch.base_frame.clear();
+            scratch.base_frame.resize(trigger.frame_len, Value::Int(0));
+            for (values, weight) in group.deltas() {
+                if trigger.param_slots.len() != values.len() {
+                    return Err(RuntimeError::ArityMismatch {
+                        relation: group.relation().to_string(),
+                        expected: trigger.param_slots.len(),
+                        got: values.len(),
+                    });
+                }
+                for (&slot, value) in trigger.param_slots.iter().zip(values.iter()) {
+                    scratch.base_frame[slot as usize] = value.clone();
+                }
+                if trigger.weighted_firing {
+                    // One firing, writes scaled by the consolidated weight and buffered:
+                    // the trigger reads none of its targets, so every unit firing would
+                    // compute identical writes and deferring them changes nothing.
+                    stats.updates += *weight as u64;
+                    for stmt in &trigger.statements {
+                        eval_statement_ops(maps, stats, scratch, trigger, stmt)?;
+                        buffer_statement_writes(scratch, stats, trigger, stmt, *weight);
+                    }
+                } else {
+                    // Unit replay: the trigger reads maps it writes (a self-join), so
+                    // each of the `weight` firings must see the previous one's writes.
+                    for _ in 0..*weight {
+                        stats.updates += 1;
+                        for stmt in &trigger.statements {
+                            run_statement(maps, stats, scratch, trigger, stmt)?;
+                        }
+                    }
+                }
+            }
+            if trigger.weighted_firing {
+                // Fire each affected map once: sort, consolidate, one sequential pass.
+                for stmt in &trigger.statements {
+                    let arity = plan.map_arities[stmt.target];
+                    let buf = &mut scratch.write_bufs[stmt.target];
+                    if buf.accs.is_empty() {
+                        continue;
+                    }
+                    let mut refs: Vec<(&[Value], Number)> = buf
+                        .accs
+                        .iter()
+                        .enumerate()
+                        .map(|(row, &acc)| (&buf.keys[row * arity..(row + 1) * arity], acc))
+                        .collect();
+                    consolidate_sorted(&mut refs);
+                    maps[stmt.target].apply_sorted(&refs);
+                    drop(refs);
+                    buf.keys.clear();
+                    buf.accs.clear();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sorts a write buffer by key, sums duplicate keys, and drops zero sums, in place.
+fn consolidate_sorted(refs: &mut Vec<(&[Value], Number)>) {
+    refs.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    let mut kept = 0usize;
+    for i in 0..refs.len() {
+        if kept > 0 && refs[kept - 1].0 == refs[i].0 {
+            refs[kept - 1].1 = refs[kept - 1].1.add(&refs[i].1);
+        } else {
+            refs[kept] = refs[i];
+            kept += 1;
+        }
+    }
+    refs.truncate(kept);
+    refs.retain(|(_, v)| !v.is_zero());
 }
 
 fn sign_index(sign: Sign) -> usize {
@@ -356,9 +538,77 @@ pub(crate) fn initialize_maps<S: ViewStorage>(
     Ok(())
 }
 
-/// Runs one lowered statement over the scratch frames and applies its writes.
+/// Runs one lowered statement over the scratch frames and applies its writes directly.
 fn run_statement<S: ViewStorage>(
     maps: &mut [S],
+    stats: &mut ExecStats,
+    scratch: &mut Scratch,
+    trigger: &PlanTrigger,
+    stmt: &PlanStatement,
+) -> Result<(), RuntimeError> {
+    eval_statement_ops(maps, stats, scratch, trigger, stmt)?;
+    // Apply the writes. All reads of this statement are complete (a statement never
+    // reads its own writes), so writing directly from the surviving frames is safe.
+    let stride = trigger.frame_len.max(1);
+    let Scratch {
+        cur_vals,
+        cur_accs,
+        key_buf,
+        ..
+    } = scratch;
+    let target = &mut maps[stmt.target];
+    for row in 0..cur_accs.len() {
+        let acc = cur_accs[row];
+        if acc.is_zero() {
+            continue;
+        }
+        stats.additions += 1;
+        key_buf.clear();
+        for &s in &stmt.target_slots {
+            key_buf.push(cur_vals[row * stride + s as usize].clone());
+        }
+        target.add_ref(key_buf, stmt.coefficient.mul(&acc));
+    }
+    Ok(())
+}
+
+/// Pushes one evaluated statement's writes — scaled by a batch weight — into the
+/// scratch write buffer of the statement's target map, instead of applying them.
+/// Only sound for weighted (degree ≤ 1) triggers, whose reads never see their writes.
+fn buffer_statement_writes(
+    scratch: &mut Scratch,
+    stats: &mut ExecStats,
+    trigger: &PlanTrigger,
+    stmt: &PlanStatement,
+    weight: i64,
+) {
+    let stride = trigger.frame_len.max(1);
+    let Scratch {
+        cur_vals,
+        cur_accs,
+        write_bufs,
+        ..
+    } = scratch;
+    let buf = &mut write_bufs[stmt.target];
+    let scale = stmt.coefficient.mul(&Number::Int(weight));
+    for row in 0..cur_accs.len() {
+        let acc = cur_accs[row];
+        if acc.is_zero() {
+            continue;
+        }
+        stats.additions += 1;
+        for &s in &stmt.target_slots {
+            buf.keys.push(cur_vals[row * stride + s as usize].clone());
+        }
+        buf.accs.push(scale.mul(&acc));
+    }
+}
+
+/// Runs one lowered statement's op sequence over the scratch frames, leaving the
+/// surviving candidates (and their accumulated products) in `scratch.cur_vals` /
+/// `scratch.cur_accs`. Reads the maps, writes nothing.
+fn eval_statement_ops<S: ViewStorage>(
+    maps: &[S],
     stats: &mut ExecStats,
     scratch: &mut Scratch,
     trigger: &PlanTrigger,
@@ -372,6 +622,7 @@ fn run_statement<S: ViewStorage>(
         next_vals,
         next_accs,
         key_buf,
+        ..
     } = scratch;
     // One initial candidate: the parameters, with accumulator 1.
     cur_vals.clear();
@@ -500,21 +751,6 @@ fn run_statement<S: ViewStorage>(
         }
     }
 
-    // Apply the writes. All reads of this statement are complete (a statement never
-    // reads its own writes), so writing directly from the surviving frames is safe.
-    let target = &mut maps[stmt.target];
-    for row in 0..cur_accs.len() {
-        let acc = cur_accs[row];
-        if acc.is_zero() {
-            continue;
-        }
-        stats.additions += 1;
-        key_buf.clear();
-        for &s in &stmt.target_slots {
-            key_buf.push(cur_vals[row * stride + s as usize].clone());
-        }
-        target.add_ref(key_buf, stmt.coefficient.mul(&acc));
-    }
     Ok(())
 }
 
@@ -676,6 +912,171 @@ mod tests {
         // key... group key is cid=1, so the count is 9.
         assert_eq!(exec.output_value(&[Value::int(1)]), Number::Int(9));
         assert_eq!(exec.stats().updates, 3);
+    }
+
+    #[test]
+    fn zero_multiplicity_updates_are_explicit_no_ops() {
+        let mut exec = Executor::new(customers_program());
+        exec.apply(&insert(1, "FR")).unwrap();
+        let stats = exec.stats();
+        let table = exec.output_table();
+        let mut zero = insert(2, "DE");
+        zero.multiplicity = 0;
+        exec.apply(&zero).unwrap();
+        // Even a malformed zero-multiplicity update is a no-op, not an arity error:
+        // nothing would have fired anyway.
+        let mut zero_bad_arity = Update::insert("C", vec![Value::int(1)]);
+        zero_bad_arity.multiplicity = 0;
+        exec.apply(&zero_bad_arity).unwrap();
+        assert_eq!(exec.stats(), stats);
+        assert_eq!(exec.output_table(), table);
+    }
+
+    #[test]
+    fn apply_all_attaches_the_failing_updates_index() {
+        let mut exec = Executor::new(customers_program());
+        let updates = vec![
+            insert(1, "FR"),
+            insert(2, "DE"),
+            Update::insert("C", vec![Value::int(3)]), // arity error at index 2
+            insert(4, "IT"),
+        ];
+        let err = exec.apply_all(&updates).unwrap_err();
+        match &err {
+            RuntimeError::AtUpdate { index, source } => {
+                assert_eq!(*index, 2);
+                assert!(matches!(**source, RuntimeError::ArityMismatch { .. }));
+            }
+            other => panic!("expected AtUpdate, got {other:?}"),
+        }
+        assert!(err.to_string().contains("update #2"));
+        assert!(std::error::Error::source(&err).is_some());
+        // Non-atomicity: the two updates before the failure landed.
+        assert_eq!(exec.stats().updates, 2);
+        assert_eq!(exec.output_value(&[Value::int(1)]), Number::Int(1));
+    }
+
+    #[test]
+    fn apply_batch_matches_apply_all_on_a_unit_replay_program() {
+        // The customers self-join reads the maps its triggers write, so the batch path
+        // must unit-replay — and with no in-batch cancellation, do *identical* work.
+        let updates: Vec<Update> = (0..30)
+            .map(|i| insert(i, ["FR", "DE", "IT"][(i % 3) as usize]))
+            .collect();
+        let mut per_tuple = Executor::new(customers_program());
+        per_tuple.apply_all(&updates).unwrap();
+        let mut batched = Executor::new(customers_program());
+        batched
+            .apply_batch(&DeltaBatch::from_updates(&updates))
+            .unwrap();
+        assert_eq!(per_tuple.output_table(), batched.output_table());
+        assert_eq!(per_tuple.total_entries(), batched.total_entries());
+        assert_eq!(per_tuple.stats(), batched.stats());
+    }
+
+    #[test]
+    fn apply_batch_fires_weighted_triggers_once_per_distinct_tuple() {
+        // Per-customer revenue: a degree-1 aggregation whose triggers read no maps.
+        let mut catalog = Database::new();
+        catalog.declare("Sales", &["cust", "price", "qty"]).unwrap();
+        let q = dbring_agca::sql::parse_sql(
+            "SELECT cust, SUM(price * qty) AS revenue FROM Sales GROUP BY cust",
+            &catalog,
+        )
+        .unwrap();
+        let program = compile(&catalog, &q).unwrap();
+        assert!(Executor::new(program.clone()).plan().triggers[0].weighted_firing);
+
+        let row = |c: i64, p: f64, q: i64| {
+            Update::insert("Sales", vec![Value::int(c), Value::float(p), Value::int(q)])
+        };
+        // The same sale three times plus two distinct ones: the batch consolidates to
+        // three distinct tuples and fires three times, not five.
+        let updates = vec![
+            row(1, 2.5, 4),
+            row(1, 2.5, 4),
+            row(1, 2.5, 4),
+            row(2, 1.0, 3),
+            row(1, 9.0, 1),
+        ];
+        let mut per_tuple = Executor::new(program.clone());
+        per_tuple.apply_all(&updates).unwrap();
+        let mut batched = Executor::new(program);
+        batched
+            .apply_batch(&DeltaBatch::from_updates(&updates))
+            .unwrap();
+        assert_eq!(per_tuple.output_table(), batched.output_table());
+        // Same logical updates...
+        assert_eq!(batched.stats().updates, 5);
+        // ...but strictly less ring work: the weight-3 tuple fired once.
+        assert!(batched.stats().additions < per_tuple.stats().additions);
+    }
+
+    #[test]
+    fn apply_batch_cancels_update_pairs_before_firing() {
+        let mut exec = Executor::new(customers_program());
+        exec.apply(&insert(1, "FR")).unwrap();
+        let stats = exec.stats();
+        let table = exec.output_table();
+        // +t / -t inside one batch nets to nothing: no trigger fires at all.
+        let cancelling = [insert(9, "DE"), delete(9, "DE")];
+        let batch = DeltaBatch::from_updates(&cancelling);
+        assert!(batch.is_empty());
+        exec.apply_batch(&batch).unwrap();
+        assert_eq!(exec.stats(), stats);
+        assert_eq!(exec.output_table(), table);
+    }
+
+    /// Regression: a weighted group that errors *after* buffering some writes must not
+    /// leak those writes into a later, unrelated `apply_batch` call's flush.
+    #[test]
+    fn failed_weighted_group_does_not_leak_buffered_writes_into_the_next_batch() {
+        let mut catalog = Database::new();
+        catalog.declare("Sales", &["cust", "cents", "qty"]).unwrap();
+        let q = dbring_agca::sql::parse_sql(
+            "SELECT cust, SUM(cents * qty) AS revenue FROM Sales GROUP BY cust",
+            &catalog,
+        )
+        .unwrap();
+        let mut exec = Executor::new(compile(&catalog, &q).unwrap());
+        // Valid delta first (buffered), then a bad-arity delta: the group fails before
+        // its flush, so nothing may land.
+        let failing = [
+            Update::insert("Sales", vec![Value::int(0), Value::int(10), Value::int(1)]),
+            Update::insert("Sales", vec![Value::int(9)]),
+        ];
+        let err = exec
+            .apply_batch(&DeltaBatch::from_updates(&failing))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::ArityMismatch { .. }));
+        assert!(exec.output_table().is_empty(), "failed group must not land");
+        // A later successful batch must apply exactly its own updates.
+        let good = [Update::insert(
+            "Sales",
+            vec![Value::int(5), Value::int(2), Value::int(3)],
+        )];
+        exec.apply_batch(&DeltaBatch::from_updates(&good)).unwrap();
+        assert_eq!(exec.output_table().len(), 1);
+        assert_eq!(exec.output_value(&[Value::int(5)]), Number::Int(6));
+        assert_eq!(exec.output_value(&[Value::int(0)]), Number::Int(0));
+    }
+
+    #[test]
+    fn apply_batch_checks_arity_and_ignores_irrelevant_relations() {
+        let mut exec = Executor::new(customers_program());
+        exec.apply_batch(&DeltaBatch::from_updates(&[Update::insert(
+            "Other",
+            vec![Value::int(1)],
+        )]))
+        .unwrap();
+        assert!(exec.output_table().is_empty());
+        let err = exec
+            .apply_batch(&DeltaBatch::from_updates(&[Update::insert(
+                "C",
+                vec![Value::int(1)],
+            )]))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::ArityMismatch { .. }));
     }
 
     #[test]

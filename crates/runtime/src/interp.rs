@@ -12,7 +12,7 @@
 use std::collections::{HashMap, HashSet};
 
 use dbring_algebra::{Number, Semiring};
-use dbring_relations::{Database, Update, Value};
+use dbring_relations::{Database, DeltaBatch, Update, Value};
 
 use dbring_agca::eval::{compare_values, EvalError};
 use dbring_compiler::{RhsFactor, ScalarExpr, Statement, TriggerProgram};
@@ -125,8 +125,13 @@ impl<S: ViewStorage> InterpretedExecutor<S> {
         crate::executor::initialize_maps(&self.program, &mut self.maps, db)
     }
 
-    /// Applies a single-tuple update by interpreting the matching trigger.
+    /// Applies a single-tuple update by interpreting the matching trigger. As in the
+    /// lowered executor, an update with multiplicity 0 is an explicit no-op: it fires
+    /// nothing, checks nothing (not even arity) and leaves the work counters untouched.
     pub fn apply(&mut self, update: &Update) -> Result<(), RuntimeError> {
+        if update.multiplicity == 0 {
+            return Ok(());
+        }
         let sign = if update.multiplicity >= 0 {
             Sign::Insert
         } else {
@@ -158,28 +163,112 @@ impl<S: ViewStorage> InterpretedExecutor<S> {
             self.stats.updates += 1;
             for stmt_index in 0..self.program.triggers[trigger_index].statements.len() {
                 let stmt = &self.program.triggers[trigger_index].statements[stmt_index];
-                Self::execute_statement(&mut self.maps, &mut self.stats, stmt, &env)?;
+                Self::execute_statement(
+                    &mut self.maps,
+                    &mut self.stats,
+                    stmt,
+                    &env,
+                    Number::Int(1),
+                )?;
             }
         }
         Ok(())
     }
 
     /// Applies a sequence of updates.
+    ///
+    /// **Not atomic:** updates are applied in order, and a failure leaves every update
+    /// *before* the failing one applied. The error is wrapped in
+    /// [`RuntimeError::AtUpdate`] carrying the failing update's index, exactly like the
+    /// lowered [`Executor::apply_all`](crate::executor::Executor::apply_all).
     pub fn apply_all<'a>(
         &mut self,
         updates: impl IntoIterator<Item = &'a Update>,
     ) -> Result<(), RuntimeError> {
-        for u in updates {
-            self.apply(u)?;
+        for (index, u) in updates.into_iter().enumerate() {
+            self.apply(u).map_err(|e| RuntimeError::AtUpdate {
+                index,
+                source: Box::new(e),
+            })?;
         }
         Ok(())
     }
 
+    /// Applies a normalized [`DeltaBatch`]: the reference counterpart of the lowered
+    /// [`Executor::apply_batch`](crate::executor::Executor::apply_batch), maintaining
+    /// the same semantics (consolidation, weighted firing for triggers whose delta is
+    /// degree ≤ 1 in the updated relation, unit replay otherwise) and identical
+    /// [`ExecStats`] accounting, so the two batch paths can be tested against each
+    /// other exactly — on *successful* applications. Not atomic, like the lowered
+    /// path; after a mid-group error the two paths may differ in how much of the
+    /// failing group landed (the interpreter writes per delta, the lowered weighted
+    /// path discards its buffered group).
+    pub fn apply_batch(&mut self, batch: &DeltaBatch) -> Result<(), RuntimeError> {
+        for group in batch.groups() {
+            let sign = if group.is_insert() {
+                Sign::Insert
+            } else {
+                Sign::Delete
+            };
+            let Some(trigger_index) = self
+                .program
+                .triggers
+                .iter()
+                .position(|t| t.relation == group.relation() && t.sign == sign)
+            else {
+                continue;
+            };
+            // Weighted firing reads no map the trigger writes, so immediate writes and
+            // the lowered path's deferred ones land in identical final states.
+            let weighted = self.program.triggers[trigger_index].supports_weighted_firing();
+            for (values, weight) in group.deltas() {
+                let trigger = &self.program.triggers[trigger_index];
+                if trigger.params.len() != values.len() {
+                    return Err(RuntimeError::ArityMismatch {
+                        relation: group.relation().to_string(),
+                        expected: trigger.params.len(),
+                        got: values.len(),
+                    });
+                }
+                let env: HashMap<String, Value> = trigger
+                    .params
+                    .iter()
+                    .cloned()
+                    .zip(values.iter().cloned())
+                    .collect();
+                let firings = if weighted { 1 } else { *weight };
+                let scale = if weighted {
+                    Number::Int(*weight)
+                } else {
+                    Number::Int(1)
+                };
+                for _ in 0..firings {
+                    self.stats.updates += if weighted { *weight as u64 } else { 1 };
+                    for stmt_index in 0..self.program.triggers[trigger_index].statements.len() {
+                        let stmt = &self.program.triggers[trigger_index].statements[stmt_index];
+                        Self::execute_statement(
+                            &mut self.maps,
+                            &mut self.stats,
+                            stmt,
+                            &env,
+                            scale,
+                        )?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Interprets one statement against `base_env`, writing `scale ×` its deltas
+    /// (`scale` is 1 for single-tuple firings, the consolidated weight for the batch
+    /// path's weighted firings).
     fn execute_statement(
         maps: &mut [S],
         stats: &mut ExecStats,
         stmt: &Statement,
         base_env: &HashMap<String, Value>,
+        scale: Number,
     ) -> Result<(), RuntimeError> {
         // The set of candidate bindings, each with the product accumulated so far.
         let mut envs: Vec<(HashMap<String, Value>, Number)> =
@@ -281,7 +370,7 @@ impl<S: ViewStorage> InterpretedExecutor<S> {
                         .ok_or_else(|| RuntimeError::UnboundVariable(var.clone()))?,
                 );
             }
-            writes.push((key, stmt.coefficient.mul(&acc)));
+            writes.push((key, stmt.coefficient.mul(&scale).mul(&acc)));
         }
         for (key, delta) in writes {
             stats.additions += 1;
@@ -342,6 +431,69 @@ mod tests {
         assert!(exec.total_entries() > 0);
         assert!(exec.program().statement_count() > 0);
         assert_eq!(exec.map(exec.program().output).len(), exec.output().len());
+    }
+
+    #[test]
+    fn interpreter_batch_path_matches_the_lowered_batch_path_exactly() {
+        let mut catalog = Database::new();
+        catalog.declare("C", &["cid", "nation"]).unwrap();
+        catalog.declare("Sales", &["cust", "price", "qty"]).unwrap();
+        // One unit-replay query and one weighted (degree-1) query.
+        let queries = [
+            parse_query("q[c] := Sum(C(c, n) * C(c2, n))").unwrap(),
+            dbring_agca::sql::parse_sql(
+                "SELECT cust, SUM(price * qty) AS revenue FROM Sales GROUP BY cust",
+                &catalog,
+            )
+            .unwrap(),
+        ];
+        let updates: Vec<Update> = (0..20)
+            .flat_map(|i| {
+                [
+                    Update::insert("C", vec![Value::int(i % 6), Value::int(i % 3)]),
+                    Update::insert(
+                        "Sales",
+                        vec![Value::int(i % 4), Value::float(1.5), Value::int(i % 5)],
+                    ),
+                ]
+            })
+            .collect();
+        let batch = dbring_relations::DeltaBatch::from_updates(&updates);
+        for query in &queries {
+            let program = compile(&catalog, query).unwrap();
+            let mut interp = InterpretedExecutor::new(program.clone());
+            interp.apply_batch(&batch).unwrap();
+            let mut lowered = crate::executor::Executor::new(program.clone());
+            lowered.apply_batch(&batch).unwrap();
+            assert_eq!(interp.output_table(), lowered.output_table());
+            assert_eq!(interp.total_entries(), lowered.total_entries());
+            assert_eq!(interp.stats(), lowered.stats(), "on {}", query.name);
+            // And the batch matches the per-update reference semantics.
+            let mut per_tuple = InterpretedExecutor::new(program);
+            per_tuple.apply_all(&updates).unwrap();
+            assert_eq!(interp.output_table(), per_tuple.output_table());
+        }
+    }
+
+    #[test]
+    fn interpreter_no_ops_zero_multiplicity_and_indexes_apply_all_errors() {
+        let mut catalog = Database::new();
+        catalog.declare("R", &["A"]).unwrap();
+        let q = parse_query("q := Sum(R(x))").unwrap();
+        let mut exec = InterpretedExecutor::new(compile(&catalog, &q).unwrap());
+        let mut zero = Update::insert("R", vec![Value::int(1)]);
+        zero.multiplicity = 0;
+        exec.apply(&zero).unwrap();
+        assert_eq!(exec.stats(), ExecStats::default());
+        let err = exec
+            .apply_all(&[
+                Update::insert("R", vec![Value::int(1)]),
+                Update::insert("R", vec![]),
+            ])
+            .unwrap_err();
+        assert!(matches!(&err, RuntimeError::AtUpdate { index: 1, source }
+                if matches!(**source, RuntimeError::ArityMismatch { .. })));
+        assert_eq!(exec.stats().updates, 1, "update 0 was already applied");
     }
 
     #[test]

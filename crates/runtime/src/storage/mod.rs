@@ -85,6 +85,28 @@ pub trait ViewStorage: Clone + fmt::Debug {
     /// Panics if the key arity does not match.
     fn add_ref(&mut self, key: &[Value], delta: Number);
 
+    /// Accumulates a consolidated batch of ring deltas whose keys are **strictly
+    /// ascending** (sorted, no duplicates) — the batch-execution write path, fed by
+    /// [`DeltaBatch`](dbring_relations::DeltaBatch)-driven triggers that buffer,
+    /// sort and consolidate their writes per map. The keys are borrowed (they point
+    /// into the executor's reusable write buffers), so a backend clones only what it
+    /// actually inserts.
+    ///
+    /// The default is a per-key [`add_ref`](ViewStorage::add_ref) loop (the right thing
+    /// for hash backends, where sortedness buys nothing); ordered backends override it
+    /// with a single sequential merge pass so a large batch costs O(n + k) instead of
+    /// O(k log n). Zero deltas are ignored either way, and index maintenance and
+    /// zero-pruning behave exactly as `add_ref`.
+    fn apply_sorted(&mut self, deltas: &[(&[Value], Number)]) {
+        debug_assert!(
+            deltas.windows(2).all(|w| w[0].0 < w[1].0),
+            "apply_sorted requires strictly ascending keys"
+        );
+        for (key, delta) in deltas {
+            self.add_ref(key, *delta);
+        }
+    }
+
     /// Overwrites the value under `key` (used by initialization).
     fn set(&mut self, key: Vec<Value>, value: Number) {
         let delta = value.add(&self.get(&key).neg());
@@ -271,6 +293,118 @@ mod tests {
         assert_eq!(m.indexes, 1);
         assert_eq!(m.index_entries, 3);
         assert_eq!(StorageFootprint::default().entries, 0);
+    }
+
+    /// `apply_sorted` must be indistinguishable from the equivalent `add_ref` loop on
+    /// every backend — same tables, same pruning, same index maintenance — for batches
+    /// small (point path) and large (the ordered backend's merge path) relative to the
+    /// map, including zero deltas, zero-sum pruning and brand-new keys.
+    #[test]
+    fn apply_sorted_matches_the_add_ref_loop_on_both_backends() {
+        fn check<S: ViewStorage>() {
+            for batch_scale in [1usize, 12] {
+                let mut batched = S::new(2);
+                let mut looped = S::new(2);
+                for m in [&mut batched, &mut looped] {
+                    m.register_index(vec![1]);
+                    for i in 0..64i64 {
+                        m.add(key(&[i, i % 4]), Number::Int(i + 1));
+                    }
+                }
+                // scale 1 keeps the batch below the merge threshold (point path on the
+                // ordered backend); scale 12 crosses it (merge path).
+                let mut deltas: Vec<(Vec<Value>, Number)> = Vec::new();
+                for i in 0..(batch_scale as i64) {
+                    // Mix: existing keys (some summed to zero), new keys, zero deltas.
+                    deltas.push((key(&[3 * i, 3 * i % 4]), Number::Int(-(3 * i + 1))));
+                    deltas.push((key(&[3 * i + 1, (3 * i + 1) % 4]), Number::Int(5)));
+                    deltas.push((key(&[100 + i, 0]), Number::Int(7)));
+                    deltas.push((key(&[200 + i, 1]), Number::Int(0)));
+                }
+                deltas.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                deltas.dedup_by(|a, b| a.0 == b.0);
+                let refs: Vec<(&[Value], Number)> =
+                    deltas.iter().map(|(k, d)| (k.as_slice(), *d)).collect();
+                batched.apply_sorted(&refs);
+                for (k, d) in &deltas {
+                    looped.add_ref(k, *d);
+                }
+                assert_eq!(batched.to_table(), looped.to_table());
+                assert_eq!(batched.len(), looped.len());
+                assert_eq!(batched.footprint(), looped.footprint());
+                // Index maintenance survived the batch: slices still see every entry.
+                for n in 0..4 {
+                    let mut via_batch = slice_entries(&batched, &[1], &key(&[n]));
+                    let mut via_loop = slice_entries(&looped, &[1], &key(&[n]));
+                    via_batch.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                    via_loop.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                    assert_eq!(via_batch, via_loop);
+                }
+            }
+        }
+        check::<HashViewStorage>();
+        check::<OrderedViewStorage>();
+    }
+
+    /// Regression (shared across backends): registering an index *after* entries exist —
+    /// including permuted-key (non-prefix) patterns, and after zero-sum removals — must
+    /// serve exactly the matches a scan over the live entries finds. The hash backend
+    /// had this bug (fixed in an earlier change); this pins both backends to the same
+    /// contract so the ordered backend cannot regress to it either.
+    #[test]
+    fn late_index_registration_backfill_parity_across_backends() {
+        fn scan_matches<S: ViewStorage>(
+            m: &S,
+            positions: &[usize],
+            values: &[Value],
+        ) -> Vec<(Vec<Value>, Number)> {
+            let mut out = Vec::new();
+            m.for_each_slice_scan(positions, values, |k, v| out.push((k.to_vec(), v)));
+            out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            out
+        }
+        fn check<S: ViewStorage>() {
+            let mut m = S::new(3);
+            for (a, b, c, v) in [
+                (1, 10, 7, 2),
+                (1, 11, 7, 3),
+                (2, 10, 8, 4),
+                (2, 12, 7, 5),
+                (3, 10, 7, 6),
+            ] {
+                m.add(key(&[a, b, c]), Number::Int(v));
+            }
+            // Zero-sum removals *before* registration: the index must not resurrect them.
+            m.add(key(&[1, 11, 7]), Number::Int(-3));
+            m.add(key(&[2, 10, 8]), Number::Int(-4));
+            // Late registration of permuted (non-prefix) patterns over existing entries.
+            m.register_index(vec![2]);
+            m.register_index(vec![1, 2]);
+            for (positions, values) in [
+                (vec![2], key(&[7])),
+                (vec![2], key(&[8])),
+                (vec![1, 2], key(&[10, 7])),
+                (vec![1, 2], key(&[11, 7])),
+            ] {
+                let mut indexed = slice_entries(&m, &positions, &values);
+                indexed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                assert_eq!(
+                    indexed,
+                    scan_matches(&m, &positions, &values),
+                    "backfilled index diverged from a scan on pattern {positions:?}"
+                );
+            }
+            // Registered indexes keep tracking writes and zero-sum removals afterwards.
+            m.add(key(&[4, 13, 7]), Number::Int(9));
+            m.add(key(&[1, 10, 7]), Number::Int(-2));
+            for (positions, values) in [(vec![2], key(&[7])), (vec![1, 2], key(&[13, 7]))] {
+                let mut indexed = slice_entries(&m, &positions, &values);
+                indexed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                assert_eq!(indexed, scan_matches(&m, &positions, &values));
+            }
+        }
+        check::<HashViewStorage>();
+        check::<OrderedViewStorage>();
     }
 
     /// The trait's provided `set` and `to_table` behave identically on both backends.

@@ -24,6 +24,20 @@ pub trait MaintenanceStrategy {
     /// Applies one single-tuple update.
     fn apply_update(&mut self, update: &Update) -> Result<(), String>;
 
+    /// Applies a batch of updates. The default loops [`apply_update`]; strategies with
+    /// a real batch path (the trigger-program executors) override it to consolidate the
+    /// batch into a [`DeltaBatch`](dbring_relations::DeltaBatch) and fire each affected
+    /// map once. Either way the result equals applying the updates one by one; like the
+    /// per-update path, a mid-batch failure is not rolled back.
+    ///
+    /// [`apply_update`]: MaintenanceStrategy::apply_update
+    fn apply_update_batch(&mut self, updates: &[Update]) -> Result<(), String> {
+        for update in updates {
+            self.apply_update(update)?;
+        }
+        Ok(())
+    }
+
     /// The current query result as a sorted table. Groups whose aggregate is zero may be
     /// omitted.
     fn current_result(&self) -> BTreeMap<Vec<Value>, Number>;
@@ -58,6 +72,12 @@ macro_rules! impl_executor_strategy {
 
             fn apply_update(&mut self, update: &Update) -> Result<(), String> {
                 self.apply(update).map_err(|e| e.to_string())
+            }
+
+            // The real batch path: consolidate once, fire each affected map once.
+            fn apply_update_batch(&mut self, updates: &[Update]) -> Result<(), String> {
+                self.apply_batch(&dbring_relations::DeltaBatch::from_updates(updates))
+                    .map_err(|e| e.to_string())
             }
 
             fn current_result(&self) -> BTreeMap<Vec<Value>, Number> {
@@ -202,6 +222,32 @@ mod tests {
         let mut expected = BTreeMap::new();
         expected.insert(vec![], Number::Int(1));
         expected
+    }
+
+    #[test]
+    fn batch_application_agrees_with_per_update_application_for_every_strategy() {
+        let updates: Vec<Update> = (0..12)
+            .map(|i| Update::insert("R", vec![Value::int(i % 4)]))
+            .chain((0..3).map(|i| Update::delete("R", vec![Value::int(i)])))
+            .collect();
+        for name in [
+            "recursive-ivm",
+            "recursive-ivm@ordered",
+            "recursive-ivm-interpreted",
+            "recursive-ivm-interpreted@ordered",
+        ] {
+            let mut per_update = strategy_by_name(name, sum_program()).unwrap();
+            for u in &updates {
+                per_update.apply_update(u).unwrap();
+            }
+            let mut batched = strategy_by_name(name, sum_program()).unwrap();
+            batched.apply_update_batch(&updates).unwrap();
+            assert_eq!(
+                per_update.current_result(),
+                batched.current_result(),
+                "{name}"
+            );
+        }
     }
 
     #[test]

@@ -14,9 +14,9 @@ use dbring_agca::eval::eval_all_groups;
 use dbring_agca::parser::parse_query;
 use dbring_algebra::{Number, Semiring};
 use dbring_compiler::compile;
-use dbring_relations::{Database, Update, Value};
+use dbring_relations::{Database, DeltaBatch, Update, Value};
 use dbring_runtime::{
-    ExecStats, Executor, HashViewStorage, InterpretedExecutor, OrderedViewStorage,
+    ExecStats, Executor, HashViewStorage, InterpretedExecutor, OrderedViewStorage, ViewStorage,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -122,6 +122,79 @@ proptest! {
                 lowered_hash.storage_footprint().entries,
                 lowered_ordered.storage_footprint().entries
             );
+        }
+    }
+}
+
+/// A deterministic Fisher–Yates permutation of a trace, driven by a cheap LCG so the
+/// proptest input fully determines the order (the offline proptest stand-in has no
+/// `Shuffle` strategy).
+fn permute(mut trace: Vec<Update>, mut seed: u64) -> Vec<Update> {
+    for i in (1..trace.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        trace.swap(i, j);
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole's correctness bar: `apply_batch` over *any* chunking of *any*
+    /// permutation of a mixed-multiplicity trace ends in exactly the tables the
+    /// per-tuple `apply_all` reaches, on every backend × executor combination. (The
+    /// maintained views depend only on the net delta, which permutation, chunking and
+    /// in-batch consolidation all preserve.)
+    #[test]
+    fn apply_batch_matches_per_tuple_apply_all_across_backends_and_executors(
+        trace in prop::collection::vec(arb_update(), 1..60),
+        chunk in 1usize..9,
+        perm_seed in 0u64..u64::MAX,
+    ) {
+        type Table = BTreeMap<Vec<Value>, Number>;
+        fn batch_tables<S: ViewStorage>(
+            program: &dbring_compiler::TriggerProgram,
+            chunks: &[&[Update]],
+        ) -> (Table, Table, usize, usize) {
+            let mut lowered = Executor::<S>::with_backend(program.clone());
+            let mut interp = InterpretedExecutor::<S>::with_backend(program.clone());
+            for chunk in chunks {
+                let batch = DeltaBatch::from_updates(*chunk);
+                lowered.apply_batch(&batch).unwrap();
+                interp.apply_batch(&batch).unwrap();
+            }
+            // The two batch paths also account their work identically.
+            assert_eq!(lowered.stats(), interp.stats());
+            (
+                lowered.output_table(),
+                interp.output_table(),
+                lowered.total_entries(),
+                interp.total_entries(),
+            )
+        }
+        let catalog = catalog();
+        let permuted = permute(trace.clone(), perm_seed);
+        let chunks: Vec<&[Update]> = permuted.chunks(chunk).collect();
+        for query in corpus() {
+            let program = compile(&catalog, &query).unwrap();
+            let mut reference = Executor::new(program.clone());
+            reference.apply_all(&trace).unwrap();
+            let expected = reference.output_table();
+            let expected_entries = reference.total_entries();
+            let (lh, ih, leh, ieh) = batch_tables::<HashViewStorage>(&program, &chunks);
+            let (lo, io, leo, ieo) = batch_tables::<OrderedViewStorage>(&program, &chunks);
+            prop_assert_eq!(&lh, &expected, "lowered/hash diverged on {}", &query.name);
+            prop_assert_eq!(&ih, &expected, "interp/hash diverged on {}", &query.name);
+            prop_assert_eq!(&lo, &expected, "lowered/ordered diverged on {}", &query.name);
+            prop_assert_eq!(&io, &expected, "interp/ordered diverged on {}", &query.name);
+            // The whole view hierarchy (not just the output map) converged too.
+            prop_assert_eq!(leh, expected_entries);
+            prop_assert_eq!(ieh, expected_entries);
+            prop_assert_eq!(leo, expected_entries);
+            prop_assert_eq!(ieo, expected_entries);
         }
     }
 }

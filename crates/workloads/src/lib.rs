@@ -295,6 +295,44 @@ pub fn sales_revenue(config: WorkloadConfig) -> Workload {
     }
 }
 
+/// The integer-cent variant of [`sales_revenue`]: the same degree-1 per-customer
+/// aggregation with prices in whole cents, so every aggregate stays in `ℤ` and results
+/// are *bit*-comparable across execution paths that accumulate in different orders
+/// (per-tuple vs batch — float addition is order-sensitive, integer addition is not).
+/// The small customer domain makes tuple repeats common, which is exactly what the
+/// batch path's consolidation and weighted firing collapse.
+pub fn sales_revenue_int(config: WorkloadConfig) -> Workload {
+    let mut catalog = Database::new();
+    catalog.declare("Sales", &["cust", "cents", "qty"]).unwrap();
+    let query = parse_sql(
+        "SELECT cust, SUM(cents * qty) AS revenue_cents FROM Sales GROUP BY cust",
+        &catalog,
+    )
+    .unwrap();
+    let make = |seed: u64, count: usize, cfg: &WorkloadConfig| {
+        let mut b = StreamBuilder::new(seed, cfg.delete_fraction);
+        let customers = cfg.domain_size.max(1) as i64;
+        for _ in 0..count {
+            let cust = b.rng().gen_range(0..customers);
+            // A narrow price/qty menu: repeated (cust, cents, qty) tuples consolidate.
+            let cents = 100 * b.rng().gen_range(1..25i64);
+            let qty = b.rng().gen_range(1..5i64);
+            b.push(Update::insert(
+                "Sales",
+                vec![Value::int(cust), Value::int(cents), Value::int(qty)],
+            ));
+        }
+        b.finish()
+    };
+    Workload {
+        name: "sales-revenue-int",
+        catalog,
+        query,
+        initial: make(config.seed, config.initial_size, &config),
+        stream: make(config.seed.wrapping_add(1), config.stream_length, &config),
+    }
+}
+
 /// An order/line-item foreign-key join in the style of the TPC-H schema fragment that
 /// motivates standing revenue aggregates:
 /// `SELECT cust, SUM(price * qty) FROM Orders, Lineitem WHERE Orders.okey = Lineitem.okey
@@ -356,6 +394,7 @@ pub fn all_workloads(config: WorkloadConfig) -> Vec<Workload> {
         customers_by_nation(config),
         rst_sum_join(config),
         sales_revenue(config),
+        sales_revenue_int(config),
         orders_lineitems(config),
     ]
 }
@@ -381,7 +420,7 @@ mod tests {
             .with_initial_size(123)
             .with_stream_length(45);
         let workloads = all_workloads(cfg);
-        assert_eq!(workloads.len(), 5);
+        assert_eq!(workloads.len(), 6);
         for w in workloads {
             assert_eq!(w.initial.len(), 123, "{}", w.name);
             assert_eq!(w.stream.len(), 45, "{}", w.name);
