@@ -404,6 +404,177 @@ pub fn batch_point<S: dbring::ViewStorage>(workload: &Workload, batch_size: usiz
     }
 }
 
+/// One row of the multi-view amortization sweep: total per-update cost of ingesting
+/// one stream into a `Ring` of `k` views against `k` independent
+/// `IncrementalView::apply_batch` loops over the same stream (same compiled programs,
+/// same storage backend, same chunking — the differences are one shared `DeltaBatch`
+/// normalization per chunk instead of `k`, routed dispatch, and — for the tracked
+/// ring — base-snapshot maintenance, which is what buys late view registration).
+#[derive(Clone, Copy, Debug)]
+pub struct RingPoint {
+    /// Number of standing views maintained.
+    pub views: usize,
+    /// Number of stream updates per ingested chunk.
+    pub batch_size: usize,
+    /// Mean per-update latency of the default ring (base tracking on), in ns. This is
+    /// the *total* cost of keeping all `views` fresh for one update.
+    pub ring_ns: f64,
+    /// Mean per-update latency of a ring built `without_base_tracking` — capability
+    /// parity with the independent views, which retain no base either — in ns.
+    pub ring_untracked_ns: f64,
+    /// Mean per-update latency of the `views` independent single-view loops, in ns.
+    pub independent_ns: f64,
+    /// Mean arithmetic operations per update summed over the ring's views (asserted
+    /// *exactly* equal to the independent views' sum — routing shares work, it never
+    /// changes it).
+    pub ops_per_update: f64,
+}
+
+impl RingPoint {
+    /// Independent-loops time over default-ring time (> 1 means the ring wins).
+    pub fn speedup(&self) -> f64 {
+        if self.ring_ns > 0.0 {
+            self.independent_ns / self.ring_ns
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Independent-loops time over untracked-ring time (capability-parity speedup).
+    pub fn untracked_speedup(&self) -> f64 {
+        if self.ring_untracked_ns > 0.0 {
+            self.independent_ns / self.ring_untracked_ns
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Runs the first `views` queries of a [`MultiViewWorkload`] three ways — a default
+/// ring, a ring without base tracking, and independent `IncrementalView`s — ingesting
+/// the same stream in chunks of `batch_size` on the storage backend named by the type
+/// parameter (the shared setup of `exp_ring`). Asserts, per view, that all three reach
+/// identical tables *and* identical `ExecStats` — the ring's routed shared-batch
+/// dispatch must change where normalization happens, never the ring work performed.
+/// Pass an integer-valued workload (e.g. [`dbring_workloads::sales_dashboard`]) so
+/// table equality is exact.
+///
+/// `S` must be one of the **in-tree** backends: the ring sides are configured through
+/// `S::BACKEND` (the enum name), while the independent baseline is typed — for a
+/// custom backend whose `BACKEND` merely names its closest in-tree relative, the
+/// three paths would silently run different storage and the timing comparison would
+/// be meaningless.
+pub fn ring_point<S: dbring::ViewStorage + Send + 'static>(
+    workload: &dbring_workloads::MultiViewWorkload,
+    views: usize,
+    batch_size: usize,
+) -> RingPoint {
+    use dbring::{RingBuilder, ViewDef};
+    assert!(
+        !workload.views.is_empty(),
+        "ring_point needs a workload with at least one view"
+    );
+    let k = views.clamp(1, workload.views.len());
+    let defs = &workload.views[..k];
+    let streamed = workload.stream.len().max(1) as f64;
+    let chunk = batch_size.max(1);
+
+    let build_ring = |tracked: bool| {
+        let builder = RingBuilder::new(workload.catalog.clone()).backend(S::BACKEND);
+        let builder = if tracked {
+            builder
+        } else {
+            builder.without_base_tracking()
+        };
+        let mut ring = builder.build();
+        let ids: Vec<dbring::ViewId> = defs
+            .iter()
+            .map(|(name, query)| {
+                ring.create_view(*name, ViewDef::Query(query.clone()))
+                    .expect("dashboard views compile")
+            })
+            .collect();
+        for piece in workload.initial.chunks(chunk) {
+            ring.apply_batch(piece).expect("bulk load succeeds");
+        }
+        for &id in &ids {
+            ring.view_mut(id).unwrap().reset_stats();
+        }
+        (ring, ids)
+    };
+
+    let (mut ring, ids) = build_ring(true);
+    let started = Instant::now();
+    for piece in workload.stream.chunks(chunk) {
+        ring.apply_batch(piece).expect("ring ingests the stream");
+    }
+    let ring_ns = started.elapsed().as_nanos() as f64 / streamed;
+
+    let (mut untracked, untracked_ids) = build_ring(false);
+    let started = Instant::now();
+    for piece in workload.stream.chunks(chunk) {
+        untracked
+            .apply_batch(piece)
+            .expect("untracked ring ingests the stream");
+    }
+    let ring_untracked_ns = started.elapsed().as_nanos() as f64 / streamed;
+
+    let mut independent: Vec<IncrementalView<S>> = defs
+        .iter()
+        .map(|(_, query)| {
+            IncrementalView::<S>::with_backend(&workload.catalog, query.clone())
+                .expect("dashboard views compile")
+        })
+        .collect();
+    for view in &mut independent {
+        for piece in workload.initial.chunks(chunk) {
+            view.apply_batch(piece).expect("bulk load succeeds");
+        }
+        view.executor_mut().reset_stats();
+    }
+    let started = Instant::now();
+    for view in &mut independent {
+        for piece in workload.stream.chunks(chunk) {
+            view.apply_batch(piece).expect("view ingests the stream");
+        }
+    }
+    let independent_ns = started.elapsed().as_nanos() as f64 / streamed;
+
+    // Fan-out parity: every view reaches the same table with exactly the same ring
+    // work on all three paths — the amortization is normalization and dispatch, never
+    // skipped maintenance.
+    let mut total_ops = 0u64;
+    for (i, &id) in ids.iter().enumerate() {
+        let hosted = ring.view(id).unwrap();
+        let solo = &independent[i];
+        assert_eq!(
+            hosted.table(),
+            solo.table(),
+            "ring and independent tables diverge on {}",
+            hosted.name()
+        );
+        assert_eq!(
+            hosted.stats(),
+            solo.stats(),
+            "ring and independent ExecStats diverge on {}",
+            hosted.name()
+        );
+        let untracked_view = untracked.view(untracked_ids[i]).unwrap();
+        assert_eq!(untracked_view.table(), solo.table());
+        assert_eq!(untracked_view.stats(), solo.stats());
+        total_ops += hosted.stats().arithmetic_ops();
+    }
+
+    RingPoint {
+        views: k,
+        batch_size: chunk,
+        ring_ns,
+        ring_untracked_ns,
+        independent_ns,
+        ops_per_update: total_ops as f64 / streamed,
+    }
+}
+
 /// Formats a nanosecond figure with a readable unit (`-` for NaN, i.e. "not measured").
 pub fn fmt_ns(ns: f64) -> String {
     if ns.is_nan() {
@@ -508,6 +679,34 @@ mod tests {
             // does more).
             assert!(point.batch_ops <= point.per_tuple_ops);
         }
+    }
+
+    #[test]
+    fn ring_point_produces_sane_numbers_on_both_backends() {
+        use dbring_workloads::sales_dashboard;
+        let workload = sales_dashboard(WorkloadConfig {
+            seed: 5,
+            initial_size: 64,
+            stream_length: 96,
+            domain_size: 8,
+            delete_fraction: 0.2,
+        });
+        for point in [
+            ring_point::<dbring::HashViewStorage>(&workload, 4, 32),
+            ring_point::<dbring::OrderedViewStorage>(&workload, 4, 32),
+        ] {
+            assert_eq!(point.views, 4);
+            assert_eq!(point.batch_size, 32);
+            assert!(point.ring_ns > 0.0);
+            assert!(point.ring_untracked_ns > 0.0);
+            assert!(point.independent_ns > 0.0);
+            assert!(point.ops_per_update > 0.0);
+            assert!(point.speedup() > 0.0);
+            assert!(point.untracked_speedup() > 0.0);
+        }
+        // The view count clamps to the workload's view list.
+        let tiny = ring_point::<dbring::HashViewStorage>(&workload, 99, 32);
+        assert_eq!(tiny.views, workload.views.len());
     }
 
     #[test]

@@ -7,26 +7,69 @@
 //! **constant number of arithmetic operations per maintained value per single-tuple
 //! update** — no joins, no aggregation operators, no access to the base relations.
 //!
-//! ## Quick start
+//! ## Quick start: a [`Ring`] of standing views
+//!
+//! The engine object is a [`Ring`]: one catalog, any number of standing views, one
+//! ingest path. Updates are validated and normalized **once** and routed only to the
+//! views that read the touched relations.
+//!
+//! ```
+//! use dbring::{Catalog, RingBuilder, Value, ViewDef};
+//!
+//! // Declare the schema and build the engine.
+//! let mut catalog = Catalog::new();
+//! catalog.declare("Sales", &["cust", "price", "qty"]).unwrap();
+//! let mut ring = RingBuilder::new(catalog).build();
+//!
+//! // Any number of standing views over the same stream (SQL subset or AGCA syntax).
+//! let revenue = ring.create_view(
+//!     "revenue",
+//!     ViewDef::Sql("SELECT cust, SUM(price * qty) AS revenue FROM Sales GROUP BY cust"),
+//! ).unwrap();
+//! let orders = ring.create_view(
+//!     "orders",
+//!     ViewDef::Sql("SELECT cust, SUM(1) AS orders FROM Sales GROUP BY cust"),
+//! ).unwrap();
+//!
+//! // One stream of single-tuple updates; every view stays fresh after each change.
+//! ring.insert("Sales", vec![Value::int(1), Value::float(9.5), Value::int(3)]).unwrap();
+//! ring.insert("Sales", vec![Value::int(1), Value::float(0.5), Value::int(1)]).unwrap();
+//! ring.delete("Sales", vec![Value::int(1), Value::float(0.5), Value::int(1)]).unwrap();
+//!
+//! assert_eq!(ring.view(revenue).unwrap().value(&[Value::int(1)]).as_f64(), 28.5);
+//! assert_eq!(ring.view(orders).unwrap().value(&[Value::int(1)]).as_f64(), 1.0);
+//!
+//! // Views can be created mid-stream (backfilled from the ring's base snapshot)…
+//! let qty = ring.create_view(
+//!     "qty",
+//!     ViewDef::Sql("SELECT cust, SUM(qty) AS qty FROM Sales GROUP BY cust"),
+//! ).unwrap();
+//! assert_eq!(ring.view(qty).unwrap().value(&[Value::int(1)]).as_f64(), 3.0);
+//! // …and dropped when no longer needed.
+//! ring.drop_view(orders).unwrap();
+//! ```
+//!
+//! Batched ingest goes through [`Ring::apply_batch`]: the batch is consolidated into a
+//! [`DeltaBatch`] once for the whole ring — with `k` views that is one normalization
+//! where `k` independent views would each redo it (see `EXPERIMENTS.md`, E11).
+//!
+//! ## Single-view use: [`IncrementalView`]
+//!
+//! When one query is all you need, [`IncrementalView`] wraps a one-view ring behind
+//! the original single-view API (and is the cheapest configuration: it disables
+//! base-snapshot tracking, so nothing but the view's own maps is stored):
 //!
 //! ```
 //! use dbring::{Catalog, IncrementalView, Value};
 //!
-//! // Declare the schema.
 //! let mut catalog = Catalog::new();
 //! catalog.declare("Sales", &["cust", "price", "qty"]).unwrap();
-//!
-//! // Define a standing aggregate query (SQL subset or AGCA text syntax).
 //! let mut revenue = IncrementalView::from_sql(
 //!     &catalog,
 //!     "SELECT cust, SUM(price * qty) AS revenue FROM Sales GROUP BY cust",
 //! )
 //! .unwrap();
-//!
-//! // Stream updates; the view stays fresh after every single-tuple change.
 //! revenue.insert("Sales", vec![Value::int(1), Value::float(9.5), Value::int(3)]).unwrap();
-//! revenue.insert("Sales", vec![Value::int(1), Value::float(0.5), Value::int(1)]).unwrap();
-//! revenue.delete("Sales", vec![Value::int(1), Value::float(0.5), Value::int(1)]).unwrap();
 //! assert_eq!(revenue.value(&[Value::int(1)]).as_f64(), 28.5);
 //! ```
 //!
@@ -39,23 +82,24 @@
 //! | the AGCA calculus: AST, parsers, evaluator, normalization, factorization | `dbring-agca` | §4–5 |
 //! | the delta transform and delta hierarchies | `dbring-delta` | §6 |
 //! | the NC0C trigger IR and the recursive IVM compiler | `dbring-compiler` | §7 |
-//! | the trigger executor, op counting, baselines | `dbring-runtime` | §1.1, §7 |
+//! | the trigger executor, engine hosting, op counting, baselines | `dbring-runtime` | §1.1, §7 |
 //!
-//! This facade re-exports the pieces most users need and adds [`IncrementalView`], a
-//! one-stop API that parses, checks, compiles and runs a standing query.
+//! This facade re-exports the pieces most users need and adds the [`Ring`] engine and
+//! the single-view [`IncrementalView`] wrapper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::marker::PhantomData;
 
 pub use dbring_agca::ast::{CmpOp, Expr, Query};
 pub use dbring_agca::eval::{eval, eval_all_groups, EvalError};
 pub use dbring_agca::parser::{parse_expr, parse_query, ParseError};
 pub use dbring_agca::safety::SafetyError;
 pub use dbring_agca::sql::parse_sql;
-pub use dbring_algebra::{Number, Polynomial, RecursiveMemo, Ring, Semiring};
+pub use dbring_algebra::{Number, Polynomial, RecursiveMemo, Ring as AlgebraicRing, Semiring};
 pub use dbring_compiler::{
     compile, generate_nc0c, lower, CompileError, ExecPlan, LowerError, PlanOp, PlanStatement,
     PlanTrigger, Slot, SlotExpr, TriggerProgram, UnboundKey,
@@ -63,16 +107,28 @@ pub use dbring_compiler::{
 pub use dbring_delta::{delta, Sign, UpdateEvent};
 pub use dbring_relations::{Database, DeltaBatch, DeltaGroup, Gmr, Tuple, Update, Value};
 pub use dbring_runtime::{
-    interpreted_ivm, recursive_ivm, strategy_by_name, ClassicalIvm, ExecStats, Executor,
-    HashViewStorage, InterpretedExecutor, MaintenanceStrategy, NaiveReeval, OrderedViewStorage,
-    RuntimeError, StorageBackend, StorageFootprint, ViewStorage,
+    boxed_engine, boxed_engine_by_name, interpreted_ivm, recursive_ivm, strategy_by_name,
+    try_boxed_engine, ClassicalIvm, EngineRegistry, ExecStats, Executor, HashViewStorage,
+    InterpretedExecutor, MaintenanceStrategy, NaiveReeval, OrderedViewStorage, RuntimeError,
+    StorageBackend, StorageFootprint, ViewEngine, ViewStorage,
 };
 
+mod ring;
+
+pub use ring::{Ring, RingBuilder, ViewDef, ViewId, ViewMut, ViewRef};
+
 /// A schema catalog: relation names and their column lists. (Alias of [`Database`]; a
-/// catalog is simply a database whose contents are ignored.)
+/// catalog is simply a database whose contents are ignored — [`RingBuilder::new`] and
+/// the [`IncrementalView`] constructors read only its declarations. To start an engine
+/// from loaded *data*, say so explicitly with [`RingBuilder::from_database`].)
 pub type Catalog = Database;
 
-/// Any error that can occur while building or driving an [`IncrementalView`].
+/// Any error that can occur while building or driving a [`Ring`] or
+/// [`IncrementalView`].
+///
+/// The wrapping variants ([`Error::Parse`], [`Error::Compile`], [`Error::Eval`],
+/// [`Error::Runtime`]) expose the wrapped failure through
+/// [`std::error::Error::source`], so error reporters can walk the full chain.
 #[derive(Clone, Debug)]
 pub enum Error {
     /// The query text failed to parse.
@@ -81,8 +137,37 @@ pub enum Error {
     Compile(CompileError),
     /// Evaluating a query with the reference evaluator failed (initialization).
     Eval(EvalError),
-    /// Applying an update to the compiled program failed.
+    /// Applying an update to a compiled program failed.
     Runtime(RuntimeError),
+    /// A view id or name addressed no live view of the ring (it may have been
+    /// dropped; ids are never reused).
+    UnknownView {
+        /// The id (`view#3`) or name that failed to resolve.
+        view: String,
+    },
+    /// A view with this name already lives on the ring (dropping a view frees its
+    /// name).
+    DuplicateView {
+        /// The contested name.
+        name: String,
+    },
+    /// A relation was not declared in the ring's catalog — raised eagerly by
+    /// [`Ring::create_view`] for queries over undeclared relations (instead of a late
+    /// compile error) and by the ring's ingest path for updates to undeclared
+    /// relations.
+    UnknownRelation {
+        /// The undeclared relation.
+        relation: String,
+        /// The view whose definition referenced it (`None` when raised by ingest).
+        view: Option<String>,
+    },
+    /// A view was created after updates were ingested on a ring built
+    /// [`without_base_tracking`](RingBuilder::without_base_tracking): there is no
+    /// current snapshot to backfill it from.
+    BackfillUnavailable {
+        /// The view that could not be created.
+        view: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -92,11 +177,47 @@ impl fmt::Display for Error {
             Error::Compile(e) => write!(f, "{e}"),
             Error::Eval(e) => write!(f, "{e}"),
             Error::Runtime(e) => write!(f, "{e}"),
+            Error::UnknownView { view } => write!(f, "no live view {view} on this ring"),
+            Error::DuplicateView { name } => {
+                write!(f, "a view named {name} already exists on this ring")
+            }
+            Error::UnknownRelation {
+                relation,
+                view: Some(view),
+            } => write!(
+                f,
+                "view {view} reads relation {relation}, which the ring's catalog never declared"
+            ),
+            Error::UnknownRelation {
+                relation,
+                view: None,
+            } => write!(
+                f,
+                "update targets relation {relation}, which the ring's catalog never declared"
+            ),
+            Error::BackfillUnavailable { view } => write!(
+                f,
+                "cannot create view {view}: base-snapshot tracking is disabled and updates \
+                 were already ingested, so there is nothing to backfill it from"
+            ),
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Parse(e) => Some(e),
+            Error::Compile(e) => Some(e),
+            Error::Eval(e) => Some(e),
+            Error::Runtime(e) => Some(e),
+            Error::UnknownView { .. }
+            | Error::DuplicateView { .. }
+            | Error::UnknownRelation { .. }
+            | Error::BackfillUnavailable { .. } => None,
+        }
+    }
+}
 
 impl From<ParseError> for Error {
     fn from(e: ParseError) -> Self {
@@ -119,20 +240,30 @@ impl From<RuntimeError> for Error {
     }
 }
 
-/// A standing aggregate query maintained incrementally by a compiled trigger program.
+/// A standing aggregate query maintained incrementally by a compiled trigger program —
+/// the single-view facade, implemented as a thin wrapper over a one-view [`Ring`].
 ///
 /// Construction parses (if needed), range-checks, compiles and validates the query; after
 /// that, every [`IncrementalView::apply`] performs only the constant-work trigger
-/// statements of the compiled program — the base relations are not stored.
+/// statements of the compiled program. The wrapper's ring runs
+/// [`without_base_tracking`](RingBuilder::without_base_tracking), so — unlike a default
+/// `Ring` — the base relations are **not** stored: the view's materialized maps are the
+/// only state, exactly as before.
 ///
 /// The view is generic over the [`ViewStorage`] backend its materialized maps live in,
 /// defaulting to [`HashViewStorage`]; pick another backend by naming it —
-/// `IncrementalView::<OrderedViewStorage>::with_backend(&catalog, query)` — or go
-/// through the runtime-selected strategy registry ([`strategy_by_name`]).
+/// `IncrementalView::<OrderedViewStorage>::with_backend(&catalog, query)` — or choose
+/// one at runtime by value through [`Ring`]/[`RingBuilder::backend`] or the registries
+/// ([`strategy_by_name`], [`boxed_engine`]).
+///
+/// Ingest semantics kept from the pre-`Ring` facade: updates to relations the query
+/// does not read are ignored (a multi-view [`Ring`] instead validates every update
+/// against its catalog).
 #[derive(Clone, Debug)]
 pub struct IncrementalView<S: ViewStorage = HashViewStorage> {
-    query: Query,
-    executor: Executor<S>,
+    ring: Ring,
+    id: ViewId,
+    _backend: PhantomData<S>,
 }
 
 impl IncrementalView<HashViewStorage> {
@@ -153,14 +284,27 @@ impl IncrementalView<HashViewStorage> {
     }
 }
 
-impl<S: ViewStorage> IncrementalView<S> {
+impl<S: ViewStorage + Send + 'static> IncrementalView<S> {
     /// Builds a view from an already-parsed AGCA [`Query`] on the storage backend named
     /// by the type parameter, e.g. `IncrementalView::<OrderedViewStorage>::with_backend`.
+    /// Any `Send + 'static` [`ViewStorage`] implementation works here (the bounds the
+    /// hosting ring's boxed-engine interface requires) — the facade hosts a genuinely
+    /// typed `Executor<S>` behind its one-view ring, so `S` is not limited to the
+    /// backends the [`StorageBackend`] enum can name.
     pub fn with_backend(catalog: &Catalog, query: Query) -> Result<Self, Error> {
-        let program = compile(catalog, &query)?;
+        // Only the declarations travel (contents are ignored by contract), so clone
+        // the schema, never the data a loaded database-as-catalog might carry.
+        let mut ring = RingBuilder::new(catalog.schema_only())
+            .without_base_tracking()
+            .build();
+        let name = query.name.clone();
+        let id = ring.create_view_hosted(name, ViewDef::Query(query), |program| {
+            Box::new(Executor::<S>::with_backend(program))
+        })?;
         Ok(IncrementalView {
-            query,
-            executor: Executor::with_backend(program),
+            ring,
+            id,
+            _backend: PhantomData,
         })
     }
 
@@ -179,18 +323,18 @@ impl<S: ViewStorage> IncrementalView<S> {
     /// Initializes all materialized views from an existing (non-empty) database. Call this
     /// once, before streaming updates, when the view does not start from scratch.
     pub fn with_initial_database(mut self, db: &Database) -> Result<Self, Error> {
-        self.executor.initialize_from(db)?;
+        self.ring.reinitialize_view_from(self.id, db)?;
         Ok(self)
     }
 
     /// The query this view maintains.
     pub fn query(&self) -> &Query {
-        &self.query
+        self.ring.query_unchecked(self.id)
     }
 
     /// The compiled trigger program (inspect with [`TriggerProgram::describe`]).
     pub fn program(&self) -> &TriggerProgram {
-        self.executor.program()
+        self.ring.engine_unchecked(self.id).program()
     }
 
     /// The program rendered in the paper's low-level NC0C language (a C-like listing of
@@ -199,10 +343,14 @@ impl<S: ViewStorage> IncrementalView<S> {
         generate_nc0c(self.program())
     }
 
-    /// Applies one single-tuple update.
+    /// Applies one single-tuple update. Updates to relations the query does not read
+    /// are ignored.
+    ///
+    /// Ingest delegates straight to the typed executor (the wrapper ring does no
+    /// catalog validation, no routing and no snapshot maintenance), so both the hot
+    /// path and the error contract are exactly the pre-`Ring` facade's.
     pub fn apply(&mut self, update: &Update) -> Result<(), Error> {
-        self.executor.apply(update)?;
-        Ok(())
+        self.executor_mut().apply(update).map_err(Error::Runtime)
     }
 
     /// Applies a sequence of updates, one trigger firing per single-tuple update.
@@ -214,8 +362,9 @@ impl<S: ViewStorage> IncrementalView<S> {
         &mut self,
         updates: impl IntoIterator<Item = &'a Update>,
     ) -> Result<(), Error> {
-        self.executor.apply_all(updates)?;
-        Ok(())
+        self.executor_mut()
+            .apply_all(updates)
+            .map_err(Error::Runtime)
     }
 
     /// Applies a batch of updates as one consolidated [`DeltaBatch`]: multiplicities of
@@ -229,16 +378,15 @@ impl<S: ViewStorage> IncrementalView<S> {
     /// see the `batch_crossover` bench and `EXPERIMENTS.md` for the crossover point.
     /// Like `apply_all`, not atomic on error.
     pub fn apply_batch(&mut self, updates: &[Update]) -> Result<(), Error> {
-        self.executor
-            .apply_batch(&DeltaBatch::from_updates(updates))?;
-        Ok(())
+        self.apply_delta_batch(&DeltaBatch::from_updates(updates))
     }
 
     /// Applies an already-normalized delta batch (the allocation of
     /// [`DeltaBatch::from_updates`] can then be reused or amortized by the caller).
     pub fn apply_delta_batch(&mut self, batch: &DeltaBatch) -> Result<(), Error> {
-        self.executor.apply_batch(batch)?;
-        Ok(())
+        self.executor_mut()
+            .apply_batch(batch)
+            .map_err(Error::Runtime)
     }
 
     /// Convenience: applies the insertion `+R(values)`.
@@ -254,38 +402,46 @@ impl<S: ViewStorage> IncrementalView<S> {
     /// The aggregate value for one group key (the empty slice for queries without
     /// `GROUP BY`). Missing groups read as zero.
     pub fn value(&self, group_key: &[Value]) -> Number {
-        self.executor.output_value(group_key)
+        self.ring.engine_unchecked(self.id).output_value(group_key)
     }
 
     /// The full result table, sorted by group key.
     pub fn table(&self) -> BTreeMap<Vec<Value>, Number> {
-        self.executor.output_table()
+        self.ring.engine_unchecked(self.id).output_table()
     }
 
     /// Work counters (updates applied, ring additions/multiplications performed).
     pub fn stats(&self) -> ExecStats {
-        self.executor.stats()
+        self.ring.engine_unchecked(self.id).stats()
     }
 
     /// Total number of entries across the whole view hierarchy (memory footprint).
     pub fn total_entries(&self) -> usize {
-        self.executor.total_entries()
+        self.ring.engine_unchecked(self.id).total_entries()
     }
 
     /// The storage-level memory proxy of the whole view hierarchy: entry and
     /// secondary-index-entry counts (comparable across storage backends).
     pub fn storage_footprint(&self) -> StorageFootprint {
-        self.executor.storage_footprint()
+        self.ring.engine_unchecked(self.id).storage_footprint()
     }
 
     /// Borrows the underlying executor (for experiments needing map-level access).
     pub fn executor(&self) -> &Executor<S> {
-        &self.executor
+        self.ring
+            .engine_unchecked(self.id)
+            .as_any()
+            .downcast_ref()
+            .expect("the facade always hosts a lowered executor on its own backend")
     }
 
     /// Mutably borrows the underlying executor.
     pub fn executor_mut(&mut self) -> &mut Executor<S> {
-        &mut self.executor
+        self.ring
+            .engine_unchecked_mut(self.id)
+            .as_any_mut()
+            .downcast_mut()
+            .expect("the facade always hosts a lowered executor on its own backend")
     }
 }
 
@@ -339,23 +495,79 @@ mod tests {
     }
 
     #[test]
+    fn catalog_contents_are_ignored_by_the_single_view_facade() {
+        // A loaded database used as a catalog contributes only its schema; the view
+        // starts empty unless `with_initial_database` says otherwise.
+        let mut db = customer_catalog();
+        db.insert("C", vec![Value::int(1), Value::str("FR")])
+            .unwrap();
+        let view = IncrementalView::from_agca(&db, "q[c] := Sum(C(c, n))").unwrap();
+        assert!(view.table().is_empty());
+    }
+
+    #[test]
     fn errors_are_propagated_and_displayed() {
         let catalog = customer_catalog();
         assert!(matches!(
             IncrementalView::from_sql(&catalog, "SELECT nope FROM C"),
             Err(Error::Parse(_))
         ));
+        // An undeclared relation is now a dedicated error (the Catalog = Database
+        // alias footgun), not a late compile error.
         assert!(matches!(
             IncrementalView::from_agca(&catalog, "q := Sum(Z(x))"),
-            Err(Error::Compile(_))
+            Err(Error::UnknownRelation { .. })
         ));
         let err = IncrementalView::from_agca(&catalog, "q := Sum(Z(x))").unwrap_err();
         assert!(err.to_string().contains("Z"));
+        // Genuine compile failures still surface as compile errors.
+        assert!(matches!(
+            IncrementalView::from_agca(&catalog, "q[x] := Sum((x = 1))"),
+            Err(Error::Compile(_))
+        ));
         let mut view = IncrementalView::from_agca(&catalog, "q[c] := Sum(C(c, n))").unwrap();
         assert!(matches!(
             view.insert("C", vec![Value::int(1)]),
             Err(Error::Runtime(_))
         ));
+    }
+
+    #[test]
+    fn error_sources_expose_the_wrapped_failure_chain() {
+        use std::error::Error as StdError;
+        let catalog = customer_catalog();
+        let parse = IncrementalView::from_sql(&catalog, "SELECT nope FROM C").unwrap_err();
+        let source = parse.source().expect("parse errors carry a source");
+        assert_eq!(source.to_string(), format!("{parse}"));
+        let compile = IncrementalView::from_agca(&catalog, "q[x] := Sum((x = 1))").unwrap_err();
+        assert!(compile.source().is_some());
+        let mut view = IncrementalView::from_agca(&catalog, "q[c] := Sum(C(c, n))").unwrap();
+        let runtime = view.insert("C", vec![Value::int(1)]).unwrap_err();
+        let source = runtime.source().expect("runtime errors carry a source");
+        assert!(source.to_string().contains("trigger expects"));
+        // Structural ring errors have no inner cause.
+        let mut ring = RingBuilder::new(customer_catalog()).build();
+        let dup = ring
+            .create_view("v", ViewDef::Agca("q := Sum(C(c, n))"))
+            .unwrap();
+        let err = ring
+            .create_view("v", ViewDef::Agca("q := Sum(C(c, n))"))
+            .unwrap_err();
+        assert!(err.source().is_none());
+        ring.drop_view(dup).unwrap();
+    }
+
+    #[test]
+    fn irrelevant_updates_are_ignored_by_the_single_view_facade() {
+        // Legacy single-view semantics: relations the query does not read — declared
+        // or not — are skipped, unlike the strict multi-view `Ring` ingest path.
+        let mut catalog = customer_catalog();
+        catalog.declare("Unread", &["x"]).unwrap();
+        let mut view = IncrementalView::from_agca(&catalog, "q[c] := Sum(C(c, n))").unwrap();
+        view.insert("Other", vec![Value::int(1)]).unwrap();
+        view.insert("Unread", vec![Value::int(1)]).unwrap();
+        assert!(view.table().is_empty());
+        assert_eq!(view.stats().updates, 0);
     }
 
     #[test]
@@ -447,5 +659,96 @@ mod tests {
         assert!(view.executor().total_entries() > 0);
         view.executor_mut().reset_stats();
         assert_eq!(view.stats().updates, 0);
+    }
+
+    /// Regression (review finding): the facade must host a genuinely typed
+    /// `Executor<S>` for *any* `ViewStorage` implementation — including ones the
+    /// `StorageBackend` enum cannot name — not silently substitute a built-in
+    /// backend and panic on `executor()`.
+    #[test]
+    fn the_facade_honors_custom_storage_backends() {
+        use dbring_algebra::Number as N;
+
+        /// A delegating wrapper around the hash backend: a distinct *type* the enum
+        /// has no value for, standing in for an out-of-tree backend.
+        #[derive(Clone, Debug)]
+        struct CustomStorage(HashViewStorage);
+
+        impl ViewStorage for CustomStorage {
+            const BACKEND: StorageBackend = StorageBackend::Hash; // closest name
+            fn new(key_arity: usize) -> Self {
+                CustomStorage(HashViewStorage::new(key_arity))
+            }
+            fn key_arity(&self) -> usize {
+                self.0.key_arity()
+            }
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn get(&self, key: &[Value]) -> N {
+                self.0.get(key)
+            }
+            fn add(&mut self, key: Vec<Value>, delta: N) {
+                self.0.add(key, delta)
+            }
+            fn add_ref(&mut self, key: &[Value], delta: N) {
+                self.0.add_ref(key, delta)
+            }
+            fn register_index(&mut self, positions: Vec<usize>) {
+                self.0.register_index(positions)
+            }
+            fn for_each(&self, visit: impl FnMut(&[Value], N)) {
+                self.0.for_each(visit)
+            }
+            fn for_each_slice(
+                &self,
+                positions: &[usize],
+                values: &[Value],
+                visit: impl FnMut(&[Value], N),
+            ) {
+                self.0.for_each_slice(positions, values, visit)
+            }
+            fn footprint(&self) -> StorageFootprint {
+                self.0.footprint()
+            }
+        }
+
+        let catalog = customer_catalog();
+        let mut view = IncrementalView::<CustomStorage>::from_agca_with_backend(
+            &catalog,
+            "q[c] := Sum(C(c, n))",
+        )
+        .unwrap();
+        view.insert("C", vec![Value::int(1), Value::str("FR")])
+            .unwrap();
+        assert_eq!(view.value(&[Value::int(1)]), Number::Int(1));
+        // The hosted executor really runs on the custom type: the typed accessor
+        // succeeds rather than panicking on a mismatched downcast.
+        let typed: &Executor<CustomStorage> = view.executor();
+        assert_eq!(typed.output_value(&[Value::int(1)]), Number::Int(1));
+    }
+
+    #[test]
+    fn the_facade_downcasts_to_its_typed_executor_on_both_backends() {
+        let catalog = customer_catalog();
+        let text = "q[c] := Sum(C(c, n))";
+        let mut hash = IncrementalView::from_agca(&catalog, text).unwrap();
+        hash.insert("C", vec![Value::int(1), Value::str("FR")])
+            .unwrap();
+        let _typed: &Executor<HashViewStorage> = hash.executor();
+        let mut ordered =
+            IncrementalView::<OrderedViewStorage>::from_agca_with_backend(&catalog, text).unwrap();
+        ordered
+            .insert("C", vec![Value::int(1), Value::str("FR")])
+            .unwrap();
+        let typed: &Executor<OrderedViewStorage> = ordered.executor();
+        assert_eq!(typed.output_value(&[Value::int(1)]), Number::Int(1));
+        // Clones stay independent (the boxed engine clones behind the ring).
+        let fork = ordered.clone();
+        ordered
+            .insert("C", vec![Value::int(2), Value::str("DE")])
+            .unwrap();
+        assert_eq!(fork.table().len(), 1);
+        assert_eq!(ordered.table().len(), 2);
     }
 }

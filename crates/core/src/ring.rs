@@ -1,0 +1,1088 @@
+//! The [`Ring`] engine: one catalog, many standing views, one ingest path.
+//!
+//! The paper maintains a whole *hierarchy* of materialized aggregates under a single
+//! stream of single-tuple updates — and its successor systems (DBToaster's generated
+//! programs, differential dataflow's workers) all converge on the same shape: one
+//! engine object hosting every maintained view, fed once. [`Ring`] is that object for
+//! this workspace:
+//!
+//! * **One catalog.** A ring is built over one schema ([`RingBuilder::new`]) or one
+//!   loaded database ([`RingBuilder::from_database`]); every view it hosts is parsed,
+//!   validated and compiled against that catalog. A query naming an undeclared
+//!   relation is rejected at [`Ring::create_view`] with
+//!   [`Error::UnknownRelation`](crate::Error::UnknownRelation) — a dedicated,
+//!   immediate error instead of a late compile error.
+//! * **Many standing views.** [`Ring::create_view`] accepts a [`ViewDef`] (SQL, AGCA
+//!   text, or a parsed [`Query`]) and returns a [`ViewId`]; views can be created and
+//!   [dropped](Ring::drop_view) at any point in the stream. A view created *after*
+//!   updates have been ingested is backfilled from the ring's base snapshot, so it is
+//!   indistinguishable from one that watched the stream from the start.
+//! * **One ingest path.** Updates go to the ring ([`Ring::insert`], [`Ring::delete`],
+//!   [`Ring::apply`], [`Ring::apply_all`], [`Ring::apply_batch`]), which validates
+//!   them against the catalog once, normalizes batches into a
+//!   [`DeltaBatch`](crate::DeltaBatch) **once**, and routes work only to the views
+//!   whose programs read the touched relations — `k` views over one stream cost one
+//!   normalization, not `k`.
+//!
+//! Reads go through the cheap [`ViewRef`] / [`ViewMut`] handles: result values and
+//! tables, work counters, storage footprints, and the compiled program (including its
+//! NC0C rendering) per view.
+//!
+//! The single-view [`IncrementalView`](crate::IncrementalView) facade survives as a
+//! thin wrapper over a one-view ring.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dbring_agca::ast::Query;
+use dbring_agca::parser::parse_query;
+use dbring_agca::sql::parse_sql;
+use dbring_algebra::Number;
+use dbring_compiler::{compile, generate_nc0c, TriggerProgram};
+use dbring_relations::{Database, DeltaBatch, Snapshot, Update, Value};
+use dbring_runtime::{
+    boxed_engine, EngineRegistry, ExecStats, RuntimeError, StorageBackend, StorageFootprint,
+    ViewEngine,
+};
+
+use crate::{Catalog, Error};
+
+/// The stable identity of a standing view inside one [`Ring`].
+///
+/// Ids are handed out by [`Ring::create_view`], stay valid until the view is
+/// [dropped](Ring::drop_view), and are **never reused** within a ring — a stale id of a
+/// dropped view can only yield [`Error::UnknownView`](crate::Error::UnknownView), never
+/// silently address a different view.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ViewId(pub(crate) u32);
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "view#{}", self.0)
+    }
+}
+
+/// How a standing view is defined when handed to [`Ring::create_view`]: the SQL subset,
+/// the AGCA text syntax, or an already-parsed [`Query`].
+#[derive(Clone, Debug)]
+pub enum ViewDef<'a> {
+    /// A SQL aggregate query (the Section 5 subset), e.g.
+    /// `"SELECT cust, SUM(price * qty) AS revenue FROM Sales GROUP BY cust"`.
+    Sql(&'a str),
+    /// The AGCA text syntax, e.g. `"q[c] := Sum(C(c, n) * C(c2, n))"`.
+    Agca(&'a str),
+    /// An already-parsed query (no parsing happens; it is validated and compiled
+    /// as-is).
+    Query(Query),
+}
+
+/// Builds a [`Ring`]: catalog plus engine configuration, all chosen **by value** — no
+/// turbofish, so the backend (and any future strategy choice) can come from a config
+/// file or CLI flag.
+///
+/// ```
+/// use dbring::{Catalog, RingBuilder, StorageBackend};
+///
+/// let mut catalog = Catalog::new();
+/// catalog.declare("Sales", &["cust", "price", "qty"]).unwrap();
+/// let ring = RingBuilder::new(catalog)
+///     .backend(StorageBackend::Ordered)
+///     .build();
+/// assert!(ring.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct RingBuilder {
+    catalog: Database,
+    snapshot: Snapshot,
+    backend: StorageBackend,
+    track_base: bool,
+}
+
+impl RingBuilder {
+    /// Starts a ring over a schema. Only the catalog's *declarations* travel — any
+    /// contents are ignored (a catalog is a database whose contents are ignored); use
+    /// [`RingBuilder::from_database`] to start from loaded data.
+    pub fn new(catalog: Catalog) -> Self {
+        RingBuilder {
+            catalog: catalog.schema_only(),
+            snapshot: Snapshot::new(),
+            backend: StorageBackend::Hash,
+            track_base: true,
+        }
+    }
+
+    /// Starts a ring over a loaded database: its schema becomes the catalog and its
+    /// contents become the initial base snapshot, so every view — created now or later
+    /// — is backfilled as if the database had been streamed in first.
+    pub fn from_database(db: Database) -> Self {
+        RingBuilder {
+            snapshot: Snapshot::from_database(&db),
+            catalog: db.schema_only(),
+            backend: StorageBackend::Hash,
+            track_base: true,
+        }
+    }
+
+    /// Selects the storage backend every view's materialized maps live in (default:
+    /// [`StorageBackend::Hash`]).
+    pub fn backend(mut self, backend: StorageBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Disables base-snapshot maintenance. The ring then stores *nothing* beyond the
+    /// views themselves (the paper's "no access to the base relations" regime, and the
+    /// cheapest ingest path) — but views can no longer be created after updates have
+    /// been ingested: [`Ring::create_view`] would have no snapshot to backfill from
+    /// and returns [`Error::BackfillUnavailable`](crate::Error::BackfillUnavailable).
+    pub fn without_base_tracking(mut self) -> Self {
+        self.track_base = false;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Ring {
+        Ring {
+            catalog: self.catalog,
+            snapshot: self.snapshot,
+            backend: self.backend,
+            track_base: self.track_base,
+            ingested: 0,
+            registry: EngineRegistry::new(),
+            infos: Vec::new(),
+            names: BTreeMap::new(),
+        }
+    }
+}
+
+/// Per-view metadata the ring keeps next to the hosted engine.
+#[derive(Clone, Debug)]
+struct ViewInfo {
+    name: String,
+    query: Query,
+}
+
+/// The multi-view incremental engine: hosts any number of standing aggregate views
+/// over one catalog and maintains all of them from one update stream — one catalog
+/// ([`Ring::catalog`]), many standing views ([`Ring::create_view`] /
+/// [`Ring::drop_view`] / [`ViewRef`]), one ingest path ([`Ring::apply`],
+/// [`Ring::apply_batch`]: validate once, normalize once, route to readers). See
+/// [`RingBuilder`] for construction.
+///
+/// ```
+/// use dbring::{Catalog, RingBuilder, Value, ViewDef};
+///
+/// let mut catalog = Catalog::new();
+/// catalog.declare("Sales", &["cust", "price", "qty"]).unwrap();
+/// let mut ring = RingBuilder::new(catalog).build();
+///
+/// let revenue = ring.create_view(
+///     "revenue",
+///     ViewDef::Sql("SELECT cust, SUM(price * qty) AS revenue FROM Sales GROUP BY cust"),
+/// ).unwrap();
+/// let orders = ring.create_view(
+///     "orders",
+///     ViewDef::Sql("SELECT cust, SUM(1) AS orders FROM Sales GROUP BY cust"),
+/// ).unwrap();
+///
+/// // One stream, every view stays fresh.
+/// ring.insert("Sales", vec![Value::int(1), Value::float(9.5), Value::int(2)]).unwrap();
+/// ring.insert("Sales", vec![Value::int(1), Value::float(0.5), Value::int(1)]).unwrap();
+/// assert_eq!(ring.view(revenue).unwrap().value(&[Value::int(1)]).as_f64(), 19.5);
+/// assert_eq!(ring.view(orders).unwrap().value(&[Value::int(1)]).as_f64(), 2.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ring {
+    /// The schema every view is validated and compiled against (declarations only).
+    catalog: Database,
+    /// The write-optimized positional mirror of the base relations — while
+    /// [`Ring::snapshot_current`] holds, this is what late-registered views are
+    /// backfilled from. Maintaining it costs one hash-map update per tuple; the
+    /// schema-carrying [`Database`] form is materialized only per backfill.
+    snapshot: Snapshot,
+    backend: StorageBackend,
+    track_base: bool,
+    /// Single-tuple updates ingested so far (batch weights included).
+    ingested: u64,
+    registry: EngineRegistry,
+    /// Slot-parallel view metadata (`None` = dropped, like the registry's tombstones).
+    infos: Vec<Option<ViewInfo>>,
+    names: BTreeMap<String, ViewId>,
+}
+
+impl Ring {
+    /// Shorthand for [`RingBuilder::new`].
+    pub fn builder(catalog: Catalog) -> RingBuilder {
+        RingBuilder::new(catalog)
+    }
+
+    /// The catalog the ring's views are compiled against (declarations only; the
+    /// base contents live in the write-optimized snapshot — see
+    /// [`Ring::base_snapshot`]).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The storage backend the ring's views run on.
+    pub fn backend(&self) -> StorageBackend {
+        self.backend
+    }
+
+    /// Number of live views.
+    pub fn len(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Whether the ring hosts no views.
+    pub fn is_empty(&self) -> bool {
+        self.registry.is_empty()
+    }
+
+    /// Total single-tuple updates ingested so far. Batches count their *consolidated*
+    /// weight: a `+t`/`-t` pair that cancels inside one batch was never ingested as
+    /// far as the views (or the snapshot) are concerned.
+    pub fn updates_ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Whether the base snapshot reflects everything ingested — always true with base
+    /// tracking on (the default), and true until the first update without it.
+    pub fn snapshot_current(&self) -> bool {
+        self.track_base || self.ingested == 0
+    }
+
+    /// The maintained base snapshot materialized as a schema-carrying [`Database`],
+    /// if it is current (see [`Ring::snapshot_current`]). This is what
+    /// late-registered views are backfilled from; materialization costs one tuple
+    /// construction per distinct live tuple, so treat it as a bulk export, not a
+    /// per-update read.
+    pub fn base_snapshot(&self) -> Option<Database> {
+        self.snapshot_current().then(|| {
+            self.snapshot
+                .to_database(&self.catalog)
+                .expect("every ingested update was validated against the catalog")
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // View lifecycle
+    // ------------------------------------------------------------------
+
+    /// Creates a standing view and returns its [`ViewId`].
+    ///
+    /// The definition is parsed (for [`ViewDef::Sql`] / [`ViewDef::Agca`]), validated
+    /// against the catalog — a query over an undeclared relation is rejected here
+    /// with [`Error::UnknownRelation`](crate::Error::UnknownRelation), not at compile
+    /// time — compiled to a trigger program, and hosted on the ring's backend. If
+    /// updates have already been ingested (or the ring started from a loaded
+    /// database), the new view is backfilled from the base snapshot, so its result is
+    /// identical to having watched the stream from the start.
+    ///
+    /// Names must be unique among *live* views ([`Error::DuplicateView`](crate::Error::DuplicateView)
+    /// otherwise); dropping a view frees its name.
+    pub fn create_view(
+        &mut self,
+        name: impl Into<String>,
+        def: ViewDef<'_>,
+    ) -> Result<ViewId, Error> {
+        let backend = self.backend;
+        self.create_view_hosted(name, def, |program| boxed_engine(program, backend))
+    }
+
+    /// [`Ring::create_view`] with the engine supplied by the caller instead of the
+    /// ring's backend registry — the seam the single-view facade uses to host a
+    /// *typed* `Executor<S>` for arbitrary [`ViewStorage`](crate::ViewStorage)
+    /// backends, including ones the [`StorageBackend`] enum cannot name.
+    pub(crate) fn create_view_hosted(
+        &mut self,
+        name: impl Into<String>,
+        def: ViewDef<'_>,
+        host: impl FnOnce(dbring_compiler::TriggerProgram) -> Box<dyn ViewEngine>,
+    ) -> Result<ViewId, Error> {
+        let name = name.into();
+        if self.names.contains_key(&name) {
+            return Err(Error::DuplicateView { name });
+        }
+        let query = match def {
+            ViewDef::Sql(sql) => parse_sql(sql, &self.catalog)?,
+            ViewDef::Agca(text) => parse_query(text)?,
+            ViewDef::Query(query) => query,
+        };
+        // The Catalog = Database alias makes it easy to hand a ring one database and a
+        // query written against another; surface that as a first-class error naming
+        // the view and relation, before the compiler trips over it.
+        for relation in query.relations() {
+            if self.catalog.columns(&relation).is_none() {
+                return Err(Error::UnknownRelation {
+                    relation,
+                    view: Some(name),
+                });
+            }
+        }
+        if !self.snapshot_current() {
+            return Err(Error::BackfillUnavailable { view: name });
+        }
+        let program = compile(&self.catalog, &query)?;
+        // Compiler-produced programs always lower, so hosting cannot fail here.
+        let mut engine = host(program);
+        if !self.snapshot.is_empty() {
+            let base = self
+                .snapshot
+                .to_database(&self.catalog)
+                .expect("every ingested update was validated against the catalog");
+            engine.initialize_from(&base)?;
+        }
+        let slot = self.registry.register(engine);
+        debug_assert_eq!(slot as usize, self.infos.len());
+        self.infos.push(Some(ViewInfo {
+            name: name.clone(),
+            query,
+        }));
+        let id = ViewId(slot);
+        self.names.insert(name, id);
+        Ok(id)
+    }
+
+    /// Drops a view: its engine and materialized maps are discarded, its name is
+    /// freed, and its id permanently invalidated (never reused). Updates ingested
+    /// afterwards no longer pay for it.
+    pub fn drop_view(&mut self, id: ViewId) -> Result<(), Error> {
+        self.registry.remove(id.0).ok_or(Error::UnknownView {
+            view: id.to_string(),
+        })?;
+        let info = self.infos[id.0 as usize]
+            .take()
+            .expect("registry slots and view infos stay in sync");
+        self.names.remove(&info.name);
+        Ok(())
+    }
+
+    /// A read handle on one view.
+    pub fn view(&self, id: ViewId) -> Result<ViewRef<'_>, Error> {
+        let engine = self.registry.engine(id.0).ok_or(Error::UnknownView {
+            view: id.to_string(),
+        })?;
+        let info = self.infos[id.0 as usize]
+            .as_ref()
+            .expect("registry slots and view infos stay in sync");
+        Ok(ViewRef { id, info, engine })
+    }
+
+    /// A mutable handle on one view (read everything a [`ViewRef`] can, plus
+    /// counter resets).
+    pub fn view_mut(&mut self, id: ViewId) -> Result<ViewMut<'_>, Error> {
+        let engine = self.registry.engine_mut(id.0).ok_or(Error::UnknownView {
+            view: id.to_string(),
+        })?;
+        let info = self.infos[id.0 as usize]
+            .as_ref()
+            .expect("registry slots and view infos stay in sync");
+        Ok(ViewMut { id, info, engine })
+    }
+
+    /// The id of the live view with the given name.
+    pub fn view_id(&self, name: &str) -> Option<ViewId> {
+        self.names.get(name).copied()
+    }
+
+    /// A read handle on the live view with the given name.
+    pub fn view_named(&self, name: &str) -> Result<ViewRef<'_>, Error> {
+        let id = self.view_id(name).ok_or_else(|| Error::UnknownView {
+            view: name.to_string(),
+        })?;
+        self.view(id)
+    }
+
+    /// Read handles on every live view, in creation order.
+    pub fn views(&self) -> impl Iterator<Item = ViewRef<'_>> {
+        self.registry.engines().map(|(slot, engine)| ViewRef {
+            id: ViewId(slot),
+            info: self.infos[slot as usize]
+                .as_ref()
+                .expect("registry slots and view infos stay in sync"),
+            engine,
+        })
+    }
+
+    /// The ids of the live views reading `relation` — the routing table's answer to
+    /// "who pays for an update to this relation?".
+    pub fn readers_of(&self, relation: &str) -> Vec<ViewId> {
+        self.registry
+            .readers_of(relation)
+            .iter()
+            .map(|&slot| ViewId(slot))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Ingest
+    // ------------------------------------------------------------------
+
+    /// Applies one single-tuple update: validated against the catalog once, routed to
+    /// exactly the views whose programs read its relation, and — once every routed
+    /// view accepted it — recorded in the base snapshot (when tracking). Updates to
+    /// declared relations no view reads only maintain the snapshot; undeclared
+    /// relations are an [`Error::UnknownRelation`](crate::Error::UnknownRelation).
+    /// Zero-multiplicity updates are explicit no-ops.
+    ///
+    /// **Not atomic across views:** the catalog check vets relation and arity, but a
+    /// trigger can still fail on the values themselves (e.g. a string reaching an
+    /// arithmetic position), and such a mid-fan-out failure leaves earlier views
+    /// updated. The snapshot deliberately records only *fully-applied* updates, so a
+    /// rejected update can never poison future
+    /// [`create_view`](Ring::create_view) backfills.
+    pub fn apply(&mut self, update: &Update) -> Result<(), Error> {
+        if update.multiplicity == 0 {
+            return Ok(());
+        }
+        self.check_ingest(&update.relation, update.values.len())?;
+        self.apply_validated(update).map_err(Error::Runtime)
+    }
+
+    /// The post-validation half of [`Ring::apply`]: engines first, snapshot and
+    /// counter only on full success.
+    fn apply_validated(&mut self, update: &Update) -> Result<(), RuntimeError> {
+        self.registry.apply(update)?;
+        if self.track_base {
+            self.snapshot.apply(update);
+        }
+        self.ingested += update.multiplicity.unsigned_abs();
+        Ok(())
+    }
+
+    /// Convenience: applies the insertion `+R(values)`.
+    pub fn insert(&mut self, relation: &str, values: Vec<Value>) -> Result<(), Error> {
+        self.apply(&Update::insert(relation, values))
+    }
+
+    /// Convenience: applies the deletion `−R(values)`.
+    pub fn delete(&mut self, relation: &str, values: Vec<Value>) -> Result<(), Error> {
+        self.apply(&Update::delete(relation, values))
+    }
+
+    /// Applies a sequence of updates one by one (one routing decision and one trigger
+    /// firing per update per reading view).
+    ///
+    /// The whole sequence is validated against the catalog **before** anything is
+    /// applied, so an undeclared relation or a wrong arity anywhere in the sequence
+    /// fails with *nothing* landed. Runtime failures past that point (a trigger
+    /// choking on the values themselves) are not rolled back: every update before the
+    /// failing one is applied everywhere, and the error is wrapped in
+    /// [`RuntimeError::AtUpdate`] carrying the failing index so callers know exactly
+    /// how many landed.
+    pub fn apply_all<'a>(
+        &mut self,
+        updates: impl IntoIterator<Item = &'a Update>,
+    ) -> Result<(), Error> {
+        let updates: Vec<&Update> = updates.into_iter().collect();
+        for update in &updates {
+            if update.multiplicity != 0 {
+                self.check_ingest(&update.relation, update.values.len())?;
+            }
+        }
+        for (index, update) in updates.into_iter().enumerate() {
+            if update.multiplicity == 0 {
+                continue;
+            }
+            self.apply_validated(update).map_err(|source| {
+                Error::Runtime(RuntimeError::AtUpdate {
+                    index,
+                    source: Box::new(source),
+                })
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Applies a batch of updates with **one** normalization for the whole ring: the
+    /// updates are consolidated into a [`DeltaBatch`] once (cancelling pairs vanish,
+    /// multiplicities net out), the snapshot is maintained in one pass per relation,
+    /// and the borrowed batch is fanned out only to the views reading the touched
+    /// relations. With `k` views this is the amortization [`IncrementalView`]-per-view
+    /// ingest cannot have: `k` independent views each re-normalize and re-dispatch the
+    /// same updates.
+    ///
+    /// Equivalent to [`Ring::apply_all`] over the same updates for every view
+    /// (integer aggregates bit-identically; float aggregates up to IEEE reordering —
+    /// see [`IncrementalView::apply_batch`](crate::IncrementalView::apply_batch)).
+    /// Catalog failures land nothing; a runtime failure mid-fan-out leaves earlier
+    /// views updated but the snapshot unchanged (see [`Ring::apply`]).
+    ///
+    /// [`IncrementalView`]: crate::IncrementalView
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<(), Error> {
+        self.apply_delta_batch(&DeltaBatch::from_updates(updates))
+    }
+
+    /// Applies an already-normalized delta batch (the normalization cost of
+    /// [`Ring::apply_batch`] can then be reused or amortized by the caller).
+    pub fn apply_delta_batch(&mut self, batch: &DeltaBatch<'_>) -> Result<(), Error> {
+        for group in batch.groups() {
+            let expected = match self.catalog.columns(group.relation()) {
+                Some(columns) => columns.len(),
+                None => {
+                    return Err(Error::UnknownRelation {
+                        relation: group.relation().to_string(),
+                        view: None,
+                    })
+                }
+            };
+            for (values, _) in group.deltas() {
+                if values.len() != expected {
+                    return Err(Error::Runtime(RuntimeError::ArityMismatch {
+                        relation: group.relation().to_string(),
+                        expected,
+                        got: values.len(),
+                    }));
+                }
+            }
+        }
+        // Engines first, snapshot only on full success: a rejected batch must never
+        // enter the backfill source (see `Ring::apply`).
+        self.registry.apply_batch(batch)?;
+        if self.track_base {
+            self.snapshot.apply_delta_batch(batch);
+        }
+        self.ingested += batch.total_weight();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Crate-internal hooks for the single-view `IncrementalView` wrapper
+    // ------------------------------------------------------------------
+
+    /// Validates an ingest target against the catalog: the relation must be declared
+    /// and the arity must match.
+    fn check_ingest(&self, relation: &str, arity: usize) -> Result<(), Error> {
+        match self.catalog.columns(relation) {
+            None => Err(Error::UnknownRelation {
+                relation: relation.to_string(),
+                view: None,
+            }),
+            Some(columns) if columns.len() != arity => {
+                Err(Error::Runtime(RuntimeError::ArityMismatch {
+                    relation: relation.to_string(),
+                    expected: columns.len(),
+                    got: arity,
+                }))
+            }
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Re-initializes one view's maps from an explicit database (the facade's
+    /// `with_initial_database`). Any state the view accumulated is replaced.
+    pub(crate) fn reinitialize_view_from(
+        &mut self,
+        id: ViewId,
+        db: &Database,
+    ) -> Result<(), Error> {
+        let engine = self.registry.engine_mut(id.0).ok_or(Error::UnknownView {
+            view: id.to_string(),
+        })?;
+        engine.initialize_from(db)?;
+        Ok(())
+    }
+
+    /// The maintained query of a live view (panics on a dropped/unknown id — the
+    /// facade guarantees its single view is never dropped).
+    pub(crate) fn query_unchecked(&self, id: ViewId) -> &Query {
+        &self.infos[id.0 as usize]
+            .as_ref()
+            .expect("the facade's single view is never dropped")
+            .query
+    }
+
+    /// The hosted engine of a live view (panics on a dropped/unknown id — the facade
+    /// guarantees its single view is never dropped).
+    pub(crate) fn engine_unchecked(&self, id: ViewId) -> &dyn ViewEngine {
+        self.registry
+            .engine(id.0)
+            .expect("the facade's single view is never dropped")
+    }
+
+    /// Mutable counterpart of [`Ring::engine_unchecked`].
+    pub(crate) fn engine_unchecked_mut(&mut self, id: ViewId) -> &mut Box<dyn ViewEngine> {
+        self.registry
+            .engine_mut(id.0)
+            .expect("the facade's single view is never dropped")
+    }
+}
+
+/// Shared read surface of [`ViewRef`] and [`ViewMut`].
+macro_rules! view_read_api {
+    () => {
+        /// The view's id within its ring.
+        pub fn id(&self) -> ViewId {
+            self.id
+        }
+
+        /// The view's name.
+        pub fn name(&self) -> &str {
+            &self.info.name
+        }
+
+        /// The query this view maintains.
+        pub fn query(&self) -> &Query {
+            &self.info.query
+        }
+
+        /// The compiled trigger program (inspect with
+        /// [`TriggerProgram::describe`]).
+        pub fn program(&self) -> &TriggerProgram {
+            self.engine.program()
+        }
+
+        /// The program rendered in the paper's low-level NC0C language.
+        pub fn nc0c_source(&self) -> String {
+            generate_nc0c(self.engine.program())
+        }
+
+        /// The engine's registry name (executor family `@` backend).
+        pub fn engine_name(&self) -> &'static str {
+            self.engine.engine_name()
+        }
+
+        /// The aggregate value for one group key (the empty slice for queries without
+        /// `GROUP BY`). Missing groups read as zero.
+        pub fn value(&self, group_key: &[Value]) -> Number {
+            self.engine.output_value(group_key)
+        }
+
+        /// The full result table, sorted by group key.
+        pub fn table(&self) -> BTreeMap<Vec<Value>, Number> {
+            self.engine.output_table()
+        }
+
+        /// Work counters (updates applied, ring additions/multiplications performed)
+        /// for this view alone.
+        pub fn stats(&self) -> ExecStats {
+            self.engine.stats()
+        }
+
+        /// Total number of entries across this view's whole map hierarchy.
+        pub fn total_entries(&self) -> usize {
+            self.engine.total_entries()
+        }
+
+        /// The storage-level memory proxy of this view's hierarchy: entry and
+        /// secondary-index-entry counts (comparable across storage backends).
+        pub fn storage_footprint(&self) -> StorageFootprint {
+            self.engine.storage_footprint()
+        }
+    };
+}
+
+/// A cheap read handle on one standing view of a [`Ring`] — everything a caller can
+/// ask of a view without being able to mutate it.
+#[derive(Clone, Copy)]
+pub struct ViewRef<'a> {
+    id: ViewId,
+    info: &'a ViewInfo,
+    engine: &'a dyn ViewEngine,
+}
+
+impl ViewRef<'_> {
+    view_read_api!();
+}
+
+impl fmt::Debug for ViewRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ViewRef")
+            .field("id", &self.id)
+            .field("name", &self.info.name)
+            .field("engine", &self.engine.engine_name())
+            .finish()
+    }
+}
+
+/// A mutable handle on one standing view: the full [`ViewRef`] read surface plus
+/// counter resets. Ingest stays on the ring — that is the point of the design — so
+/// even a mutable handle cannot apply updates to a single view.
+pub struct ViewMut<'a> {
+    id: ViewId,
+    info: &'a ViewInfo,
+    engine: &'a mut Box<dyn ViewEngine>,
+}
+
+impl ViewMut<'_> {
+    view_read_api!();
+
+    /// Resets this view's work counters (e.g. after a bulk load, before a measured
+    /// stream).
+    pub fn reset_stats(&mut self) {
+        self.engine.reset_stats();
+    }
+}
+
+impl fmt::Debug for ViewMut<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ViewMut")
+            .field("id", &self.id)
+            .field("name", &self.info.name)
+            .field("engine", &self.engine.engine_name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Error;
+
+    fn sales_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare("Sales", &["cust", "cents", "qty"]).unwrap();
+        c.declare("Returns", &["cust", "cents"]).unwrap();
+        c
+    }
+
+    fn sale(cust: i64, cents: i64, qty: i64) -> Update {
+        Update::insert(
+            "Sales",
+            vec![Value::int(cust), Value::int(cents), Value::int(qty)],
+        )
+    }
+
+    #[test]
+    fn one_stream_maintains_many_views() {
+        let mut ring = RingBuilder::new(sales_catalog()).build();
+        let revenue = ring
+            .create_view(
+                "revenue",
+                ViewDef::Sql("SELECT cust, SUM(cents * qty) AS r FROM Sales GROUP BY cust"),
+            )
+            .unwrap();
+        let orders = ring
+            .create_view(
+                "orders",
+                ViewDef::Sql("SELECT cust, SUM(1) AS n FROM Sales GROUP BY cust"),
+            )
+            .unwrap();
+        let refunds = ring
+            .create_view(
+                "refunds",
+                ViewDef::Sql("SELECT cust, SUM(cents) AS c FROM Returns GROUP BY cust"),
+            )
+            .unwrap();
+        assert_eq!(ring.len(), 3);
+        ring.apply_all(&[sale(1, 100, 2), sale(1, 50, 1), sale(2, 30, 3)])
+            .unwrap();
+        ring.insert("Returns", vec![Value::int(1), Value::int(40)])
+            .unwrap();
+        assert_eq!(
+            ring.view(revenue).unwrap().value(&[Value::int(1)]),
+            Number::Int(250)
+        );
+        assert_eq!(
+            ring.view(orders).unwrap().value(&[Value::int(1)]),
+            Number::Int(2)
+        );
+        assert_eq!(
+            ring.view(refunds).unwrap().value(&[Value::int(1)]),
+            Number::Int(40)
+        );
+        // Routing: the Returns insert did not touch the Sales-reading views.
+        assert_eq!(ring.view(revenue).unwrap().stats().updates, 3);
+        assert_eq!(ring.view(refunds).unwrap().stats().updates, 1);
+        assert_eq!(ring.readers_of("Sales"), vec![revenue, orders]);
+        assert_eq!(ring.readers_of("Returns"), vec![refunds]);
+        assert_eq!(ring.updates_ingested(), 4);
+        assert_eq!(
+            ring.views()
+                .map(|v| v.name().to_string())
+                .collect::<Vec<_>>(),
+            vec!["revenue", "orders", "refunds"]
+        );
+    }
+
+    #[test]
+    fn late_registration_backfills_from_the_snapshot() {
+        let mut ring = RingBuilder::new(sales_catalog()).build();
+        let early = ring
+            .create_view(
+                "early",
+                ViewDef::Agca("q[c] := Sum(Sales(c, p, n) * p * n)"),
+            )
+            .unwrap();
+        ring.apply_all(&[sale(1, 10, 1), sale(2, 20, 2), sale(1, 5, 4)])
+            .unwrap();
+        // Same definition, created after the stream: must match the early view.
+        let late = ring
+            .create_view("late", ViewDef::Agca("q[c] := Sum(Sales(c, p, n) * p * n)"))
+            .unwrap();
+        assert_eq!(
+            ring.view(early).unwrap().table(),
+            ring.view(late).unwrap().table()
+        );
+        // And both keep agreeing on further maintenance.
+        ring.apply(&sale(2, 7, 1)).unwrap();
+        assert_eq!(
+            ring.view(early).unwrap().table(),
+            ring.view(late).unwrap().table()
+        );
+        assert_eq!(
+            ring.view(late).unwrap().value(&[Value::int(2)]),
+            Number::Int(47)
+        );
+    }
+
+    #[test]
+    fn from_database_backfills_new_views() {
+        let mut db = sales_catalog();
+        db.apply_all(&[sale(1, 100, 1), sale(1, 10, 2)]).unwrap();
+        let mut ring = RingBuilder::from_database(db).build();
+        let v = ring
+            .create_view(
+                "revenue",
+                ViewDef::Agca("q[c] := Sum(Sales(c, p, n) * p * n)"),
+            )
+            .unwrap();
+        assert_eq!(
+            ring.view(v).unwrap().value(&[Value::int(1)]),
+            Number::Int(120)
+        );
+        ring.apply(&sale(1, 1, 5)).unwrap();
+        assert_eq!(
+            ring.view(v).unwrap().value(&[Value::int(1)]),
+            Number::Int(125)
+        );
+    }
+
+    #[test]
+    fn create_view_rejects_undeclared_relations_with_a_dedicated_error() {
+        let mut ring = RingBuilder::new(sales_catalog()).build();
+        let err = ring
+            .create_view("bad", ViewDef::Agca("q := Sum(Ghost(x))"))
+            .unwrap_err();
+        match &err {
+            Error::UnknownRelation { relation, view } => {
+                assert_eq!(relation, "Ghost");
+                assert_eq!(view.as_deref(), Some("bad"));
+            }
+            other => panic!("expected UnknownRelation, got {other:?}"),
+        }
+        assert!(err.to_string().contains("Ghost"));
+        assert!(err.to_string().contains("bad"));
+        assert!(ring.is_empty(), "the failed view was not registered");
+    }
+
+    #[test]
+    fn duplicate_and_unknown_view_errors() {
+        let mut ring = RingBuilder::new(sales_catalog()).build();
+        let id = ring
+            .create_view("v", ViewDef::Agca("q := Sum(Sales(c, p, n))"))
+            .unwrap();
+        assert!(matches!(
+            ring.create_view("v", ViewDef::Agca("q := Sum(Sales(c, p, n))")),
+            Err(Error::DuplicateView { .. })
+        ));
+        ring.drop_view(id).unwrap();
+        assert!(matches!(ring.drop_view(id), Err(Error::UnknownView { .. })));
+        assert!(matches!(ring.view(id), Err(Error::UnknownView { .. })));
+        assert!(ring.view_id("v").is_none());
+        // The name is freed, and the old id is never reused.
+        let id2 = ring
+            .create_view("v", ViewDef::Agca("q := Sum(Sales(c, p, n))"))
+            .unwrap();
+        assert_ne!(id, id2);
+        assert!(matches!(
+            ring.view_named("ghost"),
+            Err(Error::UnknownView { .. })
+        ));
+        assert_eq!(ring.view_named("v").unwrap().id(), id2);
+    }
+
+    #[test]
+    fn dropped_views_stop_paying_for_ingest() {
+        let mut ring = RingBuilder::new(sales_catalog()).build();
+        let keep = ring
+            .create_view("keep", ViewDef::Agca("q[c] := Sum(Sales(c, p, n))"))
+            .unwrap();
+        let gone = ring
+            .create_view("gone", ViewDef::Agca("q[c] := Sum(Sales(c, p, n))"))
+            .unwrap();
+        ring.apply(&sale(1, 1, 1)).unwrap();
+        ring.drop_view(gone).unwrap();
+        ring.apply(&sale(2, 2, 2)).unwrap();
+        assert_eq!(ring.view(keep).unwrap().stats().updates, 2);
+        assert_eq!(ring.readers_of("Sales"), vec![keep]);
+    }
+
+    #[test]
+    fn ingest_validates_against_the_catalog() {
+        let mut ring = RingBuilder::new(sales_catalog()).build();
+        ring.create_view("v", ViewDef::Agca("q := Sum(Sales(c, p, n))"))
+            .unwrap();
+        assert!(matches!(
+            ring.insert("Ghost", vec![Value::int(1)]),
+            Err(Error::UnknownRelation { view: None, .. })
+        ));
+        assert!(matches!(
+            ring.insert("Sales", vec![Value::int(1)]),
+            Err(Error::Runtime(RuntimeError::ArityMismatch { .. }))
+        ));
+        // A declared relation no view reads is maintained in the snapshot only.
+        ring.insert("Returns", vec![Value::int(1), Value::int(5)])
+            .unwrap();
+        assert_eq!(ring.updates_ingested(), 1);
+        assert_eq!(ring.base_snapshot().unwrap().total_support(), 1);
+        // Batch ingest validates the same way.
+        assert!(matches!(
+            ring.apply_batch(&[Update::insert("Ghost", vec![Value::int(1)])]),
+            Err(Error::UnknownRelation { .. })
+        ));
+        assert!(matches!(
+            ring.apply_batch(&[Update::insert("Sales", vec![Value::int(1)])]),
+            Err(Error::Runtime(RuntimeError::ArityMismatch { .. }))
+        ));
+        // apply_all prevalidates the whole sequence: a catalog error anywhere means
+        // *nothing* lands, reported without an index.
+        let before = ring.updates_ingested();
+        let err = ring
+            .apply_all(&[sale(1, 1, 1), Update::insert("Sales", vec![Value::int(9)])])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Runtime(RuntimeError::ArityMismatch { .. })
+        ));
+        assert_eq!(ring.updates_ingested(), before, "nothing landed");
+    }
+
+    /// Regression (review finding): a trigger failing on the *values* (which the
+    /// catalog check cannot vet) must not poison the base snapshot — late view
+    /// creation has to keep working after a rejected update, and `apply_all` must
+    /// pinpoint the failing index for such runtime errors.
+    #[test]
+    fn rejected_updates_never_enter_the_backfill_snapshot() {
+        let mut ring = RingBuilder::new(sales_catalog()).build();
+        ring.create_view(
+            "revenue",
+            ViewDef::Agca("q[c] := Sum(Sales(c, p, n) * p * n)"),
+        )
+        .unwrap();
+        // Catalog-valid (right relation, right arity) but a string lands in an
+        // arithmetic position: the trigger rejects it at runtime.
+        let poison = Update::insert(
+            "Sales",
+            vec![Value::int(1), Value::str("x"), Value::str("y")],
+        );
+        let err = ring
+            .apply_all(&[sale(1, 10, 1), poison.clone(), sale(2, 5, 1)])
+            .unwrap_err();
+        match err {
+            Error::Runtime(RuntimeError::AtUpdate { index, .. }) => assert_eq!(index, 1),
+            other => panic!("expected AtUpdate, got {other:?}"),
+        }
+        // The good update before the failure landed; the poison did not reach the
+        // snapshot, so mid-stream view creation still works and matches the stream.
+        assert_eq!(ring.updates_ingested(), 1);
+        assert!(ring.apply(&poison).is_err());
+        let late = ring
+            .create_view("units", ViewDef::Agca("q[c] := Sum(Sales(c, p, n) * n)"))
+            .unwrap();
+        assert_eq!(
+            ring.view(late).unwrap().value(&[Value::int(1)]),
+            Number::Int(1)
+        );
+        assert_eq!(ring.base_snapshot().unwrap().total_support(), 1);
+        // The batch path keeps the same guarantee.
+        let err = ring.apply_batch(&[sale(3, 2, 2), poison]).unwrap_err();
+        assert!(matches!(err, Error::Runtime(_)));
+        assert!(ring
+            .create_view("orders", ViewDef::Agca("q[c] := Sum(Sales(c, p, n))"))
+            .is_ok());
+    }
+
+    #[test]
+    fn batch_ingest_normalizes_once_and_matches_per_update_ingest() {
+        let updates: Vec<Update> = (0..40)
+            .map(|i| sale(i % 5, 100 * (i % 3 + 1), i % 4 + 1))
+            .chain((0..6).map(|i| sale(i % 5, 100, 1).inverse()))
+            .collect();
+        let defs = [
+            ("revenue", "q[c] := Sum(Sales(c, p, n) * p * n)"),
+            ("orders", "q[c] := Sum(Sales(c, p, n))"),
+        ];
+        let mut per_update = RingBuilder::new(sales_catalog()).build();
+        let mut batched = RingBuilder::new(sales_catalog()).build();
+        for (name, text) in defs {
+            per_update.create_view(name, ViewDef::Agca(text)).unwrap();
+            batched.create_view(name, ViewDef::Agca(text)).unwrap();
+        }
+        per_update.apply_all(&updates).unwrap();
+        for chunk in updates.chunks(16) {
+            batched.apply_batch(chunk).unwrap();
+        }
+        for (name, _) in defs {
+            assert_eq!(
+                per_update.view_named(name).unwrap().table(),
+                batched.view_named(name).unwrap().table(),
+                "{name}"
+            );
+        }
+        // The batch path counts *consolidated* weight: in-batch cancelling pairs
+        // vanish before ingestion, so it can only see fewer updates, never more.
+        assert!(batched.updates_ingested() <= per_update.updates_ingested());
+        assert!(batched.updates_ingested() > 0);
+        // The snapshots agree too (batch snapshot maintenance is one pass).
+        assert_eq!(
+            per_update.base_snapshot().unwrap().total_support(),
+            batched.base_snapshot().unwrap().total_support()
+        );
+    }
+
+    #[test]
+    fn disabling_base_tracking_blocks_late_registration_only() {
+        let mut ring = RingBuilder::new(sales_catalog())
+            .without_base_tracking()
+            .build();
+        let early = ring
+            .create_view("early", ViewDef::Agca("q[c] := Sum(Sales(c, p, n))"))
+            .unwrap();
+        assert!(ring.snapshot_current(), "no updates yet");
+        ring.apply(&sale(1, 1, 1)).unwrap();
+        assert!(!ring.snapshot_current());
+        assert!(ring.base_snapshot().is_none());
+        let err = ring
+            .create_view("late", ViewDef::Agca("q[c] := Sum(Sales(c, p, n))"))
+            .unwrap_err();
+        assert!(matches!(err, Error::BackfillUnavailable { .. }));
+        assert!(err.to_string().contains("late"));
+        // The early view is unaffected.
+        assert_eq!(
+            ring.view(early).unwrap().value(&[Value::int(1)]),
+            Number::Int(1)
+        );
+    }
+
+    #[test]
+    fn view_handles_expose_program_and_metadata() {
+        let mut ring = RingBuilder::new(sales_catalog())
+            .backend(StorageBackend::Ordered)
+            .build();
+        let id = ring
+            .create_view(
+                "revenue",
+                ViewDef::Sql("SELECT cust, SUM(cents * qty) AS r FROM Sales GROUP BY cust"),
+            )
+            .unwrap();
+        ring.apply(&sale(3, 10, 2)).unwrap();
+        let view = ring.view(id).unwrap();
+        assert_eq!(view.id(), id);
+        assert_eq!(view.name(), "revenue");
+        assert_eq!(view.engine_name(), "recursive-ivm@ordered");
+        assert_eq!(view.query().group_by.len(), 1);
+        assert!(view.program().describe().contains("on +Sales"));
+        assert!(view.nc0c_source().contains("void on_insert_Sales"));
+        assert!(view.total_entries() > 0);
+        assert!(view.storage_footprint().entries > 0);
+        assert_eq!(format!("{}", view.id()), format!("view#{}", id.0));
+        assert!(format!("{view:?}").contains("revenue"));
+        let mut view = ring.view_mut(id).unwrap();
+        assert_eq!(view.name(), "revenue");
+        view.reset_stats();
+        assert!(format!("{view:?}").contains("revenue"));
+        assert_eq!(ring.view(id).unwrap().stats().updates, 0);
+        assert_eq!(ring.backend(), StorageBackend::Ordered);
+    }
+}

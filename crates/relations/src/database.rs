@@ -218,6 +218,64 @@ impl Database {
         Ok(())
     }
 
+    /// Applies an already-normalized [`DeltaBatch`](crate::batch::DeltaBatch) — the
+    /// batch counterpart of [`Database::apply_all`]: each group's relation is
+    /// resolved once and its net deltas land in one pass, paying per *distinct*
+    /// tuple rather than per source update. For callers that keep a schema-carrying
+    /// database current under batched ingest; a host that only needs a backfill
+    /// source should maintain the cheaper positional [`Snapshot`](crate::Snapshot)
+    /// instead and materialize on demand.
+    ///
+    /// Not atomic: a group against an undeclared relation (or a delta with the wrong
+    /// arity) fails after every earlier group was applied.
+    pub fn apply_delta_batch(
+        &mut self,
+        batch: &crate::batch::DeltaBatch<'_>,
+    ) -> Result<(), DatabaseError> {
+        for group in batch.groups() {
+            let rel = self
+                .relations
+                .get_mut(group.relation())
+                .ok_or_else(|| DatabaseError::UnknownRelation(group.relation().to_string()))?;
+            let sign = if group.is_insert() { 1 } else { -1 };
+            for (values, weight) in group.deltas() {
+                if rel.columns.len() != values.len() {
+                    return Err(DatabaseError::ArityMismatch {
+                        relation: group.relation().to_string(),
+                        expected: rel.columns.len(),
+                        got: values.len(),
+                    });
+                }
+                let tuple =
+                    Tuple::from_pairs(rel.columns.iter().cloned().zip(values.iter().cloned()));
+                rel.data.add_entry(tuple, sign * weight);
+            }
+        }
+        Ok(())
+    }
+
+    /// The schema with none of the contents: every declared relation, every column
+    /// list, all data dropped. This is the "catalog" reading of a loaded database —
+    /// use it where only declarations should travel (compiling a query, seeding an
+    /// empty engine) so contents cannot leak along with them.
+    pub fn schema_only(&self) -> Database {
+        Database {
+            relations: self
+                .relations
+                .iter()
+                .map(|(name, rel)| {
+                    (
+                        name.clone(),
+                        RelationData {
+                            columns: rel.columns.clone(),
+                            data: Gmr::zero(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
     /// Total number of distinct tuples (support size) across all relations.
     pub fn total_support(&self) -> usize {
         self.relations.values().map(|r| r.data.support_size()).sum()
@@ -336,6 +394,64 @@ mod tests {
         );
         db.apply(&u.inverse()).unwrap();
         assert!(db.is_empty());
+    }
+
+    #[test]
+    fn apply_delta_batch_matches_apply_all() {
+        use crate::batch::DeltaBatch;
+        let mut db = db_with_r();
+        db.declare("S", &["X"]).unwrap();
+        let updates = vec![
+            Update::insert("R", vec![Value::int(1), Value::int(2)]),
+            Update::insert("R", vec![Value::int(1), Value::int(2)]),
+            Update::delete("R", vec![Value::int(3), Value::int(4)]),
+            Update::insert("S", vec![Value::int(9)]),
+            Update::delete("S", vec![Value::int(9)]),
+        ];
+        let mut per_update = db.clone();
+        per_update.apply_all(&updates).unwrap();
+        let mut batched = db.clone();
+        batched
+            .apply_delta_batch(&DeltaBatch::from_updates(&updates))
+            .unwrap();
+        let sorted = |db: &Database, rel: &str| {
+            let mut entries: Vec<(Tuple, i64)> = db
+                .relation(rel)
+                .unwrap()
+                .iter()
+                .map(|(t, m)| (t.clone(), *m))
+                .collect();
+            entries.sort();
+            entries
+        };
+        for rel in ["R", "S"] {
+            assert_eq!(sorted(&per_update, rel), sorted(&batched, rel), "{rel}");
+        }
+        // Errors mirror the per-update path.
+        let unknown = [Update::insert("Z", vec![Value::int(1)])];
+        assert_eq!(
+            db.clone()
+                .apply_delta_batch(&DeltaBatch::from_updates(&unknown)),
+            Err(DatabaseError::UnknownRelation("Z".to_string()))
+        );
+        let bad_arity = [Update::insert("R", vec![Value::int(1)])];
+        assert!(matches!(
+            db.clone()
+                .apply_delta_batch(&DeltaBatch::from_updates(&bad_arity)),
+            Err(DatabaseError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn schema_only_keeps_declarations_and_drops_contents() {
+        let mut db = db_with_r();
+        db.insert("R", vec![Value::int(1), Value::str("x")])
+            .unwrap();
+        let schema = db.schema_only();
+        assert_eq!(schema.columns("R"), db.columns("R"));
+        assert!(schema.is_empty());
+        assert_eq!(schema.total_support(), 0);
+        assert_eq!(db.total_support(), 1, "the source is untouched");
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   maintenance strategy in the workspace;
 //! * [`batch`] — [`DeltaBatch`](batch::DeltaBatch): a sequence of updates normalized
 //!   into consolidated, sorted per-(relation, sign) delta groups, the input of the
-//!   executors' batch paths.
+//!   executors' batch paths;
+//! * [`snapshot`] — [`Snapshot`](snapshot::Snapshot): a write-optimized positional
+//!   mirror of the base relations, maintained per update and materialized into a
+//!   [`Database`](database::Database) only when a late-registered view needs a
+//!   backfill source.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +36,7 @@ pub mod batch;
 pub mod database;
 pub mod gmr;
 pub mod pgmr;
+pub mod snapshot;
 pub mod tuple;
 pub mod value;
 
@@ -39,5 +44,6 @@ pub use batch::{DeltaBatch, DeltaGroup};
 pub use database::{Database, Update};
 pub use gmr::{Gmr, GmrExt};
 pub use pgmr::Pgmr;
+pub use snapshot::Snapshot;
 pub use tuple::Tuple;
 pub use value::Value;

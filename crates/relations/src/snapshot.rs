@@ -1,0 +1,247 @@
+//! A write-optimized base snapshot: positional relation contents, cheap to maintain on
+//! every update, materializable into a [`Database`] when something actually needs one.
+//!
+//! A multi-view engine that supports *late view registration* must be able to answer
+//! "what do the base relations contain right now?" — but it must answer it rarely
+//! (only when a view is created mid-stream), while paying for the bookkeeping on
+//! *every* update. A [`Database`] is the wrong shape for that write path: its contents
+//! are GMRs keyed by schema-carrying [`Tuple`](crate::tuple::Tuple)s, so recording one
+//! update means building a `BTreeMap<String, Value>` with cloned column names — fine
+//! for evaluation, wasteful as a mirror.
+//!
+//! [`Snapshot`] keeps the same information positionally: per relation, a hash map from
+//! the tuple's value vector to its net multiplicity. Maintaining it costs one hash map
+//! update per tuple (no column names, no tree), zero-sum entries are pruned, and
+//! [`Snapshot::to_database`] rebuilds the schema-carrying form — paying the tuple
+//! construction cost once per *distinct live tuple*, exactly when a backfill asks
+//! for it.
+
+use std::collections::HashMap;
+
+use crate::batch::DeltaBatch;
+use crate::database::{Database, DatabaseError, Update};
+use crate::value::Value;
+
+/// Positional relation contents mirrored from an update stream; see the
+/// [module docs](self). Maintenance performs **no validation** — feed it only updates
+/// the owning catalog has already vetted (unknown relations simply accumulate under
+/// their name; arity is the caller's contract).
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    relations: HashMap<String, HashMap<Vec<Value>, i64>>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Snapshot::default()
+    }
+
+    /// Mirrors the contents of a loaded database (used when an engine starts from
+    /// existing data rather than an empty stream). Relations are read in their
+    /// declared column order, so a later [`Snapshot::to_database`] round-trips.
+    pub fn from_database(db: &Database) -> Self {
+        let mut snapshot = Snapshot::new();
+        for relation in db.relation_names() {
+            let columns = db.columns(relation).expect("declared relation has columns");
+            let rows = snapshot.rows_mut(relation);
+            for (tuple, multiplicity) in db.relation(relation).expect("declared").iter() {
+                let values: Vec<Value> = columns
+                    .iter()
+                    .map(|c| {
+                        tuple
+                            .get(c)
+                            .expect("database tuples carry their declared columns")
+                            .clone()
+                    })
+                    .collect();
+                *rows.entry(values).or_insert(0) += *multiplicity;
+            }
+            rows.retain(|_, m| *m != 0);
+        }
+        snapshot
+    }
+
+    fn rows_mut(&mut self, relation: &str) -> &mut HashMap<Vec<Value>, i64> {
+        // `entry` would demand an owned key even on hits; updates are overwhelmingly
+        // to existing relations, so probe first and clone the name only on a miss.
+        if !self.relations.contains_key(relation) {
+            self.relations.insert(relation.to_string(), HashMap::new());
+        }
+        self.relations.get_mut(relation).expect("just ensured")
+    }
+
+    /// Adds `delta` to one row's net multiplicity, cloning the key only on first
+    /// insertion (the hot-key common case touches an existing entry and must not
+    /// allocate) and pruning entries whose net reaches zero.
+    fn bump(rows: &mut HashMap<Vec<Value>, i64>, values: &[Value], delta: i64) {
+        if let Some(entry) = rows.get_mut(values) {
+            *entry += delta;
+            if *entry == 0 {
+                rows.remove(values);
+            }
+        } else {
+            rows.insert(values.to_vec(), delta);
+        }
+    }
+
+    /// Records one single-tuple update (`±R(t⃗)` with any multiplicity; zero is a
+    /// no-op). Entries whose net multiplicity reaches zero are pruned; a tuple's
+    /// values are cloned only the first time the tuple is seen.
+    pub fn apply(&mut self, update: &Update) {
+        if update.multiplicity == 0 {
+            return;
+        }
+        let rows = self.rows_mut(&update.relation);
+        Self::bump(rows, &update.values, update.multiplicity);
+    }
+
+    /// Records an already-normalized [`DeltaBatch`] — one relation resolution per
+    /// group, one hash-map update per *distinct* tuple.
+    pub fn apply_delta_batch(&mut self, batch: &DeltaBatch<'_>) {
+        for group in batch.groups() {
+            let sign = if group.is_insert() { 1 } else { -1 };
+            let rows = self.rows_mut(group.relation());
+            for (values, weight) in group.deltas() {
+                Self::bump(rows, values, sign * weight);
+            }
+        }
+    }
+
+    /// Number of distinct live tuples across all relations.
+    pub fn total_support(&self) -> usize {
+        self.relations.values().map(HashMap::len).sum()
+    }
+
+    /// Whether no live tuples are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.relations.values().all(HashMap::is_empty)
+    }
+
+    /// Materializes the snapshot into a schema-carrying [`Database`] over the given
+    /// catalog: the catalog's declarations plus this snapshot's contents. This is the
+    /// rare, per-backfill operation the snapshot exists to defer — it costs one tuple
+    /// construction per distinct live tuple. Errors if the snapshot holds a relation
+    /// the catalog never declared, or rows of the wrong arity.
+    pub fn to_database(&self, catalog: &Database) -> Result<Database, DatabaseError> {
+        let mut db = catalog.schema_only();
+        for (relation, rows) in &self.relations {
+            for (values, multiplicity) in rows {
+                db.apply(&Update {
+                    relation: relation.clone(),
+                    values: values.clone(),
+                    multiplicity: *multiplicity,
+                })?;
+            }
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Database {
+        let mut db = Database::new();
+        db.declare("R", &["A", "B"]).unwrap();
+        db.declare("S", &["X"]).unwrap();
+        db
+    }
+
+    fn ins(rel: &str, vals: &[i64]) -> Update {
+        Update::insert(rel, vals.iter().map(|&v| Value::int(v)).collect())
+    }
+
+    #[test]
+    fn mirrors_updates_and_materializes_the_equivalent_database() {
+        let mut snapshot = Snapshot::new();
+        let mut reference = catalog();
+        let updates = [
+            ins("R", &[1, 2]),
+            ins("R", &[1, 2]),
+            ins("R", &[3, 4]),
+            ins("S", &[7]),
+            ins("R", &[3, 4]).inverse(),
+        ];
+        for u in &updates {
+            snapshot.apply(u);
+            reference.apply(u).unwrap();
+        }
+        assert_eq!(snapshot.total_support(), reference.total_support());
+        let materialized = snapshot.to_database(&catalog()).unwrap();
+        for rel in ["R", "S"] {
+            let mut a: Vec<_> = materialized.relation(rel).unwrap().iter().collect();
+            let mut b: Vec<_> = reference.relation(rel).unwrap().iter().collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{rel}");
+        }
+    }
+
+    #[test]
+    fn batch_maintenance_matches_per_update_maintenance() {
+        let updates = [
+            ins("R", &[1, 1]),
+            ins("R", &[1, 1]),
+            ins("R", &[2, 2]),
+            ins("R", &[2, 2]).inverse(),
+            ins("S", &[5]),
+        ];
+        let mut per_update = Snapshot::new();
+        for u in &updates {
+            per_update.apply(u);
+        }
+        let mut batched = Snapshot::new();
+        batched.apply_delta_batch(&DeltaBatch::from_updates(&updates));
+        assert_eq!(per_update.total_support(), batched.total_support());
+        assert_eq!(
+            per_update.to_database(&catalog()).unwrap().total_support(),
+            batched.to_database(&catalog()).unwrap().total_support()
+        );
+    }
+
+    #[test]
+    fn zero_sums_are_pruned_and_zero_multiplicity_is_a_no_op() {
+        let mut snapshot = Snapshot::new();
+        snapshot.apply(&ins("R", &[1, 2]));
+        snapshot.apply(&ins("R", &[1, 2]).inverse());
+        assert!(snapshot.is_empty());
+        let mut zero = ins("R", &[9, 9]);
+        zero.multiplicity = 0;
+        snapshot.apply(&zero);
+        assert!(snapshot.is_empty());
+        assert_eq!(snapshot.total_support(), 0);
+    }
+
+    #[test]
+    fn from_database_round_trips() {
+        let mut db = catalog();
+        db.apply_all(&[ins("R", &[1, 2]), ins("R", &[1, 2]), ins("S", &[3])])
+            .unwrap();
+        let snapshot = Snapshot::from_database(&db);
+        assert_eq!(snapshot.total_support(), 2);
+        let back = snapshot.to_database(&catalog()).unwrap();
+        assert_eq!(back.total_support(), db.total_support());
+        assert_eq!(
+            back.relation("R").unwrap().iter().count(),
+            db.relation("R").unwrap().iter().count()
+        );
+    }
+
+    #[test]
+    fn materialization_validates_against_the_catalog() {
+        let mut snapshot = Snapshot::new();
+        snapshot.apply(&ins("Ghost", &[1]));
+        assert!(matches!(
+            snapshot.to_database(&catalog()),
+            Err(DatabaseError::UnknownRelation(_))
+        ));
+        let mut bad_arity = Snapshot::new();
+        bad_arity.apply(&ins("S", &[1, 2]));
+        assert!(matches!(
+            bad_arity.to_database(&catalog()),
+            Err(DatabaseError::ArityMismatch { .. })
+        ));
+    }
+}

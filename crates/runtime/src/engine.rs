@@ -1,0 +1,346 @@
+//! The object-safe engine interface a hosted view runs behind, and the by-value
+//! engine factory.
+//!
+//! A ring-of-views engine (the `dbring::Ring` facade) hosts *many* standing views
+//! over one update stream. The views are heterogeneous — different
+//! compiled programs, different storage backends, potentially different executor
+//! families — so the host cannot be generic over one concrete executor type the way a
+//! single [`IncrementalView`] is. [`ViewEngine`] is the object-safe contract that makes
+//! a compiled, runnable view a *value*: everything the host needs to drive maintenance
+//! (per-update and batched application, initialization from a snapshot) and serve reads
+//! (point lookups, tables, work counters, footprints, the program itself) — behind
+//! `Box<dyn ViewEngine>`, cloneable and inspectable.
+//!
+//! [`boxed_engine`] / [`try_boxed_engine`] are the by-value factory: pick a
+//! [`StorageBackend`] with an enum value instead of a turbofish and get back a boxed
+//! lowered executor. [`boxed_engine_by_name`] resolves the same registry names as
+//! [`strategy_by_name`](crate::strategy::strategy_by_name)
+//! (`"recursive-ivm@ordered"`, `"recursive-ivm-interpreted"`, …) so experiment CLIs can
+//! host any executor family behind the same interface.
+//!
+//! The difference from [`MaintenanceStrategy`](crate::strategy::MaintenanceStrategy):
+//! a strategy is the *measurement* interface (it covers the database-retaining
+//! baselines, erases errors to `String`, and exposes only results), while `ViewEngine`
+//! is the *hosting* interface (typed [`RuntimeError`]s, normalized-batch application,
+//! snapshot initialization, program access for code generation). The baselines are
+//! deliberately not `ViewEngine`s — they retain the base database, which a ring
+//! maintains once for all views.
+//!
+//! [`IncrementalView`]: ../../dbring/struct.IncrementalView.html
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use dbring_agca::eval::EvalError;
+use dbring_algebra::Number;
+use dbring_compiler::{LowerError, TriggerProgram};
+use dbring_relations::{Database, DeltaBatch, Update, Value};
+
+use crate::executor::{ExecStats, Executor, RuntimeError};
+use crate::interp::InterpretedExecutor;
+use crate::storage::{
+    HashViewStorage, OrderedViewStorage, StorageBackend, StorageFootprint, ViewStorage,
+};
+
+/// The object-safe interface of one compiled, runnable view: what an engine host (a
+/// ring of views, an experiment harness) needs to drive maintenance and serve reads,
+/// independent of the concrete executor and storage backend behind it.
+///
+/// Implemented by both executor families over every storage backend; obtain boxed
+/// instances from [`boxed_engine`] (backend by value) or [`boxed_engine_by_name`]
+/// (registry names). `Box<dyn ViewEngine>` is `Clone`, so hosts composed of boxed
+/// engines stay cheaply cloneable for experiments that fork a loaded state.
+pub trait ViewEngine: std::fmt::Debug + Send {
+    /// The engine's registry name (`"recursive-ivm"`, `"recursive-ivm@ordered"`,
+    /// `"recursive-ivm-interpreted"`, …): the executor family, suffixed with
+    /// `@<backend>` off the default backend.
+    fn engine_name(&self) -> &'static str;
+
+    /// The compiled trigger program this engine runs (inspectable, NC0C-generatable).
+    fn program(&self) -> &TriggerProgram;
+
+    /// Applies one single-tuple update. Updates to relations the program has no
+    /// trigger for are ignored; zero-multiplicity updates are explicit no-ops.
+    fn apply(&mut self, update: &Update) -> Result<(), RuntimeError>;
+
+    /// Applies an already-normalized [`DeltaBatch`]: one dispatch per
+    /// `(relation, sign)` group, weighted firing where the trigger admits it.
+    /// Equivalent to applying the batch's source updates one by one; not atomic on
+    /// error (see the executors' `apply_batch` docs).
+    fn apply_batch(&mut self, batch: &DeltaBatch<'_>) -> Result<(), RuntimeError>;
+
+    /// Loads every materialized view from a non-empty starting database by evaluating
+    /// its defining query (the initialization step of Section 1.1). The database is
+    /// not retained.
+    fn initialize_from(&mut self, db: &Database) -> Result<(), EvalError>;
+
+    /// The output value for one group key (zero if absent).
+    fn output_value(&self, key: &[Value]) -> Number;
+
+    /// The full output table, sorted by group key.
+    fn output_table(&self) -> BTreeMap<Vec<Value>, Number>;
+
+    /// Work counters accumulated so far.
+    fn stats(&self) -> ExecStats;
+
+    /// Resets the work counters.
+    fn reset_stats(&mut self);
+
+    /// Total entries across the whole view hierarchy.
+    fn total_entries(&self) -> usize;
+
+    /// Entry/index-entry counts of the whole view hierarchy (the cross-backend
+    /// memory proxy).
+    fn storage_footprint(&self) -> StorageFootprint;
+
+    /// Clones the engine behind the object interface (`Box<dyn ViewEngine>: Clone`
+    /// is built on this).
+    fn boxed_clone(&self) -> Box<dyn ViewEngine>;
+
+    /// Upcast for callers that know the concrete engine type (e.g. a facade that
+    /// always hosts lowered executors and wants the typed `&Executor<S>` back).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast, see [`ViewEngine::as_any`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl Clone for Box<dyn ViewEngine> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+/// Implements [`ViewEngine`] for one executor family, generic over the storage
+/// backend (any [`ViewStorage`], not just the in-tree ones); the engine name is the
+/// family literal suffixed per [`ViewStorage::BACKEND`], spelled to match the strategy
+/// registry's names exactly so the two registries can never disagree on naming.
+macro_rules! impl_view_engine {
+    ($family:ident, $hash_name:literal, $ordered_name:literal) => {
+        impl<S: ViewStorage + Send + 'static> ViewEngine for $family<S> {
+            fn engine_name(&self) -> &'static str {
+                match S::BACKEND {
+                    StorageBackend::Hash => $hash_name,
+                    StorageBackend::Ordered => $ordered_name,
+                }
+            }
+
+            fn program(&self) -> &TriggerProgram {
+                self.program()
+            }
+
+            fn apply(&mut self, update: &Update) -> Result<(), RuntimeError> {
+                self.apply(update)
+            }
+
+            fn apply_batch(&mut self, batch: &DeltaBatch<'_>) -> Result<(), RuntimeError> {
+                self.apply_batch(batch)
+            }
+
+            fn initialize_from(&mut self, db: &Database) -> Result<(), EvalError> {
+                self.initialize_from(db)
+            }
+
+            fn output_value(&self, key: &[Value]) -> Number {
+                self.output_value(key)
+            }
+
+            fn output_table(&self) -> BTreeMap<Vec<Value>, Number> {
+                self.output_table()
+            }
+
+            fn stats(&self) -> ExecStats {
+                self.stats()
+            }
+
+            fn reset_stats(&mut self) {
+                self.reset_stats()
+            }
+
+            fn total_entries(&self) -> usize {
+                self.total_entries()
+            }
+
+            fn storage_footprint(&self) -> StorageFootprint {
+                self.storage_footprint()
+            }
+
+            fn boxed_clone(&self) -> Box<dyn ViewEngine> {
+                Box::new(self.clone())
+            }
+
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+    };
+}
+
+impl_view_engine!(Executor, "recursive-ivm", "recursive-ivm@ordered");
+impl_view_engine!(
+    InterpretedExecutor,
+    "recursive-ivm-interpreted",
+    "recursive-ivm-interpreted@ordered"
+);
+
+/// Builds a boxed lowered-executor engine on the given storage backend — backend
+/// chosen **by value**, no turbofish. This is the constructor engine hosts use.
+///
+/// # Panics
+/// Panics if the program does not lower (impossible for programs produced by
+/// [`dbring_compiler::compile`], which validates); use [`try_boxed_engine`] for
+/// hand-built programs that may not.
+pub fn boxed_engine(program: TriggerProgram, backend: StorageBackend) -> Box<dyn ViewEngine> {
+    try_boxed_engine(program, backend).expect("compiled trigger programs always lower")
+}
+
+/// Fallible [`boxed_engine`]: surfaces lowering problems as a [`LowerError`].
+pub fn try_boxed_engine(
+    program: TriggerProgram,
+    backend: StorageBackend,
+) -> Result<Box<dyn ViewEngine>, LowerError> {
+    Ok(match backend {
+        StorageBackend::Hash => Box::new(Executor::<HashViewStorage>::try_with_backend(program)?),
+        StorageBackend::Ordered => {
+            Box::new(Executor::<OrderedViewStorage>::try_with_backend(program)?)
+        }
+    })
+}
+
+/// Resolves a boxed engine by its registry name — the same names as
+/// [`strategy_by_name`](crate::strategy::strategy_by_name): a family
+/// (`"recursive-ivm"`, `"recursive-ivm-interpreted"`), optionally suffixed with
+/// `@<backend>`. `None` for unknown families/backends (including the
+/// database-retaining baselines, which are not hostable engines).
+pub fn boxed_engine_by_name(name: &str, program: TriggerProgram) -> Option<Box<dyn ViewEngine>> {
+    let (family, backend) = match name.split_once('@') {
+        Some((family, backend)) => (family, StorageBackend::parse(backend)?),
+        None => (name, StorageBackend::Hash),
+    };
+    match family {
+        "recursive-ivm" => Some(boxed_engine(program, backend)),
+        "recursive-ivm-interpreted" => Some(match backend {
+            StorageBackend::Hash => Box::new(InterpretedExecutor::<HashViewStorage>::with_backend(
+                program,
+            )),
+            StorageBackend::Ordered => Box::new(
+                InterpretedExecutor::<OrderedViewStorage>::with_backend(program),
+            ),
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbring_agca::parser::parse_query;
+    use dbring_compiler::compile;
+
+    fn sum_program() -> TriggerProgram {
+        let mut catalog = Database::new();
+        catalog.declare("R", &["A"]).unwrap();
+        compile(&catalog, &parse_query("q := Sum(R(x))").unwrap()).unwrap()
+    }
+
+    #[test]
+    fn boxed_engines_run_and_report_on_every_backend() {
+        for backend in StorageBackend::ALL {
+            let mut engine = boxed_engine(sum_program(), backend);
+            engine
+                .apply(&Update::insert("R", vec![Value::int(3)]))
+                .unwrap();
+            let updates = [
+                Update::insert("R", vec![Value::int(4)]),
+                Update::insert("R", vec![Value::int(4)]),
+                Update::delete("R", vec![Value::int(3)]),
+            ];
+            engine
+                .apply_batch(&DeltaBatch::from_updates(&updates))
+                .unwrap();
+            assert_eq!(engine.output_value(&[]), Number::Int(2), "{backend}");
+            assert_eq!(engine.output_table().len(), 1);
+            assert!(engine.stats().updates >= 3);
+            assert!(engine.total_entries() > 0);
+            assert!(engine.storage_footprint().entries > 0);
+            assert!(engine.program().triggers.len() >= 2);
+            engine.reset_stats();
+            assert_eq!(engine.stats(), ExecStats::default());
+        }
+    }
+
+    #[test]
+    fn boxed_engines_clone_independently() {
+        let mut engine = boxed_engine(sum_program(), StorageBackend::Hash);
+        engine
+            .apply(&Update::insert("R", vec![Value::int(1)]))
+            .unwrap();
+        let mut fork = engine.clone();
+        fork.apply(&Update::insert("R", vec![Value::int(2)]))
+            .unwrap();
+        assert_eq!(engine.output_value(&[]), Number::Int(1));
+        assert_eq!(fork.output_value(&[]), Number::Int(2));
+    }
+
+    #[test]
+    fn engine_names_match_the_strategy_registry() {
+        for (name, expect) in [
+            ("recursive-ivm", true),
+            ("recursive-ivm@hash", true),
+            ("recursive-ivm@ordered", true),
+            ("recursive-ivm-interpreted", true),
+            ("recursive-ivm-interpreted@ordered", true),
+            ("recursive-ivm@mmap", false),
+            ("classical-ivm", false),
+            ("naive", false),
+        ] {
+            let engine = boxed_engine_by_name(name, sum_program());
+            assert_eq!(engine.is_some(), expect, "{name}");
+            if let Some(engine) = engine {
+                let strategy =
+                    crate::strategy::strategy_by_name(name, sum_program()).expect("both resolve");
+                assert_eq!(engine.engine_name(), strategy.strategy_name(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn initialization_through_the_object_interface() {
+        let mut db = Database::new();
+        db.declare("R", &["A"]).unwrap();
+        db.insert("R", vec![Value::int(1)]).unwrap();
+        db.insert("R", vec![Value::int(2)]).unwrap();
+        let mut engine = boxed_engine(sum_program(), StorageBackend::Ordered);
+        engine.initialize_from(&db).unwrap();
+        assert_eq!(engine.output_value(&[]), Number::Int(2));
+    }
+
+    #[test]
+    fn concrete_executor_recoverable_through_as_any() {
+        let mut engine = boxed_engine(sum_program(), StorageBackend::Hash);
+        engine
+            .apply(&Update::insert("R", vec![Value::int(7)]))
+            .unwrap();
+        let typed = engine
+            .as_any()
+            .downcast_ref::<Executor<HashViewStorage>>()
+            .expect("boxed_engine hosts a lowered executor");
+        assert_eq!(typed.output_value(&[]), Number::Int(1));
+        assert!(engine
+            .as_any_mut()
+            .downcast_mut::<Executor<OrderedViewStorage>>()
+            .is_none());
+    }
+
+    #[test]
+    fn try_boxed_engine_surfaces_lowering_errors() {
+        let mut program = sum_program();
+        program.triggers[0].statements[0].target = 99;
+        assert!(try_boxed_engine(program, StorageBackend::Hash).is_err());
+        assert!(try_boxed_engine(sum_program(), StorageBackend::Ordered).is_ok());
+    }
+}

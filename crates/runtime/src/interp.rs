@@ -118,6 +118,16 @@ impl<S: ViewStorage> InterpretedExecutor<S> {
         self.maps.iter().map(S::len).sum()
     }
 
+    /// The aggregate memory proxy of the whole view hierarchy: entries plus the
+    /// secondary-index structure the backend maintains next to them (identical
+    /// accounting to the lowered [`Executor`](crate::executor::Executor)).
+    pub fn storage_footprint(&self) -> crate::storage::StorageFootprint {
+        self.maps
+            .iter()
+            .map(S::footprint)
+            .fold(Default::default(), crate::storage::StorageFootprint::merge)
+    }
+
     /// Loads every view from a non-empty starting database (the same bulk-load routine
     /// the lowered [`Executor`](crate::executor::Executor) uses, so both paths
     /// initialize identically).

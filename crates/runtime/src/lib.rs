@@ -62,14 +62,18 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod engine;
 pub mod executor;
 pub mod interp;
+pub mod registry;
 pub mod storage;
 pub mod strategy;
 
 pub use baseline::{ClassicalIvm, NaiveReeval};
+pub use engine::{boxed_engine, boxed_engine_by_name, try_boxed_engine, ViewEngine};
 pub use executor::{ExecStats, Executor, RuntimeError};
 pub use interp::InterpretedExecutor;
+pub use registry::EngineRegistry;
 pub use storage::{
     HashViewStorage, MapStorage, OrderedViewStorage, StorageBackend, StorageFootprint, ViewStorage,
 };

@@ -1,0 +1,301 @@
+//! The executor-hosting registry: many boxed [`ViewEngine`]s behind one ingest path,
+//! with per-relation routing.
+//!
+//! One update stream maintaining a whole set of standing views is the paper's actual
+//! operating regime (and DBToaster's: one generated program hosting every maintained
+//! map). The registry is that regime's runtime core, kept deliberately below the
+//! parsing/compiling facade: it knows nothing about queries or catalogs, only about
+//! compiled engines and the relations their trigger programs read.
+//!
+//! * **Registration** derives each engine's *read set* from its program's triggers and
+//!   indexes it in a routing table: relation name → the slots of the engines with a
+//!   trigger on that relation.
+//! * **Per-update dispatch** ([`EngineRegistry::apply`]) routes a single-tuple update
+//!   to exactly the engines that read its relation — an update a view does not read
+//!   costs that view nothing, not even a dispatch lookup.
+//! * **Shared-batch dispatch** ([`EngineRegistry::apply_batch`]) is the amortization
+//!   seam: the caller normalizes a [`DeltaBatch`] **once** and the registry fans the
+//!   borrowed batch out to the union of the touched relations' readers. With `k` views
+//!   over one stream this does one consolidation (bucket + sort + net) where `k`
+//!   independent views would each redo it.
+//!
+//! Slots are tombstoned on removal and never reused, so a stale slot id can only miss
+//! (yield `None`), never silently address a different engine.
+
+use std::collections::HashMap;
+
+use dbring_relations::{DeltaBatch, Update};
+
+use crate::engine::ViewEngine;
+use crate::executor::RuntimeError;
+
+/// A slot-addressed host for boxed view engines with per-relation update routing.
+///
+/// See the [module docs](self) for the dispatch semantics. The registry is `Clone`
+/// (engines clone behind the object interface), so a loaded multi-view state can be
+/// forked for experiments.
+#[derive(Clone, Debug, Default)]
+pub struct EngineRegistry {
+    /// Engine slots; `None` marks a removed engine (slots are never reused).
+    slots: Vec<Option<RegisteredEngine>>,
+    /// Relation name → slots of the engines whose programs read it (ascending).
+    routing: HashMap<String, Vec<u32>>,
+    /// Number of live (non-tombstoned) slots.
+    live: usize,
+}
+
+#[derive(Clone, Debug)]
+struct RegisteredEngine {
+    engine: Box<dyn ViewEngine>,
+    /// The relations the engine's program has triggers on (sorted, deduplicated) —
+    /// kept so removal can clean the routing table without re-deriving it.
+    relations: Vec<String>,
+}
+
+impl EngineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        EngineRegistry::default()
+    }
+
+    /// Number of live engines.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no engines are registered.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Registers an engine and returns its slot id. The engine's read set is derived
+    /// from its program's triggers and indexed for routing.
+    pub fn register(&mut self, engine: Box<dyn ViewEngine>) -> u32 {
+        let mut relations: Vec<String> = engine
+            .program()
+            .triggers
+            .iter()
+            .map(|t| t.relation.clone())
+            .collect();
+        relations.sort_unstable();
+        relations.dedup();
+        let slot = u32::try_from(self.slots.len()).expect("fewer than 2^32 views");
+        for relation in &relations {
+            self.routing.entry(relation.clone()).or_default().push(slot);
+        }
+        self.slots
+            .push(Some(RegisteredEngine { engine, relations }));
+        self.live += 1;
+        slot
+    }
+
+    /// Removes an engine, returning it (its final state remains readable), or `None`
+    /// if the slot is unknown or already removed. The slot is tombstoned, not reused.
+    pub fn remove(&mut self, slot: u32) -> Option<Box<dyn ViewEngine>> {
+        let registered = self.slots.get_mut(slot as usize)?.take()?;
+        for relation in &registered.relations {
+            if let Some(readers) = self.routing.get_mut(relation) {
+                readers.retain(|&s| s != slot);
+                if readers.is_empty() {
+                    self.routing.remove(relation);
+                }
+            }
+        }
+        self.live -= 1;
+        Some(registered.engine)
+    }
+
+    /// The engine in a slot (`None` if unknown or removed).
+    pub fn engine(&self, slot: u32) -> Option<&dyn ViewEngine> {
+        self.slots
+            .get(slot as usize)?
+            .as_ref()
+            .map(|r| r.engine.as_ref())
+    }
+
+    /// Mutable access to the engine in a slot.
+    pub fn engine_mut(&mut self, slot: u32) -> Option<&mut Box<dyn ViewEngine>> {
+        self.slots
+            .get_mut(slot as usize)?
+            .as_mut()
+            .map(|r| &mut r.engine)
+    }
+
+    /// Iterates the live engines as `(slot, engine)` pairs, in slot order.
+    pub fn engines(&self) -> impl Iterator<Item = (u32, &dyn ViewEngine)> {
+        self.slots.iter().enumerate().filter_map(|(slot, r)| {
+            r.as_ref()
+                .map(|r| (slot as u32, r.engine.as_ref() as &dyn ViewEngine))
+        })
+    }
+
+    /// The slots of the engines whose programs read `relation` (empty if none do).
+    pub fn readers_of(&self, relation: &str) -> &[u32] {
+        self.routing
+            .get(relation)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+    }
+
+    /// Applies one single-tuple update to exactly the engines that read its relation,
+    /// returning how many engines fired. Updates to relations no engine reads return
+    /// `Ok(0)` without touching anything.
+    ///
+    /// **Not atomic across engines:** engines fire in slot order and a failure leaves
+    /// every earlier engine's write applied (the same non-atomicity contract as the
+    /// executors' own multi-update paths).
+    pub fn apply(&mut self, update: &Update) -> Result<u32, RuntimeError> {
+        if update.multiplicity == 0 {
+            return Ok(0);
+        }
+        let Some(readers) = self.routing.get(update.relation.as_str()) else {
+            return Ok(0);
+        };
+        let mut fired = 0;
+        for &slot in readers {
+            let registered = self.slots[slot as usize]
+                .as_mut()
+                .expect("routing only lists live slots");
+            registered.engine.apply(update)?;
+            fired += 1;
+        }
+        Ok(fired)
+    }
+
+    /// Fans one already-normalized [`DeltaBatch`] out to the union of the engines
+    /// reading any relation the batch touches, returning how many engines fired. The
+    /// batch is normalized **once** by the caller and borrowed by every engine — this
+    /// is the shared-batch dispatch entry point that amortizes consolidation across
+    /// views. Not atomic across engines (see [`EngineRegistry::apply`]).
+    pub fn apply_batch(&mut self, batch: &DeltaBatch<'_>) -> Result<u32, RuntimeError> {
+        // Union of readers over the touched relations. Batches have at most two groups
+        // per relation, so a sort/dedup over the concatenated reader lists stays tiny.
+        let mut touched: Vec<u32> = Vec::new();
+        for group in batch.groups() {
+            touched.extend_from_slice(self.readers_of(group.relation()));
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for &slot in &touched {
+            let registered = self.slots[slot as usize]
+                .as_mut()
+                .expect("routing only lists live slots");
+            registered.engine.apply_batch(batch)?;
+        }
+        Ok(touched.len() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::boxed_engine;
+    use crate::storage::StorageBackend;
+    use dbring_agca::parser::parse_query;
+    use dbring_algebra::Number;
+    use dbring_compiler::compile;
+    use dbring_relations::{Database, Value};
+
+    fn catalog() -> Database {
+        let mut db = Database::new();
+        db.declare("R", &["A"]).unwrap();
+        db.declare("S", &["B"]).unwrap();
+        db
+    }
+
+    fn engine_for(text: &str) -> Box<dyn ViewEngine> {
+        let program = compile(&catalog(), &parse_query(text).unwrap()).unwrap();
+        boxed_engine(program, StorageBackend::Hash)
+    }
+
+    #[test]
+    fn updates_route_only_to_reading_engines() {
+        let mut registry = EngineRegistry::new();
+        let r_sum = registry.register(engine_for("r_sum := Sum(R(x))"));
+        let s_sum = registry.register(engine_for("s_sum := Sum(S(y))"));
+        let both = registry.register(engine_for("both := Sum(R(x) * S(x))"));
+        assert_eq!(registry.len(), 3);
+        assert_eq!(registry.readers_of("R"), &[r_sum, both]);
+        assert_eq!(registry.readers_of("S"), &[s_sum, both]);
+        assert_eq!(registry.readers_of("T"), &[] as &[u32]);
+
+        let fired = registry
+            .apply(&Update::insert("R", vec![Value::int(1)]))
+            .unwrap();
+        assert_eq!(fired, 2);
+        assert_eq!(registry.engine(r_sum).unwrap().stats().updates, 1);
+        assert_eq!(registry.engine(s_sum).unwrap().stats().updates, 0);
+        assert_eq!(registry.engine(both).unwrap().stats().updates, 1);
+        // A relation nobody reads is a no-op, not an error.
+        assert_eq!(
+            registry
+                .apply(&Update::insert("T", vec![Value::int(1)]))
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn shared_batch_dispatch_fans_out_to_the_union_of_readers() {
+        let mut registry = EngineRegistry::new();
+        let r_sum = registry.register(engine_for("r_sum := Sum(R(x))"));
+        let s_sum = registry.register(engine_for("s_sum := Sum(S(y))"));
+        let updates = [
+            Update::insert("R", vec![Value::int(1)]),
+            Update::insert("R", vec![Value::int(1)]),
+            Update::insert("S", vec![Value::int(9)]),
+            Update::delete("S", vec![Value::int(9)]),
+        ];
+        let batch = DeltaBatch::from_updates(&updates);
+        // S's updates cancel inside the batch: only R's reader fires.
+        let fired = registry.apply_batch(&batch).unwrap();
+        assert_eq!(fired, 1);
+        assert_eq!(
+            registry.engine(r_sum).unwrap().output_value(&[]),
+            Number::Int(2)
+        );
+        assert_eq!(registry.engine(s_sum).unwrap().stats().updates, 0);
+        assert_eq!(registry.apply_batch(&DeltaBatch::default()).unwrap(), 0);
+    }
+
+    #[test]
+    fn removal_tombstones_the_slot_and_cleans_routing() {
+        let mut registry = EngineRegistry::new();
+        let a = registry.register(engine_for("a := Sum(R(x))"));
+        let b = registry.register(engine_for("b := Sum(R(x) * x)"));
+        let removed = registry.remove(a).expect("live slot removes");
+        assert_eq!(removed.output_value(&[]), Number::Int(0));
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.readers_of("R"), &[b]);
+        assert!(registry.engine(a).is_none());
+        assert!(registry.remove(a).is_none(), "double remove misses");
+        assert!(registry.remove(99).is_none(), "unknown slot misses");
+        // Slots are never reused: a new engine gets a fresh id.
+        let c = registry.register(engine_for("c := Sum(R(x))"));
+        assert_ne!(c, a);
+        assert_eq!(registry.readers_of("R"), &[b, c]);
+        registry
+            .apply(&Update::insert("R", vec![Value::int(2)]))
+            .unwrap();
+        assert_eq!(
+            registry.engine(c).unwrap().output_value(&[]),
+            Number::Int(1)
+        );
+        assert_eq!(
+            registry.engines().map(|(slot, _)| slot).collect::<Vec<_>>(),
+            vec![b, c]
+        );
+    }
+
+    #[test]
+    fn engine_mut_reaches_the_hosted_engine() {
+        let mut registry = EngineRegistry::new();
+        let slot = registry.register(engine_for("a := Sum(R(x))"));
+        registry
+            .apply(&Update::insert("R", vec![Value::int(1)]))
+            .unwrap();
+        registry.engine_mut(slot).unwrap().reset_stats();
+        assert_eq!(registry.engine(slot).unwrap().stats().updates, 0);
+        assert!(registry.engine_mut(42).is_none());
+    }
+}

@@ -91,6 +91,8 @@ impl HashViewStorage {
 }
 
 impl ViewStorage for HashViewStorage {
+    const BACKEND: super::StorageBackend = super::StorageBackend::Hash;
+
     fn new(key_arity: usize) -> Self {
         HashViewStorage {
             key_arity,

@@ -54,6 +54,15 @@ pub type MapStorage = HashViewStorage;
 /// The trait is deliberately generic (not object-safe): the executors monomorphize over
 /// the backend, so going through the trait costs nothing on the hot path.
 pub trait ViewStorage: Clone + fmt::Debug {
+    /// The [`StorageBackend`] value naming this backend, so code that is generic over
+    /// the backend type can reach the value-level registries (boxed engines, strategy
+    /// names, experiment CLIs) without a parallel name parameter. Purely a *name*:
+    /// typed construction (`Executor::<S>::with_backend`, the `IncrementalView`
+    /// facade) always builds `S` itself and never routes through this value, so a
+    /// backend outside the enum should name whichever in-tree backend it most
+    /// resembles.
+    const BACKEND: StorageBackend;
+
     /// Creates an empty map whose keys have the given arity.
     fn new(key_arity: usize) -> Self;
 

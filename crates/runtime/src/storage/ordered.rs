@@ -98,6 +98,8 @@ impl OrderedViewStorage {
 }
 
 impl ViewStorage for OrderedViewStorage {
+    const BACKEND: super::StorageBackend = super::StorageBackend::Ordered;
+
     fn new(key_arity: usize) -> Self {
         OrderedViewStorage {
             key_arity,

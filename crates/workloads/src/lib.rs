@@ -387,6 +387,123 @@ pub fn orders_lineitems(config: WorkloadConfig) -> Workload {
     }
 }
 
+/// A multi-view experiment input: one schema and one update stream shared by several
+/// standing queries — the operating regime of a `Ring` engine (and of the `exp_ring`
+/// amortization experiment: one ingest path maintaining `k` views vs `k` independent
+/// single-view loops).
+#[derive(Clone, Debug)]
+pub struct MultiViewWorkload {
+    /// A short identifier ("sales-dashboard").
+    pub name: &'static str,
+    /// The shared schema (relation names and column lists, no contents).
+    pub catalog: Database,
+    /// The standing queries, as `(view name, query)` pairs. Experiments that sweep
+    /// the view count take prefixes of this list, so it is ordered from the most to
+    /// the least central view.
+    pub views: Vec<(&'static str, Query)>,
+    /// Updates that build the initial database.
+    pub initial: Vec<Update>,
+    /// The measured update stream (applied after the initial load).
+    pub stream: Vec<Update>,
+}
+
+impl MultiViewWorkload {
+    /// The initial database obtained by applying the bulk-load updates to the catalog.
+    pub fn initial_database(&self) -> Database {
+        let mut db = self.catalog.clone();
+        db.apply_all(&self.initial)
+            .expect("generated updates are well-formed");
+        db
+    }
+
+    /// Total number of updates (bulk load + stream).
+    pub fn total_updates(&self) -> usize {
+        self.initial.len() + self.stream.len()
+    }
+}
+
+/// A retail dashboard: six integer-valued standing aggregates over a sales stream with
+/// occasional returns — the canonical many-views-one-stream workload.
+///
+/// Schema: `Sales(cust, cents, qty)` and `Returns(cust, cents, qty)`; roughly one
+/// update in eight is a return. Four views read `Sales`, two read `Returns`, so routed
+/// dispatch has real work to skip in both directions. All aggregates stay in `ℤ`
+/// (prices in whole cents), so results are *bit*-comparable across execution paths
+/// that accumulate in different orders — exactly like [`sales_revenue_int`]. The
+/// narrow price/qty menu makes tuple repeats common, which is what batch
+/// consolidation and weighted firing collapse.
+pub fn sales_dashboard(config: WorkloadConfig) -> MultiViewWorkload {
+    let mut catalog = Database::new();
+    catalog.declare("Sales", &["cust", "cents", "qty"]).unwrap();
+    catalog
+        .declare("Returns", &["cust", "cents", "qty"])
+        .unwrap();
+    let views = vec![
+        (
+            "revenue_by_cust",
+            parse_sql(
+                "SELECT cust, SUM(cents * qty) AS revenue FROM Sales GROUP BY cust",
+                &catalog,
+            )
+            .unwrap(),
+        ),
+        (
+            "orders_by_cust",
+            parse_sql(
+                "SELECT cust, SUM(1) AS orders FROM Sales GROUP BY cust",
+                &catalog,
+            )
+            .unwrap(),
+        ),
+        (
+            "units_by_cust",
+            parse_sql(
+                "SELECT cust, SUM(qty) AS units FROM Sales GROUP BY cust",
+                &catalog,
+            )
+            .unwrap(),
+        ),
+        (
+            "total_revenue",
+            parse_sql("SELECT SUM(cents * qty) AS total FROM Sales", &catalog).unwrap(),
+        ),
+        (
+            "refunds_by_cust",
+            parse_sql(
+                "SELECT cust, SUM(cents * qty) AS refunded FROM Returns GROUP BY cust",
+                &catalog,
+            )
+            .unwrap(),
+        ),
+        (
+            "return_count",
+            parse_sql("SELECT SUM(1) AS returns FROM Returns", &catalog).unwrap(),
+        ),
+    ];
+    let make = |seed: u64, count: usize, cfg: &WorkloadConfig| {
+        let mut b = StreamBuilder::new(seed, cfg.delete_fraction);
+        let customers = cfg.domain_size.max(1) as i64;
+        for i in 0..count {
+            let cust = b.rng().gen_range(0..customers);
+            let cents = 100 * b.rng().gen_range(1..25i64);
+            let qty = b.rng().gen_range(1..5i64);
+            let relation = if i % 8 == 7 { "Returns" } else { "Sales" };
+            b.push(Update::insert(
+                relation,
+                vec![Value::int(cust), Value::int(cents), Value::int(qty)],
+            ));
+        }
+        b.finish()
+    };
+    MultiViewWorkload {
+        name: "sales-dashboard",
+        catalog,
+        views,
+        initial: make(config.seed, config.initial_size, &config),
+        stream: make(config.seed.wrapping_add(1), config.stream_length, &config),
+    }
+}
+
 /// All workloads at a given configuration (used by sweeping experiments).
 pub fn all_workloads(config: WorkloadConfig) -> Vec<Workload> {
     vec![
@@ -470,6 +587,26 @@ mod tests {
                 assert!(declared.contains(&u.relation));
             }
         }
+    }
+
+    #[test]
+    fn sales_dashboard_views_compile_against_its_catalog() {
+        let w = sales_dashboard(WorkloadConfig::small(11));
+        assert_eq!(w.views.len(), 6);
+        let declared: BTreeSet<String> = w.catalog.relation_names().map(str::to_string).collect();
+        for (name, query) in &w.views {
+            for r in query.relations() {
+                assert!(declared.contains(&r), "{r} undeclared (view {name})");
+            }
+        }
+        // Both relations appear in the stream, Sales dominating.
+        let returns = w.stream.iter().filter(|u| u.relation == "Returns").count();
+        assert!(returns > 0);
+        assert!(returns < w.stream.len() / 4);
+        assert!(w.initial_database().total_support() > 0);
+        assert_eq!(w.total_updates(), w.initial.len() + w.stream.len());
+        // Determinism per seed.
+        assert_eq!(sales_dashboard(WorkloadConfig::small(11)).stream, w.stream);
     }
 
     #[test]
