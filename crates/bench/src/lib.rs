@@ -575,6 +575,132 @@ pub fn ring_point<S: dbring::ViewStorage + Send + 'static>(
     }
 }
 
+/// One row of the parallel-ingest sweep: total per-update cost of a ring ingesting one
+/// chunked stream sequentially (`ingest_threads(1)`, the exact pre-parallelism code
+/// path) against the same ring at a given thread budget (same compiled programs, same
+/// storage backend, same chunking — the difference is purely fan-out across views and
+/// key-range sharding within each view's batched flush).
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelPoint {
+    /// Thread budget of the parallel ring (`1` would make both sides identical).
+    pub threads: usize,
+    /// Number of standing views maintained.
+    pub views: usize,
+    /// Number of stream updates per ingested chunk.
+    pub batch_size: usize,
+    /// Number of stream updates ingested (after the bulk load).
+    pub updates: usize,
+    /// Mean per-update latency of the sequential ring, in nanoseconds.
+    pub sequential_ns: f64,
+    /// Mean per-update latency of the parallel ring, in nanoseconds.
+    pub parallel_ns: f64,
+}
+
+impl ParallelPoint {
+    /// Sequential time over parallel time (> 1 means parallelism wins).
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_ns > 0.0 {
+            self.sequential_ns / self.parallel_ns
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Runs the first `views` queries of a [`MultiViewWorkload`] through two rings — one
+/// built with `ingest_threads(1)` and one with `ingest_threads(threads)` — ingesting
+/// the same stream in chunks of `batch_size` on the storage backend named by the type
+/// parameter (the shared setup of `exp_parallel` and the `parallel_ingest` bench).
+///
+/// **Parity is asserted on every run**, never sampled: per view, the parallel ring
+/// must reach exactly the sequential ring's table *and* its exact `ExecStats` —
+/// parallel dispatch and sharded flushes relocate work across threads, they must
+/// never change what work is done. Pass an integer-valued workload (e.g.
+/// [`dbring_workloads::sales_dashboard`]) so table equality is exact.
+///
+/// [`MultiViewWorkload`]: dbring_workloads::MultiViewWorkload
+pub fn parallel_point<S: dbring::ViewStorage + Send + 'static>(
+    workload: &dbring_workloads::MultiViewWorkload,
+    views: usize,
+    batch_size: usize,
+    threads: usize,
+) -> ParallelPoint {
+    use dbring::{RingBuilder, ViewDef};
+    assert!(
+        !workload.views.is_empty(),
+        "parallel_point needs a workload with at least one view"
+    );
+    let k = views.clamp(1, workload.views.len());
+    let defs = &workload.views[..k];
+    let streamed = workload.stream.len().max(1) as f64;
+    let chunk = batch_size.max(1);
+
+    let build_ring = |n_threads: usize| {
+        let mut ring = RingBuilder::new(workload.catalog.clone())
+            .backend(S::BACKEND)
+            .ingest_threads(n_threads)
+            .build();
+        let ids: Vec<dbring::ViewId> = defs
+            .iter()
+            .map(|(name, query)| {
+                ring.create_view(*name, ViewDef::Query(query.clone()))
+                    .expect("workload views compile")
+            })
+            .collect();
+        for piece in workload.initial.chunks(chunk) {
+            ring.apply_batch(piece).expect("bulk load succeeds");
+        }
+        for &id in &ids {
+            ring.view_mut(id).unwrap().reset_stats();
+        }
+        (ring, ids)
+    };
+
+    let (mut sequential, seq_ids) = build_ring(1);
+    let started = Instant::now();
+    for piece in workload.stream.chunks(chunk) {
+        sequential
+            .apply_batch(piece)
+            .expect("sequential ring ingests the stream");
+    }
+    let sequential_ns = started.elapsed().as_nanos() as f64 / streamed;
+
+    let (mut parallel, par_ids) = build_ring(threads.max(1));
+    let started = Instant::now();
+    for piece in workload.stream.chunks(chunk) {
+        parallel
+            .apply_batch(piece)
+            .expect("parallel ring ingests the stream");
+    }
+    let parallel_ns = started.elapsed().as_nanos() as f64 / streamed;
+
+    for (i, &id) in seq_ids.iter().enumerate() {
+        let seq = sequential.view(id).unwrap();
+        let par = parallel.view(par_ids[i]).unwrap();
+        assert_eq!(
+            seq.table(),
+            par.table(),
+            "parallel and sequential tables diverge on {}",
+            seq.name()
+        );
+        assert_eq!(
+            seq.stats(),
+            par.stats(),
+            "parallel and sequential ExecStats diverge on {}",
+            seq.name()
+        );
+    }
+
+    ParallelPoint {
+        threads: threads.max(1),
+        views: k,
+        batch_size: chunk,
+        updates: workload.stream.len(),
+        sequential_ns,
+        parallel_ns,
+    }
+}
+
 /// Formats a nanosecond figure with a readable unit (`-` for NaN, i.e. "not measured").
 pub fn fmt_ns(ns: f64) -> String {
     if ns.is_nan() {
@@ -707,6 +833,33 @@ mod tests {
         // The view count clamps to the workload's view list.
         let tiny = ring_point::<dbring::HashViewStorage>(&workload, 99, 32);
         assert_eq!(tiny.views, workload.views.len());
+    }
+
+    #[test]
+    fn parallel_point_produces_sane_numbers_on_both_backends() {
+        use dbring_workloads::sales_dashboard;
+        let workload = sales_dashboard(WorkloadConfig {
+            seed: 6,
+            initial_size: 64,
+            stream_length: 96,
+            domain_size: 8,
+            delete_fraction: 0.2,
+        });
+        for point in [
+            parallel_point::<dbring::HashViewStorage>(&workload, 4, 32, 4),
+            parallel_point::<dbring::OrderedViewStorage>(&workload, 4, 32, 4),
+        ] {
+            assert_eq!(point.threads, 4);
+            assert_eq!(point.views, 4);
+            assert_eq!(point.batch_size, 32);
+            assert_eq!(point.updates, 96);
+            assert!(point.sequential_ns > 0.0);
+            assert!(point.parallel_ns > 0.0);
+            assert!(point.speedup() > 0.0);
+        }
+        // threads = 1 degenerates to two identical sequential runs, still asserted.
+        let flat = parallel_point::<dbring::HashViewStorage>(&workload, 4, 32, 1);
+        assert_eq!(flat.threads, 1);
     }
 
     #[test]

@@ -109,8 +109,8 @@ pub use dbring_relations::{Database, DeltaBatch, DeltaGroup, Gmr, Tuple, Update,
 pub use dbring_runtime::{
     boxed_engine, boxed_engine_by_name, interpreted_ivm, recursive_ivm, strategy_by_name,
     try_boxed_engine, ClassicalIvm, EngineRegistry, ExecStats, Executor, HashViewStorage,
-    InterpretedExecutor, MaintenanceStrategy, NaiveReeval, OrderedViewStorage, RuntimeError,
-    StorageBackend, StorageFootprint, ViewEngine, ViewStorage,
+    InterpretedExecutor, MaintenanceStrategy, NaiveReeval, OrderedViewStorage, ParallelConfig,
+    RuntimeError, StorageBackend, StorageFootprint, ViewEngine, ViewStorage,
 };
 
 mod ring;

@@ -41,8 +41,8 @@ use dbring_algebra::Number;
 use dbring_compiler::{compile, generate_nc0c, TriggerProgram};
 use dbring_relations::{Database, DeltaBatch, Snapshot, Update, Value};
 use dbring_runtime::{
-    boxed_engine, EngineRegistry, ExecStats, RuntimeError, StorageBackend, StorageFootprint,
-    ViewEngine,
+    boxed_engine, EngineRegistry, ExecStats, ParallelConfig, RuntimeError, StorageBackend,
+    StorageFootprint, ViewEngine,
 };
 
 use crate::{Catalog, Error};
@@ -96,6 +96,7 @@ pub struct RingBuilder {
     snapshot: Snapshot,
     backend: StorageBackend,
     track_base: bool,
+    parallel: ParallelConfig,
 }
 
 impl RingBuilder {
@@ -108,6 +109,7 @@ impl RingBuilder {
             snapshot: Snapshot::new(),
             backend: StorageBackend::Hash,
             track_base: true,
+            parallel: ParallelConfig::default(),
         }
     }
 
@@ -120,6 +122,7 @@ impl RingBuilder {
             catalog: db.schema_only(),
             backend: StorageBackend::Hash,
             track_base: true,
+            parallel: ParallelConfig::default(),
         }
     }
 
@@ -127,6 +130,26 @@ impl RingBuilder {
     /// [`StorageBackend::Hash`]).
     pub fn backend(mut self, backend: StorageBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Sets the thread budget for batch ingest: how many worker threads
+    /// [`Ring::apply_batch`] may fan a shared batch out on across views, and how many
+    /// key-range shards a single view may split a large batched flush into. Default:
+    /// available parallelism, overridable with the `DBRING_INGEST_THREADS`
+    /// environment variable. `threads = 1` (values clamp to at least 1) forces the
+    /// exact sequential path. Results are identical either way for integer
+    /// aggregates; float aggregates may differ by rounding, as with any
+    /// accumulation-order change.
+    pub fn ingest_threads(mut self, threads: usize) -> Self {
+        self.parallel = ParallelConfig::with_threads(threads);
+        self
+    }
+
+    /// Sets the full parallel-ingest configuration (see [`ParallelConfig`]);
+    /// [`RingBuilder::ingest_threads`] is the shorthand for the thread count alone.
+    pub fn parallelism(mut self, config: ParallelConfig) -> Self {
+        self.parallel = config;
         self
     }
 
@@ -148,7 +171,7 @@ impl RingBuilder {
             backend: self.backend,
             track_base: self.track_base,
             ingested: 0,
-            registry: EngineRegistry::new(),
+            registry: EngineRegistry::with_parallelism(self.parallel),
             infos: Vec::new(),
             names: BTreeMap::new(),
         }
@@ -226,6 +249,12 @@ impl Ring {
     /// The storage backend the ring's views run on.
     pub fn backend(&self) -> StorageBackend {
         self.backend
+    }
+
+    /// The configured batch-ingest thread budget (see
+    /// [`RingBuilder::ingest_threads`]); `1` means strictly sequential ingest.
+    pub fn ingest_threads(&self) -> usize {
+        self.registry.parallelism().threads
     }
 
     /// Number of live views.
@@ -505,8 +534,14 @@ impl Ring {
     /// Equivalent to [`Ring::apply_all`] over the same updates for every view
     /// (integer aggregates bit-identically; float aggregates up to IEEE reordering —
     /// see [`IncrementalView::apply_batch`](crate::IncrementalView::apply_batch)).
-    /// Catalog failures land nothing; a runtime failure mid-fan-out leaves earlier
-    /// views updated but the snapshot unchanged (see [`Ring::apply`]).
+    /// Catalog failures land nothing; a runtime failure during fan-out leaves the
+    /// snapshot unchanged but sibling views may already have applied the batch (see
+    /// [`Ring::apply`]). When the ring was built with
+    /// [`RingBuilder::ingest_threads`] above one, touched views are updated
+    /// concurrently; the error contract stays deterministic regardless: if several
+    /// views fail on the same batch, the failure reported is always the one from the
+    /// **lowest-numbered view slot** — exactly the error sequential dispatch would
+    /// have returned.
     ///
     /// [`IncrementalView`]: crate::IncrementalView
     pub fn apply_batch(&mut self, updates: &[Update]) -> Result<(), Error> {
@@ -515,6 +550,10 @@ impl Ring {
 
     /// Applies an already-normalized delta batch (the normalization cost of
     /// [`Ring::apply_batch`] can then be reused or amortized by the caller).
+    ///
+    /// Shares [`Ring::apply_batch`]'s failure contract: on a runtime error the
+    /// snapshot is untouched, sibling views may have applied, and under parallel
+    /// dispatch the reported error is the lowest-slot failure.
     pub fn apply_delta_batch(&mut self, batch: &DeltaBatch<'_>) -> Result<(), Error> {
         for group in batch.groups() {
             let expected = match self.catalog.columns(group.relation()) {
@@ -1029,6 +1068,38 @@ mod tests {
             per_update.base_snapshot().unwrap().total_support(),
             batched.base_snapshot().unwrap().total_support()
         );
+    }
+
+    #[test]
+    fn parallel_ingest_matches_sequential_ingest_exactly() {
+        let updates: Vec<Update> = (0..60)
+            .map(|i| sale(i % 7, 10 * (i % 4 + 1), i % 3 + 1))
+            .chain((0..9).map(|i| sale(i % 7, 10, 1).inverse()))
+            .collect();
+        let defs = [
+            ("revenue", "q[c] := Sum(Sales(c, p, n) * p * n)"),
+            ("orders", "q[c] := Sum(Sales(c, p, n))"),
+            ("units", "q[c] := Sum(Sales(c, p, n) * n)"),
+            ("total", "q := Sum(Sales(c, p, n) * p * n)"),
+        ];
+        let mut sequential = RingBuilder::new(sales_catalog()).ingest_threads(1).build();
+        let mut parallel = RingBuilder::new(sales_catalog()).ingest_threads(4).build();
+        assert_eq!(sequential.ingest_threads(), 1);
+        assert_eq!(parallel.ingest_threads(), 4);
+        for (name, text) in defs {
+            sequential.create_view(name, ViewDef::Agca(text)).unwrap();
+            parallel.create_view(name, ViewDef::Agca(text)).unwrap();
+        }
+        for chunk in updates.chunks(20) {
+            sequential.apply_batch(chunk).unwrap();
+            parallel.apply_batch(chunk).unwrap();
+        }
+        for (name, _) in defs {
+            let seq = sequential.view_named(name).unwrap();
+            let par = parallel.view_named(name).unwrap();
+            assert_eq!(seq.table(), par.table(), "{name}: tables diverged");
+            assert_eq!(seq.stats(), par.stats(), "{name}: stats diverged");
+        }
     }
 
     #[test]

@@ -86,6 +86,15 @@ pub trait ViewEngine: std::fmt::Debug + Send {
     /// Resets the work counters.
     fn reset_stats(&mut self);
 
+    /// Sets the engine's thread budget for *within-view* parallel work — today that
+    /// is sharding large batched flushes across key ranges. `1` (every engine's
+    /// initial state) disables it; engines without an internal parallel path ignore
+    /// the hint. Hosts propagate their
+    /// [`ParallelConfig`](crate::registry::ParallelConfig) here on registration.
+    fn set_parallelism(&mut self, threads: usize) {
+        let _ = threads;
+    }
+
     /// Total entries across the whole view hierarchy.
     fn total_entries(&self) -> usize;
 
@@ -155,6 +164,10 @@ macro_rules! impl_view_engine {
 
             fn reset_stats(&mut self) {
                 self.reset_stats()
+            }
+
+            fn set_parallelism(&mut self, threads: usize) {
+                self.set_parallelism(threads)
             }
 
             fn total_entries(&self) -> usize {

@@ -143,6 +143,12 @@ struct Scratch {
     /// Per-map write buffers for the batch path's weighted (deferred-write) triggers,
     /// indexed by map id. Capacity is retained across groups and batches.
     write_bufs: Vec<WriteBuf>,
+    /// Map ids whose write buffer went non-empty since the last batch entry — the
+    /// next `apply_batch` clears exactly these instead of sweeping every buffer (an
+    /// O(maps) cost that dwarfed tiny batches on wide programs). May hold ids whose
+    /// buffer was since flushed (clearing an empty buffer is free) and survives a
+    /// failed batch, so leaked writes still get dropped.
+    dirty: Vec<usize>,
 }
 
 /// A flat write buffer for one map: `accs.len()` buffered deltas whose keys live
@@ -167,6 +173,9 @@ pub struct Executor<S: ViewStorage = HashViewStorage> {
     dispatch: HashMap<String, [Option<usize>; 2]>,
     stats: ExecStats,
     scratch: Scratch,
+    /// Thread budget for sharding large batched flushes across key ranges; `1` (the
+    /// initial state) keeps every flush on the sequential `apply_sorted` path.
+    shard_threads: usize,
 }
 
 impl Executor<HashViewStorage> {
@@ -231,7 +240,24 @@ impl<S: ViewStorage> Executor<S> {
             dispatch,
             stats: ExecStats::default(),
             scratch: Scratch::default(),
+            shard_threads: 1,
         })
+    }
+
+    /// Sets the thread budget for sharding large batched flushes across contiguous
+    /// key ranges (see
+    /// [`ViewStorage::apply_sorted_sharded`](crate::storage::ViewStorage::apply_sorted_sharded)).
+    /// `1` (the initial state) keeps every flush on the sequential `apply_sorted`
+    /// path, exactly. Values are clamped to at least 1. The result is independent of
+    /// the budget for integer aggregates; float aggregates may differ by rounding,
+    /// as with any accumulation-order change.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.shard_threads = threads.max(1);
+    }
+
+    /// The configured shard-flush thread budget.
+    pub fn parallelism(&self) -> usize {
+        self.shard_threads
     }
 
     /// The compiled program this executor runs.
@@ -378,7 +404,10 @@ impl<S: ViewStorage> Executor<S> {
     ///   ([`PlanTrigger::weighted_firing`]), one firing per *distinct* tuple with the
     ///   writes scaled by the tuple's consolidated weight — writes are buffered, sorted,
     ///   consolidated and handed to [`ViewStorage::apply_sorted`] in one sequential pass
-    ///   per map (on ordered backends, a merge);
+    ///   per map (on ordered backends, a merge) — or, with a shard-thread budget above
+    ///   one (see [`Executor::set_parallelism`]), to
+    ///   [`ViewStorage::apply_sorted_sharded`](crate::storage::ViewStorage::apply_sorted_sharded),
+    ///   which lands large runs as concurrent contiguous key ranges;
     /// * for self-join-style triggers that read their own targets, a unit-replay
     ///   fallback preserving the exact per-tuple semantics.
     ///
@@ -402,19 +431,24 @@ impl<S: ViewStorage> Executor<S> {
             dispatch,
             stats,
             scratch,
+            shard_threads,
             ..
         } = self;
+        let shards = *shard_threads;
         if scratch.write_bufs.len() < maps.len() {
             scratch
                 .write_bufs
                 .resize_with(maps.len(), WriteBuf::default);
         }
         // A previous call that errored mid-group may have left buffered writes behind;
-        // drop them so a failed batch cannot leak into this one's flush.
-        for buf in &mut scratch.write_bufs {
+        // drop them so a failed batch cannot leak into this one's flush. Only the
+        // buffers dirtied since the last entry are swept — not all O(maps) of them.
+        for &target in &scratch.dirty {
+            let buf = &mut scratch.write_bufs[target];
             buf.keys.clear();
             buf.accs.clear();
         }
+        scratch.dirty.clear();
         for group in batch.groups() {
             let sign = if group.is_insert() {
                 Sign::Insert
@@ -463,7 +497,9 @@ impl<S: ViewStorage> Executor<S> {
                 }
             }
             if trigger.weighted_firing {
-                // Fire each affected map once: sort, consolidate, one sequential pass.
+                // Fire each affected map once: sort, consolidate, one pass — sharded
+                // across contiguous key ranges when a thread budget is configured and
+                // the consolidated run is large enough to pay for splitting.
                 for stmt in &trigger.statements {
                     let arity = plan.map_arities[stmt.target];
                     let buf = &mut scratch.write_bufs[stmt.target];
@@ -477,7 +513,11 @@ impl<S: ViewStorage> Executor<S> {
                         .map(|(row, &acc)| (&buf.keys[row * arity..(row + 1) * arity], acc))
                         .collect();
                     consolidate_sorted(&mut refs);
-                    maps[stmt.target].apply_sorted(&refs);
+                    if shards > 1 {
+                        maps[stmt.target].apply_sorted_sharded(&refs, shards);
+                    } else {
+                        maps[stmt.target].apply_sorted(&refs);
+                    }
                     drop(refs);
                     buf.keys.clear();
                     buf.accs.clear();
@@ -587,9 +627,11 @@ fn buffer_statement_writes(
         cur_vals,
         cur_accs,
         write_bufs,
+        dirty,
         ..
     } = scratch;
     let buf = &mut write_bufs[stmt.target];
+    let was_empty = buf.accs.is_empty();
     let scale = stmt.coefficient.mul(&Number::Int(weight));
     for row in 0..cur_accs.len() {
         let acc = cur_accs[row];
@@ -601,6 +643,9 @@ fn buffer_statement_writes(
             buf.keys.push(cur_vals[row * stride + s as usize].clone());
         }
         buf.accs.push(scale.mul(&acc));
+    }
+    if was_empty && !buf.accs.is_empty() {
+        dirty.push(stmt.target);
     }
 }
 
@@ -1059,6 +1104,76 @@ mod tests {
         assert_eq!(exec.output_table().len(), 1);
         assert_eq!(exec.output_value(&[Value::int(5)]), Number::Int(6));
         assert_eq!(exec.output_value(&[Value::int(0)]), Number::Int(0));
+    }
+
+    /// The dirty-index sweep must keep clearing leaked writes across *repeated*
+    /// failures: the dirty list survives a failed batch and is only reset once the
+    /// next entry has dropped the leaked buffers.
+    #[test]
+    fn repeated_failed_batches_keep_clearing_leaked_buffers() {
+        let mut catalog = Database::new();
+        catalog.declare("Sales", &["cust", "cents", "qty"]).unwrap();
+        let q = dbring_agca::sql::parse_sql(
+            "SELECT cust, SUM(cents * qty) AS revenue FROM Sales GROUP BY cust",
+            &catalog,
+        )
+        .unwrap();
+        let mut exec = Executor::new(compile(&catalog, &q).unwrap());
+        let failing = [
+            Update::insert("Sales", vec![Value::int(0), Value::int(10), Value::int(1)]),
+            Update::insert("Sales", vec![Value::int(9)]),
+        ];
+        for _ in 0..3 {
+            exec.apply_batch(&DeltaBatch::from_updates(&failing))
+                .unwrap_err();
+        }
+        assert!(exec.output_table().is_empty());
+        let good = [Update::insert(
+            "Sales",
+            vec![Value::int(5), Value::int(2), Value::int(3)],
+        )];
+        exec.apply_batch(&DeltaBatch::from_updates(&good)).unwrap();
+        assert_eq!(exec.output_table().len(), 1);
+        assert_eq!(exec.output_value(&[Value::int(5)]), Number::Int(6));
+    }
+
+    /// A sharded flush must land exactly what a sequential flush lands — tables,
+    /// entry counts, and work counters (the counters are accumulated while
+    /// buffering, before the flush, so sharding cannot move them).
+    #[test]
+    fn sharded_flush_matches_sequential_flush() {
+        let mut catalog = Database::new();
+        catalog.declare("Sales", &["cust", "cents", "qty"]).unwrap();
+        let q = dbring_agca::sql::parse_sql(
+            "SELECT cust, SUM(cents * qty) AS revenue FROM Sales GROUP BY cust",
+            &catalog,
+        )
+        .unwrap();
+        let program = compile(&catalog, &q).unwrap();
+        // Enough distinct group keys that the consolidated run clears the sharding
+        // threshold, plus weight and deletion mixing.
+        let updates: Vec<Update> = (0..600i64)
+            .map(|i| {
+                let values = vec![Value::int(i % 500), Value::int(i + 1), Value::int(2)];
+                if i % 11 == 3 {
+                    Update::delete("Sales", values)
+                } else {
+                    Update::insert("Sales", values)
+                }
+            })
+            .collect();
+        let mut sequential = Executor::new(program.clone());
+        let mut sharded = Executor::new(program);
+        sharded.set_parallelism(4);
+        assert_eq!(sharded.parallelism(), 4);
+        for chunk in updates.chunks(300) {
+            let batch = DeltaBatch::from_updates(chunk);
+            sequential.apply_batch(&batch).unwrap();
+            sharded.apply_batch(&batch).unwrap();
+        }
+        assert_eq!(sequential.output_table(), sharded.output_table());
+        assert_eq!(sequential.total_entries(), sharded.total_entries());
+        assert_eq!(sequential.stats(), sharded.stats());
     }
 
     #[test]

@@ -93,6 +93,10 @@ impl<S: ViewStorage> InterpretedExecutor<S> {
         self.stats = ExecStats::default();
     }
 
+    /// Accepts (and ignores) a within-view thread budget: the reference interpreter
+    /// applies every write immediately, so it has no batched flush to shard.
+    pub fn set_parallelism(&mut self, _threads: usize) {}
+
     /// The storage of one materialized view.
     pub fn map(&self, id: usize) -> &S {
         &self.maps[id]

@@ -73,7 +73,7 @@ pub use baseline::{ClassicalIvm, NaiveReeval};
 pub use engine::{boxed_engine, boxed_engine_by_name, try_boxed_engine, ViewEngine};
 pub use executor::{ExecStats, Executor, RuntimeError};
 pub use interp::InterpretedExecutor;
-pub use registry::EngineRegistry;
+pub use registry::{EngineRegistry, ParallelConfig};
 pub use storage::{
     HashViewStorage, MapStorage, OrderedViewStorage, StorageBackend, StorageFootprint, ViewStorage,
 };

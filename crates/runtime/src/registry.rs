@@ -18,16 +18,70 @@
 //!   borrowed batch out to the union of the touched relations' readers. With `k` views
 //!   over one stream this does one consolidation (bucket + sort + net) where `k`
 //!   independent views would each redo it.
+//! * **Parallel dispatch** ([`ParallelConfig`]): with a thread budget above one, the
+//!   shared-batch fan-out runs the touched engines concurrently on a scoped thread
+//!   pool — the engines are independent (each owns its maps and counters), so the
+//!   borrowed batch is the only thing shared. `threads = 1` takes the sequential code
+//!   path exactly. The same budget is propagated to each hosted engine as its
+//!   within-view shard budget for batched flushes.
 //!
 //! Slots are tombstoned on removal and never reused, so a stale slot id can only miss
 //! (yield `None`), never silently address a different engine.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use dbring_relations::{DeltaBatch, Update};
 
 use crate::engine::ViewEngine;
 use crate::executor::RuntimeError;
+
+/// The thread budget for batch ingest: how many worker threads the registry may use
+/// to fan a shared batch out across views, and — propagated to every hosted engine —
+/// how many key-range shards a single view may split a large batched flush into.
+///
+/// `threads = 1` (always the effective minimum) means *the sequential code path,
+/// exactly*: no scoped pool is created, no flush is sharded, and behavior is
+/// byte-for-byte that of a registry without the knob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker-thread budget for batch dispatch and sharded flushes (min. 1).
+    pub threads: usize,
+}
+
+impl Default for ParallelConfig {
+    /// Available parallelism, overridable with the `DBRING_INGEST_THREADS`
+    /// environment variable (useful to force `threads = 1` in CI so the sequential
+    /// path stays covered on many-core runners).
+    fn default() -> Self {
+        let threads = std::env::var("DBRING_INGEST_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        ParallelConfig {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// The sequential configuration (`threads = 1`).
+    pub fn sequential() -> Self {
+        ParallelConfig { threads: 1 }
+    }
+
+    /// An explicit thread budget (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads: threads.max(1),
+        }
+    }
+}
 
 /// A slot-addressed host for boxed view engines with per-relation update routing.
 ///
@@ -42,6 +96,8 @@ pub struct EngineRegistry {
     routing: HashMap<String, Vec<u32>>,
     /// Number of live (non-tombstoned) slots.
     live: usize,
+    /// Thread budget for shared-batch dispatch and hosted engines' sharded flushes.
+    parallel: ParallelConfig,
 }
 
 #[derive(Clone, Debug)]
@@ -53,9 +109,32 @@ struct RegisteredEngine {
 }
 
 impl EngineRegistry {
-    /// An empty registry.
+    /// An empty registry with the default thread budget (see
+    /// [`ParallelConfig::default`]).
     pub fn new() -> Self {
         EngineRegistry::default()
+    }
+
+    /// An empty registry with an explicit thread budget.
+    pub fn with_parallelism(config: ParallelConfig) -> Self {
+        EngineRegistry {
+            parallel: config,
+            ..EngineRegistry::default()
+        }
+    }
+
+    /// The configured thread budget.
+    pub fn parallelism(&self) -> ParallelConfig {
+        self.parallel
+    }
+
+    /// Reconfigures the thread budget, propagating it to every live engine as its
+    /// within-view shard budget.
+    pub fn set_parallelism(&mut self, config: ParallelConfig) {
+        self.parallel = config;
+        for registered in self.slots.iter_mut().flatten() {
+            registered.engine.set_parallelism(config.threads);
+        }
     }
 
     /// Number of live engines.
@@ -71,6 +150,8 @@ impl EngineRegistry {
     /// Registers an engine and returns its slot id. The engine's read set is derived
     /// from its program's triggers and indexed for routing.
     pub fn register(&mut self, engine: Box<dyn ViewEngine>) -> u32 {
+        let mut engine = engine;
+        engine.set_parallelism(self.parallel.threads);
         let mut relations: Vec<String> = engine
             .program()
             .triggers
@@ -167,6 +248,13 @@ impl EngineRegistry {
     /// batch is normalized **once** by the caller and borrowed by every engine — this
     /// is the shared-batch dispatch entry point that amortizes consolidation across
     /// views. Not atomic across engines (see [`EngineRegistry::apply`]).
+    ///
+    /// With a thread budget above one the touched engines run concurrently on a
+    /// scoped pool. The error contract stays deterministic: if several engines fail
+    /// on the same batch, the failure from the **lowest slot** is reported — the same
+    /// error the sequential loop surfaces first — and sibling engines at other slots
+    /// may have applied the batch (dispatch is not atomic across engines, parallel or
+    /// not).
     pub fn apply_batch(&mut self, batch: &DeltaBatch<'_>) -> Result<u32, RuntimeError> {
         // Union of readers over the touched relations. Batches have at most two groups
         // per relation, so a sort/dedup over the concatenated reader lists stays tiny.
@@ -176,13 +264,79 @@ impl EngineRegistry {
         }
         touched.sort_unstable();
         touched.dedup();
-        for &slot in &touched {
-            let registered = self.slots[slot as usize]
-                .as_mut()
-                .expect("routing only lists live slots");
-            registered.engine.apply_batch(batch)?;
+        if self.parallel.threads <= 1 || touched.len() <= 1 {
+            // The sequential path, exactly: `threads = 1` must be byte-for-byte the
+            // pre-parallel registry, and a single touched engine gains nothing from
+            // a pool.
+            for &slot in &touched {
+                let registered = self.slots[slot as usize]
+                    .as_mut()
+                    .expect("routing only lists live slots");
+                registered.engine.apply_batch(batch)?;
+            }
+            return Ok(touched.len() as u32);
         }
+        self.apply_batch_parallel(batch, &touched)?;
         Ok(touched.len() as u32)
+    }
+
+    /// Parallel shared-batch dispatch: the touched engines are handed out to a scoped
+    /// worker pool via an atomic task counter. Each engine is an independent unit of
+    /// work (it owns its maps, scratch, and counters), so the only shared state is
+    /// the borrowed batch and the failure list.
+    #[allow(clippy::type_complexity)]
+    fn apply_batch_parallel(
+        &mut self,
+        batch: &DeltaBatch<'_>,
+        touched: &[u32],
+    ) -> Result<(), RuntimeError> {
+        // Disjoint `&mut` borrows of the touched engines, in ascending slot order,
+        // each behind a mutex so any worker may claim any task.
+        let tasks: Vec<Mutex<Option<(u32, &mut Box<dyn ViewEngine>)>>> = self
+            .slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(slot, entry)| {
+                let slot = u32::try_from(slot).expect("fewer than 2^32 views");
+                if touched.binary_search(&slot).is_err() {
+                    return None;
+                }
+                let registered = entry.as_mut().expect("routing only lists live slots");
+                Some(Mutex::new(Some((slot, &mut registered.engine))))
+            })
+            .collect();
+        let next = AtomicUsize::new(0);
+        let failures: Mutex<Vec<(u32, RuntimeError)>> = Mutex::new(Vec::new());
+        let workers = self.parallel.threads.min(tasks.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let claimed = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = tasks.get(claimed) else {
+                        return;
+                    };
+                    let (slot, engine) = task
+                        .lock()
+                        .expect("task mutex is never poisoned")
+                        .take()
+                        .expect("each task index is claimed exactly once");
+                    if let Err(err) = engine.apply_batch(batch) {
+                        failures
+                            .lock()
+                            .expect("failure mutex is never poisoned")
+                            .push((slot, err));
+                    }
+                });
+            }
+        });
+        let mut failures = failures.into_inner().expect("all workers joined");
+        // Deterministic error contract: the lowest failing slot wins — the error the
+        // sequential loop would have surfaced first.
+        failures.sort_unstable_by_key(|(slot, _)| *slot);
+        match failures.into_iter().next() {
+            Some((_, err)) => Err(err),
+            None => Ok(()),
+        }
     }
 }
 
@@ -285,6 +439,91 @@ mod tests {
             registry.engines().map(|(slot, _)| slot).collect::<Vec<_>>(),
             vec![b, c]
         );
+    }
+
+    #[test]
+    fn parallel_dispatch_matches_sequential_dispatch_exactly() {
+        let engines = [
+            "r_sum := Sum(R(x))",
+            "r_wsum := Sum(R(x) * x)",
+            "s_sum := Sum(S(y))",
+            "both := Sum(R(x) * S(x))",
+        ];
+        let build = |config: ParallelConfig| {
+            let mut registry = EngineRegistry::with_parallelism(config);
+            for text in engines {
+                registry.register(engine_for(text));
+            }
+            registry
+        };
+        let mut sequential = build(ParallelConfig::sequential());
+        let mut parallel = build(ParallelConfig::with_threads(4));
+        let updates = [
+            Update::insert("R", vec![Value::int(1)]),
+            Update::insert("R", vec![Value::int(2)]),
+            Update::insert("S", vec![Value::int(1)]),
+            Update::delete("R", vec![Value::int(2)]),
+            Update::insert("S", vec![Value::int(3)]),
+        ];
+        let batch = DeltaBatch::from_updates(&updates);
+        assert_eq!(sequential.apply_batch(&batch).unwrap(), 4);
+        assert_eq!(parallel.apply_batch(&batch).unwrap(), 4);
+        for slot in 0..engines.len() as u32 {
+            let seq = sequential.engine(slot).unwrap();
+            let par = parallel.engine(slot).unwrap();
+            assert_eq!(par.output_table(), seq.output_table(), "slot {slot} table");
+            assert_eq!(par.stats(), seq.stats(), "slot {slot} work counters");
+        }
+    }
+
+    #[test]
+    fn parallel_dispatch_failure_reports_the_lowest_slot() {
+        let mut db = Database::new();
+        db.declare("R", &["A"]).unwrap();
+        db.declare("S", &["B"]).unwrap();
+        db.declare("T", &["C"]).unwrap();
+        let engine = |text: &str| {
+            let program = compile(&db, &parse_query(text).unwrap()).unwrap();
+            boxed_engine(program, StorageBackend::Hash)
+        };
+        let mut registry = EngineRegistry::with_parallelism(ParallelConfig::with_threads(4));
+        let ok = registry.register(engine("ok := Sum(R(x))"));
+        registry.register(engine("fails_s := Sum(S(y))"));
+        registry.register(engine("fails_t := Sum(T(z))"));
+        // One healthy R delta plus bad-arity S and T deltas: slots 1 and 2 both fail
+        // on the same batch, with distinguishable errors.
+        let updates = [
+            Update::insert("R", vec![Value::int(1)]),
+            Update::insert("S", vec![Value::int(1), Value::int(2)]),
+            Update::insert("T", vec![Value::int(1), Value::int(2)]),
+        ];
+        let batch = DeltaBatch::from_updates(&updates);
+        // Several rounds for scheduler variety: the T engine finishing first must
+        // never let its error shadow the S engine's.
+        for _ in 0..8 {
+            let mut fork = registry.clone();
+            let err = fork.apply_batch(&batch).unwrap_err();
+            assert_eq!(
+                err,
+                RuntimeError::ArityMismatch {
+                    relation: "S".into(),
+                    expected: 1,
+                    got: 2
+                },
+                "the lowest failing slot's error wins"
+            );
+            // The sequential path surfaces the identical error...
+            let mut seq = registry.clone();
+            seq.set_parallelism(ParallelConfig::sequential());
+            assert_eq!(seq.apply_batch(&batch).unwrap_err(), err);
+            // ...and sibling views at other slots may have applied: the healthy R
+            // reader did.
+            assert_eq!(
+                fork.engine(ok).unwrap().output_value(&[]),
+                Number::Int(1),
+                "sibling views at non-failing slots may apply"
+            );
+        }
     }
 
     #[test]
