@@ -106,11 +106,13 @@ pub use dbring_compiler::{
 };
 pub use dbring_delta::{delta, Sign, UpdateEvent};
 pub use dbring_relations::{Database, DeltaBatch, DeltaGroup, Gmr, Tuple, Update, Value};
+pub use dbring_runtime::fault;
 pub use dbring_runtime::{
     boxed_engine, boxed_engine_by_name, interpreted_ivm, recursive_ivm, strategy_by_name,
-    try_boxed_engine, ClassicalIvm, EngineRegistry, ExecStats, Executor, HashViewStorage,
-    InterpretedExecutor, MaintenanceStrategy, NaiveReeval, OrderedViewStorage, ParallelConfig,
-    RuntimeError, StorageBackend, StorageFootprint, ViewEngine, ViewStorage,
+    try_boxed_engine, ClassicalIvm, EngineRegistry, ExecStats, Executor, FaultOp, FaultPlan,
+    FaultStorage, HashViewStorage, InterpretedExecutor, MaintenanceStrategy, NaiveReeval,
+    OrderedViewStorage, ParallelConfig, RuntimeError, StagedBatch, StorageBackend,
+    StorageFootprint, ViewEngine, ViewStorage,
 };
 
 mod ring;
@@ -168,6 +170,13 @@ pub enum Error {
         /// The view that could not be created.
         view: String,
     },
+    /// The view's engine panicked during ingest and was quarantined: its tables can
+    /// no longer be trusted, so reads refuse to serve them and ingest skips the view.
+    /// [`Ring::repair_view`] rebuilds it from the base snapshot.
+    ViewPoisoned {
+        /// The quarantined view's name.
+        view: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -200,6 +209,11 @@ impl fmt::Display for Error {
                 "cannot create view {view}: base-snapshot tracking is disabled and updates \
                  were already ingested, so there is nothing to backfill it from"
             ),
+            Error::ViewPoisoned { view } => write!(
+                f,
+                "view {view} is quarantined: its engine panicked during ingest, so its \
+                 tables cannot be trusted until Ring::repair_view rebuilds it"
+            ),
         }
     }
 }
@@ -214,7 +228,8 @@ impl std::error::Error for Error {
             Error::UnknownView { .. }
             | Error::DuplicateView { .. }
             | Error::UnknownRelation { .. }
-            | Error::BackfillUnavailable { .. } => None,
+            | Error::BackfillUnavailable { .. }
+            | Error::ViewPoisoned { .. } => None,
         }
     }
 }
@@ -376,7 +391,9 @@ impl<S: ViewStorage + Send + 'static> IncrementalView<S> {
     /// The result is identical to [`IncrementalView::apply_all`] over the same updates
     /// (in any order); for batches of more than a handful of updates it is faster —
     /// see the `batch_crossover` bench and `EXPERIMENTS.md` for the crossover point.
-    /// Like `apply_all`, not atomic on error.
+    /// Unlike `apply_all`, a batch is **atomic**: on error the view's tables and
+    /// counters are bit-identical to before the call (the executor stages the batch
+    /// and commits only on success).
     pub fn apply_batch(&mut self, updates: &[Update]) -> Result<(), Error> {
         self.apply_delta_batch(&DeltaBatch::from_updates(updates))
     }

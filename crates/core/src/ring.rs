@@ -23,6 +23,11 @@
 //!   [`DeltaBatch`](crate::DeltaBatch) **once**, and routes work only to the views
 //!   whose programs read the touched relations — `k` views over one stream cost one
 //!   normalization, not `k`.
+//! * **Failure-atomic ingest.** By default every update and batch is *staged* on all
+//!   touched views and committed only when all of them succeed; a failure (including
+//!   a panicking engine) rolls every view back, so a rejected batch lands nowhere. A
+//!   view whose engine panicked is **quarantined** — reads refuse it, ingest skips
+//!   it — until [`Ring::repair_view`] rebuilds it from the base snapshot.
 //!
 //! Reads go through the cheap [`ViewRef`] / [`ViewMut`] handles: result values and
 //! tables, work counters, storage footprints, and the compiled program (including its
@@ -33,6 +38,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use dbring_agca::ast::Query;
 use dbring_agca::parser::parse_query;
@@ -41,11 +47,17 @@ use dbring_algebra::Number;
 use dbring_compiler::{compile, generate_nc0c, TriggerProgram};
 use dbring_relations::{Database, DeltaBatch, Snapshot, Update, Value};
 use dbring_runtime::{
-    boxed_engine, EngineRegistry, ExecStats, ParallelConfig, RuntimeError, StorageBackend,
-    StorageFootprint, ViewEngine,
+    boxed_engine, EngineRegistry, ExecStats, Executor, ParallelConfig, RuntimeError,
+    StorageBackend, StorageFootprint, ViewEngine, ViewStorage,
 };
 
 use crate::{Catalog, Error};
+
+/// How a view's engine is (re)built from its compiled program — kept per view so
+/// [`Ring::repair_view`] can rebuild exactly the kind of engine the view was created
+/// with, including typed custom-backend executors the [`StorageBackend`] enum cannot
+/// name.
+type EngineFactory = Arc<dyn Fn(TriggerProgram) -> Box<dyn ViewEngine> + Send + Sync>;
 
 /// The stable identity of a standing view inside one [`Ring`].
 ///
@@ -97,6 +109,7 @@ pub struct RingBuilder {
     backend: StorageBackend,
     track_base: bool,
     parallel: ParallelConfig,
+    staged: bool,
 }
 
 impl RingBuilder {
@@ -110,6 +123,7 @@ impl RingBuilder {
             backend: StorageBackend::Hash,
             track_base: true,
             parallel: ParallelConfig::default(),
+            staged: true,
         }
     }
 
@@ -123,6 +137,7 @@ impl RingBuilder {
             backend: StorageBackend::Hash,
             track_base: true,
             parallel: ParallelConfig::default(),
+            staged: true,
         }
     }
 
@@ -153,6 +168,17 @@ impl RingBuilder {
         self
     }
 
+    /// Disables the stage/commit ingest protocol: failed updates and batches may then
+    /// leave *some* views applied and others not (the pre-staging contract), in
+    /// exchange for skipping the pre-image logging staged ingest pays per write. The
+    /// deterministic lowest-slot error contract is unaffected. Exists for measurement
+    /// (the `exp_faults` baseline) and for pipelines that discard the whole ring on
+    /// any error anyway.
+    pub fn without_staged_ingest(mut self) -> Self {
+        self.staged = false;
+        self
+    }
+
     /// Disables base-snapshot maintenance. The ring then stores *nothing* beyond the
     /// views themselves (the paper's "no access to the base relations" regime, and the
     /// cheapest ingest path) — but views can no longer be created after updates have
@@ -165,13 +191,15 @@ impl RingBuilder {
 
     /// Finishes the builder.
     pub fn build(self) -> Ring {
+        let mut registry = EngineRegistry::with_parallelism(self.parallel);
+        registry.set_staging(self.staged);
         Ring {
             catalog: self.catalog,
             snapshot: self.snapshot,
             backend: self.backend,
             track_base: self.track_base,
             ingested: 0,
-            registry: EngineRegistry::with_parallelism(self.parallel),
+            registry,
             infos: Vec::new(),
             names: BTreeMap::new(),
         }
@@ -179,10 +207,21 @@ impl RingBuilder {
 }
 
 /// Per-view metadata the ring keeps next to the hosted engine.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 struct ViewInfo {
     name: String,
     query: Query,
+    /// Rebuilds this view's engine from a compiled program (see [`Ring::repair_view`]).
+    factory: EngineFactory,
+}
+
+impl fmt::Debug for ViewInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ViewInfo")
+            .field("name", &self.name)
+            .field("query", &self.query)
+            .finish_non_exhaustive()
+    }
 }
 
 /// The multi-view incremental engine: hosts any number of standing aggregate views
@@ -257,6 +296,12 @@ impl Ring {
         self.registry.parallelism().threads
     }
 
+    /// Whether ingest runs the stage/commit protocol (the default; see
+    /// [`RingBuilder::without_staged_ingest`]).
+    pub fn staged_ingest(&self) -> bool {
+        self.registry.staging()
+    }
+
     /// Number of live views.
     pub fn len(&self) -> usize {
         self.registry.len()
@@ -315,18 +360,35 @@ impl Ring {
         def: ViewDef<'_>,
     ) -> Result<ViewId, Error> {
         let backend = self.backend;
-        self.create_view_hosted(name, def, |program| boxed_engine(program, backend))
+        self.create_view_hosted(name, def, move |program| boxed_engine(program, backend))
+    }
+
+    /// [`Ring::create_view`] with the view's materialized maps on an explicitly
+    /// *typed* storage backend instead of the ring's configured one — any
+    /// `Send + 'static` [`ViewStorage`] implementation works, including ones the
+    /// [`StorageBackend`] enum cannot name (the fault-injection chaos tests host
+    /// `FaultStorage`-backed views this way). [`Ring::repair_view`] rebuilds the view
+    /// on the same typed backend.
+    pub fn create_view_with<S: ViewStorage + Send + 'static>(
+        &mut self,
+        name: impl Into<String>,
+        def: ViewDef<'_>,
+    ) -> Result<ViewId, Error> {
+        self.create_view_hosted(name, def, |program| {
+            Box::new(Executor::<S>::with_backend(program))
+        })
     }
 
     /// [`Ring::create_view`] with the engine supplied by the caller instead of the
-    /// ring's backend registry — the seam the single-view facade uses to host a
-    /// *typed* `Executor<S>` for arbitrary [`ViewStorage`](crate::ViewStorage)
-    /// backends, including ones the [`StorageBackend`] enum cannot name.
+    /// ring's backend registry — the seam the single-view facade and
+    /// [`Ring::create_view_with`] use to host a *typed* `Executor<S>` for arbitrary
+    /// [`ViewStorage`](crate::ViewStorage) backends. The factory is retained so
+    /// [`Ring::repair_view`] can rebuild the same kind of engine.
     pub(crate) fn create_view_hosted(
         &mut self,
         name: impl Into<String>,
         def: ViewDef<'_>,
-        host: impl FnOnce(dbring_compiler::TriggerProgram) -> Box<dyn ViewEngine>,
+        host: impl Fn(TriggerProgram) -> Box<dyn ViewEngine> + Send + Sync + 'static,
     ) -> Result<ViewId, Error> {
         let name = name.into();
         if self.names.contains_key(&name) {
@@ -351,9 +413,10 @@ impl Ring {
         if !self.snapshot_current() {
             return Err(Error::BackfillUnavailable { view: name });
         }
+        let factory: EngineFactory = Arc::new(host);
         let program = compile(&self.catalog, &query)?;
         // Compiler-produced programs always lower, so hosting cannot fail here.
-        let mut engine = host(program);
+        let mut engine = factory(program);
         if !self.snapshot.is_empty() {
             let base = self
                 .snapshot
@@ -366,6 +429,7 @@ impl Ring {
         self.infos.push(Some(ViewInfo {
             name: name.clone(),
             query,
+            factory,
         }));
         let id = ViewId(slot);
         self.names.insert(name, id);
@@ -386,7 +450,10 @@ impl Ring {
         Ok(())
     }
 
-    /// A read handle on one view.
+    /// A read handle on one view. A quarantined view refuses to serve
+    /// ([`Error::ViewPoisoned`](crate::Error::ViewPoisoned)) until
+    /// [`Ring::repair_view`] rebuilds it — its tables reflect a half-applied batch
+    /// and cannot be trusted.
     pub fn view(&self, id: ViewId) -> Result<ViewRef<'_>, Error> {
         let engine = self.registry.engine(id.0).ok_or(Error::UnknownView {
             view: id.to_string(),
@@ -394,18 +461,34 @@ impl Ring {
         let info = self.infos[id.0 as usize]
             .as_ref()
             .expect("registry slots and view infos stay in sync");
+        if self.registry.is_poisoned(id.0) {
+            return Err(Error::ViewPoisoned {
+                view: info.name.clone(),
+            });
+        }
         Ok(ViewRef { id, info, engine })
     }
 
     /// A mutable handle on one view (read everything a [`ViewRef`] can, plus
-    /// counter resets).
+    /// counter resets). Refuses quarantined views like [`Ring::view`].
     pub fn view_mut(&mut self, id: ViewId) -> Result<ViewMut<'_>, Error> {
-        let engine = self.registry.engine_mut(id.0).ok_or(Error::UnknownView {
-            view: id.to_string(),
-        })?;
+        if self.registry.engine(id.0).is_none() {
+            return Err(Error::UnknownView {
+                view: id.to_string(),
+            });
+        }
         let info = self.infos[id.0 as usize]
             .as_ref()
             .expect("registry slots and view infos stay in sync");
+        if self.registry.is_poisoned(id.0) {
+            return Err(Error::ViewPoisoned {
+                view: info.name.clone(),
+            });
+        }
+        let engine = self
+            .registry
+            .engine_mut(id.0)
+            .expect("checked live just above");
         Ok(ViewMut { id, info, engine })
     }
 
@@ -422,15 +505,78 @@ impl Ring {
         self.view(id)
     }
 
-    /// Read handles on every live view, in creation order.
+    /// Read handles on every live, healthy view, in creation order. Quarantined
+    /// views are skipped (enumerate them with [`Ring::poisoned_views`]).
     pub fn views(&self) -> impl Iterator<Item = ViewRef<'_>> {
-        self.registry.engines().map(|(slot, engine)| ViewRef {
-            id: ViewId(slot),
-            info: self.infos[slot as usize]
-                .as_ref()
-                .expect("registry slots and view infos stay in sync"),
-            engine,
-        })
+        self.registry
+            .engines()
+            .filter(|(slot, _)| !self.registry.is_poisoned(*slot))
+            .map(|(slot, engine)| ViewRef {
+                id: ViewId(slot),
+                info: self.infos[slot as usize]
+                    .as_ref()
+                    .expect("registry slots and view infos stay in sync"),
+                engine,
+            })
+    }
+
+    /// The ids and names of the quarantined views, in creation order — the views
+    /// whose engines panicked mid-ingest and now need [`Ring::repair_view`].
+    pub fn poisoned_views(&self) -> Vec<(ViewId, String)> {
+        self.registry
+            .poisoned_slots()
+            .into_iter()
+            .map(|slot| {
+                let info = self.infos[slot as usize]
+                    .as_ref()
+                    .expect("registry slots and view infos stay in sync");
+                (ViewId(slot), info.name.clone())
+            })
+            .collect()
+    }
+
+    /// Rebuilds one view from the base snapshot: the stored query is recompiled, a
+    /// fresh engine of the same kind (same typed backend for
+    /// [`Ring::create_view_with`] views) is initialized from the snapshot via the
+    /// same backfill path late-created views use, and it replaces the old engine,
+    /// clearing any quarantine. Because a failed batch lands *nowhere* — neither in
+    /// any engine nor in the snapshot — the repaired view is exactly the view that
+    /// would exist had the panic never happened.
+    ///
+    /// Works on healthy views too (a forced rebuild). Fails with
+    /// [`Error::UnknownView`](crate::Error::UnknownView) on dropped ids and
+    /// [`Error::BackfillUnavailable`](crate::Error::BackfillUnavailable) on rings
+    /// built [`without_base_tracking`](RingBuilder::without_base_tracking) that have
+    /// already ingested updates (there is nothing authoritative to rebuild from —
+    /// drop the view instead). Work counters restart from the backfill, as with any
+    /// late-created view.
+    pub fn repair_view(&mut self, id: ViewId) -> Result<(), Error> {
+        if self.registry.engine(id.0).is_none() {
+            return Err(Error::UnknownView {
+                view: id.to_string(),
+            });
+        }
+        let info = self.infos[id.0 as usize]
+            .as_ref()
+            .expect("registry slots and view infos stay in sync");
+        if !self.snapshot_current() {
+            return Err(Error::BackfillUnavailable {
+                view: info.name.clone(),
+            });
+        }
+        let program = compile(&self.catalog, &info.query)?;
+        let mut engine = (info.factory)(program);
+        if !self.snapshot.is_empty() {
+            let base = self
+                .snapshot
+                .to_database(&self.catalog)
+                .expect("every ingested update was validated against the catalog");
+            engine.initialize_from(&base)?;
+        }
+        self.registry
+            .replace(id.0, engine)
+            .expect("checked live just above");
+        Ok(())
     }
 
     /// The ids of the live views reading `relation` — the routing table's answer to
@@ -452,14 +598,20 @@ impl Ring {
     /// view accepted it — recorded in the base snapshot (when tracking). Updates to
     /// declared relations no view reads only maintain the snapshot; undeclared
     /// relations are an [`Error::UnknownRelation`](crate::Error::UnknownRelation).
-    /// Zero-multiplicity updates are explicit no-ops.
+    /// Zero-multiplicity updates are explicit no-ops. Quarantined views are skipped
+    /// (they catch up through [`Ring::repair_view`]'s snapshot backfill).
     ///
-    /// **Not atomic across views:** the catalog check vets relation and arity, but a
-    /// trigger can still fail on the values themselves (e.g. a string reaching an
-    /// arithmetic position), and such a mid-fan-out failure leaves earlier views
-    /// updated. The snapshot deliberately records only *fully-applied* updates, so a
-    /// rejected update can never poison future
-    /// [`create_view`](Ring::create_view) backfills.
+    /// **All-or-nothing across views** (with staged ingest, the default): the catalog
+    /// check vets relation and arity, and when a trigger still fails on the values
+    /// themselves (e.g. a string reaching an arithmetic position) the update is
+    /// rolled back from every view that already staged it — a rejected update lands
+    /// *nowhere*: no view, no snapshot, no counter. A panicking view engine surfaces
+    /// as [`RuntimeError::EnginePanicked`] and quarantines that view; sibling views
+    /// still roll back cleanly. (With
+    /// [`RingBuilder::without_staged_ingest`] a mid-fan-out failure instead leaves
+    /// earlier views updated; the snapshot records only fully-applied updates either
+    /// way, so a rejected update can never poison future
+    /// [`create_view`](Ring::create_view) backfills.)
     pub fn apply(&mut self, update: &Update) -> Result<(), Error> {
         if update.multiplicity == 0 {
             return Ok(());
@@ -495,10 +647,11 @@ impl Ring {
     /// The whole sequence is validated against the catalog **before** anything is
     /// applied, so an undeclared relation or a wrong arity anywhere in the sequence
     /// fails with *nothing* landed. Runtime failures past that point (a trigger
-    /// choking on the values themselves) are not rolled back: every update before the
-    /// failing one is applied everywhere, and the error is wrapped in
-    /// [`RuntimeError::AtUpdate`] carrying the failing index so callers know exactly
-    /// how many landed.
+    /// choking on the values themselves) stop the sequence at the failing update:
+    /// every update before it is applied everywhere, the failing update itself lands
+    /// nowhere (each update is all-or-nothing across views under staged ingest — see
+    /// [`Ring::apply`]), and the error is wrapped in [`RuntimeError::AtUpdate`]
+    /// carrying the failing index so callers know exactly how many landed.
     pub fn apply_all<'a>(
         &mut self,
         updates: impl IntoIterator<Item = &'a Update>,
@@ -534,14 +687,22 @@ impl Ring {
     /// Equivalent to [`Ring::apply_all`] over the same updates for every view
     /// (integer aggregates bit-identically; float aggregates up to IEEE reordering —
     /// see [`IncrementalView::apply_batch`](crate::IncrementalView::apply_batch)).
-    /// Catalog failures land nothing; a runtime failure during fan-out leaves the
-    /// snapshot unchanged but sibling views may already have applied the batch (see
-    /// [`Ring::apply`]). When the ring was built with
-    /// [`RingBuilder::ingest_threads`] above one, touched views are updated
+    ///
+    /// **Failure atomicity** (with staged ingest, the default): catalog failures
+    /// land nothing, and a runtime failure during fan-out also lands nothing — every
+    /// touched view *stages* the batch (applying it while logging pre-images) and
+    /// commits only if all of them succeed, so on error each staged view is rolled
+    /// back bit-identically and the snapshot is untouched. A panicking view engine
+    /// surfaces as [`RuntimeError::EnginePanicked`], quarantines that view (see
+    /// [`Ring::repair_view`]), and still rolls every sibling back. Staging costs one
+    /// pre-image record per map write for the duration of the batch — memory
+    /// proportional to the batch's write set, not to the views. When the ring was
+    /// built with [`RingBuilder::ingest_threads`] above one, touched views stage
     /// concurrently; the error contract stays deterministic regardless: if several
     /// views fail on the same batch, the failure reported is always the one from the
     /// **lowest-numbered view slot** — exactly the error sequential dispatch would
-    /// have returned.
+    /// have returned. With [`RingBuilder::without_staged_ingest`], sibling views may
+    /// instead keep the batch on error (the pre-staging contract).
     ///
     /// [`IncrementalView`]: crate::IncrementalView
     pub fn apply_batch(&mut self, updates: &[Update]) -> Result<(), Error> {
@@ -551,9 +712,9 @@ impl Ring {
     /// Applies an already-normalized delta batch (the normalization cost of
     /// [`Ring::apply_batch`] can then be reused or amortized by the caller).
     ///
-    /// Shares [`Ring::apply_batch`]'s failure contract: on a runtime error the
-    /// snapshot is untouched, sibling views may have applied, and under parallel
-    /// dispatch the reported error is the lowest-slot failure.
+    /// Shares [`Ring::apply_batch`]'s failure contract: on a runtime error the batch
+    /// has landed nowhere — every staged view rolled back, snapshot untouched — and
+    /// under parallel dispatch the reported error is the lowest-slot failure.
     pub fn apply_delta_batch(&mut self, batch: &DeltaBatch<'_>) -> Result<(), Error> {
         for group in batch.groups() {
             let expected = match self.catalog.columns(group.relation()) {
@@ -1123,6 +1284,163 @@ mod tests {
         assert_eq!(
             ring.view(early).unwrap().value(&[Value::int(1)]),
             Number::Int(1)
+        );
+    }
+
+    /// The full quarantine lifecycle at ring level: a panicking engine poisons its
+    /// view, reads refuse it, ingest skips it while siblings keep serving, and
+    /// `repair_view` rebuilds it from the snapshot to exactly the state a replay
+    /// from scratch would produce.
+    #[test]
+    fn panicked_views_are_quarantined_skipped_and_repaired_from_the_snapshot() {
+        use dbring_runtime::fault::{with_fault, FaultOp, FaultPlan, FaultStorage};
+        use dbring_runtime::HashViewStorage;
+
+        let mut ring = RingBuilder::new(sales_catalog()).build();
+        let healthy = ring
+            .create_view("healthy", ViewDef::Agca("q[c] := Sum(Sales(c, p, n))"))
+            .unwrap();
+        let victim = ring
+            .create_view_with::<FaultStorage<HashViewStorage>>(
+                "victim",
+                ViewDef::Agca("q[c] := Sum(Sales(c, p, n) * p * n)"),
+            )
+            .unwrap();
+        ring.apply_batch(&[sale(1, 10, 1), sale(2, 20, 2)]).unwrap();
+        let healthy_before = ring.view(healthy).unwrap().table();
+        let ingested_before = ring.updates_ingested();
+
+        let failed_batch = [sale(1, 5, 1), sale(3, 7, 2)];
+        let err = with_fault(FaultPlan::new(FaultOp::ApplySorted, 0), || {
+            ring.apply_batch(&failed_batch).unwrap_err()
+        });
+        match &err {
+            Error::Runtime(RuntimeError::EnginePanicked { slot }) => assert_eq!(*slot, victim.0),
+            other => panic!("expected EnginePanicked, got {other:?}"),
+        }
+        // The failed batch landed nowhere: healthy view, snapshot and counter are
+        // exactly the pre-batch state.
+        assert_eq!(ring.view(healthy).unwrap().table(), healthy_before);
+        assert_eq!(ring.updates_ingested(), ingested_before);
+
+        // The victim is quarantined: reads refuse it, enumeration skips it.
+        let read_err = ring.view(victim).unwrap_err();
+        assert!(matches!(&read_err, Error::ViewPoisoned { view } if view == "victim"));
+        assert!(read_err.to_string().contains("quarantined"));
+        assert!(matches!(
+            ring.view_mut(victim),
+            Err(Error::ViewPoisoned { .. })
+        ));
+        assert_eq!(
+            ring.views().map(|v| v.id()).collect::<Vec<_>>(),
+            vec![healthy]
+        );
+        assert_eq!(ring.poisoned_views(), vec![(victim, "victim".to_string())]);
+
+        // Ingest keeps flowing to the healthy view and the snapshot; the victim is
+        // skipped on both the batch and the per-update path.
+        ring.apply_batch(&[sale(1, 5, 1)]).unwrap();
+        ring.apply(&sale(2, 3, 1)).unwrap();
+        assert_eq!(
+            ring.view(healthy).unwrap().value(&[Value::int(1)]),
+            Number::Int(2)
+        );
+
+        // Repair rebuilds from the snapshot; the result is exactly a from-scratch
+        // replay of everything that ever landed.
+        ring.repair_view(victim).unwrap();
+        assert!(ring.poisoned_views().is_empty());
+        let mut replay = RingBuilder::new(sales_catalog()).build();
+        let replay_victim = replay
+            .create_view(
+                "victim",
+                ViewDef::Agca("q[c] := Sum(Sales(c, p, n) * p * n)"),
+            )
+            .unwrap();
+        replay
+            .apply_all(&[sale(1, 10, 1), sale(2, 20, 2), sale(1, 5, 1), sale(2, 3, 1)])
+            .unwrap();
+        assert_eq!(
+            ring.view(victim).unwrap().table(),
+            replay.view(replay_victim).unwrap().table()
+        );
+        // The repaired view is live again: further updates maintain it.
+        ring.apply(&sale(1, 2, 1)).unwrap();
+        replay.apply(&sale(1, 2, 1)).unwrap();
+        assert_eq!(
+            ring.view(victim).unwrap().table(),
+            replay.view(replay_victim).unwrap().table()
+        );
+    }
+
+    #[test]
+    fn repair_needs_a_current_snapshot_and_a_live_view() {
+        let mut ring = RingBuilder::new(sales_catalog())
+            .without_base_tracking()
+            .build();
+        let v = ring
+            .create_view("v", ViewDef::Agca("q[c] := Sum(Sales(c, p, n))"))
+            .unwrap();
+        // Before any ingest the (empty) snapshot is current: repair is a no-op rebuild.
+        ring.repair_view(v).unwrap();
+        ring.apply(&sale(1, 1, 1)).unwrap();
+        let err = ring.repair_view(v).unwrap_err();
+        assert!(matches!(err, Error::BackfillUnavailable { .. }));
+        let mut tracked = RingBuilder::new(sales_catalog()).build();
+        let dropped = tracked
+            .create_view("v", ViewDef::Agca("q[c] := Sum(Sales(c, p, n))"))
+            .unwrap();
+        tracked.drop_view(dropped).unwrap();
+        assert!(matches!(
+            tracked.repair_view(dropped),
+            Err(Error::UnknownView { .. })
+        ));
+    }
+
+    /// The builder's staging knob: staged ingest (default) makes a failed update
+    /// land nowhere; `without_staged_ingest` restores the pre-staging contract where
+    /// lower-slot siblings keep their writes.
+    #[test]
+    fn the_staging_knob_selects_between_atomic_and_direct_ingest() {
+        // Catalog-valid but the revenue view chokes on the string in an arithmetic
+        // position; the counting view accepts the same tuple.
+        let poison = Update::insert(
+            "Sales",
+            vec![Value::int(1), Value::str("x"), Value::str("y")],
+        );
+        let build = |staged: bool| {
+            let builder = RingBuilder::new(sales_catalog()).ingest_threads(1);
+            let builder = if staged {
+                builder
+            } else {
+                builder.without_staged_ingest()
+            };
+            let mut ring = builder.build();
+            let orders = ring
+                .create_view("orders", ViewDef::Agca("q[c] := Sum(Sales(c, p, n))"))
+                .unwrap();
+            ring.create_view(
+                "revenue",
+                ViewDef::Agca("q[c] := Sum(Sales(c, p, n) * p * n)"),
+            )
+            .unwrap();
+            (ring, orders)
+        };
+        let (mut staged, orders) = build(true);
+        assert!(staged.staged_ingest());
+        staged
+            .apply_batch(std::slice::from_ref(&poison))
+            .unwrap_err();
+        assert!(staged.view(orders).unwrap().table().is_empty(), "atomic");
+        assert_eq!(staged.view(orders).unwrap().stats().updates, 0);
+
+        let (mut direct, orders) = build(false);
+        assert!(!direct.staged_ingest());
+        direct.apply_batch(&[poison]).unwrap_err();
+        assert_eq!(
+            direct.view(orders).unwrap().table().len(),
+            1,
+            "direct mode lets the lower slot keep the batch"
         );
     }
 

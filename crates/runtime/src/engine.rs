@@ -36,7 +36,7 @@ use dbring_algebra::Number;
 use dbring_compiler::{LowerError, TriggerProgram};
 use dbring_relations::{Database, DeltaBatch, Update, Value};
 
-use crate::executor::{ExecStats, Executor, RuntimeError};
+use crate::executor::{ExecStats, Executor, RuntimeError, StagedBatch};
 use crate::interp::InterpretedExecutor;
 use crate::storage::{
     HashViewStorage, OrderedViewStorage, StorageBackend, StorageFootprint, ViewStorage,
@@ -65,9 +65,36 @@ pub trait ViewEngine: std::fmt::Debug + Send {
 
     /// Applies an already-normalized [`DeltaBatch`]: one dispatch per
     /// `(relation, sign)` group, weighted firing where the trigger admits it.
-    /// Equivalent to applying the batch's source updates one by one; not atomic on
-    /// error (see the executors' `apply_batch` docs).
+    /// Equivalent to applying the batch's source updates one by one; **atomic per
+    /// view** — on `Err` the engine's tables and stats are bit-identical to before
+    /// the call (this is [`stage_batch`](ViewEngine::stage_batch) plus an immediate
+    /// commit).
     fn apply_batch(&mut self, batch: &DeltaBatch<'_>) -> Result<(), RuntimeError>;
+
+    /// Stages an already-normalized batch: applies it while logging the pre-image of
+    /// every write, returning the [`StagedBatch`] token the host later passes to
+    /// [`commit_staged`](ViewEngine::commit_staged) or
+    /// [`abort_staged`](ViewEngine::abort_staged). On `Err` the engine has already
+    /// rolled itself back bit-exactly. Tokens are engine-specific: return one only to
+    /// the engine that produced it.
+    fn stage_batch(&mut self, batch: &DeltaBatch<'_>) -> Result<StagedBatch, RuntimeError>;
+
+    /// Stages one single-tuple update — the per-update counterpart of
+    /// [`stage_batch`](ViewEngine::stage_batch), with the same `Err` ⇒ rolled-back
+    /// contract (covering partial |multiplicity| > 1 firings).
+    fn stage_update(&mut self, update: &Update) -> Result<StagedBatch, RuntimeError>;
+
+    /// Makes a staged batch permanent by releasing its undo log. Cannot fail.
+    fn commit_staged(&mut self, staged: StagedBatch);
+
+    /// Rolls a staged batch back: tables and stats return bit-exactly to the
+    /// pre-stage state.
+    fn abort_staged(&mut self, staged: StagedBatch);
+
+    /// The unlogged batch path: [`apply_batch`](ViewEngine::apply_batch) without the
+    /// pre-image log. **Not atomic on error** — kept for callers that own their own
+    /// recovery and as the staging-overhead measurement baseline (`exp_faults`).
+    fn apply_batch_direct(&mut self, batch: &DeltaBatch<'_>) -> Result<(), RuntimeError>;
 
     /// Loads every materialized view from a non-empty starting database by evaluating
     /// its defining query (the initialization step of Section 1.1). The database is
@@ -144,6 +171,26 @@ macro_rules! impl_view_engine {
 
             fn apply_batch(&mut self, batch: &DeltaBatch<'_>) -> Result<(), RuntimeError> {
                 self.apply_batch(batch)
+            }
+
+            fn stage_batch(&mut self, batch: &DeltaBatch<'_>) -> Result<StagedBatch, RuntimeError> {
+                self.stage_batch(batch)
+            }
+
+            fn stage_update(&mut self, update: &Update) -> Result<StagedBatch, RuntimeError> {
+                self.stage_update(update)
+            }
+
+            fn commit_staged(&mut self, staged: StagedBatch) {
+                self.commit_staged(staged)
+            }
+
+            fn abort_staged(&mut self, staged: StagedBatch) {
+                self.abort_staged(staged)
+            }
+
+            fn apply_batch_direct(&mut self, batch: &DeltaBatch<'_>) -> Result<(), RuntimeError> {
+                self.apply_batch_direct(batch)
             }
 
             fn initialize_from(&mut self, db: &Database) -> Result<(), EvalError> {

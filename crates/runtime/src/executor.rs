@@ -90,6 +90,16 @@ pub enum RuntimeError {
         /// The underlying failure.
         source: Box<RuntimeError>,
     },
+    /// A view engine panicked while a dispatched batch was being staged or rolled
+    /// back (a storage invariant violation, an injected fault, a bug). The panic was
+    /// caught at the dispatch layer and the slot quarantined: its state can no longer
+    /// be trusted, so reads are refused and ingest skips it until it is rebuilt from
+    /// the base snapshot (`Ring::repair_view`). Sibling views were rolled back, so
+    /// the failing batch landed nowhere.
+    EnginePanicked {
+        /// The registry slot of the view whose engine panicked.
+        slot: u32,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -108,6 +118,11 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::AtUpdate { index, source } => write!(
                 f,
                 "update #{index} failed: {source} (updates 0..{index} were already applied)"
+            ),
+            RuntimeError::EnginePanicked { slot } => write!(
+                f,
+                "view engine at slot {slot} panicked during batch dispatch; the view is \
+                 quarantined until repaired"
             ),
         }
     }
@@ -161,6 +176,96 @@ struct WriteBuf {
     accs: Vec<Number>,
 }
 
+/// One logged pre-image: the exact value `map` held under the `key_len` key values
+/// preceding this op's position in the log's flat key arena, before a staged write
+/// touched it (zero ⇔ absent — maps never store explicit zeros).
+#[derive(Clone, Copy, Debug)]
+struct UndoOp {
+    map: u32,
+    key_len: u32,
+    pre: Number,
+}
+
+/// The staged-ingest undo log: pre-images of every written entry, stored as a flat
+/// arena — one fixed-size [`UndoOp`] per write plus the key values appended to one
+/// shared buffer. Logging a write therefore performs **no allocation** once the two
+/// vectors are warm (the executor recycles the log across batches), which is what
+/// keeps staged ingest within a few percent of the direct path.
+///
+/// Restoring the ops in *reverse* order via [`ViewStorage::restore`] reproduces the
+/// pre-batch storage bit-exactly, because the first op logged for a key holds its
+/// original value and is restored last.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct UndoLog {
+    ops: Vec<UndoOp>,
+    keys: Vec<Value>,
+}
+
+impl UndoLog {
+    /// Logs one write's pre-image.
+    #[inline]
+    pub(crate) fn push(&mut self, map: usize, key: &[Value], pre: Number) {
+        self.keys.extend_from_slice(key);
+        self.ops.push(UndoOp {
+            map: map as u32,
+            key_len: key.len() as u32,
+            pre,
+        });
+    }
+
+    /// Number of logged pre-images.
+    pub(crate) fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Empties the log, keeping both allocations for reuse.
+    pub(crate) fn clear(&mut self) {
+        self.ops.clear();
+        self.keys.clear();
+    }
+}
+
+/// The token a successful [`Executor::stage_batch`] (or
+/// [`InterpretedExecutor::stage_batch`](crate::interp::InterpretedExecutor::stage_batch))
+/// returns: proof that the batch evaluated cleanly, plus everything needed to undo it.
+///
+/// Staging *applies* the batch — later trigger groups must read the writes of earlier
+/// ones (the second-order `δR·δS` term of a multi-relation batch), so the writes cannot
+/// simply be deferred — while logging the pre-image of every touched entry.
+/// [`Executor::commit_staged`] makes the batch permanent by discarding the log;
+/// [`Executor::abort_staged`] replays the log in reverse, leaving tables *and*
+/// [`ExecStats`] bit-identical to the pre-stage state. The memory cost of staging is
+/// this log: one `(map, key, value)` triple per write the batch performed
+/// ([`StagedBatch::logged_writes`]), released at commit.
+///
+/// A token must be returned — committed or aborted — to the engine that produced it;
+/// the dispatch layer ([`EngineRegistry`](crate::registry::EngineRegistry)) keeps
+/// tokens slot-aligned for exactly that reason.
+#[derive(Clone, Debug)]
+pub struct StagedBatch {
+    pub(crate) undo: UndoLog,
+    pub(crate) stats_before: ExecStats,
+}
+
+impl StagedBatch {
+    /// Number of logged pre-images — the staging memory cost, one `(map, key, value)`
+    /// triple per write performed while staging.
+    pub fn logged_writes(&self) -> usize {
+        self.undo.len()
+    }
+}
+
+/// Replays an undo log in reverse, restoring every touched entry to its logged
+/// pre-image bit-exactly. Shared by both executor families.
+pub(crate) fn rollback_maps<S: ViewStorage>(maps: &mut [S], undo: &UndoLog) {
+    let mut end = undo.keys.len();
+    for op in undo.ops.iter().rev() {
+        let start = end - op.key_len as usize;
+        maps[op.map as usize].restore(&undo.keys[start..end], op.pre);
+        end = start;
+    }
+}
+
 /// The recursive-IVM runtime for one compiled trigger program, generic over the
 /// [`ViewStorage`] backend its materialized views live in (default: the hash backend).
 #[derive(Clone, Debug)]
@@ -176,6 +281,9 @@ pub struct Executor<S: ViewStorage = HashViewStorage> {
     /// Thread budget for sharding large batched flushes across key ranges; `1` (the
     /// initial state) keeps every flush on the sequential `apply_sorted` path.
     shard_threads: usize,
+    /// Recycled undo-log allocation: staging takes it, commit/abort hand it back, so
+    /// steady-state staging allocates nothing for the log itself.
+    undo_pool: UndoLog,
 }
 
 impl Executor<HashViewStorage> {
@@ -241,6 +349,7 @@ impl<S: ViewStorage> Executor<S> {
             stats: ExecStats::default(),
             scratch: Scratch::default(),
             shard_threads: 1,
+            undo_pool: UndoLog::default(),
         })
     }
 
@@ -326,7 +435,45 @@ impl<S: ViewStorage> Executor<S> {
     /// treated as that many single-tuple updates, and an update with multiplicity 0 is an
     /// explicit no-op: it fires nothing, checks nothing (not even arity) and leaves the
     /// work counters untouched.
+    ///
+    /// On error the update may be partially applied (a failure between the firings of a
+    /// |multiplicity| > 1 update leaves the earlier firings in place); use
+    /// [`Executor::stage_update`] when the caller needs all-or-nothing per-update
+    /// semantics.
     pub fn apply(&mut self, update: &Update) -> Result<(), RuntimeError> {
+        self.apply_logged(update, &mut None)
+    }
+
+    /// Stages a single-tuple update: applies it while logging pre-images, so the caller
+    /// can [`commit_staged`](Executor::commit_staged) or
+    /// [`abort_staged`](Executor::abort_staged) it. On `Err` the engine has already been
+    /// rolled back — tables and stats are bit-identical to before the call, even for a
+    /// failure between the firings of a |multiplicity| > 1 update.
+    pub fn stage_update(&mut self, update: &Update) -> Result<StagedBatch, RuntimeError> {
+        let stats_before = self.stats;
+        let mut undo = std::mem::take(&mut self.undo_pool);
+        match self.apply_logged(update, &mut Some(&mut undo)) {
+            Ok(()) => Ok(StagedBatch { undo, stats_before }),
+            Err(e) => {
+                rollback_maps(&mut self.maps, &undo);
+                self.stats = stats_before;
+                self.recycle(undo);
+                Err(e)
+            }
+        }
+    }
+
+    /// Hands a finished undo log's allocation back to the pool.
+    fn recycle(&mut self, mut undo: UndoLog) {
+        undo.clear();
+        self.undo_pool = undo;
+    }
+
+    fn apply_logged(
+        &mut self,
+        update: &Update,
+        undo: &mut Option<&mut UndoLog>,
+    ) -> Result<(), RuntimeError> {
         if update.multiplicity == 0 {
             return Ok(());
         }
@@ -368,7 +515,7 @@ impl<S: ViewStorage> Executor<S> {
         for _ in 0..update.multiplicity.unsigned_abs() {
             stats.updates += 1;
             for stmt in &trigger.statements {
-                run_statement(maps, stats, scratch, trigger, stmt)?;
+                run_statement(maps, stats, scratch, trigger, stmt, undo)?;
             }
         }
         Ok(())
@@ -419,12 +566,74 @@ impl<S: ViewStorage> Executor<S> {
     /// aggregates may differ by rounding: consolidation reorders and scales the
     /// accumulation, and IEEE-754 addition is order-sensitive.
     ///
-    /// **Not atomic:** a failing group (e.g. an arity mismatch) leaves all previously
-    /// processed groups applied. The failing group itself is discarded wholesale on the
-    /// weighted path (its writes were still buffered, and a later call never sees them)
-    /// but may be partially applied on the unit-replay path — exactly like a failure
-    /// partway through `apply_all`.
+    /// **Atomic per view:** this is [`stage_batch`](Executor::stage_batch) followed by
+    /// an immediate [`commit_staged`](Executor::commit_staged), so on `Err` the engine's
+    /// tables and [`ExecStats`] are bit-identical to before the call — on the weighted
+    /// path *and* the unit-replay path. Callers that own their own recovery (or are
+    /// measuring) can skip the pre-image log with
+    /// [`apply_batch_direct`](Executor::apply_batch_direct).
     pub fn apply_batch(&mut self, batch: &DeltaBatch) -> Result<(), RuntimeError> {
+        let staged = self.stage_batch(batch)?;
+        self.commit_staged(staged);
+        Ok(())
+    }
+
+    /// Stages a batch: applies it exactly as [`apply_batch`](Executor::apply_batch)
+    /// while logging the pre-image of every write, returning the [`StagedBatch`] token
+    /// to later [`commit_staged`](Executor::commit_staged) (discard the log) or
+    /// [`abort_staged`](Executor::abort_staged) (roll everything back bit-exactly).
+    /// On `Err` the rollback has already happened: the engine is bit-identical to
+    /// before the call.
+    ///
+    /// Staging must apply, not defer: in a multi-relation batch a later group's trigger
+    /// reads maps an earlier group's trigger wrote (the `δR·δS` second-order term), so
+    /// buffering every flush until commit would silently drop those cross terms. The
+    /// undo log is what makes the applied writes revocable.
+    pub fn stage_batch(&mut self, batch: &DeltaBatch) -> Result<StagedBatch, RuntimeError> {
+        let stats_before = self.stats;
+        let mut undo = std::mem::take(&mut self.undo_pool);
+        match self.apply_batch_logged(batch, &mut Some(&mut undo)) {
+            Ok(()) => Ok(StagedBatch { undo, stats_before }),
+            Err(e) => {
+                rollback_maps(&mut self.maps, &undo);
+                self.stats = stats_before;
+                self.recycle(undo);
+                Err(e)
+            }
+        }
+    }
+
+    /// Makes a staged batch permanent. The writes already landed while staging, so this
+    /// only releases the undo log (its allocation is recycled for the next staging) —
+    /// it cannot fail.
+    pub fn commit_staged(&mut self, staged: StagedBatch) {
+        self.recycle(staged.undo);
+    }
+
+    /// Rolls a staged batch back: every logged pre-image is restored in reverse order
+    /// and the stats snapshot reinstated, leaving tables and [`ExecStats`]
+    /// bit-identical to the pre-stage state.
+    pub fn abort_staged(&mut self, staged: StagedBatch) {
+        rollback_maps(&mut self.maps, &staged.undo);
+        self.stats = staged.stats_before;
+        self.recycle(staged.undo);
+    }
+
+    /// The unlogged batch path: [`apply_batch`](Executor::apply_batch) without the
+    /// pre-image log — the pre-staging ingest path, kept for callers that own their own
+    /// recovery and as the measurement baseline for the staging overhead (`exp_faults`).
+    ///
+    /// **Not atomic:** a failing group leaves all previously processed groups applied,
+    /// and the failing group itself may be partially applied on the unit-replay path.
+    pub fn apply_batch_direct(&mut self, batch: &DeltaBatch) -> Result<(), RuntimeError> {
+        self.apply_batch_logged(batch, &mut None)
+    }
+
+    fn apply_batch_logged(
+        &mut self,
+        batch: &DeltaBatch,
+        undo: &mut Option<&mut UndoLog>,
+    ) -> Result<(), RuntimeError> {
         let Self {
             plan,
             maps,
@@ -491,7 +700,7 @@ impl<S: ViewStorage> Executor<S> {
                     for _ in 0..*weight {
                         stats.updates += 1;
                         for stmt in &trigger.statements {
-                            run_statement(maps, stats, scratch, trigger, stmt)?;
+                            run_statement(maps, stats, scratch, trigger, stmt, undo)?;
                         }
                     }
                 }
@@ -513,10 +722,26 @@ impl<S: ViewStorage> Executor<S> {
                         .map(|(row, &acc)| (&buf.keys[row * arity..(row + 1) * arity], acc))
                         .collect();
                     consolidate_sorted(&mut refs);
-                    if shards > 1 {
-                        maps[stmt.target].apply_sorted_sharded(&refs, shards);
-                    } else {
-                        maps[stmt.target].apply_sorted(&refs);
+                    // When staging, every key the flush touches is logged with its
+                    // pre-image. Keys in a consolidated run are unique, so the log
+                    // order within the run is immaterial for rollback; the sequential
+                    // path captures pre-images inside the landing pass itself
+                    // (`apply_sorted_logged` shares the lookup), the sharded path in
+                    // one probe pass up front.
+                    match (undo.as_deref_mut(), shards > 1) {
+                        (Some(undo), true) => {
+                            for (key, _) in &refs {
+                                undo.push(stmt.target, key, maps[stmt.target].get(key));
+                            }
+                            maps[stmt.target].apply_sorted_sharded(&refs, shards);
+                        }
+                        (Some(undo), false) => {
+                            maps[stmt.target].apply_sorted_logged(&refs, |key, pre| {
+                                undo.push(stmt.target, key, pre)
+                            });
+                        }
+                        (None, true) => maps[stmt.target].apply_sorted_sharded(&refs, shards),
+                        (None, false) => maps[stmt.target].apply_sorted(&refs),
                     }
                     drop(refs);
                     buf.keys.clear();
@@ -578,13 +803,15 @@ pub(crate) fn initialize_maps<S: ViewStorage>(
     Ok(())
 }
 
-/// Runs one lowered statement over the scratch frames and applies its writes directly.
+/// Runs one lowered statement over the scratch frames and applies its writes directly,
+/// logging each write's pre-image first when an undo log is supplied.
 fn run_statement<S: ViewStorage>(
     maps: &mut [S],
     stats: &mut ExecStats,
     scratch: &mut Scratch,
     trigger: &PlanTrigger,
     stmt: &PlanStatement,
+    undo: &mut Option<&mut UndoLog>,
 ) -> Result<(), RuntimeError> {
     eval_statement_ops(maps, stats, scratch, trigger, stmt)?;
     // Apply the writes. All reads of this statement are complete (a statement never
@@ -606,6 +833,9 @@ fn run_statement<S: ViewStorage>(
         key_buf.clear();
         for &s in &stmt.target_slots {
             key_buf.push(cur_vals[row * stride + s as usize].clone());
+        }
+        if let Some(undo) = undo {
+            undo.push(stmt.target, key_buf, target.get(key_buf));
         }
         target.add_ref(key_buf, stmt.coefficient.mul(&acc));
     }
@@ -1174,6 +1404,100 @@ mod tests {
         assert_eq!(sequential.output_table(), sharded.output_table());
         assert_eq!(sequential.total_entries(), sharded.total_entries());
         assert_eq!(sequential.stats(), sharded.stats());
+    }
+
+    /// Satellite regression: the unit-replay path used to leave a failing group
+    /// *partially* applied (the writes of earlier replayed updates landed immediately).
+    /// With staging, a failed batch rolls back bit-exactly — tables and stats.
+    #[test]
+    fn failed_unit_replay_batch_rolls_back_completely() {
+        let mut exec = Executor::new(customers_program());
+        exec.apply(&insert(1, "FR")).unwrap();
+        let stats = exec.stats();
+        let table = exec.output_table();
+        // The self-join program unit-replays; the valid deltas fire (and write)
+        // before the bad-arity delta is reached, so rollback must undo real writes.
+        let failing = [
+            insert(2, "FR"),
+            insert(3, "DE"),
+            Update::insert("C", vec![Value::int(9)]), // arity error
+        ];
+        let err = exec
+            .apply_batch(&DeltaBatch::from_updates(&failing))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::ArityMismatch { .. }));
+        assert_eq!(exec.output_table(), table, "tables must roll back");
+        assert_eq!(exec.stats(), stats, "stats must roll back");
+        // The engine is fully usable afterwards.
+        exec.apply_batch(&DeltaBatch::from_updates(&[insert(2, "FR")]))
+            .unwrap();
+        assert_eq!(exec.output_value(&[Value::int(1)]), Number::Int(2));
+    }
+
+    /// stage → abort is a bit-exact no-op; stage → commit equals a plain apply_batch —
+    /// on both the weighted path and floats (where bit-exactness is the hard part).
+    #[test]
+    fn stage_abort_round_trips_bit_exactly() {
+        let mut catalog = Database::new();
+        catalog.declare("Sales", &["cust", "price", "qty"]).unwrap();
+        let q = dbring_agca::sql::parse_sql(
+            "SELECT cust, SUM(price * qty) AS revenue FROM Sales GROUP BY cust",
+            &catalog,
+        )
+        .unwrap();
+        let program = compile(&catalog, &q).unwrap();
+        let mut exec = Executor::new(program.clone());
+        let row = |c: i64, p: f64, q: i64| {
+            Update::insert("Sales", vec![Value::int(c), Value::float(p), Value::int(q)])
+        };
+        exec.apply(&row(1, 0.1, 1)).unwrap();
+        let stats = exec.stats();
+        let before: Vec<(Vec<Value>, u64)> = exec
+            .output_table()
+            .into_iter()
+            .map(|(k, v)| (k, v.as_f64().to_bits()))
+            .collect();
+        // Stage a float batch that perturbs the existing group, then abort.
+        let staged = exec
+            .stage_batch(&DeltaBatch::from_updates(&[row(1, 0.2, 1), row(2, 0.3, 1)]))
+            .unwrap();
+        assert!(staged.logged_writes() > 0);
+        exec.abort_staged(staged);
+        let after: Vec<(Vec<Value>, u64)> = exec
+            .output_table()
+            .into_iter()
+            .map(|(k, v)| (k, v.as_f64().to_bits()))
+            .collect();
+        assert_eq!(before, after, "abort must restore float bit patterns");
+        assert_eq!(exec.stats(), stats);
+        // stage + commit matches a direct apply of the same batch, stats included.
+        let updates = [row(1, 0.2, 1), row(2, 0.3, 1)];
+        let batch = DeltaBatch::from_updates(&updates);
+        let mut direct = Executor::new(program);
+        direct.apply(&row(1, 0.1, 1)).unwrap();
+        direct.apply_batch_direct(&batch).unwrap();
+        let staged = exec.stage_batch(&batch).unwrap();
+        exec.commit_staged(staged);
+        assert_eq!(exec.output_table(), direct.output_table());
+        assert_eq!(exec.stats(), direct.stats());
+    }
+
+    /// A failed `stage_update` rolls back even partial multiplicity firings, while the
+    /// direct `apply` keeps its documented partial semantics.
+    #[test]
+    fn stage_update_is_atomic_per_update() {
+        let mut exec = Executor::new(customers_program());
+        exec.apply(&insert(1, "FR")).unwrap();
+        let stats = exec.stats();
+        let table = exec.output_table();
+        let bad = Update::insert("C", vec![Value::int(9)]);
+        assert!(exec.stage_update(&bad).is_err());
+        assert_eq!(exec.output_table(), table);
+        assert_eq!(exec.stats(), stats);
+        // And a successful stage commits to exactly the direct result.
+        let staged = exec.stage_update(&insert(2, "FR")).unwrap();
+        exec.commit_staged(staged);
+        assert_eq!(exec.output_value(&[Value::int(1)]), Number::Int(2));
     }
 
     #[test]

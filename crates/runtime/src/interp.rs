@@ -18,7 +18,7 @@ use dbring_agca::eval::{compare_values, EvalError};
 use dbring_compiler::{RhsFactor, ScalarExpr, Statement, TriggerProgram};
 use dbring_delta::Sign;
 
-use crate::executor::{ExecStats, RuntimeError};
+use crate::executor::{rollback_maps, ExecStats, RuntimeError, StagedBatch, UndoLog};
 use crate::storage::{HashViewStorage, ViewStorage};
 
 /// The name-resolving reference executor for one compiled trigger program, generic over
@@ -142,7 +142,34 @@ impl<S: ViewStorage> InterpretedExecutor<S> {
     /// Applies a single-tuple update by interpreting the matching trigger. As in the
     /// lowered executor, an update with multiplicity 0 is an explicit no-op: it fires
     /// nothing, checks nothing (not even arity) and leaves the work counters untouched.
+    ///
+    /// On error the update may be partially applied; use
+    /// [`InterpretedExecutor::stage_update`] for all-or-nothing per-update semantics.
     pub fn apply(&mut self, update: &Update) -> Result<(), RuntimeError> {
+        self.apply_logged(update, &mut None)
+    }
+
+    /// Stages a single-tuple update: applies it while logging pre-images. On `Err` the
+    /// interpreter has already been rolled back bit-exactly — mirrors
+    /// [`Executor::stage_update`](crate::executor::Executor::stage_update).
+    pub fn stage_update(&mut self, update: &Update) -> Result<StagedBatch, RuntimeError> {
+        let stats_before = self.stats;
+        let mut undo = UndoLog::default();
+        match self.apply_logged(update, &mut Some(&mut undo)) {
+            Ok(()) => Ok(StagedBatch { undo, stats_before }),
+            Err(e) => {
+                rollback_maps(&mut self.maps, &undo);
+                self.stats = stats_before;
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_logged(
+        &mut self,
+        update: &Update,
+        undo: &mut Option<&mut UndoLog>,
+    ) -> Result<(), RuntimeError> {
         if update.multiplicity == 0 {
             return Ok(());
         }
@@ -183,6 +210,7 @@ impl<S: ViewStorage> InterpretedExecutor<S> {
                     stmt,
                     &env,
                     Number::Int(1),
+                    undo,
                 )?;
             }
         }
@@ -213,11 +241,60 @@ impl<S: ViewStorage> InterpretedExecutor<S> {
     /// the same semantics (consolidation, weighted firing for triggers whose delta is
     /// degree ≤ 1 in the updated relation, unit replay otherwise) and identical
     /// [`ExecStats`] accounting, so the two batch paths can be tested against each
-    /// other exactly — on *successful* applications. Not atomic, like the lowered
-    /// path; after a mid-group error the two paths may differ in how much of the
-    /// failing group landed (the interpreter writes per delta, the lowered weighted
-    /// path discards its buffered group).
+    /// other exactly.
+    ///
+    /// **Atomic per view**, like the lowered path: this is
+    /// [`stage_batch`](InterpretedExecutor::stage_batch) plus an immediate commit, so
+    /// on `Err` tables and stats are bit-identical to before the call.
     pub fn apply_batch(&mut self, batch: &DeltaBatch) -> Result<(), RuntimeError> {
+        let staged = self.stage_batch(batch)?;
+        self.commit_staged(staged);
+        Ok(())
+    }
+
+    /// Stages a batch: applies it while logging the pre-image of every write. On `Err`
+    /// the rollback has already happened. The snapshot-and-restore equivalent of
+    /// [`Executor::stage_batch`](crate::executor::Executor::stage_batch) — the
+    /// interpreter writes per delta instead of buffering, so the undo log is its only
+    /// route back to the pre-batch state.
+    pub fn stage_batch(&mut self, batch: &DeltaBatch) -> Result<StagedBatch, RuntimeError> {
+        let stats_before = self.stats;
+        let mut undo = UndoLog::default();
+        match self.apply_batch_logged(batch, &mut Some(&mut undo)) {
+            Ok(()) => Ok(StagedBatch { undo, stats_before }),
+            Err(e) => {
+                rollback_maps(&mut self.maps, &undo);
+                self.stats = stats_before;
+                Err(e)
+            }
+        }
+    }
+
+    /// Makes a staged batch permanent by releasing its undo log.
+    pub fn commit_staged(&mut self, staged: StagedBatch) {
+        drop(staged);
+    }
+
+    /// Rolls a staged batch back bit-exactly (tables and [`ExecStats`]).
+    pub fn abort_staged(&mut self, staged: StagedBatch) {
+        let StagedBatch { undo, stats_before } = staged;
+        rollback_maps(&mut self.maps, &undo);
+        self.stats = stats_before;
+    }
+
+    /// The unlogged batch path, kept as the staging-overhead measurement baseline.
+    ///
+    /// **Not atomic:** a mid-group error leaves earlier groups (and the failing
+    /// group's earlier deltas — the interpreter writes per delta) applied.
+    pub fn apply_batch_direct(&mut self, batch: &DeltaBatch) -> Result<(), RuntimeError> {
+        self.apply_batch_logged(batch, &mut None)
+    }
+
+    fn apply_batch_logged(
+        &mut self,
+        batch: &DeltaBatch,
+        undo: &mut Option<&mut UndoLog>,
+    ) -> Result<(), RuntimeError> {
         for group in batch.groups() {
             let sign = if group.is_insert() {
                 Sign::Insert
@@ -266,6 +343,7 @@ impl<S: ViewStorage> InterpretedExecutor<S> {
                             stmt,
                             &env,
                             scale,
+                            undo,
                         )?;
                     }
                 }
@@ -283,6 +361,7 @@ impl<S: ViewStorage> InterpretedExecutor<S> {
         stmt: &Statement,
         base_env: &HashMap<String, Value>,
         scale: Number,
+        undo: &mut Option<&mut UndoLog>,
     ) -> Result<(), RuntimeError> {
         // The set of candidate bindings, each with the product accumulated so far.
         let mut envs: Vec<(HashMap<String, Value>, Number)> =
@@ -388,6 +467,9 @@ impl<S: ViewStorage> InterpretedExecutor<S> {
         }
         for (key, delta) in writes {
             stats.additions += 1;
+            if let Some(undo) = undo {
+                undo.push(stmt.target, &key, maps[stmt.target].get(&key));
+            }
             maps[stmt.target].add(key, delta);
         }
         Ok(())
@@ -508,6 +590,44 @@ mod tests {
         assert!(matches!(&err, RuntimeError::AtUpdate { index: 1, source }
                 if matches!(**source, RuntimeError::ArityMismatch { .. })));
         assert_eq!(exec.stats().updates, 1, "update 0 was already applied");
+    }
+
+    /// The interpreter's stage/commit/abort mirrors the lowered executor's: a failed
+    /// batch (even one that wrote per delta before failing) rolls back bit-exactly,
+    /// and stage+commit equals the direct path.
+    #[test]
+    fn interpreter_staging_rolls_back_failed_batches() {
+        let mut catalog = Database::new();
+        catalog.declare("C", &["cid", "nation"]).unwrap();
+        let q = parse_query("q[c] := Sum(C(c, n) * C(c2, n))").unwrap();
+        let mut exec = InterpretedExecutor::new(compile(&catalog, &q).unwrap());
+        exec.apply(&Update::insert("C", vec![Value::int(1), Value::int(7)]))
+            .unwrap();
+        let stats = exec.stats();
+        let table = exec.output_table();
+        let failing = [
+            Update::insert("C", vec![Value::int(2), Value::int(7)]),
+            Update::insert("C", vec![Value::int(9)]), // arity error
+        ];
+        let err = exec
+            .apply_batch(&DeltaBatch::from_updates(&failing))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::ArityMismatch { .. }));
+        assert_eq!(exec.output_table(), table);
+        assert_eq!(exec.stats(), stats);
+        // stage → abort is a no-op; stage → commit applies.
+        let good_updates = [Update::insert("C", vec![Value::int(2), Value::int(7)])];
+        let good = DeltaBatch::from_updates(&good_updates);
+        let staged = exec.stage_batch(&good).unwrap();
+        assert!(staged.logged_writes() > 0);
+        exec.abort_staged(staged);
+        assert_eq!(exec.output_table(), table);
+        assert_eq!(exec.stats(), stats);
+        let staged = exec
+            .stage_update(&Update::insert("C", vec![Value::int(2), Value::int(7)]))
+            .unwrap();
+        exec.commit_staged(staged);
+        assert_eq!(exec.output_value(&[Value::int(1)]), Number::Int(2));
     }
 
     #[test]

@@ -64,6 +64,7 @@
 pub mod baseline;
 pub mod engine;
 pub mod executor;
+pub mod fault;
 pub mod interp;
 pub mod registry;
 pub mod storage;
@@ -71,7 +72,8 @@ pub mod strategy;
 
 pub use baseline::{ClassicalIvm, NaiveReeval};
 pub use engine::{boxed_engine, boxed_engine_by_name, try_boxed_engine, ViewEngine};
-pub use executor::{ExecStats, Executor, RuntimeError};
+pub use executor::{ExecStats, Executor, RuntimeError, StagedBatch};
+pub use fault::{FaultOp, FaultPlan, FaultStorage};
 pub use interp::InterpretedExecutor;
 pub use registry::{EngineRegistry, ParallelConfig};
 pub use storage::{

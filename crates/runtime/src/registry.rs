@@ -24,18 +24,29 @@
 //!   borrowed batch is the only thing shared. `threads = 1` takes the sequential code
 //!   path exactly. The same budget is propagated to each hosted engine as its
 //!   within-view shard budget for batched flushes.
+//! * **Failure atomicity** (stage → commit): dispatch stages the batch on every
+//!   touched engine — each engine applies it while logging pre-images — and commits
+//!   only if *all* stages succeed. Any failure aborts every stage, so a failed
+//!   dispatch leaves every engine's tables and stats bit-identical to before the
+//!   call, and the deterministic lowest-slot error is reported. Worker panics are
+//!   caught ([`RuntimeError::EnginePanicked`]) and the panicking slot is
+//!   **quarantined**: its state can no longer be trusted, so ingest skips it and the
+//!   host is expected to rebuild it ([`EngineRegistry::replace`]) from a base
+//!   snapshot. [`EngineRegistry::set_staging`] can disable the protocol, restoring
+//!   the pre-staging dispatch byte-for-byte (the `exp_faults` measurement baseline).
 //!
 //! Slots are tombstoned on removal and never reused, so a stale slot id can only miss
 //! (yield `None`), never silently address a different engine.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use dbring_relations::{DeltaBatch, Update};
 
 use crate::engine::ViewEngine;
-use crate::executor::RuntimeError;
+use crate::executor::{RuntimeError, StagedBatch};
 
 /// The thread budget for batch ingest: how many worker threads the registry may use
 /// to fan a shared batch out across views, and — propagated to every hosted engine —
@@ -98,6 +109,9 @@ pub struct EngineRegistry {
     live: usize,
     /// Thread budget for shared-batch dispatch and hosted engines' sharded flushes.
     parallel: ParallelConfig,
+    /// When true, dispatch skips the stage/commit protocol and applies batches
+    /// directly (the pre-staging byte-for-byte path; not atomic across engines).
+    direct: bool,
 }
 
 #[derive(Clone, Debug)]
@@ -106,6 +120,10 @@ struct RegisteredEngine {
     /// The relations the engine's program has triggers on (sorted, deduplicated) —
     /// kept so removal can clean the routing table without re-deriving it.
     relations: Vec<String>,
+    /// Quarantined: the engine panicked mid-dispatch, so its tables can no longer be
+    /// trusted. Ingest skips poisoned slots; [`EngineRegistry::replace`] clears the
+    /// flag with a rebuilt engine.
+    poisoned: bool,
 }
 
 impl EngineRegistry {
@@ -164,10 +182,67 @@ impl EngineRegistry {
         for relation in &relations {
             self.routing.entry(relation.clone()).or_default().push(slot);
         }
-        self.slots
-            .push(Some(RegisteredEngine { engine, relations }));
+        self.slots.push(Some(RegisteredEngine {
+            engine,
+            relations,
+            poisoned: false,
+        }));
         self.live += 1;
         slot
+    }
+
+    /// Whether the stage/commit protocol is enabled (the default). When disabled via
+    /// [`EngineRegistry::set_staging`], dispatch applies batches directly — the
+    /// pre-staging code path, byte-for-byte — and a failure can leave some engines
+    /// applied and others not.
+    pub fn staging(&self) -> bool {
+        !self.direct
+    }
+
+    /// Enables or disables the stage/commit protocol. Disabling it exists for
+    /// measurement (the `exp_faults` baseline) and for callers that prefer raw
+    /// throughput over the all-or-nothing guarantee.
+    pub fn set_staging(&mut self, staged: bool) {
+        self.direct = !staged;
+    }
+
+    /// Whether the engine in `slot` is quarantined (it panicked during dispatch and
+    /// its state can no longer be trusted). Unknown or removed slots report `false`.
+    pub fn is_poisoned(&self, slot: u32) -> bool {
+        self.slots
+            .get(slot as usize)
+            .and_then(|e| e.as_ref())
+            .is_some_and(|r| r.poisoned)
+    }
+
+    /// The quarantined slots, in ascending order.
+    pub fn poisoned_slots(&self) -> Vec<u32> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, e)| match e {
+                Some(r) if r.poisoned => Some(slot as u32),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Replaces the engine in a live slot with a rebuilt one and clears its
+    /// quarantine flag, returning the old engine (`None` if the slot is unknown or
+    /// removed). The replacement inherits the slot's routing, so it must read the
+    /// same relations — the repair path rebuilds from the same compiled query, which
+    /// guarantees that.
+    pub fn replace(
+        &mut self,
+        slot: u32,
+        engine: Box<dyn ViewEngine>,
+    ) -> Option<Box<dyn ViewEngine>> {
+        let registered = self.slots.get_mut(slot as usize)?.as_mut()?;
+        let mut engine = engine;
+        engine.set_parallelism(self.parallel.threads);
+        let old = std::mem::replace(&mut registered.engine, engine);
+        registered.poisoned = false;
+        Some(old)
     }
 
     /// Removes an engine, returning it (its final state remains readable), or `None`
@@ -220,41 +295,115 @@ impl EngineRegistry {
 
     /// Applies one single-tuple update to exactly the engines that read its relation,
     /// returning how many engines fired. Updates to relations no engine reads return
-    /// `Ok(0)` without touching anything.
+    /// `Ok(0)` without touching anything; quarantined engines are skipped.
     ///
-    /// **Not atomic across engines:** engines fire in slot order and a failure leaves
-    /// every earlier engine's write applied (the same non-atomicity contract as the
-    /// executors' own multi-update paths).
+    /// **Atomic across engines** (while staging is enabled, the default): the update
+    /// is staged on every reader in slot order and committed only if all stages
+    /// succeed. On failure every stage is aborted, so a rejected update lands
+    /// nowhere, and the first (lowest-slot) error is returned. A panic in an engine
+    /// quarantines that slot and surfaces as [`RuntimeError::EnginePanicked`].
+    ///
+    /// With staging disabled this falls back to the old fire-in-slot-order loop,
+    /// where a failure leaves every earlier engine's write applied.
     pub fn apply(&mut self, update: &Update) -> Result<u32, RuntimeError> {
         if update.multiplicity == 0 {
             return Ok(0);
         }
-        let Some(readers) = self.routing.get(update.relation.as_str()) else {
-            return Ok(0);
+        let readers: Vec<u32> = match self.routing.get(update.relation.as_str()) {
+            Some(readers) => readers
+                .iter()
+                .copied()
+                .filter(|&slot| {
+                    !self.slots[slot as usize]
+                        .as_ref()
+                        .expect("routing only lists live slots")
+                        .poisoned
+                })
+                .collect(),
+            None => return Ok(0),
         };
-        let mut fired = 0;
-        for &slot in readers {
+        if self.direct {
+            for &slot in &readers {
+                let registered = self.slots[slot as usize]
+                    .as_mut()
+                    .expect("routing only lists live slots");
+                registered.engine.apply(update)?;
+            }
+            return Ok(readers.len() as u32);
+        }
+        let mut staged: Vec<(u32, StagedBatch)> = Vec::with_capacity(readers.len());
+        let mut failure: Option<RuntimeError> = None;
+        for &slot in &readers {
             let registered = self.slots[slot as usize]
                 .as_mut()
                 .expect("routing only lists live slots");
-            registered.engine.apply(update)?;
-            fired += 1;
+            match catch_unwind(AssertUnwindSafe(|| registered.engine.stage_update(update))) {
+                Ok(Ok(token)) => staged.push((slot, token)),
+                Ok(Err(err)) => {
+                    failure = Some(err);
+                    break;
+                }
+                Err(_) => {
+                    registered.poisoned = true;
+                    failure = Some(RuntimeError::EnginePanicked { slot });
+                    break;
+                }
+            }
         }
-        Ok(fired)
+        match failure {
+            None => {
+                let fired = staged.len() as u32;
+                for (slot, token) in staged {
+                    self.slots[slot as usize]
+                        .as_mut()
+                        .expect("routing only lists live slots")
+                        .engine
+                        .commit_staged(token);
+                }
+                Ok(fired)
+            }
+            Some(err) => {
+                self.abort_staged_tokens(staged);
+                Err(err)
+            }
+        }
+    }
+
+    /// Aborts staged tokens in reverse stage order, restoring each engine to its
+    /// pre-dispatch state. An abort that itself panics quarantines the slot (the
+    /// rollback did not complete, so the tables are in an unknown state).
+    fn abort_staged_tokens(&mut self, staged: Vec<(u32, StagedBatch)>) {
+        for (slot, token) in staged.into_iter().rev() {
+            let registered = self.slots[slot as usize]
+                .as_mut()
+                .expect("routing only lists live slots");
+            if catch_unwind(AssertUnwindSafe(|| registered.engine.abort_staged(token))).is_err() {
+                registered.poisoned = true;
+            }
+        }
     }
 
     /// Fans one already-normalized [`DeltaBatch`] out to the union of the engines
     /// reading any relation the batch touches, returning how many engines fired. The
     /// batch is normalized **once** by the caller and borrowed by every engine — this
     /// is the shared-batch dispatch entry point that amortizes consolidation across
-    /// views. Not atomic across engines (see [`EngineRegistry::apply`]).
+    /// views. Quarantined engines are skipped.
     ///
-    /// With a thread budget above one the touched engines run concurrently on a
-    /// scoped pool. The error contract stays deterministic: if several engines fail
-    /// on the same batch, the failure from the **lowest slot** is reported — the same
-    /// error the sequential loop surfaces first — and sibling engines at other slots
-    /// may have applied the batch (dispatch is not atomic across engines, parallel or
-    /// not).
+    /// **Atomic across engines** (while staging is enabled, the default): every
+    /// touched engine stages the batch — applying it while logging pre-images — and
+    /// only if *all* stages succeed are they committed. Any failure aborts every
+    /// stage, leaving every engine's tables and stats bit-identical to before the
+    /// call. The error contract stays deterministic, parallel or not: if several
+    /// engines fail on the same batch, the failure from the **lowest slot** is
+    /// reported — the same error the sequential loop surfaces first. A panic in an
+    /// engine is caught, reported as [`RuntimeError::EnginePanicked`], and
+    /// quarantines that slot (its mid-flight state cannot be rolled back); sibling
+    /// slots are still aborted cleanly, so the batch lands nowhere.
+    ///
+    /// With a thread budget above one the touched engines stage concurrently on a
+    /// scoped pool; commit/abort runs on the dispatching thread afterwards. With
+    /// staging disabled ([`EngineRegistry::set_staging`]) this is the pre-staging
+    /// direct dispatch, byte-for-byte, and a failure can leave sibling slots applied.
     pub fn apply_batch(&mut self, batch: &DeltaBatch<'_>) -> Result<u32, RuntimeError> {
         // Union of readers over the touched relations. Batches have at most two groups
         // per relation, so a sort/dedup over the concatenated reader lists stays tiny.
@@ -264,28 +413,199 @@ impl EngineRegistry {
         }
         touched.sort_unstable();
         touched.dedup();
-        if self.parallel.threads <= 1 || touched.len() <= 1 {
-            // The sequential path, exactly: `threads = 1` must be byte-for-byte the
-            // pre-parallel registry, and a single touched engine gains nothing from
-            // a pool.
-            for &slot in &touched {
-                let registered = self.slots[slot as usize]
-                    .as_mut()
-                    .expect("routing only lists live slots");
-                registered.engine.apply_batch(batch)?;
+        touched.retain(|&slot| {
+            !self.slots[slot as usize]
+                .as_ref()
+                .expect("routing only lists live slots")
+                .poisoned
+        });
+        if self.direct {
+            if self.parallel.threads <= 1 || touched.len() <= 1 {
+                // The direct sequential path, exactly: byte-for-byte the pre-staging
+                // registry when staging is off and `threads = 1`.
+                for &slot in &touched {
+                    let registered = self.slots[slot as usize]
+                        .as_mut()
+                        .expect("routing only lists live slots");
+                    registered.engine.apply_batch_direct(batch)?;
+                }
+                return Ok(touched.len() as u32);
             }
+            self.apply_batch_direct_parallel(batch, &touched)?;
             return Ok(touched.len() as u32);
         }
-        self.apply_batch_parallel(batch, &touched)?;
+        if self.parallel.threads <= 1 || touched.len() <= 1 {
+            return self.apply_batch_staged_sequential(batch, &touched);
+        }
+        self.apply_batch_staged_parallel(batch, &touched)?;
         Ok(touched.len() as u32)
     }
 
-    /// Parallel shared-batch dispatch: the touched engines are handed out to a scoped
-    /// worker pool via an atomic task counter. Each engine is an independent unit of
-    /// work (it owns its maps, scratch, and counters), so the only shared state is
-    /// the borrowed batch and the failure list.
+    /// Sequential stage → commit dispatch: stage each touched engine in slot order,
+    /// short-circuiting on the first failure (which is therefore the lowest-slot
+    /// failure); commit all stages on success, abort them in reverse on failure.
+    fn apply_batch_staged_sequential(
+        &mut self,
+        batch: &DeltaBatch<'_>,
+        touched: &[u32],
+    ) -> Result<u32, RuntimeError> {
+        let mut staged: Vec<(u32, StagedBatch)> = Vec::with_capacity(touched.len());
+        let mut failure: Option<RuntimeError> = None;
+        for &slot in touched {
+            let registered = self.slots[slot as usize]
+                .as_mut()
+                .expect("routing only lists live slots");
+            match catch_unwind(AssertUnwindSafe(|| registered.engine.stage_batch(batch))) {
+                Ok(Ok(token)) => staged.push((slot, token)),
+                Ok(Err(err)) => {
+                    failure = Some(err);
+                    break;
+                }
+                Err(_) => {
+                    registered.poisoned = true;
+                    failure = Some(RuntimeError::EnginePanicked { slot });
+                    break;
+                }
+            }
+        }
+        match failure {
+            None => {
+                for (slot, token) in staged {
+                    self.slots[slot as usize]
+                        .as_mut()
+                        .expect("routing only lists live slots")
+                        .engine
+                        .commit_staged(token);
+                }
+                Ok(touched.len() as u32)
+            }
+            Some(err) => {
+                self.abort_staged_tokens(staged);
+                Err(err)
+            }
+        }
+    }
+
+    /// Parallel stage → commit dispatch: the touched engines are handed out to a
+    /// scoped worker pool via an atomic task counter. Each worker stages its engine
+    /// under `catch_unwind` and hands the engine back with the outcome; after the
+    /// pool joins, the dispatching thread commits everything (all staged) or aborts
+    /// everything (any failure), so the registry-level protocol is identical to the
+    /// sequential one.
     #[allow(clippy::type_complexity)]
-    fn apply_batch_parallel(
+    fn apply_batch_staged_parallel(
+        &mut self,
+        batch: &DeltaBatch<'_>,
+        touched: &[u32],
+    ) -> Result<(), RuntimeError> {
+        enum StageOutcome {
+            Staged(StagedBatch),
+            Failed(RuntimeError),
+            Panicked,
+        }
+        // Disjoint `&mut` borrows of the touched engines, in ascending slot order,
+        // each behind a mutex so any worker may claim any task. Workers put the
+        // engine back after staging so commit/abort can reach it post-join.
+        let tasks: Vec<Mutex<Option<(u32, &mut Box<dyn ViewEngine>)>>> = self
+            .slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(slot, entry)| {
+                let slot = u32::try_from(slot).expect("fewer than 2^32 views");
+                if touched.binary_search(&slot).is_err() {
+                    return None;
+                }
+                let registered = entry.as_mut().expect("routing only lists live slots");
+                Some(Mutex::new(Some((slot, &mut registered.engine))))
+            })
+            .collect();
+        let outcomes: Vec<Mutex<Option<StageOutcome>>> =
+            tasks.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.parallel.threads.min(tasks.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let claimed = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = tasks.get(claimed) else {
+                        return;
+                    };
+                    let (slot, engine) = task
+                        .lock()
+                        .expect("task mutex is never poisoned")
+                        .take()
+                        .expect("each task index is claimed exactly once");
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| engine.stage_batch(batch)))
+                    {
+                        Ok(Ok(token)) => StageOutcome::Staged(token),
+                        Ok(Err(err)) => StageOutcome::Failed(err),
+                        Err(_) => StageOutcome::Panicked,
+                    };
+                    *task.lock().expect("task mutex is never poisoned") = Some((slot, engine));
+                    *outcomes[claimed]
+                        .lock()
+                        .expect("outcome mutex is never poisoned") = Some(outcome);
+                });
+            }
+        });
+        let results: Vec<(u32, &mut Box<dyn ViewEngine>, StageOutcome)> = tasks
+            .into_iter()
+            .zip(outcomes)
+            .map(|(task, outcome)| {
+                let (slot, engine) = task
+                    .into_inner()
+                    .expect("task mutex is never poisoned")
+                    .expect("workers hand every engine back");
+                let outcome = outcome
+                    .into_inner()
+                    .expect("outcome mutex is never poisoned")
+                    .expect("every claimed task records an outcome");
+                (slot, engine, outcome)
+            })
+            .collect();
+        let any_failed = results
+            .iter()
+            .any(|(_, _, o)| !matches!(o, StageOutcome::Staged(_)));
+        if !any_failed {
+            for (_, engine, outcome) in results {
+                if let StageOutcome::Staged(token) = outcome {
+                    engine.commit_staged(token);
+                }
+            }
+            return Ok(());
+        }
+        // Abort in reverse slot order; walking in reverse also means the last error
+        // recorded is the lowest slot's — the deterministic error contract.
+        let mut error: Option<RuntimeError> = None;
+        let mut poisons: Vec<u32> = Vec::new();
+        for (slot, engine, outcome) in results.into_iter().rev() {
+            match outcome {
+                StageOutcome::Staged(token) => {
+                    if catch_unwind(AssertUnwindSafe(|| engine.abort_staged(token))).is_err() {
+                        poisons.push(slot);
+                    }
+                }
+                StageOutcome::Failed(err) => error = Some(err),
+                StageOutcome::Panicked => {
+                    poisons.push(slot);
+                    error = Some(RuntimeError::EnginePanicked { slot });
+                }
+            }
+        }
+        for slot in poisons {
+            self.slots[slot as usize]
+                .as_mut()
+                .expect("routing only lists live slots")
+                .poisoned = true;
+        }
+        Err(error.expect("a failing slot exists"))
+    }
+
+    /// Parallel direct dispatch (staging disabled): the pre-staging fan-out,
+    /// byte-for-byte. A failure can leave sibling slots applied; the lowest failing
+    /// slot's error is still the one reported.
+    #[allow(clippy::type_complexity)]
+    fn apply_batch_direct_parallel(
         &mut self,
         batch: &DeltaBatch<'_>,
         touched: &[u32],
@@ -320,7 +640,7 @@ impl EngineRegistry {
                         .expect("task mutex is never poisoned")
                         .take()
                         .expect("each task index is claimed exactly once");
-                    if let Err(err) = engine.apply_batch(batch) {
+                    if let Err(err) = engine.apply_batch_direct(batch) {
                         failures
                             .lock()
                             .expect("failure mutex is never poisoned")
@@ -516,12 +836,117 @@ mod tests {
             let mut seq = registry.clone();
             seq.set_parallelism(ParallelConfig::sequential());
             assert_eq!(seq.apply_batch(&batch).unwrap_err(), err);
-            // ...and sibling views at other slots may have applied: the healthy R
-            // reader did.
+            // ...and the staged protocol aborted every sibling: the healthy R reader
+            // staged its delta but rolled it back, so the batch landed nowhere.
             assert_eq!(
                 fork.engine(ok).unwrap().output_value(&[]),
-                Number::Int(1),
-                "sibling views at non-failing slots may apply"
+                Number::Int(0),
+                "a failed dispatch lands nowhere, even at healthy slots"
+            );
+            assert_eq!(
+                fork.engine(ok).unwrap().stats().updates,
+                0,
+                "aborted stages restore work counters too"
+            );
+            assert_eq!(
+                seq.engine(ok).unwrap().output_value(&[]),
+                Number::Int(0),
+                "the sequential staged path rolls back identically"
+            );
+        }
+    }
+
+    #[test]
+    fn direct_mode_restores_the_partial_apply_behavior() {
+        let mut db = Database::new();
+        db.declare("R", &["A"]).unwrap();
+        db.declare("S", &["B"]).unwrap();
+        let engine = |text: &str| {
+            let program = compile(&db, &parse_query(text).unwrap()).unwrap();
+            boxed_engine(program, StorageBackend::Hash)
+        };
+        let mut registry = EngineRegistry::with_parallelism(ParallelConfig::sequential());
+        registry.set_staging(false);
+        assert!(!registry.staging());
+        let ok = registry.register(engine("ok := Sum(R(x))"));
+        registry.register(engine("fails := Sum(S(y))"));
+        let updates = [
+            Update::insert("R", vec![Value::int(1)]),
+            Update::insert("S", vec![Value::int(1), Value::int(2)]),
+        ];
+        let batch = DeltaBatch::from_updates(&updates);
+        registry.apply_batch(&batch).unwrap_err();
+        // With staging off, the healthy lower slot applied before the failure — the
+        // pre-staging contract, preserved as the measurement baseline.
+        assert_eq!(
+            registry.engine(ok).unwrap().output_value(&[]),
+            Number::Int(1),
+            "direct mode lets sibling slots apply"
+        );
+    }
+
+    #[test]
+    fn a_panicking_engine_is_quarantined_and_siblings_roll_back() {
+        use crate::executor::Executor;
+        use crate::fault::{with_fault, FaultOp, FaultPlan, FaultStorage};
+        use crate::storage::HashViewStorage;
+
+        let catalog = catalog();
+        let program = |text: &str| compile(&catalog, &parse_query(text).unwrap()).unwrap();
+        for threads in [1usize, 4] {
+            let mut registry =
+                EngineRegistry::with_parallelism(ParallelConfig::with_threads(threads));
+            let healthy = registry.register(engine_for("healthy := Sum(R(x))"));
+            let victim = registry.register(Box::new(
+                Executor::<FaultStorage<HashViewStorage>>::with_backend(program(
+                    "victim := Sum(R(x) * x)",
+                )),
+            ));
+            let updates = [
+                Update::insert("R", vec![Value::int(2)]),
+                Update::insert("R", vec![Value::int(3)]),
+            ];
+            let batch = DeltaBatch::from_updates(&updates);
+            // Warm both engines with a clean batch first.
+            assert_eq!(registry.apply_batch(&batch).unwrap(), 2);
+            let healthy_table = registry.engine(healthy).unwrap().output_table();
+
+            // The batched path lands its writes through consolidated flushes, so
+            // target the first `apply_sorted` of the dispatch.
+            let err = with_fault(FaultPlan::new(FaultOp::ApplySorted, 0), || {
+                registry.apply_batch(&batch).unwrap_err()
+            });
+            assert_eq!(
+                err,
+                RuntimeError::EnginePanicked { slot: victim },
+                "threads={threads}"
+            );
+            assert!(registry.is_poisoned(victim));
+            assert_eq!(registry.poisoned_slots(), vec![victim]);
+            assert!(!registry.is_poisoned(healthy));
+            // The healthy sibling rolled back: the failed batch landed nowhere.
+            assert_eq!(
+                registry.engine(healthy).unwrap().output_table(),
+                healthy_table
+            );
+
+            // Ingest now skips the quarantined slot but keeps serving the healthy one.
+            assert_eq!(registry.apply_batch(&batch).unwrap(), 1);
+            assert_eq!(
+                registry.engine(healthy).unwrap().output_value(&[]),
+                Number::Int(4)
+            );
+
+            // Repair: replace the slot with a rebuilt engine; quarantine clears.
+            let rebuilt = Box::new(Executor::<FaultStorage<HashViewStorage>>::with_backend(
+                program("victim := Sum(R(x) * x)"),
+            ));
+            registry.replace(victim, rebuilt).expect("slot is live");
+            assert!(!registry.is_poisoned(victim));
+            assert_eq!(registry.apply_batch(&batch).unwrap(), 2);
+            assert_eq!(
+                registry.engine(victim).unwrap().output_value(&[]),
+                Number::Int(5)
             );
         }
     }

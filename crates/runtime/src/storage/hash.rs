@@ -205,6 +205,50 @@ impl ViewStorage for HashViewStorage {
         self.for_each_slice_scan(positions, values, visit);
     }
 
+    /// The staged-ingest landing pass: one hash lookup per key serves both the
+    /// pre-image capture and the accumulate/prune/insert — the same write semantics
+    /// as the default `add_ref` loop, minus the second probe the trait default pays.
+    fn apply_sorted_logged(
+        &mut self,
+        deltas: &[(&[Value], Number)],
+        mut log: impl FnMut(&[Value], Number),
+    ) {
+        debug_assert!(
+            deltas.windows(2).all(|w| w[0].0 < w[1].0),
+            "apply_sorted_logged requires strictly ascending keys"
+        );
+        for (key, delta) in deltas {
+            assert_eq!(key.len(), self.key_arity, "key arity mismatch");
+            match self.data.get_mut(*key) {
+                Some(value) => {
+                    log(key, *value);
+                    if delta.is_zero() {
+                        continue;
+                    }
+                    let sum = value.add(delta);
+                    if sum.is_zero() {
+                        let (owned, _) = self
+                            .data
+                            .remove_entry(*key)
+                            .expect("entry present: just read");
+                        Self::index_remove(&mut self.indexes, &owned);
+                    } else {
+                        *value = sum;
+                    }
+                }
+                None => {
+                    log(key, Number::Int(0));
+                    if delta.is_zero() {
+                        continue;
+                    }
+                    let owned: Vec<Value> = key.to_vec();
+                    Self::index_insert(&mut self.indexes, &owned);
+                    self.data.insert(owned, *delta);
+                }
+            }
+        }
+    }
+
     /// Sharded accumulation by interior sharding: the primary map is repartitioned
     /// into `k` maps along the contiguous key ranges of the sorted run, one worker
     /// lands each range into its own map on a scoped thread, and the shards are

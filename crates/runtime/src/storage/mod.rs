@@ -123,6 +123,34 @@ pub trait ViewStorage: Clone + fmt::Debug {
         }
     }
 
+    /// Applies a sorted, consolidated run exactly like
+    /// [`apply_sorted`](ViewStorage::apply_sorted) while reporting each delta key's
+    /// **pre-image** — the value held before the run landed (zero ⇔ absent) — to
+    /// `log`. This is staged ingest's capture-and-land step: the executor feeds the
+    /// pre-images straight into its undo log, and on rollback restores them via
+    /// [`restore`](ViewStorage::restore).
+    ///
+    /// Every delta key is reported exactly once, **including** zero-delta keys (a
+    /// spurious log entry restores a value to itself — harmless — while a missing one
+    /// would leak a write). Keys in a run are unique, so the report order is
+    /// backend-defined.
+    ///
+    /// The default probes each key with [`get`](ViewStorage::get) and then delegates
+    /// to `apply_sorted` — always correct, but it pays a second lookup per key.
+    /// Both in-tree backends override it to capture the pre-image inside the landing
+    /// pass itself, which is what keeps staged ingest within a few percent of the
+    /// direct path.
+    fn apply_sorted_logged(
+        &mut self,
+        deltas: &[(&[Value], Number)],
+        mut log: impl FnMut(&[Value], Number),
+    ) {
+        for (key, _) in deltas {
+            log(key, self.get(key));
+        }
+        self.apply_sorted(deltas);
+    }
+
     /// Like [`apply_sorted`](ViewStorage::apply_sorted), but allowed to split the run
     /// into up to `shards` contiguous key ranges and land them concurrently. The
     /// result must be indistinguishable from `apply_sorted` — same entries, same
@@ -145,6 +173,27 @@ pub trait ViewStorage: Clone + fmt::Debug {
     fn set(&mut self, key: Vec<Value>, value: Number) {
         let delta = value.add(&self.get(&key).neg());
         self.add(key, delta);
+    }
+
+    /// Restores the value under `key` to an exact previously-observed `value`
+    /// (zero ⇔ absent), **byte-identically** — the rollback primitive behind
+    /// staged batch execution. Unlike [`set`](ViewStorage::set), which lands an
+    /// arithmetic delta and therefore cannot reproduce a float bit pattern
+    /// exactly (`0.1 + (0.4 - 0.3 - 0.1)` need not be `0.1`), `restore` first
+    /// cancels the current entry with its own negation (`x + (-x)` is exactly
+    /// zero in the [`Number`] ring, so the entry is pruned with full index
+    /// maintenance) and then, if `value` is non-zero, inserts it verbatim via the
+    /// absent-key path of [`add_ref`](ViewStorage::add_ref). The default works on
+    /// any backend; backends with a cheaper direct overwrite may override it, as
+    /// long as the result is bit-exact.
+    fn restore(&mut self, key: &[Value], value: Number) {
+        let current = self.get(key);
+        if !current.is_zero() {
+            self.add_ref(key, current.neg());
+        }
+        if !value.is_zero() {
+            self.add_ref(key, value);
+        }
     }
 
     /// Registers a slice index over the given key positions (deduplicated; degenerate
@@ -439,6 +488,65 @@ mod tests {
         check::<OrderedViewStorage>();
     }
 
+    /// `apply_sorted_logged` must land exactly what `apply_sorted` lands *and* report
+    /// exactly the pre-images a probe loop before the batch would have seen — one log
+    /// call per delta key, zero for absent keys, on every backend and on both sides
+    /// of the ordered backend's point/merge threshold. This is the invariant the
+    /// staged-ingest undo log is built on.
+    #[test]
+    fn apply_sorted_logged_matches_a_probe_loop_plus_apply_sorted() {
+        fn check<S: ViewStorage>() {
+            for batch_scale in [1usize, 12] {
+                let mut logged = S::new(2);
+                let mut probed = S::new(2);
+                for m in [&mut logged, &mut probed] {
+                    m.register_index(vec![1]);
+                    for i in 0..64i64 {
+                        m.add(key(&[i, i % 4]), Number::Int(i + 1));
+                    }
+                }
+                // Same mix as the apply_sorted parity test: zero-sum prunes,
+                // accumulations, brand-new keys and zero deltas, at a scale below
+                // (1) and above (12) the ordered backend's merge threshold.
+                let mut deltas: Vec<(Vec<Value>, Number)> = Vec::new();
+                for i in 0..(batch_scale as i64) {
+                    deltas.push((key(&[3 * i, 3 * i % 4]), Number::Int(-(3 * i + 1))));
+                    deltas.push((key(&[3 * i + 1, (3 * i + 1) % 4]), Number::Int(5)));
+                    deltas.push((key(&[100 + i, 0]), Number::Int(7)));
+                    deltas.push((key(&[200 + i, 1]), Number::Int(0)));
+                }
+                deltas.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                deltas.dedup_by(|a, b| a.0 == b.0);
+                let refs: Vec<(&[Value], Number)> =
+                    deltas.iter().map(|(k, d)| (k.as_slice(), *d)).collect();
+                let mut expected: Vec<(Vec<Value>, Number)> = refs
+                    .iter()
+                    .map(|(k, _)| (k.to_vec(), probed.get(k)))
+                    .collect();
+                probed.apply_sorted(&refs);
+                let mut captured: Vec<(Vec<Value>, Number)> = Vec::new();
+                logged.apply_sorted_logged(&refs, |k, pre| captured.push((k.to_vec(), pre)));
+                // Log order is backend-defined; contents are not.
+                captured.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                expected.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                let label = format!("{:?} scale={batch_scale}", S::BACKEND);
+                assert_eq!(captured, expected, "pre-image log diverged ({label})");
+                assert_eq!(logged.to_table(), probed.to_table(), "{label}");
+                assert_eq!(logged.len(), probed.len(), "{label}");
+                assert_eq!(logged.footprint(), probed.footprint(), "{label}");
+                for n in 0..4 {
+                    let mut via_logged = slice_entries(&logged, &[1], &key(&[n]));
+                    let mut via_probed = slice_entries(&probed, &[1], &key(&[n]));
+                    via_logged.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                    via_probed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                    assert_eq!(via_logged, via_probed, "{label} slice {n}");
+                }
+            }
+        }
+        check::<HashViewStorage>();
+        check::<OrderedViewStorage>();
+    }
+
     /// Regression (shared across backends): registering an index *after* entries exist —
     /// including permuted-key (non-prefix) patterns, and after zero-sum removals — must
     /// serve exactly the matches a scan over the live entries finds. The hash backend
@@ -495,6 +603,34 @@ mod tests {
                 indexed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
                 assert_eq!(indexed, scan_matches(&m, &positions, &values));
             }
+        }
+        check::<HashViewStorage>();
+        check::<OrderedViewStorage>();
+    }
+
+    /// `restore` must reproduce a previously-observed entry state bit-exactly on
+    /// both backends: floats come back with their original bit pattern (where a
+    /// `set` of the arithmetic difference would not), zero restores prune, and
+    /// index maintenance tracks every transition.
+    #[test]
+    fn restore_is_bit_exact_on_both_backends() {
+        fn check<S: ViewStorage>() {
+            let mut m = S::new(1);
+            m.register_index(vec![0]);
+            // 0.1 + 0.2 is famously not 0.3; capture the pre-image and restore it.
+            m.add(key(&[1]), Number::Float(0.1));
+            let before = m.get(&key(&[1]));
+            m.add(key(&[1]), Number::Float(0.2));
+            m.restore(&key(&[1]), before);
+            assert_eq!(m.get(&key(&[1])).as_f64().to_bits(), 0.1f64.to_bits());
+            // Restoring zero prunes the entry (and its index postings).
+            m.restore(&key(&[1]), Number::Int(0));
+            assert_eq!(m.len(), 0);
+            assert!(slice_entries(&m, &[0], &key(&[1])).is_empty());
+            // Restoring a non-zero value onto an absent key inserts it verbatim.
+            m.restore(&key(&[2]), Number::Float(0.3));
+            assert_eq!(m.get(&key(&[2])).as_f64().to_bits(), 0.3f64.to_bits());
+            assert_eq!(slice_entries(&m, &[0], &key(&[2])).len(), 1);
         }
         check::<HashViewStorage>();
         check::<OrderedViewStorage>();

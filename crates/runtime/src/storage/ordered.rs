@@ -213,6 +213,107 @@ impl ViewStorage for OrderedViewStorage {
         self.data = merged.into_iter().collect();
     }
 
+    /// The staged-ingest landing pass: pre-images are captured inside the same
+    /// merge (or, for small runs, the same tree descent) that lands the write, so
+    /// staging pays no second lookup per key. Write semantics are exactly
+    /// [`apply_sorted`](ViewStorage::apply_sorted)'s, including the small-batch
+    /// point-path fallback and its threshold.
+    fn apply_sorted_logged(
+        &mut self,
+        deltas: &[(&[Value], Number)],
+        mut log: impl FnMut(&[Value], Number),
+    ) {
+        debug_assert!(
+            deltas.windows(2).all(|w| w[0].0 < w[1].0),
+            "apply_sorted_logged requires strictly ascending keys"
+        );
+        if deltas.len() * 8 < self.data.len() {
+            // Point path: one descent per key serves both capture and write.
+            for (key, delta) in deltas {
+                assert_eq!(key.len(), self.key_arity, "key arity mismatch");
+                match self.data.get_mut(*key) {
+                    Some(value) => {
+                        log(key, *value);
+                        if delta.is_zero() {
+                            continue;
+                        }
+                        let sum = value.add(delta);
+                        if sum.is_zero() {
+                            self.data.remove(*key);
+                            for index in self.indexes.values_mut() {
+                                index.remove(key);
+                            }
+                        } else {
+                            *value = sum;
+                        }
+                    }
+                    None => {
+                        log(key, Number::Int(0));
+                        if delta.is_zero() {
+                            continue;
+                        }
+                        for index in self.indexes.values_mut() {
+                            index.insert(key);
+                        }
+                        self.data.insert(key.to_vec(), *delta);
+                    }
+                }
+            }
+            return;
+        }
+        // Merge path: the zip already visits every delta key — collisions log the
+        // old value, fresh keys log zero.
+        let key_arity = self.key_arity;
+        let old = std::mem::take(&mut self.data);
+        let mut merged: Vec<(Vec<Value>, Number)> = Vec::with_capacity(old.len() + deltas.len());
+        let mut di = 0usize;
+        let insert_new = |indexes: &mut BTreeMap<Vec<usize>, PermutedIndex>,
+                          merged: &mut Vec<(Vec<Value>, Number)>,
+                          key: &[Value],
+                          delta: Number,
+                          log: &mut dyn FnMut(&[Value], Number)| {
+            assert_eq!(key.len(), key_arity, "key arity mismatch");
+            log(key, Number::Int(0));
+            if delta.is_zero() {
+                return;
+            }
+            for index in indexes.values_mut() {
+                index.insert(key);
+            }
+            merged.push((key.to_vec(), delta));
+        };
+        for (key, value) in old {
+            while di < deltas.len() && deltas[di].0 < key.as_slice() {
+                insert_new(
+                    &mut self.indexes,
+                    &mut merged,
+                    deltas[di].0,
+                    deltas[di].1,
+                    &mut log,
+                );
+                di += 1;
+            }
+            if di < deltas.len() && deltas[di].0 == key.as_slice() {
+                log(&key, value);
+                let sum = value.add(&deltas[di].1);
+                di += 1;
+                if sum.is_zero() {
+                    for index in self.indexes.values_mut() {
+                        index.remove(&key);
+                    }
+                } else {
+                    merged.push((key, sum));
+                }
+            } else {
+                merged.push((key, value));
+            }
+        }
+        for (key, delta) in &deltas[di..] {
+            insert_new(&mut self.indexes, &mut merged, key, *delta, &mut log);
+        }
+        self.data = merged.into_iter().collect();
+    }
+
     /// Sharded accumulation by pre-splitting the tree: `BTreeMap::split_off` at each
     /// range boundary hands every scoped worker the subtree its contiguous delta
     /// range can touch; each worker runs the same zip-merge as

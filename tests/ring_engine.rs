@@ -298,6 +298,77 @@ fn from_database_seeds_catalog_and_snapshot() {
     assert_eq!(snapshot.columns("Sales"), ring.catalog().columns("Sales"));
 }
 
+/// `apply_all` keeps its prevalidation contract under staged ingest: catalog errors
+/// anywhere in the sequence land nothing, value errors keep `AtUpdate { index }`, and
+/// the failing update itself now lands nowhere — tables *and* counters, even at
+/// sibling views that would have accepted it.
+#[test]
+fn apply_all_prevalidates_and_keeps_indexed_errors() {
+    let mut ring = RingBuilder::new(shop_catalog()).build();
+    // `orders` ignores the payload columns, so it accepts tuples that `revenue`
+    // (which multiplies them) chokes on. Created first, it sits at the lower slot
+    // and is staged before revenue fails — the rollback is real, not a skip.
+    let orders = ring
+        .create_view("orders", ViewDef::Agca("q[c] := Sum(Sales(c, p, n))"))
+        .unwrap();
+    let revenue = ring
+        .create_view(
+            "revenue",
+            ViewDef::Agca("q[c] := Sum(Sales(c, p, n) * p * n)"),
+        )
+        .unwrap();
+
+    // An undeclared relation anywhere in the sequence: prevalidation fails the whole
+    // call before anything is applied.
+    let bad_catalog = [
+        sale(1, 10, 1),
+        Update::insert("Ghost", vec![Value::int(1)]),
+        sale(2, 20, 1),
+    ];
+    let err = ring.apply_all(&bad_catalog).unwrap_err();
+    assert!(matches!(err, Error::UnknownRelation { .. }));
+    assert!(ring.view(orders).unwrap().table().is_empty());
+    assert_eq!(ring.updates_ingested(), 0);
+    assert_eq!(ring.view(orders).unwrap().stats().updates, 0);
+
+    // A wrong arity against a declared relation is also caught up front.
+    let bad_arity = [sale(1, 10, 1), Update::insert("Sales", vec![Value::int(1)])];
+    assert!(matches!(
+        ring.apply_all(&bad_arity).unwrap_err(),
+        Error::Runtime(RuntimeError::ArityMismatch { .. })
+    ));
+    assert_eq!(ring.updates_ingested(), 0);
+
+    // A value error past prevalidation stops at the failing update with its index:
+    // update 0 is applied everywhere, update 1 lands nowhere — including at `orders`,
+    // which had already staged it successfully before `revenue` failed.
+    let bad_value = [
+        sale(1, 10, 2),
+        Update::insert(
+            "Sales",
+            vec![Value::int(2), Value::str("x"), Value::str("y")],
+        ),
+        sale(3, 30, 1),
+    ];
+    let err = ring.apply_all(&bad_value).unwrap_err();
+    match err {
+        Error::Runtime(RuntimeError::AtUpdate { index, .. }) => assert_eq!(index, 1),
+        other => panic!("expected AtUpdate, got {other:?}"),
+    }
+    assert_eq!(ring.updates_ingested(), 1, "only update 0 landed");
+    assert_eq!(
+        ring.view(revenue).unwrap().value(&[Value::int(1)]),
+        Number::Int(20)
+    );
+    assert_eq!(
+        ring.view(orders).unwrap().value(&[Value::int(2)]),
+        Number::Int(0),
+        "the failing update rolled back at the view that accepted it"
+    );
+    assert_eq!(ring.view(orders).unwrap().stats().updates, 1);
+    assert_eq!(ring.view(revenue).unwrap().stats().updates, 1);
+}
+
 /// `without_base_tracking` trades late registration for zero base state, and says so.
 #[test]
 fn untracked_rings_refuse_late_registration() {
