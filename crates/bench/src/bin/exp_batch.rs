@@ -17,12 +17,12 @@
 //! (add `-- --quick` for a faster, smaller sweep)
 
 use dbring::{compile, DeltaBatch, Executor, HashViewStorage, OrderedViewStorage};
-use dbring_bench::{batch_point, fmt_ns, header};
+use dbring_bench::{batch_point, fmt_ns, header, write_bench_json, BenchRow};
 use dbring_workloads::{
     customers_by_nation, sales_revenue_int, self_join_count, Workload, WorkloadConfig,
 };
 
-fn sweep(name: &str, workload: &Workload, sizes: &[usize]) {
+fn sweep(name: &str, case: &str, workload: &Workload, sizes: &[usize], rows: &mut Vec<BenchRow>) {
     header(name);
     for (backend, points) in [
         (
@@ -62,6 +62,20 @@ fn sweep(name: &str, workload: &Workload, sizes: &[usize]) {
                 p.speedup()
             ),
             None => println!("[{backend}] no crossover in the swept sizes"),
+        }
+        for p in &points {
+            rows.push(BenchRow {
+                series: format!("{case}/{backend}/per_tuple"),
+                batch_size: p.batch_size,
+                ns_per_update: p.per_tuple_ns,
+                ops_per_update: p.per_tuple_ops,
+            });
+            rows.push(BenchRow {
+                series: format!("{case}/{backend}/batch"),
+                batch_size: p.batch_size,
+                ns_per_update: p.batch_ns,
+                ops_per_update: p.batch_ops,
+            });
         }
     }
 }
@@ -111,9 +125,11 @@ fn main() {
         &[1, 4, 16, 64, 256, 1024, 4096]
     };
     let (initial, stream) = if quick { (500, 4_096) } else { (2_000, 16_384) };
+    let mut rows: Vec<BenchRow> = Vec::new();
 
     sweep(
         "per-customer revenue (degree-1, weighted firing, hot keys)",
+        "revenue_hot",
         &sales_revenue_int(WorkloadConfig {
             seed: 101,
             initial_size: initial,
@@ -124,9 +140,11 @@ fn main() {
             delete_fraction: 0.2,
         }),
         sizes,
+        &mut rows,
     );
     sweep(
         "customers by nation (Example 5.2, unit replay)",
+        "customers_nation",
         &customers_by_nation(WorkloadConfig {
             seed: 102,
             initial_size: initial,
@@ -135,9 +153,11 @@ fn main() {
             delete_fraction: 0.2,
         }),
         sizes,
+        &mut rows,
     );
     sweep(
         "self-join count (Example 1.2, unit replay, probe-only)",
+        "self_join",
         &self_join_count(WorkloadConfig {
             seed: 103,
             initial_size: initial,
@@ -146,8 +166,12 @@ fn main() {
             delete_fraction: 0.2,
         }),
         sizes,
+        &mut rows,
     );
 
     header("batch-vs-per-tuple work parity (unit replay)");
     assert_unit_replay_work_parity();
+
+    let path = write_bench_json("exp_batch", &rows).expect("write BENCH_exp_batch.json");
+    println!("wrote {path} ({} rows)", rows.len());
 }

@@ -112,35 +112,79 @@ pub fn sweep_point(workload: &Workload, classical_limit: usize, naive_limit: usi
     }
 }
 
+/// Renders a finite float as a JSON number, non-finite as `null` (as serde_json does).
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders a string as a JSON string literal with the required escapes.
+fn json_str(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One machine-readable benchmark row: a named series measured at one batch size.
+/// The experiment binaries collect these and write them with [`write_bench_json`], so
+/// the perf trajectory is tracked across PRs as data instead of EXPERIMENTS.md prose.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Which measurement this row belongs to (e.g. `"revenue/hash/interned"`).
+    pub series: String,
+    /// Number of stream updates per batch (1 for per-tuple baselines).
+    pub batch_size: usize,
+    /// Mean wall-clock nanoseconds per stream update.
+    pub ns_per_update: f64,
+    /// Mean arithmetic ring operations per stream update.
+    pub ops_per_update: f64,
+}
+
+/// Renders bench rows as a pretty-printed JSON array of objects.
+pub fn bench_rows_json(rows: &[BenchRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\n    \"series\": {},\n    \"batch_size\": {},\n    \
+             \"ns_per_update\": {},\n    \"ops_per_update\": {}\n  }}{}\n",
+            json_str(&r.series),
+            r.batch_size,
+            json_f64(r.ns_per_update),
+            json_f64(r.ops_per_update),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Writes bench rows to `BENCH_<exp>.json` in the current directory and returns the
+/// path. The experiment binaries call this once at the end of a run.
+pub fn write_bench_json(exp: &str, rows: &[BenchRow]) -> std::io::Result<String> {
+    let path = format!("BENCH_{exp}.json");
+    std::fs::write(&path, bench_rows_json(rows) + "\n")?;
+    Ok(path)
+}
+
 /// Renders sweep results as pretty-printed JSON, in the shape serde_json would produce
 /// for `Vec<(String, Vec<SweepPoint>)>`: an array of `[name, [point objects]]` pairs.
 /// Hand-rolled because the offline `serde` stand-in (see `compat/README.md`) cannot
 /// serialize; non-finite floats become `null`, as serde_json renders them.
 pub fn sweep_results_json<S: AsRef<str>>(results: &[(S, Vec<SweepPoint>)]) -> String {
-    fn json_f64(value: f64) -> String {
-        if value.is_finite() {
-            format!("{value}")
-        } else {
-            "null".to_string()
-        }
-    }
-    fn json_str(text: &str) -> String {
-        let mut out = String::with_capacity(text.len() + 2);
-        out.push('"');
-        for c in text.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-        out
-    }
-
     let mut out = String::from("[\n");
     for (i, (name, points)) in results.iter().enumerate() {
         out.push_str("  [\n    ");
@@ -357,7 +401,7 @@ impl BatchPoint {
 /// aggregates may legitimately differ by rounding, since the batch path reorders the
 /// accumulation.
 pub fn batch_point<S: dbring::ViewStorage>(workload: &Workload, batch_size: usize) -> BatchPoint {
-    use dbring::DeltaBatch;
+    use dbring::BatchNormalizer;
     let program = compile(&workload.catalog, &workload.query).expect("workload compiles");
     let streamed = workload.stream.len().max(1) as f64;
 
@@ -377,11 +421,14 @@ pub fn batch_point<S: dbring::ViewStorage>(workload: &Workload, batch_size: usiz
         .apply_all(&workload.initial)
         .expect("bulk load succeeds");
     batched.reset_stats();
+    // The production batch path: interned fixed-width normalization with scratch
+    // reused across batches (what `Ring::apply_batch` runs).
+    let mut normalizer = BatchNormalizer::new();
     let started = Instant::now();
     for chunk in workload.stream.chunks(batch_size.max(1)) {
         // Normalization is part of the measured batch cost: it is work the per-tuple
         // path does not do.
-        let batch = DeltaBatch::from_updates(chunk);
+        let batch = normalizer.normalize(chunk);
         batched
             .apply_batch(&batch)
             .expect("batch path applies stream");
@@ -401,6 +448,131 @@ pub fn batch_point<S: dbring::ViewStorage>(workload: &Workload, batch_size: usiz
         batch_ns,
         per_tuple_ops: per_tuple.stats().arithmetic_ops() as f64 / streamed,
         batch_ops: batched.stats().arithmetic_ops() as f64 / streamed,
+    }
+}
+
+/// One row of the interning experiment: per-update cost of three ingest paths over the
+/// same stream — per-tuple `apply_all`, chunked `apply_batch` fed by the *classic*
+/// `DeltaBatch::from_updates` comparison sort, and chunked `apply_batch` fed by the
+/// *interned* fixed-width [`BatchNormalizer`] — on one storage backend. Both batch
+/// figures include their normalization cost; parity (equal tables, bit-identical
+/// `ExecStats` between the two batch paths) is asserted on every run.
+#[derive(Clone, Copy, Debug)]
+pub struct InternPoint {
+    /// Number of stream updates per batch.
+    pub batch_size: usize,
+    /// Mean per-update latency of per-tuple `apply_all`, in nanoseconds.
+    pub per_tuple_ns: f64,
+    /// Mean per-update latency of the classic `Vec<Value>` batch path, in nanoseconds.
+    pub classic_ns: f64,
+    /// Mean per-update latency of the interned fixed-width batch path, in nanoseconds.
+    pub interned_ns: f64,
+    /// Mean arithmetic operations per update on the per-tuple path.
+    pub per_tuple_ops: f64,
+    /// Mean arithmetic operations per update on the batch paths (identical for both —
+    /// asserted; interning changes representation, never ring work).
+    pub batch_ops: f64,
+}
+
+impl InternPoint {
+    /// Per-tuple time over interned-batch time (> 1: interning beats the per-tuple
+    /// floor — the E14 gate).
+    pub fn speedup_vs_per_tuple(&self) -> f64 {
+        if self.interned_ns > 0.0 {
+            self.per_tuple_ns / self.interned_ns
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Classic-batch time over interned-batch time (> 1: interning beats the old
+    /// normalization).
+    pub fn speedup_vs_classic(&self) -> f64 {
+        if self.interned_ns > 0.0 {
+            self.classic_ns / self.interned_ns
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Runs one workload's stream through per-tuple `apply_all`, the classic
+/// `DeltaBatch::from_updates` batch path, and the interned [`BatchNormalizer`] batch
+/// path, in chunks of `batch_size`, on the storage backend named by the type parameter
+/// (the setup of `exp_intern`). Asserts on every run that the two batch paths reach
+/// identical tables AND bit-identical `ExecStats`, and that both match the per-tuple
+/// table — so pass an integer-valued workload.
+pub fn intern_point<S: dbring::ViewStorage>(workload: &Workload, batch_size: usize) -> InternPoint {
+    use dbring::{BatchNormalizer, DeltaBatch};
+    let program = compile(&workload.catalog, &workload.query).expect("workload compiles");
+    let streamed = workload.stream.len().max(1) as f64;
+    let chunk_size = batch_size.max(1);
+
+    let mut per_tuple = Executor::<S>::with_backend(program.clone());
+    per_tuple
+        .apply_all(&workload.initial)
+        .expect("bulk load succeeds");
+    per_tuple.reset_stats();
+    let started = Instant::now();
+    per_tuple
+        .apply_all(&workload.stream)
+        .expect("per-tuple path applies stream");
+    let per_tuple_ns = started.elapsed().as_nanos() as f64 / streamed;
+
+    let mut classic = Executor::<S>::with_backend(program.clone());
+    classic
+        .apply_all(&workload.initial)
+        .expect("bulk load succeeds");
+    classic.reset_stats();
+    let started = Instant::now();
+    for chunk in workload.stream.chunks(chunk_size) {
+        let batch = DeltaBatch::from_updates(chunk);
+        classic
+            .apply_batch(&batch)
+            .expect("classic batch path applies stream");
+    }
+    let classic_ns = started.elapsed().as_nanos() as f64 / streamed;
+
+    let mut interned = Executor::<S>::with_backend(program);
+    interned
+        .apply_all(&workload.initial)
+        .expect("bulk load succeeds");
+    interned.reset_stats();
+    let mut normalizer = BatchNormalizer::new();
+    let started = Instant::now();
+    for chunk in workload.stream.chunks(chunk_size) {
+        let batch = normalizer.normalize(chunk);
+        interned
+            .apply_batch(&batch)
+            .expect("interned batch path applies stream");
+    }
+    let interned_ns = started.elapsed().as_nanos() as f64 / streamed;
+
+    // Parity every run: interning must change representation, never results or work.
+    assert_eq!(
+        interned.output_table(),
+        classic.output_table(),
+        "interned batch path must reach the classic table"
+    );
+    assert_eq!(
+        interned.stats(),
+        classic.stats(),
+        "interned batch path must perform bit-identical ring work"
+    );
+    assert_eq!(
+        per_tuple.output_table(),
+        interned.output_table(),
+        "batch paths must reach the per-tuple table"
+    );
+    assert_eq!(per_tuple.total_entries(), interned.total_entries());
+
+    InternPoint {
+        batch_size,
+        per_tuple_ns,
+        classic_ns,
+        interned_ns,
+        per_tuple_ops: per_tuple.stats().arithmetic_ops() as f64 / streamed,
+        batch_ops: interned.stats().arithmetic_ops() as f64 / streamed,
     }
 }
 
@@ -1025,5 +1197,51 @@ mod tests {
         assert_eq!(fmt_ns(500.0), "500 ns");
         assert_eq!(fmt_ns(2_500.0), "2.50 µs");
         assert_eq!(fmt_ns(3_000_000.0), "3.00 ms");
+    }
+
+    #[test]
+    fn intern_point_asserts_parity_and_produces_sane_numbers() {
+        let workload = dbring_workloads::sales_revenue_int(WorkloadConfig {
+            seed: 9,
+            initial_size: 100,
+            stream_length: 200,
+            domain_size: 8,
+            delete_fraction: 0.2,
+        });
+        let point = intern_point::<dbring::HashViewStorage>(&workload, 32);
+        assert_eq!(point.batch_size, 32);
+        assert!(point.per_tuple_ns > 0.0);
+        assert!(point.classic_ns > 0.0);
+        assert!(point.interned_ns > 0.0);
+        assert!(point.per_tuple_ops >= point.batch_ops);
+        assert!(point.speedup_vs_per_tuple() > 0.0);
+        assert!(point.speedup_vs_classic() > 0.0);
+        let ordered = intern_point::<dbring::OrderedViewStorage>(&workload, 32);
+        assert_eq!(ordered.batch_ops, point.batch_ops);
+    }
+
+    #[test]
+    fn bench_rows_render_as_json() {
+        let rows = vec![
+            BenchRow {
+                series: "revenue/hash/interned".to_string(),
+                batch_size: 256,
+                ns_per_update: 123.5,
+                ops_per_update: 3.0,
+            },
+            BenchRow {
+                series: "revenue/hash/per_tuple".to_string(),
+                batch_size: 1,
+                ns_per_update: f64::NAN,
+                ops_per_update: 6.0,
+            },
+        ];
+        let json = bench_rows_json(&rows);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"series\": \"revenue/hash/interned\""));
+        assert!(json.contains("\"batch_size\": 256"));
+        assert!(json.contains("\"ns_per_update\": 123.5"));
+        // Non-finite floats render as null, as serde_json would.
+        assert!(json.contains("\"ns_per_update\": null"));
     }
 }

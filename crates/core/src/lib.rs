@@ -105,7 +105,10 @@ pub use dbring_compiler::{
     PlanTrigger, Slot, SlotExpr, TriggerProgram, UnboundKey,
 };
 pub use dbring_delta::{delta, Sign, UpdateEvent};
-pub use dbring_relations::{Database, DeltaBatch, DeltaGroup, Gmr, Tuple, Update, Value};
+pub use dbring_relations::{
+    BatchNormalizer, Database, DeltaBatch, DeltaGroup, Gmr, IVal, Interner, KeyPool, Tuple, Update,
+    Value,
+};
 pub use dbring_runtime::fault;
 pub use dbring_runtime::{
     boxed_engine, boxed_engine_by_name, interpreted_ivm, recursive_ivm, strategy_by_name,
@@ -395,7 +398,10 @@ impl<S: ViewStorage + Send + 'static> IncrementalView<S> {
     /// counters are bit-identical to before the call (the executor stages the batch
     /// and commits only on success).
     pub fn apply_batch(&mut self, updates: &[Update]) -> Result<(), Error> {
-        self.apply_delta_batch(&DeltaBatch::from_updates(updates))
+        // Normalize on the wrapper ring's interned fixed-width scratch (reused across
+        // batches), then feed the typed executor directly as before.
+        let batch = self.ring.normalize_updates(updates);
+        self.apply_delta_batch(&batch)
     }
 
     /// Applies an already-normalized delta batch (the allocation of

@@ -45,7 +45,7 @@ use dbring_agca::parser::parse_query;
 use dbring_agca::sql::parse_sql;
 use dbring_algebra::Number;
 use dbring_compiler::{compile, generate_nc0c, TriggerProgram};
-use dbring_relations::{Database, DeltaBatch, Snapshot, Update, Value};
+use dbring_relations::{BatchNormalizer, Database, DeltaBatch, Interner, Snapshot, Update, Value};
 use dbring_runtime::{
     boxed_engine, EngineRegistry, ExecStats, Executor, ParallelConfig, RuntimeError,
     StorageBackend, StorageFootprint, ViewEngine, ViewStorage,
@@ -202,6 +202,7 @@ impl RingBuilder {
             registry,
             infos: Vec::new(),
             names: BTreeMap::new(),
+            normalizer: BatchNormalizer::new(),
         }
     }
 }
@@ -270,6 +271,11 @@ pub struct Ring {
     /// Slot-parallel view metadata (`None` = dropped, like the registry's tombstones).
     infos: Vec<Option<ViewInfo>>,
     names: BTreeMap<String, ViewId>,
+    /// Reusable interned-key batch normalizer: [`Ring::apply_batch`] consolidates on
+    /// fixed-width keys with scratch (buckets, key pool, string interner) persisting
+    /// across batches. Interner ids are stable for the ring's lifetime — view churn
+    /// ([`Ring::drop_view`], [`Ring::repair_view`]) never invalidates them.
+    normalizer: BatchNormalizer,
 }
 
 impl Ring {
@@ -447,6 +453,9 @@ impl Ring {
             .take()
             .expect("registry slots and view infos stay in sync");
         self.names.remove(&info.name);
+        // View churn must never perturb the ingest interner: ids stay dense, stable
+        // and resolvable (no dangling ids) no matter which views come and go.
+        debug_assert!(self.normalizer.interner().is_consistent());
         Ok(())
     }
 
@@ -576,6 +585,9 @@ impl Ring {
         self.registry
             .replace(id.0, engine)
             .expect("checked live just above");
+        // A rebuild replays from the snapshot through a fresh engine; the ring-level
+        // interner is untouched, so previously returned ids stay valid.
+        debug_assert!(self.normalizer.interner().is_consistent());
         Ok(())
     }
 
@@ -706,7 +718,21 @@ impl Ring {
     ///
     /// [`IncrementalView`]: crate::IncrementalView
     pub fn apply_batch(&mut self, updates: &[Update]) -> Result<(), Error> {
-        self.apply_delta_batch(&DeltaBatch::from_updates(updates))
+        let batch = self.normalizer.normalize(updates);
+        self.apply_delta_batch(&batch)
+    }
+
+    /// The string interner accumulated by the batch ingest path. Ids are dense,
+    /// first-seen and stable for the ring's lifetime — dropping or repairing views
+    /// never invalidates an id, so readers may cache them.
+    pub fn interner(&self) -> &Interner {
+        self.normalizer.interner()
+    }
+
+    /// Crate-internal: normalizes a batch through the ring's reusable interned
+    /// scratch (shared with [`IncrementalView`](crate::IncrementalView)'s batch path).
+    pub(crate) fn normalize_updates<'a>(&mut self, updates: &'a [Update]) -> DeltaBatch<'a> {
+        self.normalizer.normalize(updates)
     }
 
     /// Applies an already-normalized delta batch (the normalization cost of

@@ -19,6 +19,7 @@
 //! applying a batch is equivalent to applying its updates one by one, in any order — the
 //! executors' batch paths exploit exactly this.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::database::Update;
@@ -36,6 +37,18 @@ pub struct DeltaGroup<'a> {
 }
 
 impl<'a> DeltaGroup<'a> {
+    /// Builds a group from already-normalized deltas (keys strictly ascending, weights
+    /// `>= 1`); crate-internal so the invariants stay with the normalizers.
+    pub(crate) fn new(relation: &'a str, is_insert: bool, deltas: Vec<(&'a [Value], i64)>) -> Self {
+        debug_assert!(deltas.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(deltas.iter().all(|(_, w)| *w >= 1));
+        DeltaGroup {
+            relation,
+            is_insert,
+            deltas,
+        }
+    }
+
     /// The relation this group updates.
     pub fn relation(&self) -> &'a str {
         self.relation
@@ -74,20 +87,37 @@ pub struct DeltaBatch<'a> {
 impl<'a> DeltaBatch<'a> {
     /// Normalizes a sequence of updates into a batch: consolidate multiplicities of
     /// identical `(relation, tuple)` pairs, drop zero-sum tuples, sort each group's
-    /// keys. Costs one linear bucketing pass over the updates (relations are few, so a
-    /// relation is resolved with a handful of string compares) plus one reference sort
-    /// *per relation* that compares tuples only — the comparator never re-compares
-    /// relation names. Nothing is cloned.
+    /// keys. Costs one linear bucketing pass over the updates (each distinct relation
+    /// name is resolved *once per batch* — a run-of-equal-names memo plus a name→bucket
+    /// map, never per-update string compares) plus one reference sort *per relation*
+    /// that compares tuples only — the comparator never re-compares relation names.
+    /// Nothing is cloned.
+    ///
+    /// For repeated ingest, [`BatchNormalizer`](crate::intern::BatchNormalizer)
+    /// produces the identical batch on interned fixed-width keys with scratch reused
+    /// across batches; this constructor remains the reference implementation.
     pub fn from_updates(updates: impl IntoIterator<Item = &'a Update>) -> Self {
         let mut buckets: Vec<(&'a str, Vec<&'a Update>)> = Vec::new();
+        let mut bucket_of: HashMap<&'a str, usize> = HashMap::new();
+        let mut memo: Option<(&'a str, usize)> = None;
         for update in updates {
             if update.multiplicity == 0 {
                 continue;
             }
-            match buckets.iter_mut().find(|(r, _)| *r == update.relation) {
-                Some((_, bucket)) => bucket.push(update),
-                None => buckets.push((update.relation.as_str(), vec![update])),
-            }
+            let slot = match memo {
+                Some((name, slot)) if name == update.relation => slot,
+                _ => {
+                    let slot = *bucket_of
+                        .entry(update.relation.as_str())
+                        .or_insert_with(|| {
+                            buckets.push((update.relation.as_str(), Vec::new()));
+                            buckets.len() - 1
+                        });
+                    memo = Some((update.relation.as_str(), slot));
+                    slot
+                }
+            };
+            buckets[slot].1.push(update);
         }
         buckets.sort_unstable_by_key(|(relation, _)| *relation);
         let mut groups: Vec<DeltaGroup<'a>> = Vec::new();
@@ -126,6 +156,13 @@ impl<'a> DeltaBatch<'a> {
                 });
             }
         }
+        DeltaBatch { groups }
+    }
+
+    /// Builds a batch from already-normalized groups (relation-ascending, insertions
+    /// before deletions per relation); crate-internal, used by the interned
+    /// fixed-width normalizer.
+    pub(crate) fn from_groups(groups: Vec<DeltaGroup<'a>>) -> Self {
         DeltaBatch { groups }
     }
 

@@ -24,6 +24,11 @@
 //! * [`batch`] — [`DeltaBatch`](batch::DeltaBatch): a sequence of updates normalized
 //!   into consolidated, sorted per-(relation, sign) delta groups, the input of the
 //!   executors' batch paths;
+//! * [`intern`] — value interning and fixed-width keys: [`Interner`](intern::Interner)
+//!   maps strings to dense ids, [`IVal`](intern::IVal) packs any value into a `Copy`
+//!   128-bit word, [`KeyPool`](intern::KeyPool) sorts flat key runs without per-tuple
+//!   allocation, and [`BatchNormalizer`](intern::BatchNormalizer) is the
+//!   scratch-reusing, interned equivalent of `DeltaBatch::from_updates`;
 //! * [`snapshot`] — [`Snapshot`](snapshot::Snapshot): a write-optimized positional
 //!   mirror of the base relations, maintained per update and materialized into a
 //!   [`Database`](database::Database) only when a late-registered view needs a
@@ -35,6 +40,7 @@
 pub mod batch;
 pub mod database;
 pub mod gmr;
+pub mod intern;
 pub mod pgmr;
 pub mod snapshot;
 pub mod tuple;
@@ -43,6 +49,7 @@ pub mod value;
 pub use batch::{DeltaBatch, DeltaGroup};
 pub use database::{Database, Update};
 pub use gmr::{Gmr, GmrExt};
+pub use intern::{BatchNormalizer, IVal, Interner, KeyPool};
 pub use pgmr::Pgmr;
 pub use snapshot::Snapshot;
 pub use tuple::Tuple;

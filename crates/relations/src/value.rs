@@ -19,7 +19,11 @@ pub enum Value {
     Int(i64),
     /// IEEE-754 double with canonicalized bit pattern (see [`OrderedF64`]).
     Float(OrderedF64),
-    /// Interned UTF-8 string.
+    /// Reference-counted UTF-8 string. *Not* globally interned: [`Value::str`] allocates
+    /// a fresh `Arc<str>` per call. The ingest hot path interns strings to dense ids via
+    /// [`Interner`](crate::intern::Interner) (whose
+    /// [`value_str`](crate::intern::Interner::value_str) also builds `Value`s that share
+    /// one allocation per distinct string).
     Str(Arc<str>),
     /// Boolean.
     Bool(bool),

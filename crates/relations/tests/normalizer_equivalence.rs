@@ -1,0 +1,73 @@
+//! Property test: the interned fixed-width normalizer ([`BatchNormalizer`]) produces
+//! *exactly* the [`DeltaBatch`] of the classic `Vec<Value>` comparison-sort path
+//! ([`DeltaBatch::from_updates`]) — same groups, same order, same keys, same weights —
+//! on adversarial streams: string keys interned in non-lexicographic order, float edge
+//! cases, zero and multi-unit multiplicities, mixed arities within one relation, and
+//! one normalizer reused across many batches (so stale scratch would be caught).
+
+use dbring_relations::{BatchNormalizer, DeltaBatch, Update, Value};
+use proptest::prelude::*;
+
+/// Values drawn to collide often: small ints, a tiny string pool (plus lexicographic
+/// traps: "aa" < "z" but "z" is likelier to be interned first), float edge cases,
+/// and bools.
+const STRINGS: [&str; 5] = ["z", "aa", "m", "zz", "a"];
+const FLOATS: [f64; 6] = [0.0, -0.0, 1.5, -2.25, f64::NAN, f64::INFINITY];
+const RELATIONS: [&str; 3] = ["R", "S", "T"];
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-3i64..4).prop_map(Value::int),
+        (0usize..STRINGS.len()).prop_map(|i| Value::str(STRINGS[i])),
+        (0usize..FLOATS.len()).prop_map(|i| Value::float(FLOATS[i])),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn arb_update() -> impl Strategy<Value = Update> {
+    (
+        (0usize..RELATIONS.len()).prop_map(|i| RELATIONS[i]),
+        prop::collection::vec(arb_value(), 0..4),
+        -3i64..4,
+    )
+        .prop_map(|(rel, values, multiplicity)| {
+            let mut u = Update::insert(rel, values);
+            u.multiplicity = multiplicity;
+            u
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn interned_normalization_equals_classic_path(
+        batches in prop::collection::vec(prop::collection::vec(arb_update(), 0..40), 1..6)
+    ) {
+        // One normalizer across all batches: scratch and interner state persist.
+        let mut normalizer = BatchNormalizer::new();
+        for updates in &batches {
+            let interned = normalizer.normalize(updates);
+            let classic = DeltaBatch::from_updates(updates);
+            prop_assert_eq!(interned, classic);
+        }
+        prop_assert!(normalizer.interner().is_consistent());
+    }
+
+    #[test]
+    fn interner_ids_stay_stable_across_batches(
+        batches in prop::collection::vec(prop::collection::vec(arb_update(), 0..30), 2..5)
+    ) {
+        let mut normalizer = BatchNormalizer::new();
+        let _ = normalizer.normalize(&batches[0]);
+        let snapshot: Vec<(String, u32)> = (0..normalizer.interner().len() as u32)
+            .map(|id| (normalizer.interner().resolve(id).to_string(), id))
+            .collect();
+        for updates in &batches[1..] {
+            let _ = normalizer.normalize(updates);
+        }
+        for (s, id) in &snapshot {
+            prop_assert_eq!(normalizer.interner().get(s), Some(*id));
+        }
+    }
+}

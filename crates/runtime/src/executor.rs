@@ -32,6 +32,7 @@
 //! the only state.
 
 use dbring_algebra::{Number, Semiring};
+use dbring_relations::intern::{Interner, KeyPool};
 use dbring_relations::{Database, DeltaBatch, Update, Value};
 
 use dbring_agca::ast::Query;
@@ -164,6 +165,19 @@ struct Scratch {
     /// buffer was since flushed (clearing an empty buffer is free) and survives a
     /// failed batch, so leaked writes still get dropped.
     dirty: Vec<usize>,
+    /// Interner backing the flush path's fixed-width keys; grows with the distinct
+    /// strings the executor has flushed and persists across batches (ids are stable
+    /// for the executor's lifetime).
+    flush_interner: Interner,
+    /// Reusable fixed-width key pool for write-buffer consolidation: duplicates
+    /// collapse on arrival through the pool's scratch hash table and only distinct
+    /// keys get sorted, replacing the old `Vec<Value>` comparison sort. Capacity is
+    /// retained across flushes.
+    flush_pool: KeyPool,
+    /// Per-group accumulator sums for one flush, indexed by the pool's group ids.
+    flush_sums: Vec<Number>,
+    /// Per-group representative row (first occurrence in the write buffer).
+    flush_reps: Vec<u32>,
 }
 
 /// A flat write buffer for one map: `accs.len()` buffered deltas whose keys live
@@ -711,17 +725,48 @@ impl<S: ViewStorage> Executor<S> {
                 // the consolidated run is large enough to pay for splitting.
                 for stmt in &trigger.statements {
                     let arity = plan.map_arities[stmt.target];
-                    let buf = &mut scratch.write_bufs[stmt.target];
+                    let Scratch {
+                        write_bufs,
+                        flush_interner,
+                        flush_pool,
+                        flush_sums,
+                        flush_reps,
+                        ..
+                    } = &mut *scratch;
+                    let buf = &mut write_bufs[stmt.target];
                     if buf.accs.is_empty() {
                         continue;
                     }
-                    let mut refs: Vec<(&[Value], Number)> = buf
-                        .accs
-                        .iter()
-                        .enumerate()
-                        .map(|(row, &acc)| (&buf.keys[row * arity..(row + 1) * arity], acc))
-                        .collect();
-                    consolidate_sorted(&mut refs);
+                    // Consolidate on interned fixed-width keys: each buffered key is
+                    // encoded into the reusable pool, duplicates collapse onto a group
+                    // id on arrival, and the accumulators sum per group. Only the
+                    // *distinct* keys get sorted (exact `Value` order — strings fall
+                    // back through the interner), and only the non-zero groups
+                    // materialize as refs, still sorted ascending and unique as
+                    // `apply_sorted*` require.
+                    flush_pool.begin(arity, buf.accs.len());
+                    flush_sums.clear();
+                    flush_reps.clear();
+                    for row in 0..buf.accs.len() {
+                        let g = flush_pool.push_key_grouped(
+                            &buf.keys[row * arity..(row + 1) * arity],
+                            flush_interner,
+                        ) as usize;
+                        if g == flush_sums.len() {
+                            flush_sums.push(buf.accs[row]);
+                            flush_reps.push(row as u32);
+                        } else {
+                            flush_sums[g] = flush_sums[g].add(&buf.accs[row]);
+                        }
+                    }
+                    let mut refs: Vec<(&[Value], Number)> = Vec::new();
+                    for &g in flush_pool.sorted_groups(flush_interner) {
+                        let sum = flush_sums[g as usize];
+                        if !sum.is_zero() {
+                            let f = flush_reps[g as usize] as usize;
+                            refs.push((&buf.keys[f * arity..(f + 1) * arity], sum));
+                        }
+                    }
                     // When staging, every key the flush touches is logged with its
                     // pre-image. Keys in a consolidated run are unique, so the log
                     // order within the run is immaterial for rollback; the sequential
@@ -751,22 +796,6 @@ impl<S: ViewStorage> Executor<S> {
         }
         Ok(())
     }
-}
-
-/// Sorts a write buffer by key, sums duplicate keys, and drops zero sums, in place.
-fn consolidate_sorted(refs: &mut Vec<(&[Value], Number)>) {
-    refs.sort_unstable_by(|a, b| a.0.cmp(b.0));
-    let mut kept = 0usize;
-    for i in 0..refs.len() {
-        if kept > 0 && refs[kept - 1].0 == refs[i].0 {
-            refs[kept - 1].1 = refs[kept - 1].1.add(&refs[i].1);
-        } else {
-            refs[kept] = refs[i];
-            kept += 1;
-        }
-    }
-    refs.truncate(kept);
-    refs.retain(|(_, v)| !v.is_zero());
 }
 
 fn sign_index(sign: Sign) -> usize {
