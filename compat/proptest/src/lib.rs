@@ -3,7 +3,7 @@
 //! The build environment has no network access, so this in-tree crate implements the
 //! slice of proptest 1.x the workspace's property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`, [`strategy::Just`], range
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_flat_map`, [`strategy::Just`], range
 //!   and tuple strategies, [`strategy::Union`] (behind [`prop_oneof!`]);
 //! * [`collection::vec`] and [`sample::subsequence`] with proptest's flexible size
 //!   arguments (exact `usize`, `a..b`, `a..=b`);

@@ -19,13 +19,13 @@
 //! * [`parser`] — a hand-written lexer/recursive-descent parser for the AGCA text syntax;
 //! * [`sql`] — a SQL-subset frontend (`SELECT … SUM(…) FROM … WHERE … GROUP BY …`)
 //!   lowered to AGCA exactly as in Section 5 ("From SQL to the calculus");
-//! * [`eval`] — the reference evaluator implementing the denotational semantics `[[·]]`
+//! * [`eval`](mod@eval) — the reference evaluator implementing the denotational semantics `[[·]]`
 //!   of Section 4 over `Gmr<Number>`;
 //! * [`safety`] — range restriction: the static check that variables are bound before use;
 //! * [`normalize`] — the polynomial normal form (sums of monomials) of Section 5;
 //! * [`factorize`] — monomial factorization along connected components of the variable
 //!   hypergraph (Section 5, Example 1.3) and variable renaming/elimination helpers;
-//! * [`degree`] — the polynomial degree of a query (Definition 6.3).
+//! * [`degree`](mod@degree) — the polynomial degree of a query (Definition 6.3).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

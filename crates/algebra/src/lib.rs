@@ -3,7 +3,7 @@
 //!
 //! This crate implements Section 2 of the paper:
 //!
-//! * [`semiring`] — the [`Semiring`](semiring::Semiring) and [`Ring`](semiring::Ring) traits
+//! * [`semiring`] — the [`Semiring`] and [`Ring`] traits
 //!   together with the standard instances (ℤ, ℚ, ℝ as `f64`, ℕ, 𝔹).
 //! * [`monoid`] — (partial) monoids `G` used as the index structure of monoid rings.
 //! * [`monoid_ring`] — the monoid (semi)ring `A[G]` of finite-support functions `G → A`

@@ -14,7 +14,7 @@
 //! exactly one addition per memoized value — the constant-work-per-value property that the
 //! paper later lifts to query evaluation (Theorem 7.1).
 //!
-//! [`RecursiveMemo`] is the generic engine; [`Polynomial`](crate::Polynomial) provides the
+//! [`RecursiveMemo`] is the generic engine; [`Polynomial`] provides the
 //! [`DeltaHierarchy`] instance that regenerates Figure 1 (`f(x) = x²`, `U = {+1, −1}`).
 
 use std::collections::HashMap;

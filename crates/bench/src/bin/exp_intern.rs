@@ -1,5 +1,5 @@
 //! Experiment E14 — what interned fixed-width keys buy: per-update latency of the
-//! interned [`BatchNormalizer`] batch path against the classic
+//! interned [`BatchNormalizer`](dbring::BatchNormalizer) batch path against the classic
 //! `DeltaBatch::from_updates` comparison sort AND against per-tuple `apply_all`, on the
 //! E10 hot-key degree-1 workload whose honest verdict was "batching saves 6× the work
 //! but loses wall-clock". The recorded gate of PR 8: that row must now flip to a

@@ -21,7 +21,7 @@
 //! (add `-- --quick` for a faster, smaller sweep)
 
 use dbring::{HashViewStorage, OrderedViewStorage};
-use dbring_bench::{fmt_ns, header, parallel_point, ParallelPoint};
+use dbring_bench::{fmt_ns, header, parallel_point, write_bench_json, BenchRow, ParallelPoint};
 use dbring_workloads::{sales_dashboard, sales_revenue_int, MultiViewWorkload, WorkloadConfig};
 
 const THREADS: &[usize] = &[1, 2, 4, 8];
@@ -51,6 +51,31 @@ fn sweep<S: dbring::ViewStorage + Send + 'static>(
         points.push(p);
     }
     points
+}
+
+/// Flattens one sweep into bench rows: the parallel latency per thread budget, plus
+/// the t1 sequential baseline as its own series. Ops per update are not measured
+/// here (parallelism relocates work, parity is asserted inside every point), so that
+/// column is emitted as null.
+fn bench_rows(label: &str, backend: &str, points: &[ParallelPoint]) -> Vec<BenchRow> {
+    let mut rows: Vec<BenchRow> = points
+        .iter()
+        .map(|p| BenchRow {
+            series: format!("{label}/{backend}/t{}", p.threads),
+            batch_size: p.batch_size,
+            ns_per_update: p.parallel_ns,
+            ops_per_update: f64::NAN,
+        })
+        .collect();
+    if let Some(p) = points.first() {
+        rows.push(BenchRow {
+            series: format!("{label}/{backend}/sequential"),
+            batch_size: p.batch_size,
+            ns_per_update: p.sequential_ns,
+            ops_per_update: f64::NAN,
+        });
+    }
+    rows
 }
 
 fn report_best(label: &str, points: &[ParallelPoint]) {
@@ -148,13 +173,12 @@ fn main() {
         dashboard_batch
     ));
     let k = dashboard.views.len();
-    let mut hash_points = sweep::<HashViewStorage>("hash", &dashboard, k, dashboard_batch);
-    hash_points.extend(sweep::<OrderedViewStorage>(
-        "ordered",
-        &dashboard,
-        k,
-        dashboard_batch,
-    ));
+    let dash_hash = sweep::<HashViewStorage>("hash", &dashboard, k, dashboard_batch);
+    let dash_ordered = sweep::<OrderedViewStorage>("ordered", &dashboard, k, dashboard_batch);
+    let mut rows = bench_rows("dashboard", "hash", &dash_hash);
+    rows.extend(bench_rows("dashboard", "ordered", &dash_ordered));
+    let mut hash_points = dash_hash;
+    hash_points.extend(dash_ordered);
     report_best("dashboard", &hash_points);
 
     header(&format!(
@@ -164,8 +188,12 @@ fn main() {
         xl.stream.len(),
         xl_batch
     ));
-    let mut xl_points = sweep::<HashViewStorage>("hash", &xl, 1, xl_batch);
-    xl_points.extend(sweep::<OrderedViewStorage>("ordered", &xl, 1, xl_batch));
+    let xl_hash = sweep::<HashViewStorage>("hash", &xl, 1, xl_batch);
+    let xl_ordered = sweep::<OrderedViewStorage>("ordered", &xl, 1, xl_batch);
+    rows.extend(bench_rows("revenue-xl", "hash", &xl_hash));
+    rows.extend(bench_rows("revenue-xl", "ordered", &xl_ordered));
+    let mut xl_points = xl_hash;
+    xl_points.extend(xl_ordered);
     report_best("revenue-xl", &xl_points);
 
     println!(
@@ -173,4 +201,8 @@ fn main() {
          measured — see EXPERIMENTS.md E12 for recorded sweeps and discussion",
         hash_points.len() + xl_points.len()
     );
+    match write_bench_json("exp_parallel", &rows) {
+        Ok(path) => println!("wrote {path} ({} rows)", rows.len()),
+        Err(e) => println!("could not write bench json: {e}"),
+    }
 }

@@ -20,7 +20,7 @@
 //! (add `-- --quick` for a faster, smaller sweep)
 
 use dbring::{HashViewStorage, OrderedViewStorage};
-use dbring_bench::{fmt_ns, header, ring_point, RingPoint};
+use dbring_bench::{fmt_ns, header, ring_point, write_bench_json, BenchRow, RingPoint};
 use dbring_workloads::{sales_dashboard, MultiViewWorkload, WorkloadConfig};
 
 fn sweep<S: dbring::ViewStorage + Send + 'static>(
@@ -132,6 +132,7 @@ fn main() {
 
     let mut winning = 0usize;
     let mut eligible = 0usize;
+    let mut rows: Vec<BenchRow> = Vec::new();
     for (backend, points) in [
         (
             "hash",
@@ -148,6 +149,18 @@ fn main() {
                 if p.untracked_speedup() > 1.0 {
                     winning += 1;
                 }
+            }
+            for (series, ns) in [
+                ("ring", p.ring_ns),
+                ("ring-untracked", p.ring_untracked_ns),
+                ("independent", p.independent_ns),
+            ] {
+                rows.push(BenchRow {
+                    series: format!("{backend}/k{}/{series}", p.views),
+                    batch_size: p.batch_size,
+                    ns_per_update: ns,
+                    ops_per_update: p.ops_per_update,
+                });
             }
         }
         let best = points
@@ -169,4 +182,8 @@ fn main() {
         "\nring (untracked) beats k >= 4 independent view loops in {winning} of {eligible} \
          measured k >= 4 points"
     );
+    match write_bench_json("exp_ring", &rows) {
+        Ok(path) => println!("wrote {path} ({} rows)", rows.len()),
+        Err(e) => println!("could not write bench json: {e}"),
+    }
 }

@@ -454,7 +454,7 @@ pub fn batch_point<S: dbring::ViewStorage>(workload: &Workload, batch_size: usiz
 /// One row of the interning experiment: per-update cost of three ingest paths over the
 /// same stream — per-tuple `apply_all`, chunked `apply_batch` fed by the *classic*
 /// `DeltaBatch::from_updates` comparison sort, and chunked `apply_batch` fed by the
-/// *interned* fixed-width [`BatchNormalizer`] — on one storage backend. Both batch
+/// *interned* fixed-width [`BatchNormalizer`](dbring::BatchNormalizer) — on one storage backend. Both batch
 /// figures include their normalization cost; parity (equal tables, bit-identical
 /// `ExecStats` between the two batch paths) is asserted on every run.
 #[derive(Clone, Copy, Debug)]
@@ -497,7 +497,7 @@ impl InternPoint {
 }
 
 /// Runs one workload's stream through per-tuple `apply_all`, the classic
-/// `DeltaBatch::from_updates` batch path, and the interned [`BatchNormalizer`] batch
+/// `DeltaBatch::from_updates` batch path, and the interned [`BatchNormalizer`](dbring::BatchNormalizer) batch
 /// path, in chunks of `batch_size`, on the storage backend named by the type parameter
 /// (the setup of `exp_intern`). Asserts on every run that the two batch paths reach
 /// identical tables AND bit-identical `ExecStats`, and that both match the per-tuple
@@ -622,7 +622,7 @@ impl RingPoint {
     }
 }
 
-/// Runs the first `views` queries of a [`MultiViewWorkload`] three ways — a default
+/// Runs the first `views` queries of a [`MultiViewWorkload`](dbring_workloads::MultiViewWorkload) three ways — a default
 /// ring, a ring without base tracking, and independent `IncrementalView`s — ingesting
 /// the same stream in chunks of `batch_size` on the storage backend named by the type
 /// parameter (the shared setup of `exp_ring`). Asserts, per view, that all three reach
@@ -779,7 +779,7 @@ impl ParallelPoint {
     }
 }
 
-/// Runs the first `views` queries of a [`MultiViewWorkload`] through two rings — one
+/// Runs the first `views` queries of a [`MultiViewWorkload`](dbring_workloads::MultiViewWorkload) through two rings — one
 /// built with `ingest_threads(1)` and one with `ingest_threads(threads)` — ingesting
 /// the same stream in chunks of `batch_size` on the storage backend named by the type
 /// parameter (the shared setup of `exp_parallel` and the `parallel_ingest` bench).
@@ -908,7 +908,7 @@ impl FaultPoint {
     }
 }
 
-/// Runs the first `views` queries of a [`MultiViewWorkload`] through two rings — one
+/// Runs the first `views` queries of a [`MultiViewWorkload`](dbring_workloads::MultiViewWorkload) through two rings — one
 /// with staged (failure-atomic) ingest, the default, and one built
 /// [`without_staged_ingest`](dbring::RingBuilder::without_staged_ingest) — ingesting
 /// the same stream in chunks of `batch_size` on the storage backend named by the type

@@ -1,0 +1,150 @@
+//! Effect sets: what each statement reads and writes.
+//!
+//! Two granularities, matching the two program representations:
+//!
+//! * **Map-level** effects over the trigger IR ([`StatementEffects`],
+//!   [`TriggerEffects`]): which maps a statement reads via lookups and which map it
+//!   writes (its target). These drive the ordering pass, the self-read/write pass and
+//!   the weighted-firing conflict derivation.
+//! * **Slot-level** def/use over the lowered plan ([`SlotEffects`], [`op_defs`],
+//!   [`op_uses`]): which frame slots each [`PlanOp`] defines (an `Enumerate` bind) and
+//!   which it uses (probe keys, bound keys, consistency checks, scalars, guards).
+//!   These drive the dead-bind dataflow pass.
+//!
+//! Everything here is pure and allocation-light; the analyzer runs at lowering time
+//! only, never on the per-update hot path.
+
+use std::collections::BTreeSet;
+
+use crate::ir::{MapId, RhsFactor, Statement, Trigger};
+use crate::lower::{PlanOp, PlanStatement, Slot, SlotExpr, UnboundKey};
+
+/// The map-level effects of one trigger statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StatementEffects {
+    /// The map the statement writes (its target).
+    pub writes: MapId,
+    /// The maps the statement reads via `MapLookup` factors, deduplicated.
+    pub reads: BTreeSet<MapId>,
+}
+
+/// The map-level effects of a whole trigger: per statement, plus the unions the
+/// trigger-level passes (weighted firing) work on.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TriggerEffects {
+    /// Effects of each statement, in statement order.
+    pub statements: Vec<StatementEffects>,
+    /// Every map written by any statement.
+    pub writes: BTreeSet<MapId>,
+    /// Every map read by any statement.
+    pub reads: BTreeSet<MapId>,
+}
+
+/// Computes the map-level effect set of one statement.
+pub fn statement_effects(stmt: &Statement) -> StatementEffects {
+    let reads = stmt
+        .factors
+        .iter()
+        .filter_map(|f| match f {
+            RhsFactor::MapLookup { map, .. } => Some(*map),
+            RhsFactor::Scalar(_) | RhsFactor::Guard(..) => None,
+        })
+        .collect();
+    StatementEffects {
+        writes: stmt.target,
+        reads,
+    }
+}
+
+/// Computes the map-level effect sets of a whole trigger.
+pub fn trigger_effects(trigger: &Trigger) -> TriggerEffects {
+    let statements: Vec<StatementEffects> =
+        trigger.statements.iter().map(statement_effects).collect();
+    let writes = statements.iter().map(|e| e.writes).collect();
+    let reads = statements
+        .iter()
+        .flat_map(|e| e.reads.iter().copied())
+        .collect();
+    TriggerEffects {
+        statements,
+        writes,
+        reads,
+    }
+}
+
+/// The slot-level def/use summary of one lowered statement.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SlotEffects {
+    /// Slots defined by `Enumerate` binds of this statement (trigger parameters are
+    /// defined at the trigger level, before any statement runs, and are not included).
+    pub defs: BTreeSet<Slot>,
+    /// Slots read anywhere in the statement: probe keys, bound enumeration keys,
+    /// consistency checks, scalar and guard operands, and the target keys.
+    pub uses: BTreeSet<Slot>,
+}
+
+/// Computes the slot-level def/use summary of one lowered statement.
+pub fn slot_effects(stmt: &PlanStatement) -> SlotEffects {
+    let mut effects = SlotEffects::default();
+    for op in &stmt.ops {
+        effects.defs.extend(op_defs(op));
+        op_uses(op, &mut effects.uses);
+    }
+    effects.uses.extend(stmt.target_slots.iter().copied());
+    effects
+}
+
+/// The slots a plan op *defines* (writes into the frame): the `Bind` slots of an
+/// `Enumerate`. All other ops define nothing.
+pub fn op_defs(op: &PlanOp) -> Vec<Slot> {
+    match op {
+        PlanOp::Enumerate { unbound, .. } => unbound
+            .iter()
+            .filter_map(|u| match *u {
+                UnboundKey::Bind { slot, .. } => Some(slot),
+                UnboundKey::Check { .. } => None,
+            })
+            .collect(),
+        PlanOp::Probe { .. } | PlanOp::Scalar(_) | PlanOp::Guard(..) => Vec::new(),
+    }
+}
+
+/// Accumulates the slots a plan op *uses* (reads from the frame) into `out`: probe
+/// key slots, an enumeration's bound slots and `Check` slots, and every slot of a
+/// scalar or guard expression.
+pub fn op_uses(op: &PlanOp, out: &mut BTreeSet<Slot>) {
+    match op {
+        PlanOp::Probe { key_slots, .. } => out.extend(key_slots.iter().copied()),
+        PlanOp::Enumerate {
+            bound_slots,
+            unbound,
+            ..
+        } => {
+            out.extend(bound_slots.iter().copied());
+            out.extend(unbound.iter().filter_map(|u| match *u {
+                UnboundKey::Check { slot, .. } => Some(slot),
+                UnboundKey::Bind { .. } => None,
+            }));
+        }
+        PlanOp::Scalar(expr) => expr_uses(expr, out),
+        PlanOp::Guard(_, lhs, rhs) => {
+            expr_uses(lhs, out);
+            expr_uses(rhs, out);
+        }
+    }
+}
+
+/// Accumulates every slot a slot expression reads into `out`.
+pub fn expr_uses(expr: &SlotExpr, out: &mut BTreeSet<Slot>) {
+    match expr {
+        SlotExpr::Const(_) => {}
+        SlotExpr::Slot(s) => {
+            out.insert(*s);
+        }
+        SlotExpr::Add(a, b) | SlotExpr::Mul(a, b) => {
+            expr_uses(a, out);
+            expr_uses(b, out);
+        }
+        SlotExpr::Neg(a) => expr_uses(a, out),
+    }
+}

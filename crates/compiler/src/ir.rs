@@ -239,6 +239,22 @@ pub enum IrError {
         /// The target map of the offending statement.
         target: MapId,
     },
+    /// A statement reads a map that an earlier statement of the same trigger already
+    /// updated, violating the update-before-read statement order ([`Trigger::statements`])
+    /// — the read would see post-update values and results would silently drift.
+    /// Detected by the same ordering pass the static analyzer runs
+    /// ([`crate::analysis::passes::statement_order_violations`]), so the IR-level
+    /// entry point and the analyzer cannot disagree.
+    StatementOrderViolation {
+        /// The relation of the offending trigger.
+        relation: String,
+        /// Index of the earlier statement writing the map.
+        writer: usize,
+        /// Index of the later statement reading it.
+        reader: usize,
+        /// The map written then read.
+        map: MapId,
+    },
 }
 
 impl fmt::Display for IrError {
@@ -252,6 +268,18 @@ impl fmt::Display for IrError {
             }
             IrError::UnboundLoopVariable { var, target } => {
                 write!(f, "loop variable {var} in a statement for m{target} is not bound by any map lookup")
+            }
+            IrError::StatementOrderViolation {
+                relation,
+                writer,
+                reader,
+                map,
+            } => {
+                write!(
+                    f,
+                    "trigger on {relation}: statement {reader} reads m{map} after statement \
+                     {writer} updated it (statements must update a map before any map it reads)"
+                )
             }
         }
     }
@@ -277,10 +305,24 @@ impl TriggerProgram {
         self.triggers.iter().map(|t| t.statements.len()).sum()
     }
 
-    /// Checks structural well-formedness: map references exist, key arities match, and
-    /// every loop variable is bound by at least one map lookup of its statement.
+    /// Checks structural well-formedness: map references exist, key arities match,
+    /// every loop variable is bound by at least one map lookup of its statement, and
+    /// each trigger's statements respect the update-before-read order (the first
+    /// violation found by the analyzer's ordering pass is returned as
+    /// [`IrError::StatementOrderViolation`]).
     pub fn validate(&self) -> Result<(), IrError> {
         for trigger in &self.triggers {
+            if let Some(v) = crate::analysis::passes::statement_order_violations(trigger)
+                .into_iter()
+                .next()
+            {
+                return Err(IrError::StatementOrderViolation {
+                    relation: trigger.relation.clone(),
+                    writer: v.writer,
+                    reader: v.reader,
+                    map: v.map,
+                });
+            }
             for stmt in &trigger.statements {
                 let target = self
                     .maps

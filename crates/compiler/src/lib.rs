@@ -9,7 +9,7 @@
 //! (Example 1.3), so the auxiliary views stay small — one view per independent join
 //! component rather than one per delta.
 //!
-//! The output is a [`TriggerProgram`](ir::TriggerProgram) in the paper's low-level
+//! The output is a [`TriggerProgram`] in the paper's low-level
 //! language **NC0C**: for every relation and sign there is a trigger whose statements are
 //! of the form
 //!
@@ -22,19 +22,27 @@
 //! each maintained value receives a constant number of arithmetic operations per update,
 //! which is the sequential shadow of the paper's NC⁰ claim (Theorem 7.1).
 //!
-//! Modules: [`ir`] defines the trigger-program IR and its validator; [`compile`]
-//! implements the recursive compilation algorithm; [`lower`] resolves a compiled program
-//! into a slot-indexed [`ExecPlan`](lower::ExecPlan) — the name-free representation the
-//! runtime's hot path executes (compile once, lower once, execute per update).
+//! Modules: [`ir`] defines the trigger-program IR and its validator; [`compile`](mod@compile)
+//! implements the recursive compilation algorithm; [`lower`](mod@lower) resolves a compiled program
+//! into a slot-indexed [`ExecPlan`] — the name-free representation the
+//! runtime's hot path executes (compile once, lower once, execute per update); and
+//! [`analysis`] is the plan auditor — effect sets, def-use dataflow and a lint pass
+//! pipeline with stable diagnostic codes that [`lower`](lower::lower) runs over every
+//! plan it produces (Errors deny the plan; Warnings/Infos attach to it).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod codegen;
 pub mod compile;
 pub mod ir;
 pub mod lower;
 
+pub use analysis::{
+    analyze, analyze_plan, analyze_program, audit_program, derived_weighted_firing, has_errors,
+    DiagCode, Diagnostic, Severity,
+};
 pub use codegen::generate as generate_nc0c;
 pub use compile::{compile, CompileError};
 pub use ir::{MapDef, MapId, RhsFactor, ScalarExpr, Statement, Trigger, TriggerProgram};

@@ -31,6 +31,7 @@ use dbring_algebra::Number;
 use dbring_delta::Sign;
 use dbring_relations::Value;
 
+use crate::analysis::{self, Diagnostic};
 use crate::ir::{IrError, MapId, RhsFactor, ScalarExpr, TriggerProgram};
 
 /// Index of a variable's cell within a trigger's flat frame.
@@ -170,10 +171,14 @@ pub struct ExecPlan {
     /// `(map, ascending bound positions)`. Register each on the map's storage before
     /// applying updates.
     pub index_registrations: Vec<(MapId, Vec<usize>)>,
+    /// The static-analysis findings attached by [`lower`]: Warning/Info only —
+    /// Error-severity findings deny lowering with [`LowerError::Rejected`] instead.
+    /// Read through [`ExecPlan::audit`].
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// A problem found while lowering (all are compiler-invariant violations: programs
-/// produced by [`crate::compile`] always lower).
+/// produced by [`crate::compile`](crate::compile()) always lower).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum LowerError {
     /// The program failed structural validation.
@@ -201,6 +206,11 @@ pub enum LowerError {
         /// The relation of the trigger containing the offending op.
         relation: String,
     },
+    /// The static analyzer found an Error-severity problem
+    /// ([`analysis::analyze`]): executing the plan would silently compute wrong
+    /// results, so lowering refuses to emit it. Warnings and infos do not deny —
+    /// they are attached to the plan ([`ExecPlan::diagnostics`]).
+    Rejected(Box<Diagnostic>),
 }
 
 impl fmt::Display for LowerError {
@@ -223,6 +233,9 @@ impl fmt::Display for LowerError {
                      (lowering bug)"
                 )
             }
+            LowerError::Rejected(diag) => {
+                write!(f, "static analysis rejected the plan: {diag}")
+            }
         }
     }
 }
@@ -241,6 +254,14 @@ impl ExecPlan {
         self.triggers
             .iter()
             .find(|t| t.relation == relation && t.sign == sign)
+    }
+
+    /// The static-analysis findings [`lower`] attached to this plan. Always free of
+    /// Error severity — an Error denies lowering with [`LowerError::Rejected`] — so
+    /// what remains is Warnings (wasted work or memory) and Infos (e.g. why weighted
+    /// firing is blocked). See [`analysis`] for the code table.
+    pub fn audit(&self) -> &[Diagnostic] {
+        &self.diagnostics
     }
 
     /// Total number of ops across all statements of all triggers (a size measure used by
@@ -361,15 +382,28 @@ pub fn lower(program: &TriggerProgram) -> Result<ExecPlan, LowerError> {
             &mut seen_patterns,
         )?);
     }
-    let plan = ExecPlan {
+    let mut plan = ExecPlan {
         triggers,
         map_arities: program.maps.iter().map(|m| m.key_vars.len()).collect(),
         index_registrations: registrations,
+        diagnostics: Vec::new(),
     };
     // Belt-and-braces: lowering tracks bound-ness while it builds the plan, but a bug
     // there would make the executor read placeholder frame slots and return wrong
     // numbers silently. Audit the finished plan so that failure mode is impossible.
     plan.verify_slot_liveness()?;
+    // Run the full analyzer pipeline: Error-severity findings (ordering violations,
+    // self-read/writes, missing index registrations) deny the plan outright — today
+    // they would silently corrupt results at runtime; Warnings and Infos ride along
+    // on the plan for `ExecPlan::audit` / `Ring::audit` / `dbring-lint`.
+    let diagnostics = analysis::analyze(program, &plan);
+    if let Some(error) = diagnostics
+        .iter()
+        .find(|d| d.severity == analysis::Severity::Error)
+    {
+        return Err(LowerError::Rejected(Box::new(error.clone())));
+    }
+    plan.diagnostics = diagnostics;
     Ok(plan)
 }
 
@@ -491,12 +525,20 @@ fn lower_trigger(
         });
     }
 
+    let weighted_firing = trigger.supports_weighted_firing();
+    // The analyzer re-derives this from the statement-level conflict graph; the two
+    // must agree exactly (also property-tested in tests/analysis_properties.rs).
+    debug_assert_eq!(
+        weighted_firing,
+        crate::analysis::derived_weighted_firing(trigger),
+        "conflict-graph weighted firing drifted from Trigger::supports_weighted_firing"
+    );
     Ok(PlanTrigger {
         relation: trigger.relation.clone(),
         sign: trigger.sign,
         param_slots,
         frame_len: slots.len(),
-        weighted_firing: trigger.supports_weighted_firing(),
+        weighted_firing,
         statements,
     })
 }

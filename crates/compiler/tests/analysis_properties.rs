@@ -1,0 +1,135 @@
+//! Property tests for the plan auditor (`dbring_compiler::analysis`).
+//!
+//! The load-bearing property: the analyzer's statement-level read/write conflict
+//! graph must re-derive [`Trigger::supports_weighted_firing`] *exactly* — the
+//! runtime's batch path trusts that predicate, so the analyzer reporting a blocked
+//! trigger as clean (or vice versa) would make `DB007` diagnostics lie about what
+//! the executor actually does. Programs here are arbitrary hand-built IR, far
+//! outside what the compiler emits, so the agreement is structural, not an artifact
+//! of compiled shapes.
+
+use dbring_agca::ast::Expr;
+use dbring_agca::parser::parse_query;
+use dbring_algebra::Number;
+use dbring_compiler::analysis::{analyze_program, derived_weighted_firing};
+use dbring_compiler::{
+    audit_program, compile, MapDef, RhsFactor, ScalarExpr, Statement, Trigger, TriggerProgram,
+};
+use dbring_delta::Sign;
+use dbring_relations::Database;
+use proptest::prelude::*;
+
+const MAPS: usize = 4;
+
+/// An arbitrary RHS factor over maps `m0..m3`: a lookup keyed by the trigger
+/// parameter, a scalar, or a guard — shapes the map-level effect analysis must see
+/// through (only lookups read maps).
+fn arb_factor() -> impl Strategy<Value = RhsFactor> {
+    prop_oneof![
+        (0..MAPS).prop_map(|m| RhsFactor::MapLookup {
+            map: m,
+            keys: vec!["@p".to_string()],
+        }),
+        Just(RhsFactor::Scalar(ScalarExpr::Var("@p".to_string()))),
+    ]
+}
+
+fn arb_statement() -> impl Strategy<Value = Statement> {
+    (0..MAPS, prop::collection::vec(arb_factor(), 0..4)).prop_map(|(target, factors)| Statement {
+        target,
+        target_keys: vec!["@p".to_string()],
+        coefficient: Number::Int(1),
+        factors,
+    })
+}
+
+fn arb_trigger() -> impl Strategy<Value = Trigger> {
+    prop::collection::vec(arb_statement(), 1..6).prop_map(|statements| Trigger {
+        relation: "R".to_string(),
+        sign: Sign::Insert,
+        params: vec!["@p".to_string()],
+        statements,
+    })
+}
+
+/// Wraps arbitrary triggers in a program whose map table names every `m0..m3` (the
+/// program-level passes index into it for messages).
+fn program_of(triggers: Vec<Trigger>) -> TriggerProgram {
+    TriggerProgram {
+        maps: (0..MAPS)
+            .map(|id| MapDef {
+                id,
+                name: format!("m{id}"),
+                key_vars: vec!["k".to_string()],
+                definition: Expr::int(0),
+                degree: 1,
+            })
+            .collect(),
+        triggers,
+        output: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The analyzer's conflict-graph derivation and the IR's own predicate must
+    /// agree on every trigger, however adversarial.
+    #[test]
+    fn derived_weighted_firing_matches_the_ir_predicate(trigger in arb_trigger()) {
+        prop_assert_eq!(
+            derived_weighted_firing(&trigger),
+            trigger.supports_weighted_firing(),
+            "analyzer and IR disagree on {:?}",
+            trigger
+        );
+    }
+
+    /// Diagnostics are a pure, deterministic function of the program: two runs give
+    /// the same findings in the same order (the codes are stable identifiers CI and
+    /// tests match on, so ordering jitter would be a contract break).
+    #[test]
+    fn program_diagnostics_are_deterministic(triggers in prop::collection::vec(arb_trigger(), 1..4)) {
+        let program = program_of(triggers);
+        let first = analyze_program(&program);
+        let second = analyze_program(&program);
+        prop_assert_eq!(first, second);
+    }
+}
+
+/// On *compiled* programs the same agreement holds, the full audit is deterministic,
+/// and — the gate `lower()` relies on — no Error-severity diagnostic ever appears.
+#[test]
+fn compiled_corpus_agrees_and_audits_without_errors() {
+    let mut catalog = Database::new();
+    catalog.declare("C", &["cid", "nation"]).unwrap();
+    catalog.declare("R", &["A"]).unwrap();
+    catalog.declare("S", &["A"]).unwrap();
+    for text in [
+        "q1[n] := Sum(C(c, n))",
+        "q2[c] := Sum(C(c, n) * C(c2, n))",
+        "q3 := Sum(C(c, n) * C(c2, n2) * (n = n2))",
+        "q4 := Sum(R(x) * R(y) * (x = y))",
+        "q5 := Sum(R(x) * S(x) * x)",
+        "q6[c] := Sum(C(c, n) * R(n))",
+        "q7 := Sum(C(c, n) * (n >= 2) * n)",
+        "q8 := Sum(C(c, n) * C(c2, n) * n)",
+    ] {
+        let program = compile(&catalog, &parse_query(text).unwrap()).unwrap();
+        for trigger in &program.triggers {
+            assert_eq!(
+                derived_weighted_firing(trigger),
+                trigger.supports_weighted_firing(),
+                "{text}: trigger on {}{}",
+                trigger.sign,
+                trigger.relation
+            );
+        }
+        let audit = audit_program(&program);
+        assert_eq!(audit, audit_program(&program), "{text}: nondeterministic");
+        assert!(
+            !dbring_compiler::analysis::has_errors(&audit),
+            "{text}: compiled program carries an Error diagnostic: {audit:?}"
+        );
+    }
+}

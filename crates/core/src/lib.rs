@@ -101,8 +101,9 @@ pub use dbring_agca::safety::SafetyError;
 pub use dbring_agca::sql::parse_sql;
 pub use dbring_algebra::{Number, Polynomial, RecursiveMemo, Ring as AlgebraicRing, Semiring};
 pub use dbring_compiler::{
-    compile, generate_nc0c, lower, CompileError, ExecPlan, LowerError, PlanOp, PlanStatement,
-    PlanTrigger, Slot, SlotExpr, TriggerProgram, UnboundKey,
+    analyze, analyze_plan, analyze_program, audit_program, compile, generate_nc0c, has_errors,
+    lower, CompileError, DiagCode, Diagnostic, ExecPlan, LowerError, PlanOp, PlanStatement,
+    PlanTrigger, Severity, Slot, SlotExpr, TriggerProgram, UnboundKey,
 };
 pub use dbring_delta::{delta, Sign, UpdateEvent};
 pub use dbring_relations::{
@@ -447,6 +448,13 @@ impl<S: ViewStorage + Send + 'static> IncrementalView<S> {
     /// secondary-index-entry counts (comparable across storage backends).
     pub fn storage_footprint(&self) -> StorageFootprint {
         self.ring.engine_unchecked(self.id).storage_footprint()
+    }
+
+    /// The static plan auditor's diagnostics for this view's compiled program, empty
+    /// when the plan lints clean (see [`Ring::audit_view`]). Auditing re-lowers the
+    /// program, so treat it as a cold introspection call.
+    pub fn audit(&self) -> Vec<Diagnostic> {
+        self.ring.engine_unchecked(self.id).audit()
     }
 
     /// Borrows the underlying executor (for experiments needing map-level access).

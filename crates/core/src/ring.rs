@@ -44,7 +44,7 @@ use dbring_agca::ast::Query;
 use dbring_agca::parser::parse_query;
 use dbring_agca::sql::parse_sql;
 use dbring_algebra::Number;
-use dbring_compiler::{compile, generate_nc0c, TriggerProgram};
+use dbring_compiler::{compile, generate_nc0c, Diagnostic, TriggerProgram};
 use dbring_relations::{BatchNormalizer, Database, DeltaBatch, Interner, Snapshot, Update, Value};
 use dbring_runtime::{
     boxed_engine, EngineRegistry, ExecStats, Executor, ParallelConfig, RuntimeError,
@@ -591,6 +591,21 @@ impl Ring {
         Ok(())
     }
 
+    /// Runs the static plan auditor over one view's compiled program and returns its
+    /// diagnostics (empty means the plan lints clean). Shares [`Ring::view`]'s
+    /// refusal of unknown and quarantined views. Auditing re-lowers the program —
+    /// a cold introspection path, not a per-update one.
+    pub fn audit_view(&self, id: ViewId) -> Result<Vec<Diagnostic>, Error> {
+        Ok(self.view(id)?.audit())
+    }
+
+    /// Audits every live, healthy view (creation order): `(id, diagnostics)` pairs,
+    /// diagnostics empty for views whose plans lint clean. The ring-wide counterpart
+    /// of [`Ring::audit_view`] — what `dbring-lint` runs over each workload ring.
+    pub fn audit(&self) -> Vec<(ViewId, Vec<Diagnostic>)> {
+        self.views().map(|v| (v.id(), v.audit())).collect()
+    }
+
     /// The ids of the live views reading `relation` — the routing table's answer to
     /// "who pays for an update to this relation?".
     pub fn readers_of(&self, relation: &str) -> Vec<ViewId> {
@@ -894,6 +909,12 @@ macro_rules! view_read_api {
         /// secondary-index-entry counts (comparable across storage backends).
         pub fn storage_footprint(&self) -> StorageFootprint {
             self.engine.storage_footprint()
+        }
+
+        /// The static plan auditor's diagnostics for this view's compiled program
+        /// (empty means clean). See [`Ring::audit_view`].
+        pub fn audit(&self) -> Vec<Diagnostic> {
+            self.engine.audit()
         }
     };
 }
@@ -1468,6 +1489,43 @@ mod tests {
             1,
             "direct mode lets the lower slot keep the batch"
         );
+    }
+
+    #[test]
+    fn every_hosted_plan_audits_clean_of_errors() {
+        let mut ring = RingBuilder::new(sales_catalog()).build();
+        let revenue = ring
+            .create_view(
+                "revenue",
+                ViewDef::Sql("SELECT cust, SUM(cents * qty) AS r FROM Sales GROUP BY cust"),
+            )
+            .unwrap();
+        ring.create_view(
+            "pairs",
+            ViewDef::Agca("q := Sum(Sales(c, p, n) * Sales(c2, p2, n2))"),
+        )
+        .unwrap();
+        let audits = ring.audit();
+        assert_eq!(audits.len(), 2);
+        for (id, diags) in &audits {
+            assert!(
+                !diags
+                    .iter()
+                    .any(|d| d.severity == dbring_compiler::Severity::Error),
+                "{id}: {diags:?}"
+            );
+            assert_eq!(&ring.audit_view(*id).unwrap(), diags);
+        }
+        assert_eq!(
+            ring.view(revenue).unwrap().audit(),
+            ring.audit_view(revenue).unwrap()
+        );
+        ring.drop_view(revenue).unwrap();
+        assert!(matches!(
+            ring.audit_view(revenue),
+            Err(Error::UnknownView { .. })
+        ));
+        assert_eq!(ring.audit().len(), 1);
     }
 
     #[test]

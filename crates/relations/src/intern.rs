@@ -1,7 +1,7 @@
 //! Value interning and fixed-width keys for the ingest hot path.
 //!
 //! Batch normalization and executor write-buffer flushes spend most of their time
-//! comparing tuples, and a [`Value`](crate::Value) comparison walks an enum tag, then —
+//! comparing tuples, and a [`Value`] comparison walks an enum tag, then —
 //! for strings — a heap pointer. This module replaces that with a *fixed-width*
 //! representation: every value encodes to one [`IVal`], a `Copy` 128-bit word packing a
 //! variant tag and an order-preserving payload. Strings are mapped to dense `u32` ids by
@@ -10,7 +10,7 @@
 //!
 //! The one wrinkle is *order*: interner ids are assigned in first-seen order, not
 //! lexicographic order, so an `IVal` compare is only authoritative when no strings are
-//! involved. [`KeyPool::sort`] therefore compares raw words first and falls back to the
+//! involved. [`KeyPool::sorted_groups`] therefore compares raw words first and falls back to the
 //! interner's resolved strings only when two `Str`-tagged words differ — the common
 //! integer-keyed case never touches a string, and string-keyed batches still come out in
 //! exact `Value` order (which the ordered storage backend's merge pass relies on).
@@ -40,7 +40,7 @@ const SIGN_BIT: u64 = 1 << 63;
 /// Equality on `IVal` coincides with equality on `Value` (given one [`Interner`]), and
 /// the derived integer order coincides with `Value`'s order *except* between two
 /// distinct strings, whose payloads are first-seen interner ids. Callers that need true
-/// `Value` order on mixed data use [`KeyPool::sort`], which performs the string
+/// `Value` order on mixed data use [`KeyPool::sorted_groups`], which performs the string
 /// fallback; callers on string-free data may compare `IVal`s directly.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct IVal(u128);

@@ -11,7 +11,7 @@
 //!
 //! * [`value`] — the data values of the active domain (`Adom`), hashable and orderable so
 //!   they can key sparse maps;
-//! * [`tuple`] — records as partial functions `Σ → Adom`; the natural join makes the set of
+//! * [`tuple`](mod@tuple) — records as partial functions `Σ → Adom`; the natural join makes the set of
 //!   tuples (minus the inconsistent combinations) a mutilated commutative monoid, so the GMR
 //!   ring arises literally as the monoid ring `A[T]` of `dbring-algebra` (Proposition 3.3);
 //! * [`gmr`] — the GMR type itself plus relation-flavoured helpers (classical-multiset
@@ -19,19 +19,19 @@
 //! * [`pgmr`] — parametrized GMRs, i.e. the avalanche ring over tuples (Section 3.2), which
 //!   algebraizes sideways binding passing;
 //! * [`database`] — named relations with declared column orders, plus single-tuple
-//!   [`Update`](database::Update)s (`±R(t⃗)`), the update streams consumed by every
+//!   [`Update`]s (`±R(t⃗)`), the update streams consumed by every
 //!   maintenance strategy in the workspace;
-//! * [`batch`] — [`DeltaBatch`](batch::DeltaBatch): a sequence of updates normalized
+//! * [`batch`] — [`DeltaBatch`]: a sequence of updates normalized
 //!   into consolidated, sorted per-(relation, sign) delta groups, the input of the
 //!   executors' batch paths;
-//! * [`intern`] — value interning and fixed-width keys: [`Interner`](intern::Interner)
-//!   maps strings to dense ids, [`IVal`](intern::IVal) packs any value into a `Copy`
-//!   128-bit word, [`KeyPool`](intern::KeyPool) sorts flat key runs without per-tuple
-//!   allocation, and [`BatchNormalizer`](intern::BatchNormalizer) is the
+//! * [`intern`] — value interning and fixed-width keys: [`Interner`]
+//!   maps strings to dense ids, [`IVal`] packs any value into a `Copy`
+//!   128-bit word, [`KeyPool`] sorts flat key runs without per-tuple
+//!   allocation, and [`BatchNormalizer`] is the
 //!   scratch-reusing, interned equivalent of `DeltaBatch::from_updates`;
-//! * [`snapshot`] — [`Snapshot`](snapshot::Snapshot): a write-optimized positional
+//! * [`snapshot`] — [`Snapshot`]: a write-optimized positional
 //!   mirror of the base relations, maintained per update and materialized into a
-//!   [`Database`](database::Database) only when a late-registered view needs a
+//!   [`Database`] only when a late-registered view needs a
 //!   backfill source.
 
 #![forbid(unsafe_code)]

@@ -33,7 +33,7 @@ use std::collections::BTreeMap;
 
 use dbring_agca::eval::EvalError;
 use dbring_algebra::Number;
-use dbring_compiler::{LowerError, TriggerProgram};
+use dbring_compiler::{Diagnostic, LowerError, TriggerProgram};
 use dbring_relations::{Database, DeltaBatch, Update, Value};
 
 use crate::executor::{ExecStats, Executor, RuntimeError, StagedBatch};
@@ -58,6 +58,15 @@ pub trait ViewEngine: std::fmt::Debug + Send {
 
     /// The compiled trigger program this engine runs (inspectable, NC0C-generatable).
     fn program(&self) -> &TriggerProgram;
+
+    /// Runs the static plan auditor over this engine's program: re-lowers it and
+    /// returns every [`Diagnostic`] the analysis pass pipeline finds (empty means
+    /// clean). Engines whose program no longer lowers report `DB000 LoweringFailed`
+    /// rather than silently auditing clean. This is a cold-path introspection call —
+    /// auditing re-runs lowering, so don't put it on a per-update path.
+    fn audit(&self) -> Vec<Diagnostic> {
+        dbring_compiler::audit_program(self.program())
+    }
 
     /// Applies one single-tuple update. Updates to relations the program has no
     /// trigger for are ignored; zero-multiplicity updates are explicit no-ops.
@@ -252,7 +261,7 @@ impl_view_engine!(
 ///
 /// # Panics
 /// Panics if the program does not lower (impossible for programs produced by
-/// [`dbring_compiler::compile`], which validates); use [`try_boxed_engine`] for
+/// [`dbring_compiler::compile`](dbring_compiler::compile()), which validates); use [`try_boxed_engine`] for
 /// hand-built programs that may not.
 pub fn boxed_engine(program: TriggerProgram, backend: StorageBackend) -> Box<dyn ViewEngine> {
     try_boxed_engine(program, backend).expect("compiled trigger programs always lower")
@@ -394,6 +403,23 @@ mod tests {
             .as_any_mut()
             .downcast_mut::<Executor<OrderedViewStorage>>()
             .is_none());
+    }
+
+    #[test]
+    fn engines_audit_through_the_object_interface() {
+        let engine = boxed_engine(sum_program(), StorageBackend::Hash);
+        assert!(
+            !dbring_compiler::analysis::has_errors(&engine.audit()),
+            "compiled programs lint clean of errors: {:?}",
+            engine.audit()
+        );
+        // An engine wrapping a corrupted program reports DB000 instead of silence.
+        let mut corrupted = sum_program();
+        corrupted.triggers[0].statements[0].target = 99;
+        let bad = InterpretedExecutor::<HashViewStorage>::with_backend(corrupted);
+        let diags = ViewEngine::audit(&bad);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, dbring_compiler::DiagCode::LoweringFailed);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! [`ExecPlan`].
 //!
 //! Construction lowers the compiled [`TriggerProgram`] once (see
-//! [`dbring_compiler::lower`]): every variable becomes a fixed `u16` slot in a flat
+//! [`dbring_compiler::lower`](dbring_compiler::lower())): every variable becomes a fixed `u16` slot in a flat
 //! per-trigger frame, every map lookup is pre-classified as a fully-bound `Probe` or a
 //! partially-bound `Enumerate` with its slice-index pattern fixed, and every scalar and
 //! guard is rewritten over slots. Applying a single-tuple update then runs the matching
@@ -10,7 +10,7 @@
 //! per-binding environment clones, no name resolution, and — in the steady state, when
 //! the touched map entries already exist — no heap allocation at all (lookup keys are
 //! assembled in a scratch buffer, writes go through
-//! [`ViewStorage::add_ref`](crate::storage::ViewStorage::add_ref), candidate
+//! [`ViewStorage::add_ref`], candidate
 //! frames reuse the capacity of the previous statement's buffers, and the [`Value`]
 //! clones this involves never allocate: ints/floats/bools are `Copy`-sized and strings
 //! are `Arc`-interned, so a clone is a refcount bump).
@@ -310,7 +310,7 @@ impl Executor<HashViewStorage> {
     ///
     /// # Panics
     /// Panics if the program does not lower — impossible for programs produced by
-    /// [`dbring_compiler::compile`], which validates; use [`Executor::try_new`] for
+    /// [`dbring_compiler::compile`](dbring_compiler::compile()), which validates; use [`Executor::try_new`] for
     /// hand-built programs that may not.
     pub fn new(program: TriggerProgram) -> Self {
         Self::with_backend(program)
@@ -369,7 +369,7 @@ impl<S: ViewStorage> Executor<S> {
 
     /// Sets the thread budget for sharding large batched flushes across contiguous
     /// key ranges (see
-    /// [`ViewStorage::apply_sorted_sharded`](crate::storage::ViewStorage::apply_sorted_sharded)).
+    /// [`ViewStorage::apply_sorted_sharded`]).
     /// `1` (the initial state) keeps every flush on the sequential `apply_sorted`
     /// path, exactly. Values are clamped to at least 1. The result is independent of
     /// the budget for integer aggregates; float aggregates may differ by rounding,
@@ -567,7 +567,7 @@ impl<S: ViewStorage> Executor<S> {
     ///   consolidated and handed to [`ViewStorage::apply_sorted`] in one sequential pass
     ///   per map (on ordered backends, a merge) — or, with a shard-thread budget above
     ///   one (see [`Executor::set_parallelism`]), to
-    ///   [`ViewStorage::apply_sorted_sharded`](crate::storage::ViewStorage::apply_sorted_sharded),
+    ///   [`ViewStorage::apply_sorted_sharded`],
     ///   which lands large runs as concurrent contiguous key ranges;
     /// * for self-join-style triggers that read their own targets, a unit-replay
     ///   fallback preserving the exact per-tuple semantics.

@@ -5,11 +5,11 @@
 //!
 //! A standing query goes through two representations before it runs:
 //!
-//! 1. **`TriggerProgram`** (from [`dbring_compiler::compile`]) — the string-named NC0C
+//! 1. **`TriggerProgram`** (from [`dbring_compiler::compile`](dbring_compiler::compile())) — the string-named NC0C
 //!    IR: readable, serializable, validatable, and the right entry point for anything
 //!    that *inspects* a program (code generation, `describe()`, tests over statement
 //!    structure).
-//! 2. **`ExecPlan`** (from [`dbring_compiler::lower`]) — the slot-resolved execution
+//! 2. **`ExecPlan`** (from [`dbring_compiler::lower`](dbring_compiler::lower())) — the slot-resolved execution
 //!    plan: every variable is a fixed `u16` frame slot, every lookup is pre-classified
 //!    as a fully-bound `Probe` or a partially-bound `Enumerate` with its slice-index
 //!    pattern chosen once. This is the right entry point for anything that *runs* a
@@ -18,40 +18,40 @@
 //!
 //! ## Pluggable view storage
 //!
-//! Both executors are generic over the [`ViewStorage`](storage::ViewStorage) backend
+//! Both executors are generic over the [`ViewStorage`] backend
 //! holding their materialized views — the paper's guarantee only needs point probes,
 //! ring accumulation with zero-pruning, and partial-key enumeration, so backends with
 //! different physical trade-offs plug in under the unchanged execution layer:
-//! [`HashViewStorage`](storage::HashViewStorage) (the default: hash map + hash slice
-//! indexes, O(1) probes) and [`OrderedViewStorage`](storage::OrderedViewStorage)
+//! [`HashViewStorage`] (the default: hash map + hash slice
+//! indexes, O(1) probes) and [`OrderedViewStorage`]
 //! (`BTreeMap` + sorted range scans, O(log n) probes but prefix enumerations need no
 //! secondary index at all). Select at compile time by naming the type
 //! (`Executor::<OrderedViewStorage>::with_backend`) or at runtime through
-//! [`StorageBackend`](storage::StorageBackend) and the strategy registry
-//! ([`strategy_by_name`](strategy::strategy_by_name), names like
+//! [`StorageBackend`] and the strategy registry
+//! ([`strategy_by_name`], names like
 //! `"recursive-ivm@ordered"`).
 //!
 //! Four maintenance strategies are provided behind the common
-//! [`MaintenanceStrategy`](strategy::MaintenanceStrategy) interface:
+//! [`MaintenanceStrategy`] interface:
 //!
-//! * [`Executor`](executor::Executor) — **recursive IVM** (the paper's contribution),
+//! * [`Executor`] — **recursive IVM** (the paper's contribution),
 //!   running the lowered plan over flat reusable frames: per update it performs a
 //!   constant number of arithmetic operations per maintained value, never touches the
 //!   base relations, and in the steady state allocates nothing on the heap (keys are
 //!   assembled in scratch buffers; writes go through
-//!   [`ViewStorage::add_ref`](storage::ViewStorage::add_ref), which only clones a key
+//!   [`ViewStorage::add_ref`], which only clones a key
 //!   on first insertion). Arithmetic operations and map writes are counted so the
 //!   experiments can verify the constant-work claim (Theorem 7.1) directly rather than
 //!   only through wall-clock time.
-//! * [`InterpretedExecutor`](interp::InterpretedExecutor) — the same trigger semantics
+//! * [`InterpretedExecutor`] — the same trigger semantics
 //!   interpreted directly over the string-named IR with per-candidate `HashMap`
 //!   environments. Slower by design; it is the auditable reference the lowered path is
 //!   tested (and benchmarked) against, with identical
-//!   [`ExecStats`](executor::ExecStats) accounting.
-//! * [`ClassicalIvm`](baseline::ClassicalIvm) — classical first-order incremental view
+//!   [`ExecStats`] accounting.
+//! * [`ClassicalIvm`] — classical first-order incremental view
 //!   maintenance: only the query result is materialized; on every update the *first*
 //!   delta query is evaluated against the stored database with the reference evaluator.
-//! * [`NaiveReeval`](baseline::NaiveReeval) — non-incremental evaluation: the query is
+//! * [`NaiveReeval`] — non-incremental evaluation: the query is
 //!   recomputed from scratch after every update.
 //!
 //! [`executor::Executor::initialize_from`] loads a compiled program's views from a
