@@ -18,7 +18,7 @@
 //! (add `-- --quick` for a faster, smaller sweep)
 
 use dbring::{HashViewStorage, OrderedViewStorage};
-use dbring_bench::{fault_point, fmt_ns, header, FaultPoint};
+use dbring_bench::{fault_point, fmt_ns, header, write_bench_json, BenchRow, FaultPoint};
 use dbring_workloads::{sales_dashboard, MultiViewWorkload, WorkloadConfig};
 
 const THREADS: &[usize] = &[1, 4];
@@ -29,6 +29,7 @@ fn sweep<S: dbring::ViewStorage + Send + 'static>(
     backend: &str,
     workload: &MultiViewWorkload,
     batches: &[usize],
+    rows: &mut Vec<BenchRow>,
 ) -> Vec<FaultPoint> {
     let mut points = Vec::new();
     println!(
@@ -48,6 +49,19 @@ fn sweep<S: dbring::ViewStorage + Send + 'static>(
                 fmt_ns(p.staged_ns),
                 p.overhead(),
             );
+            // `ops_per_update` carries the staged/direct overhead ratio on the
+            // staged row so the trajectory is trackable as one number.
+            for (metric, ns, ops) in [
+                ("direct_ns", p.direct_ns, 0.0),
+                ("staged_ns", p.staged_ns, p.overhead()),
+            ] {
+                rows.push(BenchRow {
+                    series: format!("faults/{backend}/threads{}/{metric}", p.threads),
+                    batch_size: p.batch_size,
+                    ns_per_update: ns,
+                    ops_per_update: ops,
+                });
+            }
             points.push(p);
         }
     }
@@ -106,8 +120,11 @@ fn main() {
          undo log across the consolidated flush"
     );
 
-    let mut points = sweep::<HashViewStorage>("hash", &dashboard, batches);
-    points.extend(sweep::<OrderedViewStorage>("ordered", &dashboard, batches));
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let mut points = sweep::<HashViewStorage>("hash", &dashboard, batches, &mut rows);
+    points.extend(sweep::<OrderedViewStorage>(
+        "ordered", &dashboard, batches, &mut rows,
+    ));
     report_worst("dashboard", &points);
 
     println!(
@@ -115,4 +132,9 @@ fn main() {
          measured — see EXPERIMENTS.md E13 for recorded sweeps and discussion",
         points.len()
     );
+
+    match write_bench_json("exp_faults", &rows) {
+        Ok(path) => println!("wrote {} rows to {path}", rows.len()),
+        Err(error) => println!("failed to write bench json: {error}"),
+    }
 }

@@ -13,7 +13,7 @@
 //! Run with: `cargo run --release -p dbring-bench --bin exp_storage`
 //! (add `-- --quick` for a faster, smaller sweep)
 
-use dbring_bench::{fmt_ns, header, storage_point, StoragePoint};
+use dbring_bench::{fmt_ns, header, storage_point, write_bench_json, BenchRow, StoragePoint};
 use dbring_workloads::{
     customers_by_nation, orders_lineitems, rst_sum_join, self_join_count, WorkloadConfig,
 };
@@ -26,10 +26,12 @@ fn main() {
         &[1_000, 5_000, 20_000]
     };
     let stream_length = if quick { 300 } else { 1_000 };
+    let mut rows: Vec<BenchRow> = Vec::new();
 
-    for (name, make) in [
+    for (name, slug, make) in [
         (
             "self-join count (Example 1.2, probe-only)",
+            "self-join",
             (|n: usize, stream: usize| {
                 self_join_count(WorkloadConfig {
                     seed: 91,
@@ -40,33 +42,45 @@ fn main() {
                 })
             }) as fn(usize, usize) -> dbring_workloads::Workload,
         ),
-        ("customers by nation (Example 5.2)", |n, stream| {
-            customers_by_nation(WorkloadConfig {
-                seed: 92,
-                initial_size: n,
-                stream_length: stream,
-                domain_size: 12,
-                delete_fraction: 0.2,
-            })
-        }),
-        ("three-way sum join (Example 1.3)", |n, stream| {
-            rst_sum_join(WorkloadConfig {
-                seed: 93,
-                initial_size: n,
-                stream_length: stream,
-                domain_size: (n / 20).max(50),
-                delete_fraction: 0.1,
-            })
-        }),
-        ("orders × lineitems (FK join)", |n, stream| {
-            orders_lineitems(WorkloadConfig {
-                seed: 94,
-                initial_size: n,
-                stream_length: stream,
-                domain_size: (n / 10).max(20),
-                delete_fraction: 0.1,
-            })
-        }),
+        (
+            "customers by nation (Example 5.2)",
+            "customers-by-nation",
+            |n, stream| {
+                customers_by_nation(WorkloadConfig {
+                    seed: 92,
+                    initial_size: n,
+                    stream_length: stream,
+                    domain_size: 12,
+                    delete_fraction: 0.2,
+                })
+            },
+        ),
+        (
+            "three-way sum join (Example 1.3)",
+            "rst-join",
+            |n, stream| {
+                rst_sum_join(WorkloadConfig {
+                    seed: 93,
+                    initial_size: n,
+                    stream_length: stream,
+                    domain_size: (n / 20).max(50),
+                    delete_fraction: 0.1,
+                })
+            },
+        ),
+        (
+            "orders × lineitems (FK join)",
+            "orders-lineitems",
+            |n, stream| {
+                orders_lineitems(WorkloadConfig {
+                    seed: 94,
+                    initial_size: n,
+                    stream_length: stream,
+                    domain_size: (n / 10).max(20),
+                    delete_fraction: 0.1,
+                })
+            },
+        ),
     ] {
         header(name);
         println!(
@@ -95,6 +109,16 @@ fn main() {
                 point.hash_footprint.index_entries,
                 point.ordered_footprint.index_entries,
             );
+            // `batch_size` carries the sweep's x-axis (initial |D|); both series
+            // share the per-update op count, which is identical across backends.
+            for (metric, ns) in [("hash_ns", point.hash_ns), ("ordered_ns", point.ordered_ns)] {
+                rows.push(BenchRow {
+                    series: format!("storage/{slug}/{metric}"),
+                    batch_size: n,
+                    ns_per_update: ns,
+                    ops_per_update: point.ops_per_update,
+                });
+            }
             points.push(point);
         }
         let mean_ratio = points
@@ -106,5 +130,10 @@ fn main() {
             "mean ordered/hash latency ratio {mean_ratio:.2}x (identical ring work on both \
              backends; entries always match, index entries differ by layout)"
         );
+    }
+
+    match write_bench_json("exp_storage", &rows) {
+        Ok(path) => println!("\nwrote {} rows to {path}", rows.len()),
+        Err(error) => println!("\nfailed to write bench json: {error}"),
     }
 }

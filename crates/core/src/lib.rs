@@ -115,13 +115,13 @@ pub use dbring_runtime::{
     boxed_engine, boxed_engine_by_name, interpreted_ivm, recursive_ivm, strategy_by_name,
     try_boxed_engine, ClassicalIvm, EngineRegistry, ExecStats, Executor, FaultOp, FaultPlan,
     FaultStorage, HashViewStorage, InterpretedExecutor, MaintenanceStrategy, NaiveReeval,
-    OrderedViewStorage, ParallelConfig, RuntimeError, StagedBatch, StorageBackend,
-    StorageFootprint, ViewEngine, ViewStorage,
+    OrderedViewStorage, ParallelConfig, RuntimeError, SnapshotStore, StagedBatch, StorageBackend,
+    StorageFootprint, ViewEngine, ViewSnapshot, ViewStorage,
 };
 
 mod ring;
 
-pub use ring::{Ring, RingBuilder, ViewDef, ViewId, ViewMut, ViewRef};
+pub use ring::{Ring, RingBuilder, RingHandle, ViewDef, ViewId, ViewMut, ViewRef};
 
 /// A schema catalog: relation names and their column lists. (Alias of [`Database`]; a
 /// catalog is simply a database whose contents are ignored — [`RingBuilder::new`] and

@@ -38,7 +38,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use dbring_agca::ast::Query;
 use dbring_agca::parser::parse_query;
@@ -48,7 +50,8 @@ use dbring_compiler::{compile, generate_nc0c, Diagnostic, TriggerProgram};
 use dbring_relations::{BatchNormalizer, Database, DeltaBatch, Interner, Snapshot, Update, Value};
 use dbring_runtime::{
     boxed_engine, EngineRegistry, ExecStats, Executor, ParallelConfig, RuntimeError,
-    StorageBackend, StorageFootprint, ViewEngine, ViewStorage,
+    SnapshotAccess, SnapshotStore, StorageBackend, StorageFootprint, ViewEngine, ViewSnapshot,
+    ViewStorage,
 };
 
 use crate::{Catalog, Error};
@@ -203,6 +206,9 @@ impl RingBuilder {
             infos: Vec::new(),
             names: BTreeMap::new(),
             normalizer: BatchNormalizer::new(),
+            snapshots: Arc::new(SnapshotStore::new()),
+            serving: AtomicBool::new(false),
+            publish_ns: AtomicU64::new(0),
         }
     }
 }
@@ -254,7 +260,7 @@ impl fmt::Debug for ViewInfo {
 /// assert_eq!(ring.view(revenue).unwrap().value(&[Value::int(1)]).as_f64(), 19.5);
 /// assert_eq!(ring.view(orders).unwrap().value(&[Value::int(1)]).as_f64(), 2.0);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Ring {
     /// The schema every view is validated and compiled against (declarations only).
     catalog: Database,
@@ -276,6 +282,62 @@ pub struct Ring {
     /// across batches. Interner ids are stable for the ring's lifetime — view churn
     /// ([`Ring::drop_view`], [`Ring::repair_view`]) never invalidates them.
     normalizer: BatchNormalizer,
+    /// The read-side publication slots, shared with every [`RingHandle`] the ring
+    /// hands out. Slot indices parallel the registry's. Interior-mutable so the
+    /// ingest path can publish through `&self` borrows of sibling fields.
+    snapshots: Arc<SnapshotStore>,
+    /// Whether snapshot publication is live. Flipped on (permanently) by the first
+    /// read-side request — [`Ring::reader`] / [`Ring::snapshot`] — so rings that are
+    /// never read through snapshots pay a single untaken branch per commit.
+    serving: AtomicBool,
+    /// Cumulative wall-clock nanoseconds spent publishing snapshots (the write-side
+    /// cost of the read path; see [`Ring::snapshot_publish_ns`]).
+    publish_ns: AtomicU64,
+}
+
+impl Clone for Ring {
+    /// Clones the ring's state — catalog, engines, base snapshot, counters — with a
+    /// **fresh** publication store: the clone publishes to its own slots, never to
+    /// the original's readers (a [`RingHandle`] keeps addressing the ring it came
+    /// from). Serving state carries over: if the original was serving, the clone
+    /// starts serving too, with its views republished from the cloned engines.
+    fn clone(&self) -> Self {
+        let clone = Ring {
+            catalog: self.catalog.clone(),
+            snapshot: self.snapshot.clone(),
+            backend: self.backend,
+            track_base: self.track_base,
+            ingested: self.ingested,
+            registry: self.registry.clone(),
+            infos: self.infos.clone(),
+            names: self.names.clone(),
+            normalizer: self.normalizer.clone(),
+            snapshots: Arc::new(SnapshotStore::new()),
+            serving: AtomicBool::new(false),
+            publish_ns: AtomicU64::new(0),
+        };
+        // Mirror the slot layout (tombstones included) so ids stay aligned.
+        for slot in 0..clone.infos.len() {
+            match &clone.infos[slot] {
+                Some(info) => {
+                    clone.snapshots.register(ViewSnapshot::new(
+                        Arc::from(info.name.as_str()),
+                        0,
+                        clone.ingested,
+                        Vec::new(),
+                    ));
+                    if clone.registry.is_poisoned(slot as u32) {
+                        clone.snapshots.poison(slot as u32);
+                    }
+                }
+                None => clone.snapshots.register_dropped(),
+            }
+        }
+        if self.serving.load(AtomicOrdering::Relaxed) {
+            clone.enable_serving();
+        }
+        clone
+    }
 }
 
 impl Ring {
@@ -438,6 +500,17 @@ impl Ring {
             factory,
         }));
         let id = ViewId(slot);
+        let registered = self.snapshots.register(ViewSnapshot::new(
+            Arc::from(name.as_str()),
+            0,
+            self.ingested,
+            Vec::new(),
+        ));
+        debug_assert_eq!(registered, slot);
+        if self.serving() {
+            // Serve the backfilled table immediately, not at the next commit.
+            self.publish_slots(&[slot]);
+        }
         self.names.insert(name, id);
         Ok(id)
     }
@@ -453,6 +526,9 @@ impl Ring {
             .take()
             .expect("registry slots and view infos stay in sync");
         self.names.remove(&info.name);
+        // Release the published snapshot promptly: the slot stops serving now, and
+        // the table's memory is freed as soon as the last reader handle drops.
+        self.snapshots.evict(id.0);
         // View churn must never perturb the ingest interner: ids stay dense, stable
         // and resolvable (no dangling ids) no matter which views come and go.
         debug_assert!(self.normalizer.interner().is_consistent());
@@ -585,6 +661,11 @@ impl Ring {
         self.registry
             .replace(id.0, engine)
             .expect("checked live just above");
+        if self.serving() {
+            // Republication clears the store-side quarantine flag along with the
+            // registry-side one: the repaired view serves again immediately.
+            self.publish_slots(&[id.0]);
+        }
         // A rebuild replays from the snapshot through a fresh engine; the ring-level
         // interner is untouched, so previously returned ids stay valid.
         debug_assert!(self.normalizer.interner().is_consistent());
@@ -614,6 +695,123 @@ impl Ring {
             .iter()
             .map(|&slot| ViewId(slot))
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot read path
+    // ------------------------------------------------------------------
+
+    /// A cloneable, `Send + Sync` read handle on this ring's published snapshots —
+    /// the reader half of the writer/reader split: move the `Ring` into your ingest
+    /// thread and hand [`RingHandle`] clones to any number of reader threads.
+    ///
+    /// The first read-side request (this method or [`Ring::snapshot`]) switches the
+    /// ring into *serving* mode: every live view is published once, and from then on
+    /// each successful commit — a single-tuple [`Ring::apply`] or a whole
+    /// [`Ring::apply_batch`] — republishes the views it touched at that quiescent
+    /// point. Rings that never serve snapshots pay one untaken branch per commit.
+    pub fn reader(&self) -> RingHandle {
+        self.enable_serving();
+        RingHandle {
+            store: Arc::clone(&self.snapshots),
+        }
+    }
+
+    /// Acquires the current published snapshot of one view — O(1), independent of
+    /// view size (an `Arc` clone of the table published at the last quiescent
+    /// point). Same refusals as [`Ring::view`]: unknown/dropped ids are
+    /// [`Error::UnknownView`](crate::Error::UnknownView), quarantined views are
+    /// [`Error::ViewPoisoned`](crate::Error::ViewPoisoned) *at acquire time* — a
+    /// snapshot handed out before the failure stays valid and consistent.
+    ///
+    /// Switches the ring into serving mode on first use (see [`Ring::reader`]), so
+    /// the first call publishes every live view and is O(total output size).
+    pub fn snapshot(&self, id: ViewId) -> Result<ViewSnapshot, Error> {
+        self.enable_serving();
+        acquire_snapshot(&self.snapshots, id.0, || id.to_string())
+    }
+
+    /// [`Ring::snapshot`] addressed by view name.
+    pub fn snapshot_named(&self, name: &str) -> Result<ViewSnapshot, Error> {
+        self.enable_serving();
+        let slot = self
+            .snapshots
+            .find(name)
+            .ok_or_else(|| Error::UnknownView {
+                view: name.to_string(),
+            })?;
+        acquire_snapshot(&self.snapshots, slot, || name.to_string())
+    }
+
+    /// Whether the ring is publishing snapshots at commit points (flipped on by the
+    /// first [`Ring::reader`] / [`Ring::snapshot`] call, never off).
+    pub fn serving(&self) -> bool {
+        self.serving.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Cumulative wall-clock nanoseconds the ingest path has spent publishing
+    /// snapshots — the *writer-side* cost of the read path (zero until serving
+    /// starts). `exp_serve` reports this per batch as the snapshot-publish cost.
+    pub fn snapshot_publish_ns(&self) -> u64 {
+        self.publish_ns.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Total groups currently held across all published snapshots — the publication
+    /// store's memory proxy, analogous to [`StorageFootprint`] for the engine side.
+    /// Dropping a view releases its contribution promptly.
+    pub fn snapshot_footprint(&self) -> usize {
+        self.snapshots.published_entries()
+    }
+
+    /// Switches on snapshot publication (idempotent): publishes every live view at
+    /// the current quiescent point and mirrors quarantine flags into the store.
+    fn enable_serving(&self) {
+        if self.serving.swap(true, AtomicOrdering::Relaxed) {
+            return;
+        }
+        let slots: Vec<u32> = (0..self.infos.len() as u32).collect();
+        self.publish_slots(&slots);
+        self.sync_quarantine();
+    }
+
+    /// Publishes fresh snapshots for the given slots (skipping dropped and
+    /// quarantined ones) under one publication epoch, accumulating the spent time
+    /// into [`Ring::snapshot_publish_ns`]. The per-slot cost is one output-table
+    /// export — O(view output size) — paid by the *writer* at the commit boundary;
+    /// readers never copy.
+    fn publish_slots(&self, slots: &[u32]) {
+        if slots.is_empty() {
+            return;
+        }
+        let started = Instant::now();
+        let epoch = self.snapshots.next_epoch();
+        for &slot in slots {
+            if self.registry.is_poisoned(slot) {
+                continue;
+            }
+            let Some(engine) = self.registry.engine(slot) else {
+                continue;
+            };
+            let Some(info) = self.infos[slot as usize].as_ref() else {
+                continue;
+            };
+            let entries: Vec<(Vec<Value>, Number)> = engine.output_table().into_iter().collect();
+            self.snapshots.publish(
+                slot,
+                ViewSnapshot::new(Arc::from(info.name.as_str()), epoch, self.ingested, entries),
+            );
+        }
+        self.publish_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, AtomicOrdering::Relaxed);
+    }
+
+    /// Mirrors the registry's quarantine flags into the publication store, so
+    /// acquisition reports [`Error::ViewPoisoned`](crate::Error::ViewPoisoned)
+    /// instead of serving a stale pre-failure table as if it were current.
+    fn sync_quarantine(&self) {
+        for slot in self.registry.poisoned_slots() {
+            self.snapshots.poison(slot);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -648,13 +846,21 @@ impl Ring {
     }
 
     /// The post-validation half of [`Ring::apply`]: engines first, snapshot and
-    /// counter only on full success.
+    /// counter only on full success. When serving, a successful single-tuple apply
+    /// is a quiescent point: the touched views republish before this returns.
     fn apply_validated(&mut self, update: &Update) -> Result<(), RuntimeError> {
-        self.registry.apply(update)?;
+        if let Err(error) = self.registry.apply(update) {
+            self.sync_quarantine();
+            return Err(error);
+        }
         if self.track_base {
             self.snapshot.apply(update);
         }
         self.ingested += update.multiplicity.unsigned_abs();
+        if self.serving() {
+            let touched = self.registry.readers_of(&update.relation).to_vec();
+            self.publish_slots(&touched);
+        }
         Ok(())
     }
 
@@ -779,11 +985,26 @@ impl Ring {
         }
         // Engines first, snapshot only on full success: a rejected batch must never
         // enter the backfill source (see `Ring::apply`).
-        self.registry.apply_batch(batch)?;
+        if let Err(error) = self.registry.apply_batch(batch) {
+            self.sync_quarantine();
+            return Err(error.into());
+        }
         if self.track_base {
             self.snapshot.apply_delta_batch(batch);
         }
         self.ingested += batch.total_weight();
+        if self.serving() {
+            // The batch committed everywhere — a quiescent point. Republish exactly
+            // the views that read a touched relation; snapshots of the others are
+            // still current by construction.
+            let mut touched: Vec<u32> = Vec::new();
+            for group in batch.groups() {
+                touched.extend_from_slice(self.registry.readers_of(group.relation()));
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            self.publish_slots(&touched);
+        }
         Ok(())
     }
 
@@ -821,6 +1042,9 @@ impl Ring {
             view: id.to_string(),
         })?;
         engine.initialize_from(db)?;
+        if self.serving() {
+            self.publish_slots(&[id.0]);
+        }
         Ok(())
     }
 
@@ -968,6 +1192,96 @@ impl fmt::Debug for ViewMut<'_> {
             .field("name", &self.info.name)
             .field("engine", &self.engine.engine_name())
             .finish()
+    }
+}
+
+/// Maps a publication-store acquisition to the ring's error vocabulary.
+fn acquire_snapshot(
+    store: &SnapshotStore,
+    slot: u32,
+    who: impl FnOnce() -> String,
+) -> Result<ViewSnapshot, Error> {
+    match store.acquire(slot) {
+        SnapshotAccess::Published(snapshot) => Ok(snapshot),
+        SnapshotAccess::Poisoned(name) => Err(Error::ViewPoisoned {
+            view: name.to_string(),
+        }),
+        SnapshotAccess::Dropped | SnapshotAccess::Unknown => {
+            Err(Error::UnknownView { view: who() })
+        }
+    }
+}
+
+/// The reader half of a [`Ring`]: a cheap, cloneable, `Send + Sync` handle on the
+/// ring's published snapshots, detached from the ring's borrow.
+///
+/// Obtained from [`Ring::reader`]. The intended split is one ingest thread owning
+/// the `&mut Ring` and any number of reader threads holding `RingHandle` clones:
+/// reads acquire O(1) point-in-time [`ViewSnapshot`]s published at batch-commit
+/// quiescent points, and never contend with the writer beyond a pointer-sized
+/// critical section at acquire.
+///
+/// A handle observes the ring's view lifecycle as of each acquisition: snapshots of
+/// views created later are visible once published, dropped views report
+/// [`Error::UnknownView`](crate::Error::UnknownView), and quarantined views report
+/// [`Error::ViewPoisoned`](crate::Error::ViewPoisoned) at acquire time (snapshots
+/// acquired *before* the failure stay readable — they are immutable data).
+///
+/// ```
+/// use dbring::{Catalog, RingBuilder, Update, Value, ViewDef};
+///
+/// let mut catalog = Catalog::new();
+/// catalog.declare("Sales", &["cust", "cents"]).unwrap();
+/// let mut ring = RingBuilder::new(catalog).build();
+/// let revenue = ring
+///     .create_view(
+///         "revenue",
+///         ViewDef::Sql("SELECT cust, SUM(cents) AS revenue FROM Sales GROUP BY cust"),
+///     )
+///     .unwrap();
+///
+/// let reader = ring.reader();
+/// let writer = std::thread::spawn(move || {
+///     ring.apply_batch(&[Update::insert("Sales", vec![Value::int(1), Value::int(500)])])
+///         .unwrap();
+///     ring
+/// });
+/// // Reader threads acquire consistent snapshots while the writer ingests.
+/// let snapshot = reader.snapshot(revenue).unwrap();
+/// assert!(snapshot.value(&[Value::int(1)]).as_f64() <= 500.0);
+/// let ring = writer.join().unwrap();
+/// assert_eq!(ring.snapshot(revenue).unwrap().value(&[Value::int(1)]).as_f64(), 500.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RingHandle {
+    store: Arc<SnapshotStore>,
+}
+
+impl RingHandle {
+    /// Acquires the current published snapshot of one view — O(1): an `Arc` clone
+    /// under a pointer-sized critical section, never a table copy.
+    pub fn snapshot(&self, id: ViewId) -> Result<ViewSnapshot, Error> {
+        acquire_snapshot(&self.store, id.0, || id.to_string())
+    }
+
+    /// [`RingHandle::snapshot`] addressed by view name.
+    pub fn snapshot_named(&self, name: &str) -> Result<ViewSnapshot, Error> {
+        let slot = self.store.find(name).ok_or_else(|| Error::UnknownView {
+            view: name.to_string(),
+        })?;
+        acquire_snapshot(&self.store, slot, || name.to_string())
+    }
+
+    /// The id of the live (published or quarantined) view with the given name, as
+    /// of this call.
+    pub fn view_id(&self, name: &str) -> Option<ViewId> {
+        self.store.find(name).map(ViewId)
+    }
+
+    /// Total groups currently held across all published snapshots (see
+    /// [`Ring::snapshot_footprint`]).
+    pub fn snapshot_footprint(&self) -> usize {
+        self.store.published_entries()
     }
 }
 

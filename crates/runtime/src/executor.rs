@@ -206,25 +206,93 @@ struct UndoOp {
 /// vectors are warm (the executor recycles the log across batches), which is what
 /// keeps staged ingest within a few percent of the direct path.
 ///
+/// One pre-image per *distinct* `(map, key)` per batch suffices: only the first
+/// write to a key sees its pre-batch value, so [`UndoLog::push_once`] keeps a
+/// per-batch seen-set (hash buckets verified by key comparison against the arena —
+/// a collision can never suppress a needed pre-image) and skips both the log append
+/// *and* the caller's pre-image probe for keys already captured. Enumeration-heavy
+/// unit-replay triggers rewrite the same hot keys hundreds of times per batch; this
+/// is what keeps their staging overhead bounded by the *distinct* write set.
+///
+/// The consolidated flush path uses [`UndoLog::push_unchecked`] instead: keys in one
+/// consolidated run are already unique, the pre-image is learned inside the landing
+/// lookup (no probe to save), and a duplicate entry from a *different* flush of the
+/// same batch is harmless — reverse-order restore replays the earliest (true)
+/// pre-image last — so the per-write seen-set check would cost more than the rare
+/// duplicate append it avoids.
+///
 /// Restoring the ops in *reverse* order via [`ViewStorage::restore`] reproduces the
 /// pre-batch storage bit-exactly, because the first op logged for a key holds its
-/// original value and is restored last.
+/// original value and is restored last (with deduplication it is also the *only*
+/// op for that key, which restores the same state).
 #[derive(Clone, Debug, Default)]
 pub(crate) struct UndoLog {
     ops: Vec<UndoOp>,
     keys: Vec<Value>,
+    /// Per-batch seen-set: hash of `(map, key)` → ops already logged under that
+    /// hash, as `(map, key start, key len)` offsets into `keys` for verification.
+    seen: HashMap<u64, Vec<(u32, u32, u32)>>,
 }
 
 impl UndoLog {
-    /// Logs one write's pre-image.
+    fn hash_key(map: usize, key: &[Value]) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        map.hash(&mut h);
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    /// Appends one pre-image without consulting or updating the seen-set.
     #[inline]
-    pub(crate) fn push(&mut self, map: usize, key: &[Value], pre: Number) {
+    fn append(&mut self, map: usize, key: &[Value], pre: Number) -> u32 {
+        let start = self.keys.len() as u32;
         self.keys.extend_from_slice(key);
         self.ops.push(UndoOp {
             map: map as u32,
             key_len: key.len() as u32,
             pre,
         });
+        start
+    }
+
+    /// Whether this batch already logged a pre-image for `(map, key)`; if not,
+    /// records it as logged. The caller only probes and appends on `false`.
+    #[inline]
+    fn note_unlogged(&mut self, map: usize, key: &[Value]) -> Option<u64> {
+        let hash = Self::hash_key(map, key);
+        if let Some(bucket) = self.seen.get(&hash) {
+            for &(m, start, len) in bucket {
+                let slice = &self.keys[start as usize..(start + len) as usize];
+                if m as usize == map && slice == key {
+                    return None;
+                }
+            }
+        }
+        Some(hash)
+    }
+
+    /// Logs `key`'s pre-image unless this batch already logged it for `map`. The
+    /// pre-image is probed lazily — a repeat write skips the probe entirely.
+    #[inline]
+    pub(crate) fn push_once(&mut self, map: usize, key: &[Value], pre: impl FnOnce() -> Number) {
+        let Some(hash) = self.note_unlogged(map, key) else {
+            return;
+        };
+        let pre = pre();
+        let start = self.append(map, key, pre);
+        self.seen
+            .entry(hash)
+            .or_default()
+            .push((map as u32, start, key.len() as u32));
+    }
+
+    /// Logs `key`'s pre-image without consulting the seen-set — for the consolidated
+    /// flush path, where keys are unique within a run, the pre-image is already in
+    /// hand, and cross-flush duplicates restore correctly in reverse order.
+    #[inline]
+    pub(crate) fn push_unchecked(&mut self, map: usize, key: &[Value], pre: Number) {
+        self.append(map, key, pre);
     }
 
     /// Number of logged pre-images.
@@ -232,10 +300,12 @@ impl UndoLog {
         self.ops.len()
     }
 
-    /// Empties the log, keeping both allocations for reuse.
+    /// Empties the log, keeping the allocations (arena, ops, seen-set buckets) for
+    /// reuse by the next batch.
     pub(crate) fn clear(&mut self) {
         self.ops.clear();
         self.keys.clear();
+        self.seen.clear();
     }
 }
 
@@ -768,21 +838,23 @@ impl<S: ViewStorage> Executor<S> {
                         }
                     }
                     // When staging, every key the flush touches is logged with its
-                    // pre-image. Keys in a consolidated run are unique, so the log
-                    // order within the run is immaterial for rollback; the sequential
-                    // path captures pre-images inside the landing pass itself
-                    // (`apply_sorted_logged` shares the lookup), the sharded path in
-                    // one probe pass up front.
+                    // pre-image, unchecked: keys in a consolidated run are unique,
+                    // and a key another flush of this batch already logged restores
+                    // correctly anyway (reverse order replays the true pre-image
+                    // last). The sequential path captures pre-images inside the
+                    // landing pass itself (`apply_sorted_logged` shares the lookup),
+                    // the sharded path in one probe pass up front.
                     match (undo.as_deref_mut(), shards > 1) {
                         (Some(undo), true) => {
                             for (key, _) in &refs {
-                                undo.push(stmt.target, key, maps[stmt.target].get(key));
+                                let pre = maps[stmt.target].get(key);
+                                undo.push_unchecked(stmt.target, key, pre);
                             }
                             maps[stmt.target].apply_sorted_sharded(&refs, shards);
                         }
                         (Some(undo), false) => {
                             maps[stmt.target].apply_sorted_logged(&refs, |key, pre| {
-                                undo.push(stmt.target, key, pre)
+                                undo.push_unchecked(stmt.target, key, pre)
                             });
                         }
                         (None, true) => maps[stmt.target].apply_sorted_sharded(&refs, shards),
@@ -864,7 +936,7 @@ fn run_statement<S: ViewStorage>(
             key_buf.push(cur_vals[row * stride + s as usize].clone());
         }
         if let Some(undo) = undo {
-            undo.push(stmt.target, key_buf, target.get(key_buf));
+            undo.push_once(stmt.target, key_buf, || target.get(key_buf));
         }
         target.add_ref(key_buf, stmt.coefficient.mul(&acc));
     }

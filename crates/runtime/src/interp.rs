@@ -468,7 +468,7 @@ impl<S: ViewStorage> InterpretedExecutor<S> {
         for (key, delta) in writes {
             stats.additions += 1;
             if let Some(undo) = undo {
-                undo.push(stmt.target, &key, maps[stmt.target].get(&key));
+                undo.push_once(stmt.target, &key, || maps[stmt.target].get(&key));
             }
             maps[stmt.target].add(key, delta);
         }

@@ -67,6 +67,7 @@ pub mod executor;
 pub mod fault;
 pub mod interp;
 pub mod registry;
+pub mod snapshot;
 pub mod storage;
 pub mod strategy;
 
@@ -76,6 +77,7 @@ pub use executor::{ExecStats, Executor, RuntimeError, StagedBatch};
 pub use fault::{FaultOp, FaultPlan, FaultStorage};
 pub use interp::InterpretedExecutor;
 pub use registry::{EngineRegistry, ParallelConfig};
+pub use snapshot::{SnapshotAccess, SnapshotStore, ViewSnapshot};
 pub use storage::{
     HashViewStorage, MapStorage, OrderedViewStorage, StorageBackend, StorageFootprint, ViewStorage,
 };

@@ -1,0 +1,447 @@
+//! Published read-only view snapshots: the read side of the serving story.
+//!
+//! The ingest side of this runtime mutates [`ViewStorage`](crate::ViewStorage) maps
+//! in place under `&mut` access, so a reader holding `&Ring` blocks the writer (and
+//! vice versa). This module decouples the two with an epoch-published, RCU-style
+//! snapshot per view:
+//!
+//! * [`ViewSnapshot`] — an immutable, `Arc`-shared copy of one view's output table,
+//!   sorted by group key. Cloning is an `Arc` clone (O(1)); every read — point
+//!   lookups, prefix scans, full iteration — runs lock-free against the shared
+//!   immutable data, so any number of threads can read one snapshot concurrently
+//!   while the writer keeps ingesting.
+//! * [`SnapshotStore`] — the per-view publication slots. A writer *publishes* a fresh
+//!   snapshot at a quiescent point (a batch-commit boundary); readers *acquire* the
+//!   current snapshot. Acquire is O(1): one shared-lock on the slot table plus one
+//!   per-slot mutex held only for an `Arc` clone — never for the duration of a read —
+//!   and publication swaps a pointer, so writers never wait for readers to finish.
+//!
+//! The store tracks view lifecycle alongside the published data: a quarantined view's
+//! slot is flagged so acquisition fails *up front* ([`SnapshotAccess::Poisoned`])
+//! instead of serving a table that reflects a half-applied batch, and a dropped
+//! view's slot releases its snapshot promptly ([`SnapshotAccess::Dropped`]) so the
+//! memory is reclaimed as soon as the last outstanding reader handle goes away.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use dbring_algebra::Number;
+use dbring_relations::Value;
+
+/// An immutable point-in-time copy of one view's output table, shared by `Arc`.
+///
+/// A snapshot is produced by the ingest side at a batch-commit quiescent point and
+/// never changes afterwards: updates ingested later publish *new* snapshots and can
+/// never perturb one already handed out. `Clone` is an `Arc` clone, and every
+/// accessor takes `&self` over immutable data, so snapshots are `Send + Sync` and
+/// freely shared across reader threads with zero locking on the read path.
+#[derive(Clone)]
+pub struct ViewSnapshot {
+    inner: Arc<SnapshotInner>,
+}
+
+struct SnapshotInner {
+    name: Arc<str>,
+    epoch: u64,
+    ingested: u64,
+    /// The output table, sorted ascending by group key (unique keys, no zeros) —
+    /// binary-searchable for point lookups and contiguous for prefix scans.
+    entries: Vec<(Vec<Value>, Number)>,
+}
+
+/// Compares a key against a prefix, considering only the key's first
+/// `prefix.len()` components (a key shorter than the prefix compares `Less`,
+/// so it can never match).
+fn prefix_cmp(key: &[Value], prefix: &[Value]) -> Ordering {
+    key[..key.len().min(prefix.len())].cmp(prefix)
+}
+
+impl ViewSnapshot {
+    /// Builds a snapshot from entries already sorted ascending by unique key
+    /// (the order a `BTreeMap` iterates in).
+    pub fn new(
+        name: Arc<str>,
+        epoch: u64,
+        ingested: u64,
+        entries: Vec<(Vec<Value>, Number)>,
+    ) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        ViewSnapshot {
+            inner: Arc::new(SnapshotInner {
+                name,
+                epoch,
+                ingested,
+                entries,
+            }),
+        }
+    }
+
+    /// The name of the view this snapshot was published from.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The store-wide publication epoch this snapshot was published at. Strictly
+    /// increasing per publication round, so two snapshots of one view are ordered
+    /// by epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+
+    /// How many single-tuple updates the ring had ingested when this snapshot was
+    /// published — the snapshot equals the view's table after exactly that prefix
+    /// of the update stream.
+    pub fn ingested(&self) -> u64 {
+        self.inner.ingested
+    }
+
+    /// Number of groups (rows) in the snapshot.
+    pub fn len(&self) -> usize {
+        self.inner.entries.len()
+    }
+
+    /// Whether the snapshot holds no groups.
+    pub fn is_empty(&self) -> bool {
+        self.inner.entries.is_empty()
+    }
+
+    /// Point lookup: the value stored under `key`, if the group is present.
+    pub fn get(&self, key: &[Value]) -> Option<Number> {
+        self.inner
+            .entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| self.inner.entries[i].1)
+    }
+
+    /// Point lookup with the ring's absent-means-zero convention (the snapshot
+    /// counterpart of a live view's `value()`).
+    pub fn value(&self, key: &[Value]) -> Number {
+        self.get(key).unwrap_or(Number::Int(0))
+    }
+
+    /// Iterates every `(key, value)` group in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Value], Number)> {
+        self.inner.entries.iter().map(|(k, v)| (k.as_slice(), *v))
+    }
+
+    /// Prefix scan: every group whose key begins with `prefix`, in ascending key
+    /// order, located by binary search (no full-table walk).
+    pub fn prefix_scan<'a>(
+        &'a self,
+        prefix: &[Value],
+    ) -> impl Iterator<Item = (&'a [Value], Number)> {
+        let entries = &self.inner.entries;
+        let start = entries.partition_point(|(k, _)| prefix_cmp(k, prefix) == Ordering::Less);
+        let len =
+            entries[start..].partition_point(|(k, _)| prefix_cmp(k, prefix) == Ordering::Equal);
+        entries[start..start + len]
+            .iter()
+            .map(|(k, v)| (k.as_slice(), *v))
+    }
+
+    /// The snapshot as an owned `BTreeMap` — an explicit O(n) export for tests and
+    /// bulk consumers, *not* part of the per-request read path.
+    pub fn table(&self) -> BTreeMap<Vec<Value>, Number> {
+        self.inner
+            .entries
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+impl fmt::Debug for ViewSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ViewSnapshot")
+            .field("name", &self.inner.name)
+            .field("epoch", &self.inner.epoch)
+            .field("ingested", &self.inner.ingested)
+            .field("len", &self.inner.entries.len())
+            .finish()
+    }
+}
+
+/// What acquiring a view's snapshot slot found.
+#[derive(Clone, Debug)]
+pub enum SnapshotAccess {
+    /// The current published snapshot.
+    Published(ViewSnapshot),
+    /// The view is quarantined (its engine failed mid-ingest); the carried name is
+    /// for the error message. Nothing is served until the view is repaired.
+    Poisoned(Arc<str>),
+    /// The view was dropped; its snapshot has been released.
+    Dropped,
+    /// No view was ever registered in this slot.
+    Unknown,
+}
+
+/// One view's publication slot.
+enum SlotState {
+    Published(ViewSnapshot),
+    Poisoned(Arc<str>),
+    Dropped,
+}
+
+/// The per-view snapshot publication slots, shared between one writer and any
+/// number of readers via `Arc<SnapshotStore>`.
+///
+/// Slot indices parallel the owning engine registry's slots: registered in creation
+/// order, never reused. The writer publishes at quiescent points with
+/// [`SnapshotStore::publish`]; readers acquire with [`SnapshotStore::acquire`].
+/// All slot access is O(1) — a shared lock on the slot table (taken exclusively
+/// only when a *new* view is registered) plus a per-slot mutex held just long
+/// enough to clone or swap an `Arc`.
+pub struct SnapshotStore {
+    slots: RwLock<Vec<Mutex<SlotState>>>,
+    epoch: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// An empty store (no slots, epoch 0).
+    pub fn new() -> Self {
+        SnapshotStore {
+            slots: RwLock::new(Vec::new()),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers the next slot with its initial snapshot and returns the slot index.
+    pub fn register(&self, snapshot: ViewSnapshot) -> u32 {
+        let mut slots = self.slots.write().expect("snapshot store lock poisoned");
+        slots.push(Mutex::new(SlotState::Published(snapshot)));
+        (slots.len() - 1) as u32
+    }
+
+    /// Registers the next slot already dropped (used when mirroring a store whose
+    /// owning ring has tombstoned slots — indices must stay aligned).
+    pub fn register_dropped(&self) {
+        let mut slots = self.slots.write().expect("snapshot store lock poisoned");
+        slots.push(Mutex::new(SlotState::Dropped));
+    }
+
+    /// Number of slots ever registered (dropped slots included — indices are stable).
+    pub fn len(&self) -> usize {
+        self.slots
+            .read()
+            .expect("snapshot store lock poisoned")
+            .len()
+    }
+
+    /// Whether no slot was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Draws the next publication epoch (strictly increasing for the store's life).
+    pub fn next_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, AtomicOrdering::Relaxed) + 1
+    }
+
+    /// Swaps `slot`'s published snapshot for a fresh one (clearing any quarantine
+    /// flag — the repair path republishes through here). The displaced snapshot's
+    /// memory is freed once the last reader clone of it goes away.
+    pub fn publish(&self, slot: u32, snapshot: ViewSnapshot) {
+        let slots = self.slots.read().expect("snapshot store lock poisoned");
+        let mut state = slots[slot as usize]
+            .lock()
+            .expect("snapshot slot lock poisoned");
+        *state = SlotState::Published(snapshot);
+    }
+
+    /// Flags `slot` as quarantined: acquisition reports
+    /// [`SnapshotAccess::Poisoned`] until a repair republishes. The stale snapshot
+    /// is released immediately — it predates the failure, but serving it would
+    /// silently freeze the view, so the poisoning is surfaced instead.
+    pub fn poison(&self, slot: u32) {
+        let slots = self.slots.read().expect("snapshot store lock poisoned");
+        let mut state = slots[slot as usize]
+            .lock()
+            .expect("snapshot slot lock poisoned");
+        if let SlotState::Published(snapshot) = &*state {
+            let name = Arc::from(snapshot.name());
+            *state = SlotState::Poisoned(name);
+        }
+    }
+
+    /// Releases `slot`'s snapshot for good (the view was dropped). Readers still
+    /// holding a previously acquired [`ViewSnapshot`] keep it alive until they
+    /// drop it; new acquisitions report [`SnapshotAccess::Dropped`].
+    pub fn evict(&self, slot: u32) {
+        let slots = self.slots.read().expect("snapshot store lock poisoned");
+        let mut state = slots[slot as usize]
+            .lock()
+            .expect("snapshot slot lock poisoned");
+        *state = SlotState::Dropped;
+    }
+
+    /// Acquires `slot`'s current snapshot — O(1), independent of view size.
+    pub fn acquire(&self, slot: u32) -> SnapshotAccess {
+        let slots = self.slots.read().expect("snapshot store lock poisoned");
+        let Some(cell) = slots.get(slot as usize) else {
+            return SnapshotAccess::Unknown;
+        };
+        let state = cell.lock().expect("snapshot slot lock poisoned");
+        match &*state {
+            SlotState::Published(snapshot) => SnapshotAccess::Published(snapshot.clone()),
+            SlotState::Poisoned(name) => SnapshotAccess::Poisoned(name.clone()),
+            SlotState::Dropped => SnapshotAccess::Dropped,
+        }
+    }
+
+    /// The slot index of the live (published or poisoned) view named `name`, if any
+    /// — a linear scan over the slots, for name-addressed acquisition.
+    pub fn find(&self, name: &str) -> Option<u32> {
+        let slots = self.slots.read().expect("snapshot store lock poisoned");
+        slots
+            .iter()
+            .position(|cell| {
+                let state = cell.lock().expect("snapshot slot lock poisoned");
+                match &*state {
+                    SlotState::Published(snapshot) => snapshot.name() == name,
+                    SlotState::Poisoned(slot_name) => &**slot_name == name,
+                    SlotState::Dropped => false,
+                }
+            })
+            .map(|i| i as u32)
+    }
+
+    /// Total groups currently held across all published snapshots — the store's
+    /// memory-proxy footprint (dropped and poisoned slots contribute zero).
+    pub fn published_entries(&self) -> usize {
+        let slots = self.slots.read().expect("snapshot store lock poisoned");
+        slots
+            .iter()
+            .map(|cell| {
+                let state = cell.lock().expect("snapshot slot lock poisoned");
+                match &*state {
+                    SlotState::Published(snapshot) => snapshot.len(),
+                    _ => 0,
+                }
+            })
+            .sum()
+    }
+}
+
+impl Default for SnapshotStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for SnapshotStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotStore")
+            .field("slots", &self.len())
+            .field("epoch", &self.epoch.load(AtomicOrdering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(vals: &[i64]) -> Vec<Value> {
+        vals.iter().copied().map(Value::int).collect()
+    }
+
+    fn snap(name: &str, entries: &[(&[i64], i64)]) -> ViewSnapshot {
+        ViewSnapshot::new(
+            Arc::from(name),
+            1,
+            0,
+            entries
+                .iter()
+                .map(|(k, v)| (key(k), Number::Int(*v)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn snapshots_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ViewSnapshot>();
+        assert_send_sync::<SnapshotStore>();
+    }
+
+    #[test]
+    fn point_lookups_and_absent_means_zero() {
+        let s = snap("v", &[(&[1, 1], 10), (&[1, 2], 20), (&[2, 1], 30)]);
+        assert_eq!(s.value(&key(&[1, 2])), Number::Int(20));
+        assert_eq!(s.get(&key(&[9, 9])), None);
+        assert_eq!(s.value(&key(&[9, 9])), Number::Int(0));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn prefix_scans_return_the_contiguous_run() {
+        let s = snap(
+            "v",
+            &[
+                (&[1, 1], 10),
+                (&[1, 2], 20),
+                (&[2, 1], 30),
+                (&[2, 5], 40),
+                (&[3, 0], 50),
+            ],
+        );
+        let hits: Vec<i64> = s
+            .prefix_scan(&key(&[2]))
+            .map(|(_, v)| match v {
+                Number::Int(i) => i,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(hits, vec![30, 40]);
+        assert_eq!(s.prefix_scan(&key(&[7])).count(), 0);
+        // An empty prefix scans everything.
+        assert_eq!(s.prefix_scan(&[]).count(), 5);
+    }
+
+    #[test]
+    fn store_lifecycle_publish_poison_evict() {
+        let store = SnapshotStore::new();
+        let slot = store.register(snap("v", &[(&[1], 5)]));
+        assert!(matches!(store.acquire(slot), SnapshotAccess::Published(_)));
+        assert_eq!(store.find("v"), Some(slot));
+        assert_eq!(store.published_entries(), 1);
+
+        store.poison(slot);
+        match store.acquire(slot) {
+            SnapshotAccess::Poisoned(name) => assert_eq!(&*name, "v"),
+            other => panic!("expected poisoned, got {other:?}"),
+        }
+        assert_eq!(store.published_entries(), 0);
+        // Poisoned views are still name-addressable (the error must name them).
+        assert_eq!(store.find("v"), Some(slot));
+
+        let epoch = store.next_epoch();
+        store.publish(slot, snap("v", &[(&[1], 6), (&[2], 7)]));
+        assert!(epoch >= 1);
+        assert!(matches!(store.acquire(slot), SnapshotAccess::Published(_)));
+        assert_eq!(store.published_entries(), 2);
+
+        store.evict(slot);
+        assert!(matches!(store.acquire(slot), SnapshotAccess::Dropped));
+        assert_eq!(store.find("v"), None);
+        assert!(matches!(store.acquire(99), SnapshotAccess::Unknown));
+    }
+
+    #[test]
+    fn acquired_snapshots_survive_later_publications_and_evictions() {
+        let store = SnapshotStore::new();
+        let slot = store.register(snap("v", &[(&[1], 5)]));
+        let held = match store.acquire(slot) {
+            SnapshotAccess::Published(s) => s,
+            other => panic!("{other:?}"),
+        };
+        store.publish(slot, snap("v", &[(&[1], 99)]));
+        store.evict(slot);
+        // The handle acquired earlier still reads its point-in-time data.
+        assert_eq!(held.value(&key(&[1])), Number::Int(5));
+    }
+}
